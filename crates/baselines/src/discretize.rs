@@ -1,0 +1,228 @@
+//! Discretized views of instances for count-based synthesizers.
+//!
+//! PrivBayes and the NIST method operate on contingency tables, so numeric
+//! attributes are quantized into their schema-declared bins and everything
+//! becomes a code in `0..card`. Decoding inverts through
+//! [`Quantizer::sample_in_bin`].
+
+use kamino_data::{Instance, Quantizer, Schema, Value};
+use rand::Rng;
+
+/// A fully discrete view of an instance: `codes[i][j]` is the bin/code of
+/// row `i`, attribute `j`.
+pub struct Discretized {
+    /// Row-major codes.
+    pub codes: Vec<Vec<u32>>,
+    /// Per-attribute cardinalities (label count or bin count).
+    pub cards: Vec<usize>,
+    quantizers: Vec<Quantizer>,
+}
+
+impl Discretized {
+    /// Quantizes `inst` against `schema`.
+    pub fn from_instance(schema: &Schema, inst: &Instance) -> Discretized {
+        let quantizers: Vec<Quantizer> =
+            schema.attrs().iter().map(Quantizer::for_attr).collect();
+        let cards: Vec<usize> = quantizers.iter().map(Quantizer::n_bins).collect();
+        let codes = (0..inst.n_rows())
+            .map(|i| {
+                (0..schema.len())
+                    .map(|j| quantizers[j].bin(inst.value(i, j)) as u32)
+                    .collect()
+            })
+            .collect();
+        Discretized { codes, cards, quantizers }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// Decodes one attribute's code back to a schema value (uniform within
+    /// the bin for numeric attributes).
+    pub fn decode<R: Rng + ?Sized>(&self, attr: usize, code: u32, rng: &mut R) -> Value {
+        self.quantizers[attr].sample_in_bin(code as usize, rng)
+    }
+
+    /// Marginal counts of one attribute.
+    pub fn marginal(&self, attr: usize) -> Vec<f64> {
+        let mut counts = vec![0.0; self.cards[attr]];
+        for row in &self.codes {
+            counts[row[attr] as usize] += 1.0;
+        }
+        counts
+    }
+
+    /// Joint counts of an attribute pair, row-major `card(a) × card(b)`.
+    pub fn joint2(&self, a: usize, b: usize) -> Vec<f64> {
+        let cb = self.cards[b];
+        let mut counts = vec![0.0; self.cards[a] * cb];
+        for row in &self.codes {
+            counts[row[a] as usize * cb + row[b] as usize] += 1.0;
+        }
+        counts
+    }
+
+    /// Joint counts of target `x` against an arbitrary parent set: returns
+    /// `(counts, parent_config_index)` where configs are mixed-radix codes
+    /// over the parents. Layout: `counts[config * card(x) + x_code]`.
+    pub fn joint_with_parents(&self, x: usize, parents: &[usize]) -> Vec<f64> {
+        let n_cfg: usize = parents.iter().map(|&p| self.cards[p]).product::<usize>().max(1);
+        let cx = self.cards[x];
+        let mut counts = vec![0.0; n_cfg * cx];
+        for row in &self.codes {
+            let cfg = self.config_of(row, parents);
+            counts[cfg * cx + row[x] as usize] += 1.0;
+        }
+        counts
+    }
+
+    /// Mixed-radix parent configuration index of a row.
+    pub fn config_of(&self, row: &[u32], parents: &[usize]) -> usize {
+        let mut cfg = 0usize;
+        for &p in parents {
+            cfg = cfg * self.cards[p] + row[p] as usize;
+        }
+        cfg
+    }
+
+    /// Number of parent configurations.
+    pub fn n_configs(&self, parents: &[usize]) -> usize {
+        parents.iter().map(|&p| self.cards[p]).product::<usize>().max(1)
+    }
+}
+
+/// Mutual information (in nats) between a target and a parent set, computed
+/// from raw (possibly noisy, nonnegative) joint counts laid out as in
+/// [`Discretized::joint_with_parents`].
+pub fn mutual_information(counts: &[f64], card_x: usize) -> f64 {
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let n_cfg = counts.len() / card_x;
+    let mut px = vec![0.0; card_x];
+    let mut pc = vec![0.0; n_cfg];
+    for cfg in 0..n_cfg {
+        for x in 0..card_x {
+            let p = counts[cfg * card_x + x] / total;
+            px[x] += p;
+            pc[cfg] += p;
+        }
+    }
+    let mut mi = 0.0;
+    for cfg in 0..n_cfg {
+        for x in 0..card_x {
+            let pxy = counts[cfg * card_x + x] / total;
+            if pxy > 0.0 && px[x] > 0.0 && pc[cfg] > 0.0 {
+                mi += pxy * (pxy / (px[x] * pc[cfg])).ln();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamino_data::Attribute;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Schema, Discretized) {
+        let s = Schema::new(vec![
+            Attribute::categorical_indexed("a", 2).unwrap(),
+            Attribute::numeric("x", 0.0, 10.0, 5).unwrap(),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..20)
+            .map(|i| vec![Value::Cat((i % 2) as u32), Value::Num((i % 2) as f64 * 9.0)])
+            .collect();
+        let inst = Instance::from_rows(&s, &rows).unwrap();
+        let d = Discretized::from_instance(&s, &inst);
+        (s, d)
+    }
+
+    #[test]
+    fn shapes_and_cards() {
+        let (_, d) = setup();
+        assert_eq!(d.n_rows(), 20);
+        assert_eq!(d.n_attrs(), 2);
+        assert_eq!(d.cards, vec![2, 5]);
+    }
+
+    #[test]
+    fn marginals_count_correctly() {
+        let (_, d) = setup();
+        assert_eq!(d.marginal(0), vec![10.0, 10.0]);
+        let mx = d.marginal(1);
+        assert_eq!(mx[0], 10.0); // x = 0 → bin 0
+        assert_eq!(mx[4], 10.0); // x = 9 → bin 4
+    }
+
+    #[test]
+    fn joint_counts() {
+        let (_, d) = setup();
+        let j = d.joint2(0, 1);
+        // a=0 ↔ bin 0, a=1 ↔ bin 4, perfectly correlated
+        assert_eq!(j[0], 10.0);
+        assert_eq!(j[1 * 5 + 4], 10.0);
+        assert_eq!(j.iter().sum::<f64>(), 20.0);
+    }
+
+    #[test]
+    fn parent_configs_mixed_radix() {
+        let (_, d) = setup();
+        assert_eq!(d.n_configs(&[0, 1]), 10);
+        assert_eq!(d.n_configs(&[]), 1);
+        assert_eq!(d.config_of(&[1, 3], &[0, 1]), 1 * 5 + 3);
+    }
+
+    #[test]
+    fn mi_detects_dependence() {
+        let (_, d) = setup();
+        let dependent = mutual_information(&d.joint_with_parents(0, &[1]), 2);
+        // a vs itself through x is perfectly informative: MI = ln 2
+        assert!((dependent - (2.0f64).ln()).abs() < 1e-9);
+        // MI with no parents is zero
+        let none = mutual_information(&d.joint_with_parents(0, &[]), 2);
+        assert_eq!(none, 0.0);
+    }
+
+    #[test]
+    fn mi_on_independent_attrs_near_zero() {
+        let s = Schema::new(vec![
+            Attribute::categorical_indexed("a", 2).unwrap(),
+            Attribute::categorical_indexed("b", 2).unwrap(),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| vec![Value::Cat((i % 2) as u32), Value::Cat(((i / 2) % 2) as u32)])
+            .collect();
+        let inst = Instance::from_rows(&s, &rows).unwrap();
+        let d = Discretized::from_instance(&s, &inst);
+        let mi = mutual_information(&d.joint_with_parents(0, &[1]), 2);
+        assert!(mi < 1e-9, "independent attrs gave MI {mi}");
+    }
+
+    #[test]
+    fn decode_respects_domain() {
+        let (s, d) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        for code in 0..5u32 {
+            let v = d.decode(1, code, &mut rng);
+            assert!(s.attr(1).validate(v).is_ok());
+        }
+    }
+
+    #[test]
+    fn mi_zero_on_empty_counts() {
+        assert_eq!(mutual_information(&[0.0, 0.0, 0.0, 0.0], 2), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion bench for Experiment 10: parallel sub-model training and the
+//! hard-FD lookup fast path. Run `exp10_optimizations` (binary) for the
+//! quality columns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamino_bench::{config, KaminoVariant, Method};
+use kamino_datasets::Corpus;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let budget = config::default_budget();
+    let mut g = c.benchmark_group("exp10_optimizations");
+    g.sample_size(10);
+    let adult = Corpus::Adult.generate(150, 1);
+    for (name, parallel) in [("sequential_training", false), ("parallel_training", true)] {
+        g.bench_function(name, |b| {
+            let variant = KaminoVariant { parallel, ..Default::default() };
+            b.iter(|| black_box(Method::Kamino(variant).run(&adult, budget, 5)))
+        });
+    }
+    let tpch = Corpus::TpcH.generate(400, 1);
+    for (name, lookup) in [("tpch_candidate_scoring", false), ("tpch_fd_lookup", true)] {
+        g.bench_function(name, |b| {
+            let variant = KaminoVariant { hard_fd_lookup: lookup, ..Default::default() };
+            b.iter(|| black_box(Method::Kamino(variant).run(&tpch, budget, 5)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

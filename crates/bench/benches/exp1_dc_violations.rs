@@ -1,0 +1,39 @@
+//! Criterion bench for Table 2 / Experiment 1: end-to-end Kamino synthesis
+//! plus DC-violation measurement on a micro Adult-like instance, against
+//! the PrivBayes baseline doing the same. Timings show the price of
+//! constraint awareness; run the `table2_dc_violations` binary for the
+//! full paper-style table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamino_baselines::{PrivBayes, Synthesizer};
+use kamino_bench::{config, Method};
+use kamino_constraints::violation_percentage;
+use kamino_datasets::Corpus;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let d = Corpus::Adult.generate(150, 1);
+    let budget = config::default_budget();
+    let mut g = c.benchmark_group("exp1_dc_violations");
+    g.sample_size(10);
+    g.bench_function("kamino_synthesize_and_measure", |b| {
+        b.iter(|| {
+            let (inst, _) = Method::kamino().run(&d, budget, 7);
+            let total: f64 =
+                d.dcs.iter().map(|dc| violation_percentage(dc, &inst)).sum();
+            black_box(total)
+        })
+    });
+    g.bench_function("privbayes_synthesize_and_measure", |b| {
+        b.iter(|| {
+            let inst = PrivBayes::default().synthesize(&d.schema, &d.instance, budget, 150, 7);
+            let total: f64 =
+                d.dcs.iter().map(|dc| violation_percentage(dc, &inst)).sum();
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 3 / Experiment 2: the Metric II harness
+//! (train classifiers on synthetic, test on truth) at micro scale. Run the
+//! `fig3_model_training` binary for the full per-dataset tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamino_bench::classifier_roster;
+use kamino_datasets::Corpus;
+use kamino_eval::tasks::evaluate_classification_with;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let d = Corpus::Adult.generate(150, 1);
+    let mut g = c.benchmark_group("exp2_model_training");
+    g.sample_size(10);
+    g.bench_function("metric2_truth_on_truth", |b| {
+        b.iter(|| {
+            black_box(evaluate_classification_with(
+                &d.schema,
+                &d.instance,
+                &d.instance,
+                5,
+                classifier_roster,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

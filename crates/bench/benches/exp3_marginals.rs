@@ -1,0 +1,23 @@
+//! Criterion bench for Figure 4 / Experiment 3: 1-way and 2-way marginal
+//! TVD computation. Run the `fig4_marginals` binary for the full tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamino_datasets::Corpus;
+use kamino_eval::marginals::{tvd_all_pairs, tvd_all_singles};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let d = Corpus::Adult.generate(800, 1);
+    let d2 = Corpus::Adult.generate(800, 2);
+    let mut g = c.benchmark_group("exp3_marginals");
+    g.bench_function("tvd_1way_all_attrs", |b| {
+        b.iter(|| black_box(tvd_all_singles(&d.schema, &d.instance, &d2.instance)))
+    });
+    g.bench_function("tvd_2way_all_pairs", |b| {
+        b.iter(|| black_box(tvd_all_pairs(&d.schema, &d.instance, &d2.instance)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

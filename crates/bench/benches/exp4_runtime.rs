@@ -1,0 +1,24 @@
+//! Criterion bench for Figure 7 / Experiment 4: the end-to-end Kamino
+//! pipeline at micro scale (per-phase profiling lives in the
+//! `fig7_time_profile` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamino_bench::{config, Method};
+use kamino_datasets::Corpus;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let budget = config::default_budget();
+    let mut g = c.benchmark_group("exp4_runtime");
+    g.sample_size(10);
+    for corpus in [Corpus::Adult, Corpus::TpcH] {
+        let d = corpus.generate(150, 1);
+        g.bench_function(format!("kamino_end_to_end_{}", d.name), |b| {
+            b.iter(|| black_box(Method::kamino().run(&d, budget, 3)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for Table 3 + Figure 5 / Experiment 5: Kamino vs the
+//! RandBoth ablation at micro scale. Run `table3_fig5_ablation` for the
+//! full four-arm comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamino_bench::{config, Ablation, KaminoVariant, Method};
+use kamino_datasets::Corpus;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let d = Corpus::Adult.generate(150, 1);
+    let budget = config::default_budget();
+    let mut g = c.benchmark_group("exp5_ablation");
+    g.sample_size(10);
+    for (name, ablation) in [("kamino", Ablation::None), ("randboth", Ablation::RandBoth)] {
+        g.bench_function(name, |b| {
+            let variant = KaminoVariant { ablation, ..Default::default() };
+            b.iter(|| black_box(Method::Kamino(variant).run(&d, budget, 5)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for Experiment 6: constraint-aware vs accept–reject
+//! sampling cost at micro scale. Run `exp6_ar_sampling` (binary) for the
+//! violation comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamino_bench::{config, KaminoVariant, Method};
+use kamino_datasets::Corpus;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let d = Corpus::Adult.generate(150, 1);
+    let budget = config::default_budget();
+    let mut g = c.benchmark_group("exp6_ar_sampling");
+    g.sample_size(10);
+    for (name, ar) in [("constraint_aware", false), ("accept_reject", true)] {
+        g.bench_function(name, |b| {
+            let variant = KaminoVariant { ar_sampling: ar, ..Default::default() };
+            b.iter(|| black_box(Method::Kamino(variant).run(&d, budget, 5)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for Figure 6 / Experiment 7: Kamino at tight vs loose
+//! privacy budgets (the parameter search trades iterations for noise). Run
+//! `fig6_budget_sweep` for the full sweep with all methods.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamino_bench::Method;
+use kamino_datasets::Corpus;
+use kamino_dp::Budget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let d = Corpus::Adult.generate(150, 1);
+    let mut g = c.benchmark_group("exp7_budget_sweep");
+    g.sample_size(10);
+    for eps in [0.1, 1.6] {
+        g.bench_function(format!("kamino_eps_{eps}"), |b| {
+            b.iter(|| black_box(Method::kamino().run(&d, Budget::new(eps, 1e-6), 5)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 8 / Experiment 8: synthesis cost as the DC
+//! set grows (discovered approximate DCs). Run `fig8_dc_scaling` for the
+//! quality-vs-|Φ| table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamino_bench::{config, Method};
+use kamino_constraints::discovery::discover_approximate_dcs;
+use kamino_datasets::{Corpus, Dataset};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let base = Corpus::Adult.generate(150, 1);
+    let budget = config::default_budget();
+    let mut g = c.benchmark_group("exp8_dc_scaling");
+    g.sample_size(10);
+    for n_dcs in [2usize, 16] {
+        let dcs: Vec<_> = discover_approximate_dcs(&base.schema, &base.instance, n_dcs, 25.0)
+            .into_iter()
+            .map(|d| d.dc)
+            .collect();
+        let d = Dataset {
+            name: base.name.clone(),
+            schema: base.schema.clone(),
+            instance: base.instance.clone(),
+            dcs,
+        };
+        g.bench_function(format!("kamino_{n_dcs}_dcs"), |b| {
+            b.iter(|| black_box(Method::kamino().run(&d, budget, 5)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for Figure 9 / Experiment 9: MCMC re-sampling cost.
+//! Run `fig9_mcmc` for the quality sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamino_bench::{config, KaminoVariant, Method};
+use kamino_datasets::Corpus;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let d = Corpus::Adult.generate(150, 1);
+    let budget = config::default_budget();
+    let mut g = c.benchmark_group("exp9_mcmc");
+    g.sample_size(10);
+    for ratio in [0.0, 2.0] {
+        g.bench_function(format!("mcmc_ratio_{ratio}"), |b| {
+            let variant = KaminoVariant { mcmc_ratio: ratio, ..Default::default() };
+            b.iter(|| black_box(Method::Kamino(variant).run(&d, budget, 5)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

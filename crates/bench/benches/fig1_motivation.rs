@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 1: baseline synthesis + post-hoc repair on a
+//! micro Adult-like instance. Run the `fig1_motivation` binary for the
+//! full standard-vs-cleaned comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamino_baselines::{PrivBayes, Synthesizer};
+use kamino_bench::config;
+use kamino_datasets::Corpus;
+use kamino_eval::clean::repair;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let d = Corpus::Adult.generate(150, 1);
+    let budget = config::default_budget();
+    let synth = PrivBayes::default().synthesize(&d.schema, &d.instance, budget, 150, 3);
+    let mut g = c.benchmark_group("fig1_motivation");
+    g.sample_size(10);
+    g.bench_function("privbayes_standard", |b| {
+        b.iter(|| {
+            black_box(PrivBayes::default().synthesize(&d.schema, &d.instance, budget, 150, 3))
+        })
+    });
+    g.bench_function("repair_cleaned_arm", |b| {
+        b.iter(|| black_box(repair(&d.schema, &synth, &d.dcs)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

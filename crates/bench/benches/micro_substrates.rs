@@ -1,0 +1,57 @@
+//! Microbenchmarks for the hot substrate kernels: violation counting
+//! (FD fast path, order fast path, naive scan), incremental counters, the
+//! RDP accountant, and one DP-SGD step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamino_constraints::{count_violating_pairs, parse_dc, CandidateRow, DcCounter, Hardness};
+use kamino_datasets::adult_like;
+use kamino_dp::RdpAccountant;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let d = adult_like(2_000, 1);
+    let fd = &d.dcs[0];
+    let ord = &d.dcs[1];
+    let naive_ord = parse_dc(
+        &d.schema,
+        "naive",
+        "!(t1.capital_gain >= t2.capital_gain & t1.capital_loss <= t2.capital_loss & t1.age > t2.age)",
+        Hardness::Soft,
+    )
+    .unwrap();
+
+    let mut g = c.benchmark_group("micro_substrates");
+    g.bench_function("count_pairs_fd_fastpath_n2000", |b| {
+        b.iter(|| black_box(count_violating_pairs(fd, &d.instance)))
+    });
+    g.bench_function("count_pairs_order_fenwick_n2000", |b| {
+        b.iter(|| black_box(count_violating_pairs(ord, &d.instance)))
+    });
+    g.bench_function("count_pairs_naive_scan_n2000", |b| {
+        b.iter(|| black_box(count_violating_pairs(&naive_ord, &d.instance)))
+    });
+    g.bench_function("incremental_fd_counter_fill_n2000", |b| {
+        let edu_num = d.schema.index_of("education_num").unwrap();
+        b.iter(|| {
+            let mut counter = DcCounter::build(fd);
+            let mut total = 0;
+            for i in 0..d.instance.n_rows() {
+                let cand = CandidateRow::committed(&d.instance, i, edu_num);
+                total += counter.count_new(&cand);
+                counter.insert(&cand);
+            }
+            black_box(total)
+        })
+    });
+    g.bench_function("rdp_accountant_5000_sgm_steps", |b| {
+        b.iter(|| {
+            let mut acc = RdpAccountant::new();
+            acc.add_sgm(1.1, 0.001, 5_000);
+            black_box(acc.epsilon(1e-6))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figure 1 (motivation): the "standard vs cleaned" experiment. Baselines
+//! synthesize Adult at (ε = 1, δ = 1e-6); post-hoc constraint repair fixes
+//! their DC violations but *degrades* classification accuracy and 2-way
+//! marginal distance — the phenomenon motivating constraint-aware
+//! synthesis.
+
+use kamino_bench::{classifier_roster, config, figure1_roster, report};
+use kamino_datasets::Corpus;
+use kamino_eval::clean::repair;
+use kamino_eval::marginals::{summarize, tvd_all_pairs};
+use kamino_eval::tasks::evaluate_classification_with;
+use kamino_eval::violations::violation_table;
+
+fn main() {
+    let seed = config::seeds()[0];
+    let n = config::rows_for(Corpus::Adult);
+    let d = Corpus::Adult.generate(n, 1);
+
+    // Two panels: the paper's (ε = 1) regime, and a non-private regime.
+    // At harness scale the ε = 1 baselines have already lost most joint
+    // structure to noise, so post-hoc repair has little left to damage;
+    // the ε = ∞ panel isolates the repair effect itself (the paper's
+    // full-scale ε = 1 runs sit between the two). See EXPERIMENTS.md.
+    for (label, budget) in [
+        ("eps=1", config::default_budget()),
+        ("eps=inf", kamino_dp::Budget::non_private()),
+    ] {
+        let mut t = report::Table::new(
+            &format!("Figure 1 (Adult-like, n={n}, {label}): standard vs cleaned"),
+            &["Method", "Arm", "DC viol. %", "Accuracy", "2-way TVD (mean)"],
+        );
+        for b in figure1_roster() {
+            let standard = b.synthesize(&d.schema, &d.instance, budget, n, seed);
+            let cleaned = repair(&d.schema, &standard, &d.dcs);
+            for (arm, inst) in [("standard", &standard), ("cleaned", &cleaned)] {
+                let viol: f64 =
+                    violation_table(&d.dcs, inst).iter().map(|(_, pct)| pct).sum::<f64>();
+                let summary = evaluate_classification_with(
+                    &d.schema,
+                    &d.instance,
+                    inst,
+                    seed,
+                    classifier_roster,
+                );
+                let (tvd_mean, _, _) = summarize(&tvd_all_pairs(&d.schema, &d.instance, inst));
+                t.row(vec![
+                    b.name().to_string(),
+                    arm.to_string(),
+                    format!("{viol:.2}"),
+                    format!("{:.3}", summary.mean_accuracy()),
+                    format!("{tvd_mean:.3}"),
+                ]);
+            }
+        }
+        t.emit("fig1_motivation");
+    }
+    println!(
+        "Expected shape: 'cleaned' rows have ~0 violations but degraded\n\
+         accuracy / 2-way TVD relative to 'standard', most visibly in the\n\
+         low-noise panel where the baselines retain joint structure."
+    );
+}

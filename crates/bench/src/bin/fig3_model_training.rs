@@ -1,0 +1,46 @@
+//! Figure 3 / Experiment 2: classification quality (accuracy and F1) of
+//! models trained on synthetic data and tested on true data, per dataset ×
+//! method. Each point in the paper's box plot is the model-averaged score
+//! for one target attribute; we print mean/min/max over attributes plus
+//! the Truth row (train and test on the true data).
+
+use kamino_bench::{classifier_roster, config, report, Method};
+use kamino_datasets::Corpus;
+use kamino_eval::marginals::summarize;
+use kamino_eval::tasks::evaluate_classification_with;
+
+fn main() {
+    let budget = config::default_budget();
+    let seed = config::seeds()[0];
+    for corpus in Corpus::all() {
+        let n = config::rows_for(corpus);
+        let d = corpus.generate(n, 1);
+        let mut t = report::Table::new(
+            &format!("Figure 3 ({}, n={n}, eps=1): accuracy / F1 over attributes", corpus.name()),
+            &["Method", "Acc mean", "Acc min", "Acc max", "F1 mean", "F1 min", "F1 max"],
+        );
+        let mut eval_row = |name: String, synth: &kamino_data::Instance| {
+            let summary =
+                evaluate_classification_with(&d.schema, &d.instance, synth, seed, classifier_roster);
+            let accs: Vec<f64> = summary.per_attribute.iter().map(|r| r.accuracy).collect();
+            let f1s: Vec<f64> = summary.per_attribute.iter().map(|r| r.f1).collect();
+            let (am, alo, ahi) = summarize(&accs);
+            let (fm, flo, fhi) = summarize(&f1s);
+            t.row(vec![
+                name,
+                format!("{am:.3}"),
+                format!("{alo:.3}"),
+                format!("{ahi:.3}"),
+                format!("{fm:.3}"),
+                format!("{flo:.3}"),
+                format!("{fhi:.3}"),
+            ]);
+        };
+        for m in Method::paper_roster() {
+            let (inst, _) = m.run(&d, budget, seed);
+            eval_row(m.name(), &inst);
+        }
+        eval_row("Truth".to_string(), &d.instance);
+        t.emit("fig3_model_training");
+    }
+}

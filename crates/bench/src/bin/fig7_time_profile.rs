@@ -1,0 +1,35 @@
+//! Figure 7 / Experiment 4: Kamino's end-to-end execution time, profiled
+//! per phase (sequencing+params, training, violation matrix + DC weights,
+//! sampling) on every dataset. The paper's shape: training + sampling
+//! together dominate (>99% of total).
+
+use kamino_bench::{config, report, Method};
+use kamino_datasets::Corpus;
+
+fn main() {
+    let budget = config::default_budget();
+    let seed = config::seeds()[0];
+    let mut t = report::Table::new(
+        "Figure 7: per-phase execution time (seconds)",
+        &["Dataset", "Seq.", "Train", "DC weights", "Sampling", "Total", "Train+Samp %"],
+    );
+    for corpus in Corpus::all() {
+        let n = config::rows_for(corpus);
+        let d = corpus.generate(n, 1);
+        let (_, report) = Method::kamino().run(&d, budget, seed);
+        let r = report.expect("kamino run returns a report");
+        let tm = r.timings;
+        let total = tm.total().as_secs_f64();
+        let dominant = (tm.training + tm.sampling).as_secs_f64() / total * 100.0;
+        t.row(vec![
+            format!("{} (n={n})", corpus.name()),
+            format!("{:.3}", tm.sequencing.as_secs_f64()),
+            format!("{:.3}", tm.training.as_secs_f64()),
+            format!("{:.3}", tm.dc_weights.as_secs_f64()),
+            format!("{:.3}", tm.sampling.as_secs_f64()),
+            format!("{total:.3}"),
+            format!("{dominant:.1}%"),
+        ]);
+    }
+    t.emit("fig7_time_profile");
+}

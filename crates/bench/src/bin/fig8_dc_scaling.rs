@@ -1,0 +1,60 @@
+//! Figure 8 / Experiment 8: scalability with the number of DCs. Input DC
+//! sets of size 2..128 are produced by approximate-DC discovery on the
+//! Adult-like instance (standing in for the paper's use of [70]), treated
+//! as soft constraints.
+//!
+//! Paper shape: task quality degrades only slightly (≈0.04 at 128 DCs)
+//! while total time grows roughly linearly, dominated by sampling.
+
+use std::time::Instant;
+
+use kamino_bench::{classifier_roster, config, report, Method};
+use kamino_constraints::discovery::discover_approximate_dcs;
+use kamino_datasets::{Corpus, Dataset};
+use kamino_eval::marginals::{summarize, tvd_all_pairs, tvd_all_singles};
+use kamino_eval::tasks::evaluate_classification_with;
+
+fn main() {
+    let budget = config::default_budget();
+    let seed = config::seeds()[0];
+    let n = config::rows_for(Corpus::Adult);
+    let base = Corpus::Adult.generate(n, 1);
+    let mut t = report::Table::new(
+        &format!("Figure 8 (Adult-like, n={n}): scaling the number of DCs"),
+        &["#DCs", "Accuracy", "F1", "1-way TVD", "2-way TVD", "Train (s)", "Weights (s)", "Sample (s)"],
+    );
+    for &n_dcs in &[2usize, 4, 8, 16, 32, 64, 128] {
+        let discovered = discover_approximate_dcs(&base.schema, &base.instance, n_dcs, 25.0);
+        let dcs: Vec<_> = discovered.into_iter().map(|d| d.dc).collect();
+        let d = Dataset {
+            name: base.name.clone(),
+            schema: base.schema.clone(),
+            instance: base.instance.clone(),
+            dcs,
+        };
+        let start = Instant::now();
+        let (inst, rep) = Method::kamino().run(&d, budget, seed);
+        let _ = start;
+        let rep = rep.unwrap();
+        let summary = evaluate_classification_with(
+            &d.schema,
+            &d.instance,
+            &inst,
+            seed,
+            classifier_roster,
+        );
+        let (t1, _, _) = summarize(&tvd_all_singles(&d.schema, &d.instance, &inst));
+        let (t2, _, _) = summarize(&tvd_all_pairs(&d.schema, &d.instance, &inst));
+        t.row(vec![
+            format!("{}", d.dcs.len()),
+            format!("{:.3}", summary.mean_accuracy()),
+            format!("{:.3}", summary.mean_f1()),
+            format!("{t1:.3}"),
+            format!("{t2:.3}"),
+            format!("{:.2}", rep.timings.training.as_secs_f64()),
+            format!("{:.2}", rep.timings.dc_weights.as_secs_f64()),
+            format!("{:.2}", rep.timings.sampling.as_secs_f64()),
+        ]);
+    }
+    t.emit("fig8_dc_scaling");
+}

@@ -1,0 +1,39 @@
+//! Table 1: description of the datasets used in the experiments.
+
+use kamino_bench::{config, report::Table};
+use kamino_constraints::Hardness;
+use kamino_datasets::Corpus;
+
+fn main() {
+    let mut t = Table::new(
+        "Table 1: datasets (synthetic stand-ins; see DESIGN.md §3)",
+        &["Dataset", "n", "k", "log2(domain)", "Hard DCs", "DCs"],
+    );
+    for corpus in Corpus::all() {
+        let n = config::rows_for(corpus);
+        let d = corpus.generate(n, config::seeds()[0]);
+        let hard = d.dcs.iter().filter(|dc| dc.hardness == Hardness::Hard).count();
+        let names: Vec<&str> = d.dcs.iter().map(|dc| dc.name.as_str()).collect();
+        t.row(vec![
+            corpus.name().to_string(),
+            format!("{n}"),
+            format!("{}", d.schema.len()),
+            format!("{:.1}", d.schema.log2_domain_size()),
+            format!("{hard}/{}", d.dcs.len()),
+            names.join(", "),
+        ]);
+    }
+    t.emit("table1_datasets");
+
+    // also print the constraint texts, like the paper's right-hand column
+    for corpus in Corpus::all() {
+        let d = corpus.generate(50, 0);
+        println!("{}:", corpus.name());
+        for dc in &d.dcs {
+            println!("  {:8} [{}]  {}", dc.name, match dc.hardness {
+                Hardness::Hard => "hard",
+                Hardness::Soft => "soft",
+            }, dc.display(&d.schema));
+        }
+    }
+}

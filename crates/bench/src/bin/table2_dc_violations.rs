@@ -1,0 +1,46 @@
+//! Table 2 / Experiment 1: percentage of tuple pairs violating each DC,
+//! for every dataset × method, mean±std over 3 seeded runs.
+//!
+//! Paper shape to reproduce: the truth column is ~0 for hard-DC datasets
+//! (small for BR2000's soft DCs); the four baselines leave substantial
+//! violations on most DCs; Kamino matches the truth column.
+
+use kamino_bench::{config, report, Method};
+use kamino_constraints::violation_percentage;
+use kamino_datasets::Corpus;
+
+fn main() {
+    let budget = config::default_budget();
+    for corpus in Corpus::all() {
+        let n = config::rows_for(corpus);
+        let d = corpus.generate(n, 1);
+        let methods = Method::paper_roster();
+        let mut header = vec!["DC".to_string(), "Truth".to_string()];
+        header.extend(methods.iter().map(Method::name));
+        let mut t = report::Table::new(
+            &format!("Table 2 ({}, n={n}, eps=1): % violating tuple pairs", corpus.name()),
+            &header.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+
+        // per method × per DC, across seeds
+        let mut cells: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); d.dcs.len()]; methods.len()];
+        for &seed in &config::seeds() {
+            for (mi, m) in methods.iter().enumerate() {
+                let (inst, _) = m.run(&d, budget, seed);
+                for (li, dc) in d.dcs.iter().enumerate() {
+                    cells[mi][li].push(violation_percentage(dc, &inst));
+                }
+            }
+        }
+        for (li, dc) in d.dcs.iter().enumerate() {
+            let mut row =
+                vec![dc.name.clone(), format!("{:.2}", violation_percentage(dc, &d.instance))];
+            for mi in 0..methods.len() {
+                let (m, s) = report::mean_std(&cells[mi][li]);
+                row.push(report::pm(m, s));
+            }
+            t.row(row);
+        }
+        t.emit("table2_dc_violations");
+    }
+}

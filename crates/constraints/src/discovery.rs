@@ -1,0 +1,187 @@
+//! Approximate denial-constraint discovery.
+//!
+//! Experiment 8 of the paper varies the number of input DCs from 2 to 128
+//! by "discovering approximate DCs [70] to simulate the knowledge from the
+//! domain expert". This module provides that generator: it enumerates
+//! two-attribute candidate DCs (FD-shaped for every ordered attribute pair,
+//! order-shaped for every numeric pair), measures each candidate's
+//! violation percentage on the instance, and returns the `n` candidates
+//! with the lowest violation rates under a cutoff — i.e. the constraints
+//! that *approximately* hold.
+//!
+//! Like the paper's setup, discovery runs on the true instance as a
+//! stand-in for domain knowledge and is not part of the private pipeline.
+
+use kamino_data::{Instance, Schema};
+
+use crate::ast::{CmpOp, DenialConstraint, Hardness, Operand, Predicate, TupleRef};
+use crate::engine::violation_percentage;
+
+/// A discovered DC together with its observed violation percentage.
+#[derive(Debug, Clone)]
+pub struct DiscoveredDc {
+    /// The constraint.
+    pub dc: DenialConstraint,
+    /// Percentage of violating tuple pairs in the instance it was mined on.
+    pub violation_pct: f64,
+}
+
+fn cross_pred(a: usize, op: CmpOp) -> Predicate {
+    Predicate {
+        lhs: Operand::Attr { tuple: TupleRef::T1, attr: a },
+        op,
+        rhs: Operand::Attr { tuple: TupleRef::T2, attr: a },
+    }
+}
+
+/// Enumerates candidate two-attribute DCs: the FD `A → B` for every ordered
+/// pair, and both discordance DCs `¬(A↑ ∧ B↓)` / `¬(A↑ ∧ B↑)` for every
+/// unordered numeric pair.
+pub fn candidate_dcs(schema: &Schema) -> Vec<DenialConstraint> {
+    let k = schema.len();
+    let mut out = Vec::new();
+    for a in 0..k {
+        for b in 0..k {
+            if a == b {
+                continue;
+            }
+            out.push(DenialConstraint::new(
+                format!("fd_{}_{}", schema.attr(a).name, schema.attr(b).name),
+                vec![cross_pred(a, CmpOp::Eq), cross_pred(b, CmpOp::Ne)],
+                Hardness::Soft,
+            ));
+        }
+    }
+    for a in 0..k {
+        if schema.attr(a).is_categorical() {
+            continue;
+        }
+        for b in (a + 1)..k {
+            if schema.attr(b).is_categorical() {
+                continue;
+            }
+            out.push(DenialConstraint::new(
+                format!("ord_{}_{}_disc", schema.attr(a).name, schema.attr(b).name),
+                vec![cross_pred(a, CmpOp::Gt), cross_pred(b, CmpOp::Lt)],
+                Hardness::Soft,
+            ));
+            out.push(DenialConstraint::new(
+                format!("ord_{}_{}_conc", schema.attr(a).name, schema.attr(b).name),
+                vec![cross_pred(a, CmpOp::Gt), cross_pred(b, CmpOp::Gt)],
+                Hardness::Soft,
+            ));
+        }
+    }
+    out
+}
+
+/// Discovers up to `n` approximate DCs with violation percentage at most
+/// `max_violation_pct`, ordered from most to least exact. When fewer than
+/// `n` candidates pass the cutoff, the best-failing candidates are appended
+/// so that DC-scaling experiments can always reach the requested count (the
+/// extra constraints are legitimately *soft*).
+pub fn discover_approximate_dcs(
+    schema: &Schema,
+    inst: &Instance,
+    n: usize,
+    max_violation_pct: f64,
+) -> Vec<DiscoveredDc> {
+    let mut scored: Vec<DiscoveredDc> = candidate_dcs(schema)
+        .into_iter()
+        .map(|dc| {
+            let violation_pct = violation_percentage(&dc, inst);
+            DiscoveredDc { dc, violation_pct }
+        })
+        .collect();
+    scored.sort_by(|x, y| {
+        x.violation_pct.total_cmp(&y.violation_pct).then_with(|| x.dc.name.cmp(&y.dc.name))
+    });
+    let passing = scored.iter().take_while(|d| d.violation_pct <= max_violation_pct).count();
+    scored.truncate(passing.max(n.min(scored.len())));
+    scored.truncate(n);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamino_data::{Attribute, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::categorical_indexed("a", 3).unwrap(),
+            Attribute::categorical_indexed("b", 3).unwrap(),
+            Attribute::numeric("x", 0.0, 10.0, 5).unwrap(),
+            Attribute::numeric("y", 0.0, 10.0, 5).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    /// a determines b exactly; x and y move together.
+    fn inst(s: &Schema) -> Instance {
+        let rows: Vec<Vec<Value>> = (0..30)
+            .map(|i| {
+                let a = (i % 3) as u32;
+                let x = (i % 10) as f64;
+                vec![Value::Cat(a), Value::Cat(a), Value::Num(x), Value::Num(x / 2.0)]
+            })
+            .collect();
+        Instance::from_rows(s, &rows).unwrap()
+    }
+
+    #[test]
+    fn candidate_enumeration_counts() {
+        let s = schema();
+        // 4·3 ordered FD pairs + 1 numeric unordered pair × 2 order DCs
+        assert_eq!(candidate_dcs(&s).len(), 12 + 2);
+    }
+
+    #[test]
+    fn discovers_planted_fd_first() {
+        let s = schema();
+        let d = inst(&s);
+        let found = discover_approximate_dcs(&s, &d, 8, 0.5);
+        assert_eq!(found.len(), 8);
+        // the exact constraints come out with zero violations
+        let exact: Vec<&str> = found
+            .iter()
+            .filter(|f| f.violation_pct == 0.0)
+            .map(|f| f.dc.name.as_str())
+            .collect();
+        assert!(exact.contains(&"fd_a_b"), "planted FD a→b not discovered: {exact:?}");
+        assert!(exact.contains(&"fd_b_a"));
+        // x,y are concordant: the discordance DC ¬(x↑ ∧ y↓) holds exactly
+        assert!(exact.contains(&"ord_x_y_disc"));
+    }
+
+    #[test]
+    fn results_sorted_by_violation_rate() {
+        let s = schema();
+        let d = inst(&s);
+        let found = discover_approximate_dcs(&s, &d, 10, 100.0);
+        for w in found.windows(2) {
+            assert!(w[0].violation_pct <= w[1].violation_pct);
+        }
+    }
+
+    #[test]
+    fn can_overshoot_cutoff_to_reach_n() {
+        let s = schema();
+        let d = inst(&s);
+        // a tight cutoff admits few DCs, but we still get n of them
+        let found = discover_approximate_dcs(&s, &d, 8, 0.0);
+        assert_eq!(found.len(), 8);
+        // requesting more than exist returns all candidates
+        let all = discover_approximate_dcs(&s, &d, 1000, 100.0);
+        assert_eq!(all.len(), candidate_dcs(&s).len());
+    }
+
+    #[test]
+    fn discovered_dcs_are_soft() {
+        let s = schema();
+        let d = inst(&s);
+        for f in discover_approximate_dcs(&s, &d, 5, 100.0) {
+            assert_eq!(f.dc.hardness, Hardness::Soft);
+        }
+    }
+}

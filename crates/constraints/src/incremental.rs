@@ -1,0 +1,667 @@
+//! Incremental violation counting for the sampler.
+//!
+//! Equation (3) of the paper decomposes `|V(φ, D)|` into per-tuple
+//! increments `|V(φ, t_i | D_:i)|` — the number of *new* violations tuple
+//! `t_i` introduces against the prefix `D_:i = [t_1, …, t_{i−1}]`.
+//! Algorithm 3 evaluates this quantity for *every candidate value* of every
+//! cell, so it must be cheap. [`DcCounter`] maintains the prefix state and
+//! answers:
+//!
+//! * unary DCs in O(1) (evaluate the candidate row alone),
+//! * FD-shaped DCs in ~O(1) via a hash index keyed on the determinant
+//!   (`group size − #rows sharing the candidate's dependent value`), which
+//!   also powers the hard-FD lookup optimization of §7.3.6,
+//! * anything else by an exact scan of stored prefix rows (restricted to
+//!   `A_φ`), matching the paper's stated O(n) per-candidate complexity for
+//!   general binary DCs.
+//!
+//! Counters also support [`DcCounter::remove`] so the constrained MCMC step
+//! (Algorithm 3 line 12) can take one tuple out, re-sample its cell
+//! conditioned on all others, and re-insert it.
+
+use std::collections::HashMap;
+
+use kamino_data::{Instance, Value};
+
+use crate::ast::{DenialConstraint, Fd};
+use crate::engine::value_key;
+
+/// A view of one tuple where the `target` attribute takes a hypothetical
+/// `value` and every other attribute reads from the (partially filled)
+/// instance. This is the "what if `t_i[S[j]] = v`" row of Algorithm 3.
+#[derive(Clone, Copy)]
+pub struct CandidateRow<'a> {
+    inst: &'a Instance,
+    row: usize,
+    target: usize,
+    value: Value,
+}
+
+impl<'a> CandidateRow<'a> {
+    /// Builds a candidate view of `row` with `target` hypothetically set to
+    /// `value`.
+    pub fn new(inst: &'a Instance, row: usize, target: usize, value: Value) -> CandidateRow<'a> {
+        CandidateRow { inst, row, target, value }
+    }
+
+    /// Builds a view of `row` exactly as currently stored (used when
+    /// inserting a finalized row, or removing it for MCMC).
+    pub fn committed(inst: &'a Instance, row: usize, target: usize) -> CandidateRow<'a> {
+        let value = inst.value(row, target);
+        CandidateRow { inst, row, target, value }
+    }
+
+    /// Value of `attr` under the hypothesis.
+    #[inline]
+    pub fn get(&self, attr: usize) -> Value {
+        if attr == self.target {
+            self.value
+        } else {
+            self.inst.value(self.row, attr)
+        }
+    }
+
+    /// The row index this candidate describes.
+    #[inline]
+    pub fn row(&self) -> usize {
+        self.row
+    }
+
+    /// The hypothetical value.
+    #[inline]
+    pub fn value(&self) -> Value {
+        self.value
+    }
+}
+
+/// Incremental violation counter for one DC. See the module docs for the
+/// per-shape strategies.
+pub enum DcCounter {
+    /// Unary DC: stateless evaluation of the candidate row.
+    Unary(DenialConstraint),
+    /// FD-shaped binary DC: hash index on the determinant.
+    Fd(FdCounter),
+    /// General binary DC: exact scan over stored prefix rows.
+    Scan(ScanCounter),
+}
+
+impl DcCounter {
+    /// Chooses the best counter implementation for `dc`.
+    pub fn build(dc: &DenialConstraint) -> DcCounter {
+        if !dc.is_binary() {
+            return DcCounter::Unary(dc.clone());
+        }
+        if let Some(fd) = dc.as_fd() {
+            return DcCounter::Fd(FdCounter::new(fd));
+        }
+        DcCounter::Scan(ScanCounter::new(dc.clone()))
+    }
+
+    /// `|V(φ, t_i | D_:i)|` if the candidate row were committed: the number
+    /// of new violations against currently inserted rows (for binary DCs),
+    /// or whether the row itself violates (for unary DCs).
+    pub fn count_new(&self, cand: &CandidateRow<'_>) -> u64 {
+        match self {
+            DcCounter::Unary(dc) => u64::from(dc.violated_by_tuple(|a| cand.get(a))),
+            DcCounter::Fd(c) => c.count_new(cand),
+            DcCounter::Scan(c) => c.count_new(cand),
+        }
+    }
+
+    /// Commits the candidate row into the prefix state.
+    pub fn insert(&mut self, cand: &CandidateRow<'_>) {
+        match self {
+            DcCounter::Unary(_) => {}
+            DcCounter::Fd(c) => c.insert(cand),
+            DcCounter::Scan(c) => c.insert(cand),
+        }
+    }
+
+    /// Removes a previously inserted row (its values must match what was
+    /// inserted — pass a [`CandidateRow::committed`] view). Used by MCMC.
+    pub fn remove(&mut self, cand: &CandidateRow<'_>) {
+        match self {
+            DcCounter::Unary(_) => {}
+            DcCounter::Fd(c) => c.remove(cand),
+            DcCounter::Scan(c) => c.remove(cand),
+        }
+    }
+
+    /// For hard FDs (§7.3.6 optimization): the dependent value every member
+    /// of the candidate's determinant group carries, if the group exists
+    /// and is internally consistent. `None` for non-FD counters, unseen
+    /// groups, or inconsistent groups.
+    pub fn required_value(&self, cand: &CandidateRow<'_>) -> Option<Value> {
+        match self {
+            DcCounter::Fd(c) => c.required_value(cand),
+            _ => None,
+        }
+    }
+
+    /// For FD counters, the dependent (right-hand-side) attribute of the
+    /// FD; `None` otherwise. The sampler's hard-FD fast path only applies
+    /// [`Self::required_value`] when the attribute being sampled *is* the
+    /// dependent.
+    pub fn fd_rhs(&self) -> Option<usize> {
+        match self {
+            DcCounter::Fd(c) => Some(c.fd.rhs),
+            _ => None,
+        }
+    }
+
+    /// For strict-order DCs (`¬(eqs ∧ A≶ ∧ B≶)`), the closed interval of
+    /// `target` values that create *no* violation against the inserted
+    /// rows, given the candidate's other attribute values. `None` when the
+    /// DC is not order-shaped, `target` is not one of its order attributes,
+    /// or the prefix is already inconsistent for this context (the band
+    /// would be empty). Unbounded sides come back as ±∞.
+    ///
+    /// If the inserted rows are violation-free, the band is always
+    /// non-empty: for rows `r₁, r₂` with `other(r₁) ≶ other(cand) ≶
+    /// other(r₂)`, consistency of `(r₁, r₂)` forces their target values to
+    /// be ordered compatibly.
+    pub fn feasible_range(&self, cand: &CandidateRow<'_>, target: usize) -> Option<(f64, f64)> {
+        match self {
+            DcCounter::Scan(c) => c.feasible_range(cand, target),
+            _ => None,
+        }
+    }
+
+    /// Number of rows currently inserted (0 for unary counters, which keep
+    /// no state).
+    pub fn len(&self) -> usize {
+        match self {
+            DcCounter::Unary(_) => 0,
+            DcCounter::Fd(c) => c.n_rows,
+            DcCounter::Scan(c) => c.rows.len(),
+        }
+    }
+
+    /// Whether no rows are inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[derive(Default)]
+struct FdGroup {
+    total: u64,
+    /// dependent value key → (count, a representative `Value`)
+    by_rhs: HashMap<u64, (u64, Value)>,
+}
+
+/// Hash-indexed incremental counter for an FD `X → B`.
+pub struct FdCounter {
+    fd: Fd,
+    groups: HashMap<Vec<u64>, FdGroup>,
+    n_rows: usize,
+}
+
+impl FdCounter {
+    fn new(fd: Fd) -> FdCounter {
+        FdCounter { fd, groups: HashMap::new(), n_rows: 0 }
+    }
+
+    fn key(&self, cand: &CandidateRow<'_>) -> Vec<u64> {
+        self.fd.lhs.iter().map(|&a| value_key(cand.get(a))).collect()
+    }
+
+    fn count_new(&self, cand: &CandidateRow<'_>) -> u64 {
+        let key = self.key(cand);
+        let Some(group) = self.groups.get(&key) else { return 0 };
+        let same =
+            group.by_rhs.get(&value_key(cand.get(self.fd.rhs))).map_or(0, |&(c, _)| c);
+        group.total - same
+    }
+
+    fn insert(&mut self, cand: &CandidateRow<'_>) {
+        let key = self.key(cand);
+        let rhs = cand.get(self.fd.rhs);
+        let group = self.groups.entry(key).or_default();
+        group.total += 1;
+        group.by_rhs.entry(value_key(rhs)).or_insert((0, rhs)).0 += 1;
+        self.n_rows += 1;
+    }
+
+    fn remove(&mut self, cand: &CandidateRow<'_>) {
+        let key = self.key(cand);
+        let rhs_key = value_key(cand.get(self.fd.rhs));
+        let Some(group) = self.groups.get_mut(&key) else {
+            panic!("removing a row that was never inserted (unknown determinant group)")
+        };
+        let entry = group.by_rhs.get_mut(&rhs_key).expect("removing an uninserted dependent");
+        entry.0 -= 1;
+        if entry.0 == 0 {
+            group.by_rhs.remove(&rhs_key);
+        }
+        group.total -= 1;
+        if group.total == 0 {
+            self.groups.remove(&key);
+        }
+        self.n_rows -= 1;
+    }
+
+    fn required_value(&self, cand: &CandidateRow<'_>) -> Option<Value> {
+        let group = self.groups.get(&self.key(cand))?;
+        if group.by_rhs.len() == 1 {
+            group.by_rhs.values().next().map(|&(_, v)| v)
+        } else {
+            None
+        }
+    }
+}
+
+/// Recognized strict-order shape for feasible-band queries:
+/// `¬(eqs ∧ t1[A] opA t2[A] ∧ t1[B] opB t2[B])` with `opA, opB ∈ {<, >}`.
+struct OrderInfo {
+    eq_attrs: Vec<usize>,
+    a: (usize, CmpOp),
+    b: (usize, CmpOp),
+}
+
+use crate::ast::CmpOp;
+
+fn recognize_order(dc: &DenialConstraint) -> Option<OrderInfo> {
+    let so = dc.as_strict_order()?;
+    Some(OrderInfo { eq_attrs: so.eq_attrs, a: so.a, b: so.b })
+}
+
+/// Exact-scan incremental counter for general binary DCs. Stores each
+/// inserted row restricted to `A_φ`.
+pub struct ScanCounter {
+    dc: DenialConstraint,
+    attrs: Vec<usize>,
+    /// row id → values aligned with `attrs`
+    rows: HashMap<usize, Vec<Value>>,
+    order: Option<OrderInfo>,
+}
+
+impl ScanCounter {
+    fn new(dc: DenialConstraint) -> ScanCounter {
+        let attrs: Vec<usize> = dc.attrs().into_iter().collect();
+        let order = recognize_order(&dc);
+        ScanCounter { dc, attrs, rows: HashMap::new(), order }
+    }
+
+    #[inline]
+    fn pos(&self, attr: usize) -> usize {
+        // A_φ is tiny (≤ 4 attributes in practice); linear search beats a map.
+        self.attrs.iter().position(|&a| a == attr).expect("attribute not in A_phi")
+    }
+
+    fn count_new(&self, cand: &CandidateRow<'_>) -> u64 {
+        let mut count = 0;
+        for (&row_id, stored) in &self.rows {
+            if row_id == cand.row() {
+                continue;
+            }
+            let stored_get = |a: usize| stored[self.pos(a)];
+            if self.dc.violated_by_pair(&stored_get, &|a| cand.get(a)) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    fn insert(&mut self, cand: &CandidateRow<'_>) {
+        let values: Vec<Value> = self.attrs.iter().map(|&a| cand.get(a)).collect();
+        let prev = self.rows.insert(cand.row(), values);
+        assert!(prev.is_none(), "row {} inserted twice", cand.row());
+    }
+
+    fn remove(&mut self, cand: &CandidateRow<'_>) {
+        self.rows.remove(&cand.row()).expect("removing a row that was never inserted");
+    }
+
+    /// Feasible interval for the `target` attribute of `cand` under a
+    /// strict order DC (see [`DcCounter::feasible_range`]). Scans stored
+    /// rows, accumulating the tightest closed bounds `[lo, hi]` such that
+    /// any `v ∈ [lo, hi]` creates no violation with the prefix.
+    fn feasible_range(&self, cand: &CandidateRow<'_>, target: usize) -> Option<(f64, f64)> {
+        let info = self.order.as_ref()?;
+        // which order predicate binds the target? the other one is known
+        // from the candidate's context.
+        let ((t_attr, op_t), (o_attr, op_o)) = if info.a.0 == target {
+            (info.a, info.b)
+        } else if info.b.0 == target {
+            (info.b, info.a)
+        } else {
+            return None;
+        };
+        debug_assert_eq!(t_attr, target);
+        let o_cand = cand.get(o_attr);
+        let mut lo = f64::NEG_INFINITY;
+        let mut hi = f64::INFINITY;
+        for (&row_id, stored) in &self.rows {
+            if row_id == cand.row() {
+                continue;
+            }
+            // equality predicates must all hold for the pair to matter
+            if !info
+                .eq_attrs
+                .iter()
+                .all(|&a| stored[self.pos(a)].compare(cand.get(a)) == std::cmp::Ordering::Equal)
+            {
+                continue;
+            }
+            let o_r = stored[self.pos(o_attr)];
+            let t_r = stored[self.pos(t_attr)].as_num()?;
+            // orientation (cand = t1, r = t2): forbid op_t(v, t_r) when
+            // op_o(o_cand, o_r) holds
+            if op_o.eval(o_cand, o_r) {
+                match op_t {
+                    CmpOp::Lt => lo = lo.max(t_r), // v < t_r forbidden ⇒ v ≥ t_r
+                    CmpOp::Gt => hi = hi.min(t_r), // v > t_r forbidden ⇒ v ≤ t_r
+                    _ => unreachable!("recognize_order admits only strict ops"),
+                }
+            }
+            // orientation (r = t1, cand = t2): forbid op_t(t_r, v) when
+            // op_o(o_r, o_cand) holds
+            if op_o.eval(o_r, o_cand) {
+                match op_t {
+                    CmpOp::Lt => hi = hi.min(t_r), // t_r < v forbidden ⇒ v ≤ t_r
+                    CmpOp::Gt => lo = lo.max(t_r), // t_r > v forbidden ⇒ v ≥ t_r
+                    _ => unreachable!(),
+                }
+            }
+        }
+        if lo <= hi {
+            Some((lo, hi))
+        } else {
+            None // the prefix itself is inconsistent for this context
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Hardness;
+    use crate::engine::count_violating_pairs;
+    use crate::parser::parse_dc;
+    use kamino_data::{Attribute, Instance, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::categorical_indexed("edu", 4).unwrap(),
+            Attribute::integer("edu_num", 1.0, 16.0, 16).unwrap(),
+            Attribute::numeric("gain", 0.0, 100.0, 10).unwrap(),
+            Attribute::numeric("loss", 0.0, 100.0, 10).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn inst(s: &Schema, rows: &[(u32, f64, f64, f64)]) -> Instance {
+        let rows: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|&(e, en, g, l)| {
+                vec![Value::Cat(e), Value::Num(en), Value::Num(g), Value::Num(l)]
+            })
+            .collect();
+        Instance::from_rows(s, &rows).unwrap()
+    }
+
+    fn fd_dc(s: &Schema) -> DenialConstraint {
+        parse_dc(s, "fd", "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)", Hardness::Hard)
+            .unwrap()
+    }
+
+    fn ord_dc(s: &Schema) -> DenialConstraint {
+        parse_dc(s, "ord", "!(t1.gain > t2.gain & t1.loss < t2.loss)", Hardness::Hard).unwrap()
+    }
+
+    /// Eqn. (3): the sum of incremental counts over the tuple sequence
+    /// equals the total violation count.
+    fn check_chain_rule(dc: &DenialConstraint, d: &Instance, target: usize) {
+        let mut counter = DcCounter::build(dc);
+        let mut incremental_sum = 0;
+        for i in 0..d.n_rows() {
+            let cand = CandidateRow::committed(d, i, target);
+            incremental_sum += counter.count_new(&cand);
+            counter.insert(&cand);
+        }
+        assert_eq!(incremental_sum, count_violating_pairs(dc, d), "chain rule violated");
+    }
+
+    #[test]
+    fn fd_counter_chain_rule() {
+        let s = schema();
+        let d = inst(
+            &s,
+            &[
+                (0, 10.0, 0.0, 0.0),
+                (0, 10.0, 0.0, 0.0),
+                (0, 12.0, 0.0, 0.0),
+                (1, 10.0, 0.0, 0.0),
+                (1, 11.0, 0.0, 0.0),
+                (0, 13.0, 0.0, 0.0),
+            ],
+        );
+        check_chain_rule(&fd_dc(&s), &d, 1);
+    }
+
+    #[test]
+    fn scan_counter_chain_rule() {
+        let s = schema();
+        let d = inst(
+            &s,
+            &[
+                (0, 0.0, 10.0, 1.0),
+                (0, 0.0, 5.0, 9.0),
+                (0, 0.0, 7.0, 7.0),
+                (0, 0.0, 10.0, 1.0),
+                (0, 0.0, 2.0, 2.0),
+            ],
+        );
+        check_chain_rule(&ord_dc(&s), &d, 3);
+    }
+
+    #[test]
+    fn fd_candidate_counts() {
+        let s = schema();
+        let dc = fd_dc(&s);
+        let d = inst(&s, &[(0, 10.0, 0.0, 0.0), (0, 10.0, 0.0, 0.0), (1, 5.0, 0.0, 0.0)]);
+        let mut counter = DcCounter::build(&dc);
+        for i in 0..3 {
+            counter.insert(&CandidateRow::committed(&d, i, 1));
+        }
+        // hypothetical 4th row with edu=0
+        let probe = inst(&s, &[(0, 10.0, 0.0, 0.0), (0, 10.0, 0.0, 0.0), (1, 5.0, 0.0, 0.0), (0, 0.0, 0.0, 0.0)]);
+        // edu_num = 10 matches the group: no new violations
+        assert_eq!(counter.count_new(&CandidateRow::new(&probe, 3, 1, Value::Num(10.0))), 0);
+        // edu_num = 11 conflicts with both group members
+        assert_eq!(counter.count_new(&CandidateRow::new(&probe, 3, 1, Value::Num(11.0))), 2);
+        // unseen determinant: no violations either way
+        let probe2 =
+            inst(&s, &[(0, 10.0, 0.0, 0.0), (0, 10.0, 0.0, 0.0), (1, 5.0, 0.0, 0.0), (3, 0.0, 0.0, 0.0)]);
+        assert_eq!(counter.count_new(&CandidateRow::new(&probe2, 3, 1, Value::Num(1.0))), 0);
+    }
+
+    #[test]
+    fn fd_required_value_lookup() {
+        let s = schema();
+        let dc = fd_dc(&s);
+        let d = inst(&s, &[(0, 10.0, 0.0, 0.0), (0, 10.0, 0.0, 0.0), (1, 5.0, 0.0, 0.0)]);
+        let mut counter = DcCounter::build(&dc);
+        for i in 0..3 {
+            counter.insert(&CandidateRow::committed(&d, i, 1));
+        }
+        let probe = inst(&s, &[(0, 0.0, 0.0, 0.0)]);
+        let cand = CandidateRow::new(&probe, 0, 1, Value::Num(0.0));
+        assert_eq!(counter.required_value(&cand), Some(Value::Num(10.0)));
+        // inconsistent group → None
+        let d2 = inst(&s, &[(2, 1.0, 0.0, 0.0), (2, 2.0, 0.0, 0.0)]);
+        let mut c2 = DcCounter::build(&dc);
+        for i in 0..2 {
+            c2.insert(&CandidateRow::committed(&d2, i, 1));
+        }
+        let probe2 = inst(&s, &[(2, 0.0, 0.0, 0.0)]);
+        assert_eq!(c2.required_value(&CandidateRow::new(&probe2, 0, 1, Value::Num(0.0))), None);
+        // unseen group → None
+        let probe3 = inst(&s, &[(3, 0.0, 0.0, 0.0)]);
+        assert_eq!(c2.required_value(&CandidateRow::new(&probe3, 0, 1, Value::Num(0.0))), None);
+    }
+
+    #[test]
+    fn remove_then_requery_supports_mcmc() {
+        let s = schema();
+        let dc = ord_dc(&s);
+        let d = inst(&s, &[(0, 0.0, 10.0, 1.0), (0, 0.0, 5.0, 9.0), (0, 0.0, 7.0, 7.0)]);
+        let mut counter = DcCounter::build(&dc);
+        for i in 0..3 {
+            counter.insert(&CandidateRow::committed(&d, i, 3));
+        }
+        // take row 1 out and ask: what if its loss were 0.5?
+        counter.remove(&CandidateRow::committed(&d, 1, 3));
+        assert_eq!(counter.len(), 2);
+        // gain=5, loss=0.5: rows 0 (10, 1) and 2 (7, 7) both have larger
+        // gain and larger loss → no violation either orientation for row 0?
+        // (10 > 5 ∧ 1 < 0.5)=false, (5 > 10 ∧ 0.5 < 1)=false → ok;
+        // row 2: (7 > 5 ∧ 7 < 0.5)=false, (5 > 7 ...)=false → ok.
+        assert_eq!(counter.count_new(&CandidateRow::new(&d, 1, 3, Value::Num(0.5))), 0);
+        // what if loss were 20? row0: (10>5 ∧ 1<20) → violation. row2:
+        // (7>5 ∧ 7<20) → violation.
+        assert_eq!(counter.count_new(&CandidateRow::new(&d, 1, 3, Value::Num(20.0))), 2);
+        // reinsert the original and the state is consistent again
+        counter.insert(&CandidateRow::committed(&d, 1, 3));
+        assert_eq!(counter.len(), 3);
+    }
+
+    #[test]
+    fn fd_remove_roundtrip() {
+        let s = schema();
+        let dc = fd_dc(&s);
+        let d = inst(&s, &[(0, 10.0, 0.0, 0.0), (0, 12.0, 0.0, 0.0)]);
+        let mut counter = DcCounter::build(&dc);
+        counter.insert(&CandidateRow::committed(&d, 0, 1));
+        counter.insert(&CandidateRow::committed(&d, 1, 1));
+        counter.remove(&CandidateRow::committed(&d, 1, 1));
+        let probe = inst(&s, &[(0, 0.0, 0.0, 0.0)]);
+        assert_eq!(counter.count_new(&CandidateRow::new(&probe, 0, 1, Value::Num(12.0))), 1);
+        assert_eq!(counter.required_value(&CandidateRow::new(&probe, 0, 1, Value::Num(0.0))), Some(Value::Num(10.0)));
+    }
+
+    #[test]
+    fn unary_counter_is_stateless() {
+        let s = schema();
+        let dc = parse_dc(&s, "u", "!(t1.gain > 90)", Hardness::Hard).unwrap();
+        let mut counter = DcCounter::build(&dc);
+        assert!(counter.is_empty());
+        let d = inst(&s, &[(0, 0.0, 50.0, 0.0)]);
+        assert_eq!(counter.count_new(&CandidateRow::new(&d, 0, 2, Value::Num(95.0))), 1);
+        assert_eq!(counter.count_new(&CandidateRow::new(&d, 0, 2, Value::Num(10.0))), 0);
+        counter.insert(&CandidateRow::committed(&d, 0, 2));
+        assert_eq!(counter.len(), 0);
+    }
+
+    #[test]
+    fn scan_counter_ignores_same_row_id() {
+        // During MCMC a row may still be present while probing itself is a
+        // bug; count_new must never pair a row with itself.
+        let s = schema();
+        let dc = ord_dc(&s);
+        let d = inst(&s, &[(0, 0.0, 10.0, 1.0)]);
+        let mut counter = DcCounter::build(&dc);
+        counter.insert(&CandidateRow::committed(&d, 0, 3));
+        assert_eq!(counter.count_new(&CandidateRow::new(&d, 0, 3, Value::Num(50.0))), 0);
+    }
+
+    #[test]
+    fn feasible_range_for_order_dc() {
+        let s = schema();
+        let dc = ord_dc(&s); // ¬(gain↑ ∧ loss↓): loss must be monotone in gain
+        // rows 0 and 1 are the inserted prefix; rows 2 and 3 are probes
+        // (probe row ids must differ from inserted ids, as during sampling)
+        let d = inst(
+            &s,
+            &[
+                (0, 0.0, 2.0, 10.0),
+                (0, 0.0, 8.0, 30.0),
+                (0, 0.0, 5.0, 0.0),
+                (0, 0.0, 1.0, 0.0),
+            ],
+        );
+        let mut counter = DcCounter::build(&dc);
+        for i in 0..2 {
+            counter.insert(&CandidateRow::committed(&d, i, 3));
+        }
+        // new row with gain = 5 (between 2 and 8): loss ∈ [10, 30]
+        let cand = CandidateRow::new(&d, 2, 3, Value::Num(0.0));
+        let (lo, hi) = counter.feasible_range(&cand, 3).unwrap();
+        assert_eq!((lo, hi), (10.0, 30.0));
+        // gain = 1 (below both): loss ∈ (−∞, 10]
+        let cand2 = CandidateRow::new(&d, 3, 3, Value::Num(0.0));
+        let (lo2, hi2) = counter.feasible_range(&cand2, 3).unwrap();
+        assert_eq!(hi2, 10.0);
+        assert_eq!(lo2, f64::NEG_INFINITY);
+        // any value inside the band really is violation-free
+        for v in [10.0, 20.0, 30.0] {
+            assert_eq!(counter.count_new(&CandidateRow::new(&d, 2, 3, Value::Num(v))), 0);
+        }
+        // and just outside, it is not
+        assert!(counter.count_new(&CandidateRow::new(&d, 2, 3, Value::Num(9.0))) > 0);
+        assert!(counter.count_new(&CandidateRow::new(&d, 2, 3, Value::Num(31.0))) > 0);
+    }
+
+    #[test]
+    fn feasible_range_respects_equality_groups() {
+        let s = schema();
+        // same-edu pairs only: ¬(edu= ∧ gain↑ ∧ loss↓)
+        let dc = parse_dc(
+            &s,
+            "grp",
+            "!(t1.edu == t2.edu & t1.gain > t2.gain & t1.loss < t2.loss)",
+            Hardness::Hard,
+        )
+        .unwrap();
+        let d = inst(&s, &[(0, 0.0, 2.0, 10.0), (1, 0.0, 2.0, 99.0), (0, 0.0, 5.0, 0.0)]);
+        let mut counter = DcCounter::build(&dc);
+        for i in 0..2 {
+            counter.insert(&CandidateRow::committed(&d, i, 3));
+        }
+        // candidate in edu group 0 with gain 5 ignores the edu-1 row
+        let cand = CandidateRow::new(&d, 2, 3, Value::Num(0.0));
+        let (lo, hi) = counter.feasible_range(&cand, 3).unwrap();
+        assert_eq!(lo, 10.0);
+        assert_eq!(hi, f64::INFINITY);
+    }
+
+    #[test]
+    fn feasible_range_none_for_wrong_shapes() {
+        let s = schema();
+        let fd = fd_dc(&s);
+        let counter = DcCounter::build(&fd);
+        let d = inst(&s, &[(0, 0.0, 0.0, 0.0)]);
+        let cand = CandidateRow::new(&d, 0, 1, Value::Num(0.0));
+        assert!(counter.feasible_range(&cand, 1).is_none());
+        // order counter asked about a non-order attribute
+        let ord = DcCounter::build(&ord_dc(&s));
+        assert!(ord.feasible_range(&cand, 0).is_none());
+    }
+
+    #[test]
+    fn feasible_range_none_when_prefix_inconsistent() {
+        let s = schema();
+        let dc = ord_dc(&s);
+        // rows 0 and 1 already violate each other
+        let d = inst(&s, &[(0, 0.0, 2.0, 50.0), (0, 0.0, 8.0, 10.0), (0, 0.0, 5.0, 0.0)]);
+        let mut counter = DcCounter::build(&dc);
+        for i in 0..2 {
+            counter.insert(&CandidateRow::committed(&d, i, 3));
+        }
+        let cand = CandidateRow::new(&d, 2, 3, Value::Num(0.0));
+        // band would be [50, 10] — empty
+        assert!(counter.feasible_range(&cand, 3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn double_insert_panics() {
+        let s = schema();
+        let dc = ord_dc(&s);
+        let d = inst(&s, &[(0, 0.0, 1.0, 1.0)]);
+        let mut counter = DcCounter::build(&dc);
+        counter.insert(&CandidateRow::committed(&d, 0, 3));
+        counter.insert(&CandidateRow::committed(&d, 0, 3));
+    }
+}

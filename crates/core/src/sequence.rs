@@ -1,0 +1,204 @@
+//! Constraint-aware attribute sequencing (Algorithm 4).
+//!
+//! The schema sequence `S` decides which attributes act as context for
+//! which targets. The heuristic is instance-independent — it reads only the
+//! public schema, domain, and DC set, so it costs no privacy budget: FDs are
+//! sorted by the minimal domain size of their determinant, each FD
+//! contributes its determinant attributes (sorted by domain size) followed
+//! by its dependent, and leftover attributes are appended by ascending
+//! domain size (smaller context domains → more accurately learnable
+//! sub-models, §4.3).
+
+use kamino_constraints::DenialConstraint;
+use kamino_data::Schema;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Computes the schema sequence (attribute indices in sampling order).
+pub fn sequence_attrs(schema: &Schema, dcs: &[DenialConstraint]) -> Vec<usize> {
+    // Σ ← FDs from Φ, sorted by increasing minimal domain size of the LHS.
+    let mut fds: Vec<_> = dcs.iter().filter_map(|dc| dc.as_fd()).collect();
+    fds.sort_by_key(|fd| {
+        fd.lhs.iter().map(|&a| schema.attr(a).domain_size()).min().unwrap_or(usize::MAX)
+    });
+
+    let mut seq: Vec<usize> = Vec::with_capacity(schema.len());
+    let mut used = vec![false; schema.len()];
+    let push = |seq: &mut Vec<usize>, used: &mut Vec<bool>, a: usize| {
+        if !used[a] {
+            used[a] = true;
+            seq.push(a);
+        }
+    };
+    for fd in &fds {
+        let mut lhs = fd.lhs.clone();
+        lhs.sort_by_key(|&a| schema.attr(a).domain_size());
+        for a in lhs {
+            push(&mut seq, &mut used, a);
+        }
+        push(&mut seq, &mut used, fd.rhs);
+    }
+    // Remaining attributes by ascending domain size (stable on index).
+    let mut rest: Vec<usize> = (0..schema.len()).filter(|&a| !used[a]).collect();
+    rest.sort_by_key(|&a| (schema.attr(a).domain_size(), a));
+    seq.extend(rest);
+    seq
+}
+
+/// A uniformly random sequence — the "RandSequence" ablation arm of
+/// Experiment 5.
+pub fn random_sequence<R: Rng + ?Sized>(schema: &Schema, rng: &mut R) -> Vec<usize> {
+    let mut seq: Vec<usize> = (0..schema.len()).collect();
+    seq.shuffle(rng);
+    seq
+}
+
+/// For each sequence position `j`, the indices (into `dcs`) of the DCs that
+/// become *active* at `j`: their attribute set `A_φ` is covered by the
+/// first `j+1` sequence attributes but not by the first `j` (the paper's
+/// `Φ_{A_j}`). Every DC activates at exactly one position.
+pub fn active_dcs_by_position(
+    sequence: &[usize],
+    dcs: &[DenialConstraint],
+) -> Vec<Vec<usize>> {
+    let mut pos_of_attr = vec![usize::MAX; sequence.len()];
+    for (pos, &a) in sequence.iter().enumerate() {
+        pos_of_attr[a] = pos;
+    }
+    let mut active: Vec<Vec<usize>> = vec![Vec::new(); sequence.len()];
+    for (l, dc) in dcs.iter().enumerate() {
+        let activation = dc
+            .attrs()
+            .into_iter()
+            .map(|a| pos_of_attr[a])
+            .max()
+            .expect("a DC references at least one attribute");
+        assert!(activation != usize::MAX, "DC {} references an attribute outside the sequence", dc.name);
+        active[activation].push(l);
+    }
+    active
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamino_constraints::{parse_dc, Hardness};
+    use kamino_data::Attribute;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::categorical_indexed("big", 100).unwrap(), // 0
+            Attribute::categorical_indexed("edu", 16).unwrap(),  // 1
+            Attribute::categorical_indexed("edu_num", 16).unwrap(), // 2
+            Attribute::categorical_indexed("tiny", 2).unwrap(),  // 3
+            Attribute::numeric("gain", 0.0, 10.0, 20).unwrap(),  // 4
+            Attribute::numeric("loss", 0.0, 10.0, 20).unwrap(),  // 5
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fd_lhs_precedes_rhs() {
+        let s = schema();
+        let dcs = vec![parse_dc(
+            &s,
+            "fd",
+            "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)",
+            Hardness::Hard,
+        )
+        .unwrap()];
+        let seq = sequence_attrs(&s, &dcs);
+        let pos = |a: usize| seq.iter().position(|&x| x == a).unwrap();
+        assert!(pos(1) < pos(2), "FD determinant must precede dependent: {seq:?}");
+        // FD attributes come before everything else
+        assert_eq!(seq[0], 1);
+        assert_eq!(seq[1], 2);
+    }
+
+    #[test]
+    fn rest_sorted_by_domain_size() {
+        let s = schema();
+        let seq = sequence_attrs(&s, &[]);
+        // no FDs: everything ordered by ascending domain size
+        assert_eq!(seq, vec![3, 1, 2, 4, 5, 0]);
+    }
+
+    #[test]
+    fn fds_sorted_by_min_lhs_domain() {
+        let s = schema();
+        let dcs = vec![
+            parse_dc(&s, "fd_big", "!(t1.big == t2.big & t1.gain != t2.gain)", Hardness::Hard)
+                .unwrap(),
+            parse_dc(&s, "fd_tiny", "!(t1.tiny == t2.tiny & t1.loss != t2.loss)", Hardness::Hard)
+                .unwrap(),
+        ];
+        let seq = sequence_attrs(&s, &dcs);
+        // the FD with the smaller determinant domain (tiny=2) goes first
+        assert_eq!(&seq[..2], &[3, 5]);
+        assert_eq!(&seq[2..4], &[0, 4]);
+    }
+
+    #[test]
+    fn non_fd_dcs_do_not_drive_sequencing() {
+        let s = schema();
+        let dcs = vec![parse_dc(
+            &s,
+            "ord",
+            "!(t1.gain > t2.gain & t1.loss < t2.loss)",
+            Hardness::Hard,
+        )
+        .unwrap()];
+        // order DC is not an FD ⇒ same as no-FD ordering
+        assert_eq!(sequence_attrs(&s, &dcs), sequence_attrs(&s, &[]));
+    }
+
+    #[test]
+    fn sequence_is_a_permutation() {
+        let s = schema();
+        let dcs = vec![
+            parse_dc(&s, "a", "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)", Hardness::Hard)
+                .unwrap(),
+            parse_dc(&s, "b", "!(t1.edu_num == t2.edu_num & t1.edu != t2.edu)", Hardness::Hard)
+                .unwrap(),
+        ];
+        let mut seq = sequence_attrs(&s, &dcs);
+        seq.sort_unstable();
+        assert_eq!(seq, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn random_sequence_is_permutation() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seq = random_sequence(&s, &mut rng);
+        seq.sort_unstable();
+        assert_eq!(seq, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn activation_positions() {
+        let s = schema();
+        let dcs = vec![
+            parse_dc(&s, "fd", "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)", Hardness::Hard)
+                .unwrap(),
+            parse_dc(&s, "ord", "!(t1.gain > t2.gain & t1.loss < t2.loss)", Hardness::Hard)
+                .unwrap(),
+            parse_dc(&s, "u", "!(t1.gain > 9)", Hardness::Hard).unwrap(),
+        ];
+        let seq = sequence_attrs(&s, &dcs); // [1, 2, 3, 4, 5, 0]
+        let active = active_dcs_by_position(&seq, &dcs);
+        // fd activates once both edu (pos 0) and edu_num (pos 1) are seen
+        assert_eq!(active[1], vec![0]);
+        // unary gain DC activates at gain's position
+        let gain_pos = seq.iter().position(|&a| a == 4).unwrap();
+        assert!(active[gain_pos].contains(&2));
+        // order DC activates when the later of gain/loss appears
+        let loss_pos = seq.iter().position(|&a| a == 5).unwrap();
+        assert!(active[gain_pos.max(loss_pos)].contains(&1));
+        // each DC activates exactly once
+        let total: usize = active.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,268 @@
+//! Private learning of DC weights (Algorithm 5).
+//!
+//! Hard DCs get an infinite weight (a violation zeroes a candidate's
+//! sampling probability). Soft-DC weights are learned from a *noisy
+//! violation matrix*: Poisson-sample at most `L_w` tuples, compute each
+//! sampled tuple's violation count per DC, perturb with
+//! `N(0, S_w²·σ_w²)` where `S_w` is Lemma 1's sensitivity, clamp negatives
+//! to zero, and run the paper's gradient update on
+//! `O = exp(−Σ_l W[l]·V[i][l])`: ascent on `O` moves `W[l]` by
+//! `−η·V[i][l]·O`, so constraints observed with many violations end up
+//! with small weights and violation-free constraints stay near the
+//! initialization ceiling.
+//!
+//! Two documented deviations, both stabilizations of the same objective:
+//! * the update uses violation *rates* (`V[i][l] / (|D̂|−1)` for binary
+//!   DCs) instead of raw counts — raw counts reach `L_w − 1 ≈ 99`, which
+//!   drives `O` to underflow and freezes the gradient exactly when a
+//!   weight most needs to shrink;
+//! * the ascent runs on `ln O = −Σ W·V` rather than `O` itself — the same
+//!   maximizer, but the gradient (`−V[i][l]`) does not carry the
+//!   vanishing `O` factor, so heavily-violated DCs move *fastest* instead
+//!   of slowest. Weights are clamped to `[0, w_max]`.
+
+use kamino_constraints::{per_tuple_violations, DenialConstraint, Hardness};
+use kamino_data::{Instance, Schema};
+use kamino_dp::mechanisms::add_gaussian_noise;
+use kamino_dp::sampling::poisson_sample_capped;
+use kamino_dp::violation_matrix_sensitivity;
+use rand::Rng;
+
+use crate::sequence::active_dcs_by_position;
+
+/// The weight assigned to hard DCs: any violation multiplies a candidate's
+/// probability by `exp(−∞) = 0` (violation counts of zero are special-cased
+/// so `0·∞` never occurs).
+pub const HARD_WEIGHT: f64 = f64::INFINITY;
+
+/// Configuration for Algorithm 5 (the `σ_w, T_w, L_w, b_w` of Ψ).
+#[derive(Debug, Clone)]
+pub struct WeightConfig {
+    /// Sample-size cap `L_w`.
+    pub l_w: usize,
+    /// Noise multiplier `σ_w` (0 disables noise — ε = ∞ runs).
+    pub sigma_w: f64,
+    /// Update iterations `T_w` per sequence attribute.
+    pub t_w: usize,
+    /// Rows sampled per update `b_w`.
+    pub b_w: usize,
+    /// Update step size.
+    pub lr_w: f64,
+    /// Initial (and maximal) soft weight.
+    pub w_max: f64,
+}
+
+impl Default for WeightConfig {
+    fn default() -> Self {
+        WeightConfig { l_w: 100, sigma_w: 1.0, t_w: 100, b_w: 1, lr_w: 0.3, w_max: 8.0 }
+    }
+}
+
+/// Learns the weight vector `W` aligned with `dcs` (Algorithm 5). Hard DCs
+/// receive [`HARD_WEIGHT`]; soft DCs are learned privately. Returns the
+/// weights without touching the true instance when every DC is hard (in
+/// which case the release is free).
+pub fn learn_weights<R: Rng + ?Sized>(
+    _schema: &Schema,
+    inst: &Instance,
+    dcs: &[DenialConstraint],
+    sequence: &[usize],
+    cfg: &WeightConfig,
+    rng: &mut R,
+) -> Vec<f64> {
+    let mut weights = vec![HARD_WEIGHT; dcs.len()];
+    if dcs.iter().all(|dc| dc.hardness == Hardness::Hard) {
+        return weights;
+    }
+    for (l, dc) in dcs.iter().enumerate() {
+        if dc.hardness == Hardness::Soft {
+            weights[l] = cfg.w_max;
+        }
+    }
+
+    // Lines 3-4: bounded Poisson sample.
+    let n = inst.n_rows();
+    let ids = poisson_sample_capped(n, cfg.l_w as f64 / n.max(1) as f64, cfg.l_w, rng);
+    if ids.len() < 2 {
+        // Too few rows to witness a binary violation; keep initial weights.
+        return weights;
+    }
+    let sample = inst.take_rows(&ids);
+    let m = sample.n_rows();
+
+    // Line 5: violation matrix V (m × |Φ|), row-major.
+    let mut v = vec![0.0; m * dcs.len()];
+    for (l, dc) in dcs.iter().enumerate() {
+        for (i, count) in per_tuple_violations(dc, &sample).into_iter().enumerate() {
+            v[i * dcs.len() + l] = count as f64;
+        }
+    }
+
+    // Lines 6-7: Gaussian perturbation at Lemma 1 sensitivity, clamp ≥ 0.
+    let n_unary = dcs.iter().filter(|dc| !dc.is_binary()).count();
+    let n_binary = dcs.len() - n_unary;
+    let s_w = violation_matrix_sensitivity(n_unary, n_binary, cfg.l_w);
+    add_gaussian_noise(&mut v, s_w, cfg.sigma_w, rng);
+    for x in &mut v {
+        *x = x.max(0.0);
+    }
+
+    // Normalize to rates (see module docs).
+    let pair_scale = (m - 1) as f64;
+    let rate = |i: usize, l: usize| -> f64 {
+        let raw = v[i * dcs.len() + l];
+        if dcs[l].is_binary() {
+            (raw / pair_scale).min(1.0)
+        } else {
+            raw.min(1.0)
+        }
+    };
+
+    // Lines 8-14: per-attribute update sweeps.
+    let active = active_dcs_by_position(sequence, dcs);
+    for dcs_here in &active {
+        let soft_here: Vec<usize> =
+            dcs_here.iter().copied().filter(|&l| dcs[l].hardness == Hardness::Soft).collect();
+        if soft_here.is_empty() {
+            continue;
+        }
+        for _ in 0..cfg.t_w {
+            for _ in 0..cfg.b_w {
+                let i = rng.gen_range(0..m);
+                for &l in &soft_here {
+                    // ascent on ln O: d(ln O)/dW[l] = −rate
+                    weights[l] = (weights[l] - cfg.lr_w * rate(i, l)).clamp(0.0, cfg.w_max);
+                }
+            }
+        }
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::sequence_attrs;
+    use kamino_constraints::parse_dc;
+    use kamino_data::{Attribute, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::categorical_indexed("a", 4).unwrap(),
+            Attribute::integer("x", 0.0, 20.0, 20).unwrap(),
+            Attribute::integer("y", 0.0, 20.0, 20).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    /// `x` and `y` concordant (soft DC rarely violated) when `clean`, or
+    /// anti-correlated (violated constantly) otherwise.
+    fn instance(schema: &Schema, clean: bool, n: usize, seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inst = Instance::empty(schema);
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            let x = (u * 20.0).floor();
+            let y = if clean { x } else { (20.0 - x).floor() };
+            inst.push_row(
+                schema,
+                &[Value::Cat(rng.gen_range(0..4)), Value::Num(x), Value::Num(y)],
+            )
+            .unwrap();
+        }
+        inst
+    }
+
+    fn soft_dc(schema: &Schema) -> DenialConstraint {
+        parse_dc(schema, "soft", "!(t1.x > t2.x & t1.y < t2.y)", Hardness::Soft).unwrap()
+    }
+
+    fn hard_dc(schema: &Schema) -> DenialConstraint {
+        parse_dc(schema, "hard", "!(t1.a == t2.a & t1.x != t2.x)", Hardness::Hard).unwrap()
+    }
+
+    #[test]
+    fn all_hard_short_circuits() {
+        let s = schema();
+        let inst = instance(&s, true, 50, 1);
+        let dcs = vec![hard_dc(&s)];
+        let seq = sequence_attrs(&s, &dcs);
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = learn_weights(&s, &inst, &dcs, &seq, &WeightConfig::default(), &mut rng);
+        assert_eq!(w, vec![HARD_WEIGHT]);
+    }
+
+    #[test]
+    fn hard_dcs_keep_infinite_weight_among_soft() {
+        let s = schema();
+        let inst = instance(&s, true, 200, 3);
+        let dcs = vec![hard_dc(&s), soft_dc(&s)];
+        let seq = sequence_attrs(&s, &dcs);
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = learn_weights(&s, &inst, &dcs, &seq, &WeightConfig::default(), &mut rng);
+        assert_eq!(w[0], HARD_WEIGHT);
+        assert!(w[1].is_finite());
+    }
+
+    #[test]
+    fn violated_soft_dc_gets_smaller_weight_than_clean_one() {
+        let s = schema();
+        let cfg = WeightConfig { sigma_w: 0.0, ..WeightConfig::default() };
+        let dcs = vec![soft_dc(&s)];
+        let seq = sequence_attrs(&s, &dcs);
+        let mut rng = StdRng::seed_from_u64(5);
+        let clean = instance(&s, true, 400, 6);
+        let w_clean = learn_weights(&s, &clean, &dcs, &seq, &cfg, &mut rng)[0];
+        let mut rng = StdRng::seed_from_u64(5);
+        let dirty = instance(&s, false, 400, 6);
+        let w_dirty = learn_weights(&s, &dirty, &dcs, &seq, &cfg, &mut rng)[0];
+        assert!(
+            w_dirty < w_clean - 0.5,
+            "violated DC weight {w_dirty} not clearly below clean weight {w_clean}"
+        );
+        assert!(w_dirty >= 0.0);
+    }
+
+    #[test]
+    fn weights_stay_in_bounds_under_noise() {
+        let s = schema();
+        let cfg = WeightConfig { sigma_w: 3.0, ..WeightConfig::default() };
+        let dcs = vec![soft_dc(&s)];
+        let seq = sequence_attrs(&s, &dcs);
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = instance(&s, seed % 2 == 0, 300, seed);
+            let w = learn_weights(&s, &inst, &dcs, &seq, &cfg, &mut rng)[0];
+            assert!((0.0..=cfg.w_max).contains(&w), "weight {w} escaped [0, w_max]");
+        }
+    }
+
+    #[test]
+    fn tiny_instances_fall_back_to_initial_weights() {
+        let s = schema();
+        let inst = instance(&s, true, 1, 9);
+        let dcs = vec![soft_dc(&s)];
+        let seq = sequence_attrs(&s, &dcs);
+        let mut rng = StdRng::seed_from_u64(10);
+        let cfg = WeightConfig::default();
+        let w = learn_weights(&s, &inst, &dcs, &seq, &cfg, &mut rng);
+        assert_eq!(w, vec![cfg.w_max]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = schema();
+        let inst = instance(&s, false, 300, 11);
+        let dcs = vec![soft_dc(&s)];
+        let seq = sequence_attrs(&s, &dcs);
+        let cfg = WeightConfig::default();
+        let mut r1 = StdRng::seed_from_u64(12);
+        let mut r2 = StdRng::seed_from_u64(12);
+        assert_eq!(
+            learn_weights(&s, &inst, &dcs, &seq, &cfg, &mut r1),
+            learn_weights(&s, &inst, &dcs, &seq, &cfg, &mut r2)
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Minimal CSV import/export for instances.
+//!
+//! The format is deliberately simple (comma separator, no quoting — labels
+//! containing commas are rejected at write time): it exists so examples and
+//! experiment binaries can persist synthetic instances and users can inspect
+//! them, not to be a general CSV library.
+
+use std::io::{BufRead, Write};
+
+use crate::error::DataError;
+use crate::instance::Instance;
+use crate::schema::{AttrKind, Schema};
+use crate::value::Value;
+
+/// Writes `inst` as CSV with a header row of attribute names.
+pub fn write_csv<W: Write>(
+    schema: &Schema,
+    inst: &Instance,
+    out: &mut W,
+) -> Result<(), DataError> {
+    for a in schema.attrs() {
+        if a.name.contains(',') {
+            return Err(DataError::Parse(format!("attribute name `{}` contains a comma", a.name)));
+        }
+        if let AttrKind::Categorical { labels } = &a.kind {
+            if let Some(bad) = labels.iter().find(|l| l.contains(',')) {
+                return Err(DataError::Parse(format!("label `{bad}` contains a comma")));
+            }
+        }
+    }
+    let header: Vec<&str> = schema.attrs().iter().map(|a| a.name.as_str()).collect();
+    writeln!(out, "{}", header.join(","))?;
+    let mut line = String::new();
+    for i in 0..inst.n_rows() {
+        line.clear();
+        for j in 0..schema.len() {
+            if j > 0 {
+                line.push(',');
+            }
+            match inst.value(i, j) {
+                Value::Cat(c) => {
+                    let label = schema
+                        .attr(j)
+                        .label(c)
+                        .ok_or_else(|| DataError::UnknownLabel {
+                            attr: schema.attr(j).name.clone(),
+                            label: format!("#{c}"),
+                        })?;
+                    line.push_str(label);
+                }
+                Value::Num(x) => {
+                    line.push_str(&format!("{x}"));
+                }
+            }
+        }
+        writeln!(out, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads a CSV produced by [`write_csv`] (or hand-written in the same
+/// format) into an instance, resolving categorical labels through `schema`.
+pub fn read_csv<R: BufRead>(schema: &Schema, input: R) -> Result<Instance, DataError> {
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| DataError::Parse("empty input".into()))?
+        .map_err(DataError::from)?;
+    let names: Vec<&str> = header.split(',').map(str::trim).collect();
+    if names.len() != schema.len() {
+        return Err(DataError::ArityMismatch { expected: schema.len(), got: names.len() });
+    }
+    // Columns may appear in any order; build the permutation.
+    let mut perm = Vec::with_capacity(names.len());
+    for name in &names {
+        perm.push(schema.index_of(name)?);
+    }
+    let mut inst = Instance::empty(schema);
+    let mut row = vec![Value::Num(0.0); schema.len()];
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(DataError::from)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cells.len() != schema.len() {
+            return Err(DataError::ArityMismatch { expected: schema.len(), got: cells.len() });
+        }
+        for (pos, cell) in cells.iter().enumerate() {
+            let j = perm[pos];
+            let attr = schema.attr(j);
+            row[j] = match &attr.kind {
+                AttrKind::Categorical { .. } => Value::Cat(attr.code(cell).ok_or_else(|| {
+                    DataError::UnknownLabel { attr: attr.name.clone(), label: cell.to_string() }
+                })?),
+                AttrKind::Numeric { .. } => Value::Num(cell.parse::<f64>().map_err(|_| {
+                    DataError::Parse(format!("line {}: `{cell}` is not numeric", lineno + 2))
+                })?),
+            };
+        }
+        inst.push_row(schema, &row)?;
+    }
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn toy() -> (Schema, Instance) {
+        let s = Schema::new(vec![
+            Attribute::categorical("edu", vec!["HS".into(), "BS".into()]).unwrap(),
+            Attribute::numeric("gain", 0.0, 100.0, 4).unwrap(),
+        ])
+        .unwrap();
+        let inst = Instance::from_rows(
+            &s,
+            &[
+                vec![Value::Cat(0), Value::Num(12.5)],
+                vec![Value::Cat(1), Value::Num(99.0)],
+            ],
+        )
+        .unwrap();
+        (s, inst)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (s, inst) = toy();
+        let mut buf = Vec::new();
+        write_csv(&s, &inst, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("edu,gain\n"));
+        assert!(text.contains("HS,12.5"));
+        let back = read_csv(&s, buf.as_slice()).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn read_reordered_columns() {
+        let (s, inst) = toy();
+        let text = "gain,edu\n12.5,HS\n99,BS\n";
+        let back = read_csv(&s, text.as_bytes()).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn read_rejects_unknown_label() {
+        let (s, _) = toy();
+        let text = "edu,gain\nPhD,1.0\n";
+        assert!(matches!(read_csv(&s, text.as_bytes()), Err(DataError::UnknownLabel { .. })));
+    }
+
+    #[test]
+    fn read_rejects_bad_number() {
+        let (s, _) = toy();
+        let text = "edu,gain\nHS,abc\n";
+        assert!(matches!(read_csv(&s, text.as_bytes()), Err(DataError::Parse(_))));
+    }
+
+    #[test]
+    fn read_rejects_wrong_arity() {
+        let (s, _) = toy();
+        assert!(read_csv(&s, "edu\nHS\n".as_bytes()).is_err());
+        assert!(read_csv(&s, "edu,gain\nHS\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn read_skips_blank_lines() {
+        let (s, inst) = toy();
+        let text = "edu,gain\nHS,12.5\n\nBS,99\n";
+        assert_eq!(read_csv(&s, text.as_bytes()).unwrap(), inst);
+    }
+
+    #[test]
+    fn write_rejects_comma_label() {
+        let s = Schema::new(vec![
+            Attribute::categorical("c", vec!["a,b".into()]).unwrap(),
+        ])
+        .unwrap();
+        let inst = Instance::zeroed(&s, 1);
+        let mut buf = Vec::new();
+        assert!(write_csv(&s, &inst, &mut buf).is_err());
+    }
+
+    #[test]
+    fn read_empty_input_errors() {
+        let (s, _) = toy();
+        assert!(read_csv(&s, "".as_bytes()).is_err());
+    }
+}

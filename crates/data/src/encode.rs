@@ -1,0 +1,296 @@
+//! Mixed-type feature encoding: one-hot categoricals + standardized
+//! numerics.
+//!
+//! The deep baselines (DP-VAE, PATE-GAN) "require the input dataset to be
+//! encoded into numeric vectors" (§7.1), and the evaluation classifiers
+//! (Metric II) need the same representation. Standardization parameters
+//! come from the attribute's declared domain, not the data, so encoding is
+//! privacy-free.
+
+use crate::instance::Instance;
+use crate::schema::{AttrKind, Schema};
+use crate::stats::Standardizer;
+use crate::value::Value;
+
+/// Layout segment for one attribute inside the encoded vector.
+#[derive(Debug, Clone)]
+pub enum Segment {
+    /// One-hot block `[offset, offset+card)`.
+    Cat {
+        /// Start index in the encoded vector.
+        offset: usize,
+        /// Number of one-hot slots.
+        card: usize,
+    },
+    /// Single standardized slot at `offset`.
+    Num {
+        /// Index in the encoded vector.
+        offset: usize,
+        /// Domain-derived standardizer.
+        std: Standardizer,
+    },
+}
+
+/// Encoder/decoder between schema rows and flat numeric vectors.
+///
+/// ```
+/// use kamino_data::{Attribute, Instance, MixedEncoder, Schema, Value};
+///
+/// let schema = Schema::new(vec![
+///     Attribute::categorical_indexed("color", 3).unwrap(),
+///     Attribute::numeric("size", 0.0, 10.0, 5).unwrap(),
+/// ]).unwrap();
+/// let inst = Instance::from_rows(&schema, &[vec![Value::Cat(2), Value::Num(4.0)]]).unwrap();
+/// let enc = MixedEncoder::new(&schema);
+/// assert_eq!(enc.dim(), 3 + 1); // one-hot block + one standardized slot
+/// let v = enc.encode_row(&inst, 0);
+/// let row = enc.decode(&schema, &v);
+/// assert_eq!(row[0], Value::Cat(2));
+/// assert!((row[1].num() - 4.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MixedEncoder {
+    segments: Vec<Segment>,
+    dim: usize,
+}
+
+impl MixedEncoder {
+    /// Builds the encoder for `schema`.
+    pub fn new(schema: &Schema) -> MixedEncoder {
+        let mut segments = Vec::with_capacity(schema.len());
+        let mut offset = 0;
+        for attr in schema.attrs() {
+            match &attr.kind {
+                AttrKind::Categorical { labels } => {
+                    segments.push(Segment::Cat { offset, card: labels.len() });
+                    offset += labels.len();
+                }
+                AttrKind::Numeric { min, max, .. } => {
+                    segments
+                        .push(Segment::Num { offset, std: Standardizer::from_range(*min, *max) });
+                    offset += 1;
+                }
+            }
+        }
+        MixedEncoder { segments, dim: offset }
+    }
+
+    /// Encoded vector width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The per-attribute layout.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Encodes row `i` of `inst` into a fresh vector.
+    pub fn encode_row(&self, inst: &Instance, i: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        self.encode_row_into(inst, i, &mut out);
+        out
+    }
+
+    /// Encodes row `i` into `out` (must be `dim()` long).
+    pub fn encode_row_into(&self, inst: &Instance, i: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.dim);
+        out.iter_mut().for_each(|x| *x = 0.0);
+        for (j, seg) in self.segments.iter().enumerate() {
+            match (seg, inst.value(i, j)) {
+                (Segment::Cat { offset, card }, Value::Cat(c)) => {
+                    debug_assert!((c as usize) < *card);
+                    out[offset + c as usize] = 1.0;
+                }
+                (Segment::Num { offset, std }, Value::Num(x)) => {
+                    out[*offset] = std.forward(x);
+                }
+                _ => unreachable!("schema/instance kind mismatch"),
+            }
+        }
+    }
+
+    /// Decodes a vector back to schema values: categoricals by argmax over
+    /// their one-hot block, numerics by inverse standardization (clamped to
+    /// the domain by the caller's schema validation needs — we clamp here
+    /// to keep decoded rows always valid).
+    pub fn decode(&self, schema: &Schema, v: &[f64]) -> Vec<Value> {
+        assert_eq!(v.len(), self.dim);
+        self.segments
+            .iter()
+            .enumerate()
+            .map(|(j, seg)| match seg {
+                Segment::Cat { offset, card } => {
+                    let block = &v[*offset..offset + card];
+                    let arg = block
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    Value::Cat(arg as u32)
+                }
+                Segment::Num { offset, std } => {
+                    let raw = std.inverse(v[*offset]);
+                    match schema.attr(j).kind {
+                        AttrKind::Numeric { min, max, integer, .. } => {
+                            let c = raw.clamp(min, max);
+                            Value::Num(if integer { c.round() } else { c })
+                        }
+                        AttrKind::Categorical { .. } => unreachable!(),
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+impl MixedEncoder {
+    /// Like [`MixedEncoder::decode`], but samples categorical blocks from
+    /// the softmax of their slots instead of taking the argmax — the decode
+    /// used when generating synthetic rows (argmax decoding collapses
+    /// categorical diversity).
+    pub fn decode_sampled<R: rand::Rng + ?Sized>(
+        &self,
+        schema: &Schema,
+        v: &[f64],
+        rng: &mut R,
+    ) -> Vec<Value> {
+        assert_eq!(v.len(), self.dim);
+        self.segments
+            .iter()
+            .enumerate()
+            .map(|(j, seg)| match seg {
+                Segment::Cat { offset, card } => {
+                    let block = &v[*offset..offset + card];
+                    let max = block.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let weights: Vec<f64> = block.iter().map(|&z| (z - max).exp()).collect();
+                    Value::Cat(crate::stats::sample_weighted(&weights, rng) as u32)
+                }
+                Segment::Num { offset, std } => {
+                    let raw = std.inverse(v[*offset]);
+                    match schema.attr(j).kind {
+                        AttrKind::Numeric { min, max, integer, .. } => {
+                            let c = raw.clamp(min, max);
+                            Value::Num(if integer { c.round() } else { c })
+                        }
+                        AttrKind::Categorical { .. } => unreachable!(),
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn setup() -> (Schema, MixedEncoder, Instance) {
+        let s = Schema::new(vec![
+            Attribute::categorical_indexed("a", 3).unwrap(),
+            Attribute::numeric("x", 0.0, 10.0, 5).unwrap(),
+            Attribute::categorical_indexed("b", 2).unwrap(),
+        ])
+        .unwrap();
+        let enc = MixedEncoder::new(&s);
+        let inst = Instance::from_rows(
+            &s,
+            &[
+                vec![Value::Cat(1), Value::Num(10.0), Value::Cat(0)],
+                vec![Value::Cat(2), Value::Num(0.0), Value::Cat(1)],
+            ],
+        )
+        .unwrap();
+        (s, enc, inst)
+    }
+
+    #[test]
+    fn layout_and_dim() {
+        let (_, enc, _) = setup();
+        assert_eq!(enc.dim(), 3 + 1 + 2);
+        assert_eq!(enc.segments().len(), 3);
+    }
+
+    #[test]
+    fn one_hot_encoding() {
+        let (_, enc, inst) = setup();
+        let v = enc.encode_row(&inst, 0);
+        assert_eq!(&v[0..3], &[0.0, 1.0, 0.0]);
+        assert_eq!(&v[4..6], &[1.0, 0.0]);
+        // standardized numeric is finite and positive (10 is the max)
+        assert!(v[3] > 0.0 && v[3].is_finite());
+    }
+
+    #[test]
+    fn roundtrip_through_decode() {
+        let (s, enc, inst) = setup();
+        for i in 0..inst.n_rows() {
+            let v = enc.encode_row(&inst, i);
+            let row = enc.decode(&s, &v);
+            assert_eq!(row, inst.row(i), "row {i} failed to roundtrip");
+        }
+    }
+
+    #[test]
+    fn decode_clamps_numeric_to_domain() {
+        let (s, enc, _) = setup();
+        let mut v = vec![0.0; enc.dim()];
+        v[3] = 1e9; // absurd standardized value
+        let row = enc.decode(&s, &v);
+        assert_eq!(row[1], Value::Num(10.0));
+    }
+
+    #[test]
+    fn decode_argmax_breaks_soft_onehots() {
+        let (s, enc, _) = setup();
+        let mut v = vec![0.0; enc.dim()];
+        v[0] = 0.2;
+        v[1] = 0.1;
+        v[2] = 0.9; // strongest slot wins
+        let row = enc.decode(&s, &v);
+        assert_eq!(row[0], Value::Cat(2));
+    }
+
+    #[test]
+    fn decode_sampled_respects_strong_logits() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let (s, enc, _) = setup();
+        let mut v = vec![0.0; enc.dim()];
+        v[2] = 30.0; // overwhelming logit for code 2
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let row = enc.decode_sampled(&s, &v, &mut rng);
+            assert_eq!(row[0], Value::Cat(2));
+        }
+    }
+
+    #[test]
+    fn decode_sampled_spreads_flat_logits() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let (s, enc, _) = setup();
+        let v = vec![0.0; enc.dim()];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let row = enc.decode_sampled(&s, &v, &mut rng);
+            let Value::Cat(c) = row[0] else { panic!() };
+            seen[c as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "flat logits should hit every code");
+    }
+
+    #[test]
+    fn integer_attr_decodes_to_integer() {
+        let s = Schema::new(vec![Attribute::integer("i", 0.0, 9.0, 10).unwrap()]).unwrap();
+        let enc = MixedEncoder::new(&s);
+        let mut v = vec![0.0; 1];
+        let Segment::Num { std, .. } = &enc.segments()[0] else { panic!() };
+        v[0] = std.forward(4.4);
+        let row = enc.decode(&s, &v);
+        assert_eq!(row[0], Value::Num(4.0));
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type shared by the data substrate.
+
+use std::fmt;
+
+/// Errors raised while constructing or manipulating schemas and instances.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// A categorical label was not part of an attribute's domain.
+    UnknownLabel { attr: String, label: String },
+    /// A value's type did not match the attribute's kind.
+    TypeMismatch { attr: String, expected: &'static str },
+    /// A row had the wrong number of cells for the schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// An attribute was declared with an empty or invalid domain.
+    InvalidDomain(String),
+    /// CSV input could not be parsed.
+    Parse(String),
+    /// An underlying I/O error (stringified to keep the type `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            DataError::UnknownLabel { attr, label } => {
+                write!(f, "label `{label}` is not in the domain of attribute `{attr}`")
+            }
+            DataError::TypeMismatch { attr, expected } => {
+                write!(f, "attribute `{attr}` expects a {expected} value")
+            }
+            DataError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} cells but the schema has {expected} attributes")
+            }
+            DataError::InvalidDomain(msg) => write!(f, "invalid domain: {msg}"),
+            DataError::Parse(msg) => write!(f, "parse error: {msg}"),
+            DataError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DataError::UnknownAttribute("zip".into());
+        assert!(e.to_string().contains("zip"));
+        let e = DataError::UnknownLabel { attr: "edu".into(), label: "PhD2".into() };
+        assert!(e.to_string().contains("PhD2") && e.to_string().contains("edu"));
+        let e = DataError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: DataError = io.into();
+        assert!(matches!(e, DataError::Io(_)));
+    }
+}

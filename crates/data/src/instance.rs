@@ -1,0 +1,302 @@
+//! Typed columnar database instances.
+
+use crate::error::DataError;
+use crate::schema::{AttrKind, Schema};
+use crate::value::Value;
+
+/// A single typed column of an [`Instance`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Categorical codes.
+    Cat(Vec<u32>),
+    /// Numeric values.
+    Num(Vec<f64>),
+}
+
+impl Column {
+    /// Number of cells in this column.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Cat(v) => v.len(),
+            Column::Num(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cell value at `row`.
+    #[inline]
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Cat(v) => Value::Cat(v[row]),
+            Column::Num(v) => Value::Num(v[row]),
+        }
+    }
+
+    /// Borrow as categorical codes, panicking for numeric columns.
+    #[inline]
+    pub fn cat_slice(&self) -> &[u32] {
+        match self {
+            Column::Cat(v) => v,
+            Column::Num(_) => panic!("expected categorical column"),
+        }
+    }
+
+    /// Borrow as numeric values, panicking for categorical columns.
+    #[inline]
+    pub fn num_slice(&self) -> &[f64] {
+        match self {
+            Column::Num(v) => v,
+            Column::Cat(_) => panic!("expected numeric column"),
+        }
+    }
+}
+
+/// A database instance: one typed column per schema attribute, all of the
+/// same length `n`.
+///
+/// The instance does not own its [`Schema`]; callers pass the schema
+/// alongside it. This keeps instances cheap to clone and lets many instances
+/// (true data, synthetic data, bootstrap samples) share one schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Instance {
+    /// An empty instance shaped like `schema`.
+    pub fn empty(schema: &Schema) -> Instance {
+        let columns = schema
+            .attrs()
+            .iter()
+            .map(|a| match a.kind {
+                AttrKind::Categorical { .. } => Column::Cat(Vec::new()),
+                AttrKind::Numeric { .. } => Column::Num(Vec::new()),
+            })
+            .collect();
+        Instance { columns, n_rows: 0 }
+    }
+
+    /// An instance of `n` rows shaped like `schema`, zero-filled
+    /// (categorical code 0 / numeric 0.0). Used by samplers that fill
+    /// column-by-column.
+    pub fn zeroed(schema: &Schema, n: usize) -> Instance {
+        let columns = schema
+            .attrs()
+            .iter()
+            .map(|a| match a.kind {
+                AttrKind::Categorical { .. } => Column::Cat(vec![0; n]),
+                AttrKind::Numeric { .. } => Column::Num(vec![0.0; n]),
+            })
+            .collect();
+        Instance { columns, n_rows: n }
+    }
+
+    /// Builds an instance from row-major values, validating every cell
+    /// against the schema.
+    pub fn from_rows(schema: &Schema, rows: &[Vec<Value>]) -> Result<Instance, DataError> {
+        let mut inst = Instance::empty(schema);
+        for row in rows {
+            inst.push_row(schema, row)?;
+        }
+        Ok(inst)
+    }
+
+    /// Appends one row, validating cells against the schema.
+    pub fn push_row(&mut self, schema: &Schema, row: &[Value]) -> Result<(), DataError> {
+        if row.len() != schema.len() {
+            return Err(DataError::ArityMismatch { expected: schema.len(), got: row.len() });
+        }
+        for (j, &v) in row.iter().enumerate() {
+            schema.attr(j).validate(v)?;
+        }
+        for (j, &v) in row.iter().enumerate() {
+            match (&mut self.columns[j], v) {
+                (Column::Cat(col), Value::Cat(c)) => col.push(c),
+                (Column::Num(col), Value::Num(x)) => col.push(x),
+                _ => unreachable!("validated above"),
+            }
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Number of rows (`n`).
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns (`k`).
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Borrow column `j`.
+    #[inline]
+    pub fn column(&self, j: usize) -> &Column {
+        &self.columns[j]
+    }
+
+    /// Cell value at (`row`, `col`).
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.columns[col].value(row)
+    }
+
+    /// Categorical code at (`row`, `col`); panics on a numeric column.
+    #[inline]
+    pub fn cat(&self, row: usize, col: usize) -> u32 {
+        self.columns[col].cat_slice()[row]
+    }
+
+    /// Numeric value at (`row`, `col`); panics on a categorical column.
+    #[inline]
+    pub fn num(&self, row: usize, col: usize) -> f64 {
+        self.columns[col].num_slice()[row]
+    }
+
+    /// Overwrites the cell at (`row`, `col`). Panics if the value kind does
+    /// not match the column kind — sampling code always writes
+    /// schema-conformant values.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, v: Value) {
+        match (&mut self.columns[col], v) {
+            (Column::Cat(c), Value::Cat(x)) => c[row] = x,
+            (Column::Num(c), Value::Num(x)) => c[row] = x,
+            _ => panic!("value kind does not match column kind"),
+        }
+    }
+
+    /// Collects row `row` as a vector of values.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(row)).collect()
+    }
+
+    /// A new instance containing only the given row indices (with
+    /// repetition allowed — useful for bootstrap samples).
+    pub fn take_rows(&self, rows: &[usize]) -> Instance {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| match c {
+                Column::Cat(v) => Column::Cat(rows.iter().map(|&r| v[r]).collect()),
+                Column::Num(v) => Column::Num(rows.iter().map(|&r| v[r]).collect()),
+            })
+            .collect();
+        Instance { columns, n_rows: rows.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn toy_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::categorical_indexed("a", 3).unwrap(),
+            Attribute::numeric("x", 0.0, 10.0, 5).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn push_and_read_rows() {
+        let s = toy_schema();
+        let mut inst = Instance::empty(&s);
+        inst.push_row(&s, &[Value::Cat(1), Value::Num(2.0)]).unwrap();
+        inst.push_row(&s, &[Value::Cat(2), Value::Num(7.5)]).unwrap();
+        assert_eq!(inst.n_rows(), 2);
+        assert_eq!(inst.n_cols(), 2);
+        assert_eq!(inst.cat(0, 0), 1);
+        assert_eq!(inst.num(1, 1), 7.5);
+        assert_eq!(inst.row(1), vec![Value::Cat(2), Value::Num(7.5)]);
+    }
+
+    #[test]
+    fn push_row_validates() {
+        let s = toy_schema();
+        let mut inst = Instance::empty(&s);
+        // wrong arity
+        assert!(inst.push_row(&s, &[Value::Cat(0)]).is_err());
+        // out-of-domain code
+        assert!(inst.push_row(&s, &[Value::Cat(9), Value::Num(0.0)]).is_err());
+        // wrong kind
+        assert!(inst.push_row(&s, &[Value::Num(0.0), Value::Num(0.0)]).is_err());
+        // failed pushes leave the instance unchanged
+        assert_eq!(inst.n_rows(), 0);
+        assert!(inst.column(0).is_empty());
+    }
+
+    #[test]
+    fn zeroed_shape() {
+        let s = toy_schema();
+        let inst = Instance::zeroed(&s, 4);
+        assert_eq!(inst.n_rows(), 4);
+        assert_eq!(inst.cat(3, 0), 0);
+        assert_eq!(inst.num(3, 1), 0.0);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let s = toy_schema();
+        let mut inst = Instance::zeroed(&s, 2);
+        inst.set(1, 0, Value::Cat(2));
+        inst.set(0, 1, Value::Num(3.25));
+        assert_eq!(inst.cat(1, 0), 2);
+        assert_eq!(inst.num(0, 1), 3.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn set_wrong_kind_panics() {
+        let s = toy_schema();
+        let mut inst = Instance::zeroed(&s, 1);
+        inst.set(0, 0, Value::Num(1.0));
+    }
+
+    #[test]
+    fn take_rows_bootstraps() {
+        let s = toy_schema();
+        let inst = Instance::from_rows(
+            &s,
+            &[
+                vec![Value::Cat(0), Value::Num(0.0)],
+                vec![Value::Cat(1), Value::Num(1.0)],
+                vec![Value::Cat(2), Value::Num(2.0)],
+            ],
+        )
+        .unwrap();
+        let sub = inst.take_rows(&[2, 0, 2]);
+        assert_eq!(sub.n_rows(), 3);
+        assert_eq!(sub.cat(0, 0), 2);
+        assert_eq!(sub.cat(1, 0), 0);
+        assert_eq!(sub.num(2, 1), 2.0);
+    }
+
+    #[test]
+    fn column_accessors() {
+        let s = toy_schema();
+        let inst = Instance::zeroed(&s, 3);
+        assert_eq!(inst.column(0).cat_slice().len(), 3);
+        assert_eq!(inst.column(1).num_slice().len(), 3);
+        assert_eq!(inst.column(0).value(0), Value::Cat(0));
+        assert_eq!(inst.column(1).value(2), Value::Num(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected numeric")]
+    fn num_slice_on_cat_panics() {
+        let s = toy_schema();
+        let inst = Instance::zeroed(&s, 1);
+        inst.column(0).num_slice();
+    }
+}

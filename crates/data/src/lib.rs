@@ -1,0 +1,30 @@
+//! Relational substrate for the Kamino reproduction.
+//!
+//! This crate provides the data model every other crate consumes:
+//! [`Schema`]/[`Attribute`] descriptions of a single relation, typed
+//! columnar [`Instance`]s, per-attribute [`Quantizer`]s used to bridge
+//! continuous domains and histogram/marginal machinery, simple statistics
+//! ([`stats`]), and CSV import/export ([`csv`]).
+//!
+//! The paper (§2) considers a single relation `R = {A_1, …, A_k}` with `n`
+//! tuples, where each attribute is either categorical (finite label set) or
+//! numeric (continuous or integer range). We store instances column-wise:
+//! Kamino's sampler (Algorithm 3) fills one attribute at a time across all
+//! tuples, and constraint indexes are per-attribute, so columnar layout keeps
+//! the hot loops contiguous.
+
+pub mod csv;
+pub mod encode;
+pub mod error;
+pub mod instance;
+pub mod quantize;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use encode::MixedEncoder;
+pub use error::DataError;
+pub use instance::{Column, Instance};
+pub use quantize::Quantizer;
+pub use schema::{AttrKind, Attribute, Schema};
+pub use value::Value;

@@ -1,0 +1,188 @@
+//! Quantization of numeric attributes into equal-width bins.
+//!
+//! Algorithm 2 (line 2) partitions a continuous first attribute into `q`
+//! bins before applying the Gaussian mechanism, and Algorithm 3 samples "a
+//! bin, then a value from the domain represented by the bin". Marginal
+//! queries (Metric III) and the order index in the constraint engine also
+//! need a discrete view of numeric attributes. [`Quantizer`] centralizes
+//! that mapping.
+
+use rand::Rng;
+
+use crate::schema::{AttrKind, Attribute};
+use crate::value::Value;
+
+/// Maps values of one attribute to discrete bins and back.
+///
+/// For categorical attributes the mapping is the identity on codes; for
+/// numeric attributes it is equal-width binning over `[min, max]`.
+#[derive(Debug, Clone)]
+pub struct Quantizer {
+    kind: QKind,
+}
+
+#[derive(Debug, Clone)]
+enum QKind {
+    Cat { card: usize },
+    Num { min: f64, max: f64, bins: usize, integer: bool },
+}
+
+impl Quantizer {
+    /// Builds the quantizer for `attr`.
+    pub fn for_attr(attr: &Attribute) -> Quantizer {
+        match &attr.kind {
+            AttrKind::Categorical { labels } => Quantizer { kind: QKind::Cat { card: labels.len() } },
+            AttrKind::Numeric { min, max, bins, integer } => Quantizer {
+                kind: QKind::Num { min: *min, max: *max, bins: *bins, integer: *integer },
+            },
+        }
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn n_bins(&self) -> usize {
+        match self.kind {
+            QKind::Cat { card } => card,
+            QKind::Num { bins, .. } => bins,
+        }
+    }
+
+    /// Bin index of a value. Numeric values outside `[min, max]` are clamped
+    /// into the boundary bins, matching how histogram code treats noisy or
+    /// out-of-range synthetic values.
+    #[inline]
+    pub fn bin(&self, v: Value) -> usize {
+        match (&self.kind, v) {
+            (QKind::Cat { card }, Value::Cat(c)) => (c as usize).min(card - 1),
+            (QKind::Num { min, max, bins, .. }, Value::Num(x)) => {
+                if !x.is_finite() {
+                    return 0;
+                }
+                let t = (x - min) / (max - min);
+                let b = (t * *bins as f64).floor() as isize;
+                b.clamp(0, *bins as isize - 1) as usize
+            }
+            _ => panic!("value kind does not match quantizer kind"),
+        }
+    }
+
+    /// A representative value for `bin` (bin midpoint for numeric, the code
+    /// itself for categorical).
+    pub fn representative(&self, bin: usize) -> Value {
+        match &self.kind {
+            QKind::Cat { card } => Value::Cat(bin.min(card - 1) as u32),
+            QKind::Num { min, max, bins, integer } => {
+                let w = (max - min) / *bins as f64;
+                let mid = min + (bin as f64 + 0.5) * w;
+                Value::Num(if *integer { mid.round() } else { mid })
+            }
+        }
+    }
+
+    /// Samples a uniform value within `bin` (Algorithm 3 line 2: "sample a
+    /// bin, and randomly take a value from the domain represented by the
+    /// bin").
+    pub fn sample_in_bin<R: Rng + ?Sized>(&self, bin: usize, rng: &mut R) -> Value {
+        match &self.kind {
+            QKind::Cat { card } => Value::Cat(bin.min(card - 1) as u32),
+            QKind::Num { min, max, bins, integer } => {
+                let w = (max - min) / *bins as f64;
+                let lo = min + bin as f64 * w;
+                let x = lo + rng.gen::<f64>() * w;
+                Value::Num(if *integer { x.round().clamp(*min, *max) } else { x })
+            }
+        }
+    }
+
+    /// Clamps (and for integer attributes rounds) a numeric value into the
+    /// attribute domain; identity for categorical quantizers.
+    pub fn clamp(&self, v: Value) -> Value {
+        match (&self.kind, v) {
+            (QKind::Num { min, max, integer, .. }, Value::Num(x)) => {
+                let c = x.clamp(*min, *max);
+                Value::Num(if *integer { c.round() } else { c })
+            }
+            _ => v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn num_q() -> Quantizer {
+        Quantizer::for_attr(&Attribute::numeric("x", 0.0, 10.0, 5).unwrap())
+    }
+
+    #[test]
+    fn numeric_binning_is_equal_width() {
+        let q = num_q();
+        assert_eq!(q.n_bins(), 5);
+        assert_eq!(q.bin(Value::Num(0.0)), 0);
+        assert_eq!(q.bin(Value::Num(1.99)), 0);
+        assert_eq!(q.bin(Value::Num(2.0)), 1);
+        assert_eq!(q.bin(Value::Num(9.99)), 4);
+        // the max value lands in the last bin, not a phantom 6th bin
+        assert_eq!(q.bin(Value::Num(10.0)), 4);
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_boundary_bins() {
+        let q = num_q();
+        assert_eq!(q.bin(Value::Num(-3.0)), 0);
+        assert_eq!(q.bin(Value::Num(42.0)), 4);
+        assert_eq!(q.bin(Value::Num(f64::NAN)), 0);
+    }
+
+    #[test]
+    fn representative_is_bin_midpoint() {
+        let q = num_q();
+        assert_eq!(q.representative(0), Value::Num(1.0));
+        assert_eq!(q.representative(4), Value::Num(9.0));
+    }
+
+    #[test]
+    fn integer_representative_rounds() {
+        let q = Quantizer::for_attr(&Attribute::integer("x", 0.0, 9.0, 3).unwrap());
+        for b in 0..3 {
+            let Value::Num(x) = q.representative(b) else { panic!() };
+            assert_eq!(x, x.round());
+        }
+    }
+
+    #[test]
+    fn sample_in_bin_stays_in_bin() {
+        let q = num_q();
+        let mut rng = StdRng::seed_from_u64(7);
+        for bin in 0..5 {
+            for _ in 0..50 {
+                let v = q.sample_in_bin(bin, &mut rng);
+                assert_eq!(q.bin(v), bin, "sampled {v} escaped bin {bin}");
+            }
+        }
+    }
+
+    #[test]
+    fn categorical_quantizer_is_identity() {
+        let q = Quantizer::for_attr(&Attribute::categorical_indexed("c", 4).unwrap());
+        assert_eq!(q.n_bins(), 4);
+        assert_eq!(q.bin(Value::Cat(2)), 2);
+        assert_eq!(q.representative(2), Value::Cat(2));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(q.sample_in_bin(3, &mut rng), Value::Cat(3));
+    }
+
+    #[test]
+    fn clamp_respects_domain() {
+        let q = num_q();
+        assert_eq!(q.clamp(Value::Num(-5.0)), Value::Num(0.0));
+        assert_eq!(q.clamp(Value::Num(15.0)), Value::Num(10.0));
+        assert_eq!(q.clamp(Value::Num(3.5)), Value::Num(3.5));
+        let qi = Quantizer::for_attr(&Attribute::integer("x", 0.0, 9.0, 3).unwrap());
+        assert_eq!(qi.clamp(Value::Num(4.4)), Value::Num(4.0));
+    }
+}

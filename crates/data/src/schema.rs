@@ -1,0 +1,319 @@
+//! Schema and attribute descriptions.
+
+use std::collections::HashMap;
+
+use crate::error::DataError;
+use crate::value::Value;
+
+/// The kind (type + domain) of an attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrKind {
+    /// Finite label set; values are stored as `u32` codes indexing `labels`.
+    Categorical {
+        /// Human-readable labels in code order.
+        labels: Vec<String>,
+    },
+    /// Numeric range `[min, max]`, quantized into `bins` equal-width bins
+    /// whenever a discrete view is needed (first-attribute histograms,
+    /// marginal queries, order indexes).
+    Numeric {
+        /// Inclusive lower bound of the domain.
+        min: f64,
+        /// Inclusive upper bound of the domain.
+        max: f64,
+        /// Number of quantization bins (the paper's `q`).
+        bins: usize,
+        /// Whether sampled values should be rounded to integers.
+        integer: bool,
+    },
+}
+
+/// A named attribute of the relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Attribute name (unique within a [`Schema`]).
+    pub name: String,
+    /// Type and domain of the attribute.
+    pub kind: AttrKind,
+}
+
+impl Attribute {
+    /// Creates a categorical attribute from a list of labels.
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidDomain`] when `labels` is empty or
+    /// contains duplicates.
+    pub fn categorical<S: Into<String>>(
+        name: S,
+        labels: Vec<String>,
+    ) -> Result<Attribute, DataError> {
+        let name = name.into();
+        if labels.is_empty() {
+            return Err(DataError::InvalidDomain(format!("attribute `{name}` has no labels")));
+        }
+        let mut seen = std::collections::HashSet::with_capacity(labels.len());
+        for l in &labels {
+            if !seen.insert(l.as_str()) {
+                return Err(DataError::InvalidDomain(format!(
+                    "attribute `{name}` has duplicate label `{l}`"
+                )));
+            }
+        }
+        Ok(Attribute { name, kind: AttrKind::Categorical { labels } })
+    }
+
+    /// Convenience constructor: categorical attribute with labels `0..card`
+    /// rendered as `v0, v1, …`.
+    pub fn categorical_indexed<S: Into<String>>(
+        name: S,
+        card: usize,
+    ) -> Result<Attribute, DataError> {
+        let labels = (0..card).map(|i| format!("v{i}")).collect();
+        Attribute::categorical(name, labels)
+    }
+
+    /// Creates a continuous numeric attribute on `[min, max]` with `bins`
+    /// quantization bins.
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidDomain`] when the range is empty/NaN or
+    /// `bins == 0`.
+    pub fn numeric<S: Into<String>>(
+        name: S,
+        min: f64,
+        max: f64,
+        bins: usize,
+    ) -> Result<Attribute, DataError> {
+        Self::numeric_inner(name.into(), min, max, bins, false)
+    }
+
+    /// Creates an integer-valued numeric attribute on `[min, max]`.
+    pub fn integer<S: Into<String>>(
+        name: S,
+        min: f64,
+        max: f64,
+        bins: usize,
+    ) -> Result<Attribute, DataError> {
+        Self::numeric_inner(name.into(), min, max, bins, true)
+    }
+
+    fn numeric_inner(
+        name: String,
+        min: f64,
+        max: f64,
+        bins: usize,
+        integer: bool,
+    ) -> Result<Attribute, DataError> {
+        if !(min.is_finite() && max.is_finite()) || min >= max {
+            return Err(DataError::InvalidDomain(format!(
+                "attribute `{name}` has invalid numeric range [{min}, {max}]"
+            )));
+        }
+        if bins == 0 {
+            return Err(DataError::InvalidDomain(format!("attribute `{name}` has zero bins")));
+        }
+        Ok(Attribute { name, kind: AttrKind::Numeric { min, max, bins, integer } })
+    }
+
+    /// Whether this attribute is categorical.
+    #[inline]
+    pub fn is_categorical(&self) -> bool {
+        matches!(self.kind, AttrKind::Categorical { .. })
+    }
+
+    /// The discrete domain size: label count for categorical attributes,
+    /// quantization bin count for numeric ones. This is the `|D(A)|` the
+    /// paper's sequencing heuristic (Algorithm 4) sorts by.
+    #[inline]
+    pub fn domain_size(&self) -> usize {
+        match &self.kind {
+            AttrKind::Categorical { labels } => labels.len(),
+            AttrKind::Numeric { bins, .. } => *bins,
+        }
+    }
+
+    /// Label for a categorical code, if this attribute is categorical and
+    /// the code is in range.
+    pub fn label(&self, code: u32) -> Option<&str> {
+        match &self.kind {
+            AttrKind::Categorical { labels } => labels.get(code as usize).map(String::as_str),
+            AttrKind::Numeric { .. } => None,
+        }
+    }
+
+    /// Code for a categorical label.
+    pub fn code(&self, label: &str) -> Option<u32> {
+        match &self.kind {
+            AttrKind::Categorical { labels } => {
+                labels.iter().position(|l| l == label).map(|i| i as u32)
+            }
+            AttrKind::Numeric { .. } => None,
+        }
+    }
+
+    /// Validates that `v` belongs to this attribute's domain.
+    pub fn validate(&self, v: Value) -> Result<(), DataError> {
+        match (&self.kind, v) {
+            (AttrKind::Categorical { labels }, Value::Cat(c)) => {
+                if (c as usize) < labels.len() {
+                    Ok(())
+                } else {
+                    Err(DataError::UnknownLabel {
+                        attr: self.name.clone(),
+                        label: format!("#{c}"),
+                    })
+                }
+            }
+            (AttrKind::Numeric { .. }, Value::Num(x)) if x.is_finite() => Ok(()),
+            (AttrKind::Categorical { .. }, Value::Num(_)) => {
+                Err(DataError::TypeMismatch { attr: self.name.clone(), expected: "categorical" })
+            }
+            (AttrKind::Numeric { .. }, _) => {
+                Err(DataError::TypeMismatch { attr: self.name.clone(), expected: "numeric" })
+            }
+        }
+    }
+}
+
+/// A relation schema: an ordered list of attributes with unique names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema from attributes.
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidDomain`] on duplicate attribute names or
+    /// an empty attribute list.
+    pub fn new(attrs: Vec<Attribute>) -> Result<Schema, DataError> {
+        if attrs.is_empty() {
+            return Err(DataError::InvalidDomain("schema has no attributes".into()));
+        }
+        let mut by_name = HashMap::with_capacity(attrs.len());
+        for (i, a) in attrs.iter().enumerate() {
+            if by_name.insert(a.name.clone(), i).is_some() {
+                return Err(DataError::InvalidDomain(format!(
+                    "duplicate attribute name `{}`",
+                    a.name
+                )));
+            }
+        }
+        Ok(Schema { attrs, by_name })
+    }
+
+    /// Number of attributes (the paper's `k`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the schema is empty (never true for a constructed schema).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Attribute at position `i`.
+    #[inline]
+    pub fn attr(&self, i: usize) -> &Attribute {
+        &self.attrs[i]
+    }
+
+    /// All attributes in schema order.
+    #[inline]
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Index of the attribute named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize, DataError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    }
+
+    /// The log₂ of the full domain size `Π |D(A_j)|`, the quantity Table 1
+    /// reports as "Domain size" (≈ 2^52 for Adult etc.).
+    pub fn log2_domain_size(&self) -> f64 {
+        self.attrs.iter().map(|a| (a.domain_size() as f64).log2()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Schema {
+        Schema::new(vec![
+            Attribute::categorical("edu", vec!["HS".into(), "BS".into(), "MS".into()]).unwrap(),
+            Attribute::integer("edu_num", 1.0, 16.0, 16).unwrap(),
+            Attribute::numeric("cap_gain", 0.0, 10000.0, 20).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_lookup_and_sizes() {
+        let s = toy();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("edu_num").unwrap(), 1);
+        assert!(s.index_of("nope").is_err());
+        assert_eq!(s.attr(0).domain_size(), 3);
+        assert_eq!(s.attr(1).domain_size(), 16);
+        assert_eq!(s.attr(2).domain_size(), 20);
+        let expect = (3f64).log2() + (16f64).log2() + (20f64).log2();
+        assert!((s.log2_domain_size() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let a = Attribute::categorical_indexed("x", 2).unwrap();
+        let b = Attribute::categorical_indexed("x", 3).unwrap();
+        assert!(Schema::new(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(Schema::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn categorical_domain_validation() {
+        let a = Attribute::categorical("c", vec!["a".into(), "b".into()]).unwrap();
+        assert!(a.validate(Value::Cat(1)).is_ok());
+        assert!(a.validate(Value::Cat(2)).is_err());
+        assert!(a.validate(Value::Num(0.0)).is_err());
+        assert_eq!(a.label(1), Some("b"));
+        assert_eq!(a.code("a"), Some(0));
+        assert_eq!(a.code("zzz"), None);
+    }
+
+    #[test]
+    fn numeric_domain_validation() {
+        let a = Attribute::numeric("x", 0.0, 1.0, 4).unwrap();
+        assert!(a.validate(Value::Num(0.5)).is_ok());
+        assert!(a.validate(Value::Num(f64::NAN)).is_err());
+        assert!(a.validate(Value::Cat(0)).is_err());
+        assert_eq!(a.label(0), None);
+    }
+
+    #[test]
+    fn invalid_domains_rejected() {
+        assert!(Attribute::categorical("c", vec![]).is_err());
+        assert!(Attribute::categorical("c", vec!["a".into(), "a".into()]).is_err());
+        assert!(Attribute::numeric("x", 1.0, 1.0, 4).is_err());
+        assert!(Attribute::numeric("x", 0.0, 1.0, 0).is_err());
+        assert!(Attribute::numeric("x", f64::NAN, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn indexed_labels() {
+        let a = Attribute::categorical_indexed("c", 3).unwrap();
+        assert_eq!(a.label(2), Some("v2"));
+        assert_eq!(a.domain_size(), 3);
+    }
+}

@@ -1,0 +1,310 @@
+//! Adult-like census data (Table 1 row 1): 15 mixed-type attributes,
+//! two hard DCs.
+//!
+//! * φ₁ᵃ `¬(t1.education = t2.education ∧ t1.education_num ≠ t2.education_num)`
+//!   — holds exactly because both columns derive from one latent education
+//!   level.
+//! * φ₂ᵃ `¬(t1.capital_gain > t2.capital_gain ∧ t1.capital_loss < t2.capital_loss)`
+//!   — holds exactly because `capital_loss` is a nondecreasing deterministic
+//!   function of `capital_gain`.
+//!
+//! The remaining attributes carry the correlations the paper's downstream
+//! tasks rely on: income depends on education/age/hours/sex, occupation on
+//! education, marital status on age, and so on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kamino_constraints::{parse_dc, DenialConstraint, Hardness};
+use kamino_data::stats::sample_weighted;
+use kamino_data::{Attribute, Instance, Schema, Value};
+use kamino_dp::normal::normal;
+
+use crate::Dataset;
+
+const EDUCATIONS: [&str; 16] = [
+    "Preschool", "1st-4th", "5th-6th", "7th-8th", "9th", "10th", "11th", "12th", "HS-grad",
+    "Some-college", "Assoc-voc", "Assoc-acdm", "Bachelors", "Masters", "Prof-school",
+    "Doctorate",
+];
+
+const WORKCLASSES: [&str; 8] = [
+    "Private", "Self-emp-not-inc", "Self-emp-inc", "Federal-gov", "Local-gov", "State-gov",
+    "Without-pay", "Never-worked",
+];
+
+const MARITALS: [&str; 7] = [
+    "Married-civ-spouse", "Divorced", "Never-married", "Separated", "Widowed",
+    "Married-spouse-absent", "Married-AF-spouse",
+];
+
+const OCCUPATIONS: [&str; 14] = [
+    "Tech-support", "Craft-repair", "Other-service", "Sales", "Exec-managerial",
+    "Prof-specialty", "Handlers-cleaners", "Machine-op-inspct", "Adm-clerical",
+    "Farming-fishing", "Transport-moving", "Priv-house-serv", "Protective-serv",
+    "Armed-Forces",
+];
+
+const RELATIONSHIPS: [&str; 6] =
+    ["Wife", "Own-child", "Husband", "Not-in-family", "Other-relative", "Unmarried"];
+
+const RACES: [&str; 5] =
+    ["White", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other", "Black"];
+
+/// Builds the Adult-like schema (shared with tests and benches).
+pub fn adult_schema() -> Schema {
+    let cat = |name: &str, labels: &[&str]| {
+        Attribute::categorical(name, labels.iter().map(|s| s.to_string()).collect()).unwrap()
+    };
+    Schema::new(vec![
+        Attribute::integer("age", 17.0, 90.0, 15).unwrap(),
+        cat("workclass", &WORKCLASSES),
+        Attribute::numeric("fnlwgt", 1e4, 1.5e6, 20).unwrap(),
+        cat("education", &EDUCATIONS),
+        Attribute::integer("education_num", 1.0, 16.0, 16).unwrap(),
+        cat("marital_status", &MARITALS),
+        cat("occupation", &OCCUPATIONS),
+        cat("relationship", &RELATIONSHIPS),
+        cat("race", &RACES),
+        cat("sex", &["Female", "Male"]),
+        Attribute::numeric("capital_gain", 0.0, 99_999.0, 20).unwrap(),
+        Attribute::numeric("capital_loss", 0.0, 20_000.0, 20).unwrap(),
+        Attribute::integer("hours_per_week", 1.0, 99.0, 15).unwrap(),
+        Attribute::categorical_indexed("native_country", 20).unwrap(),
+        cat("income", &["<=50K", ">50K"]),
+    ])
+    .unwrap()
+}
+
+/// The two hard DCs of Table 1 for Adult.
+pub fn adult_dcs(schema: &Schema) -> Vec<DenialConstraint> {
+    vec![
+        parse_dc(
+            schema,
+            "phi_a1",
+            "!(t1.education == t2.education & t1.education_num != t2.education_num)",
+            Hardness::Hard,
+        )
+        .unwrap(),
+        parse_dc(
+            schema,
+            "phi_a2",
+            "!(t1.capital_gain > t2.capital_gain & t1.capital_loss < t2.capital_loss)",
+            Hardness::Hard,
+        )
+        .unwrap(),
+    ]
+}
+
+/// `capital_loss` as a nondecreasing deterministic function of
+/// `capital_gain`, which makes φ₂ᵃ hold exactly.
+fn capital_loss_of(gain: f64) -> f64 {
+    if gain <= 2_000.0 {
+        0.0
+    } else {
+        (0.15 * (gain - 2_000.0)).min(20_000.0).round()
+    }
+}
+
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Generates an Adult-like instance of `n` rows.
+pub fn adult_like(n: usize, seed: u64) -> Dataset {
+    let schema = adult_schema();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xAD01);
+    let mut inst = Instance::empty(&schema);
+
+    // skewed education-level prior (HS-grad / Some-college heavy)
+    let edu_weights: [f64; 16] =
+        [0.2, 0.5, 1.0, 2.0, 1.6, 2.8, 3.6, 1.3, 32.0, 22.0, 4.2, 3.2, 16.0, 5.4, 1.8, 1.2];
+
+    let mut row: Vec<Value> = Vec::with_capacity(schema.len());
+    for _ in 0..n {
+        let edu = sample_weighted(&edu_weights, &mut rng);
+        let edu_num = edu as f64 + 1.0;
+        let age = normal(&mut rng, 38.5, 13.5).round().clamp(17.0, 90.0);
+        let sex = usize::from(rng.gen::<f64>() < 0.67); // 1 = Male
+        let race = sample_weighted(&[85.0, 3.0, 1.0, 1.0, 10.0], &mut rng);
+        let country = sample_weighted(
+            &(0..20).map(|i| 1.0 / (i as f64 + 1.0).powf(1.6)).collect::<Vec<_>>(),
+            &mut rng,
+        );
+        // marital status skews with age
+        let marital = if age < 26.0 {
+            sample_weighted(&[6.0, 2.0, 86.0, 2.0, 0.2, 2.0, 0.3], &mut rng)
+        } else {
+            sample_weighted(&[52.0, 15.0, 18.0, 4.0, 4.0, 5.0, 0.3], &mut rng)
+        };
+        // relationship follows marital status
+        let relationship = match marital {
+            0 | 6 => {
+                if sex == 1 {
+                    2 // Husband
+                } else {
+                    0 // Wife
+                }
+            }
+            2 => sample_weighted(&[0.0, 45.0, 0.0, 35.0, 8.0, 12.0], &mut rng),
+            _ => sample_weighted(&[0.0, 10.0, 0.0, 50.0, 10.0, 30.0], &mut rng),
+        };
+        // occupation skews with education level
+        let occupation = if edu >= 12 {
+            sample_weighted(
+                &[8.0, 3.0, 3.0, 10.0, 25.0, 32.0, 1.0, 1.0, 7.0, 1.0, 2.0, 0.3, 2.0, 0.2],
+                &mut rng,
+            )
+        } else {
+            sample_weighted(
+                &[3.0, 16.0, 14.0, 11.0, 7.0, 4.0, 7.0, 9.0, 13.0, 4.0, 7.0, 1.0, 3.0, 0.3],
+                &mut rng,
+            )
+        };
+        let workclass = sample_weighted(&[70.0, 8.0, 3.5, 3.0, 6.5, 4.0, 0.1, 0.05], &mut rng);
+        let hours = normal(&mut rng, 40.0 + if edu >= 12 { 4.0 } else { 0.0 }, 11.0)
+            .round()
+            .clamp(1.0, 99.0);
+        // income: the planted signal the classification task recovers
+        let logit = 0.55 * (edu_num - 9.5) + 0.035 * (age - 38.0) + 0.04 * (hours - 40.0)
+            + if sex == 1 { 0.7 } else { 0.0 }
+            + if marital == 0 { 1.1 } else { -0.6 }
+            - 1.4;
+        let income = usize::from(rng.gen::<f64>() < sigmoid(logit));
+        // capital gain: zero-inflated, heavier for high earners
+        let gain_p = 0.05 + 0.12 * income as f64;
+        let gain = if rng.gen::<f64>() < gain_p {
+            normal(&mut rng, 8.6, 0.9).exp().clamp(0.0, 99_999.0).round()
+        } else {
+            0.0
+        };
+        let loss = capital_loss_of(gain);
+        let fnlwgt = normal(&mut rng, 11.8, 0.45).exp().clamp(1e4, 1.5e6);
+
+        row.clear();
+        row.extend_from_slice(&[
+            Value::Num(age),
+            Value::Cat(workclass as u32),
+            Value::Num(fnlwgt),
+            Value::Cat(edu as u32),
+            Value::Num(edu_num),
+            Value::Cat(marital as u32),
+            Value::Cat(occupation as u32),
+            Value::Cat(relationship as u32),
+            Value::Cat(race as u32),
+            Value::Cat(sex as u32),
+            Value::Num(gain),
+            Value::Num(loss),
+            Value::Num(hours),
+            Value::Cat(country as u32),
+            Value::Cat(income as u32),
+        ]);
+        inst.push_row(&schema, &row).expect("generator emits schema-conformant rows");
+    }
+
+    let dcs = adult_dcs(&schema);
+    Dataset { name: "adult".into(), schema, instance: inst, dcs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamino_constraints::violation_percentage;
+
+    #[test]
+    fn shape_matches_table1() {
+        let d = adult_like(300, 7);
+        assert_eq!(d.schema.len(), 15);
+        assert_eq!(d.instance.n_rows(), 300);
+        assert_eq!(d.dcs.len(), 2);
+        // Table 1: domain size ≈ 2^52; ours is within a few powers of two
+        let log2 = d.schema.log2_domain_size();
+        assert!((40.0..60.0).contains(&log2), "log2 domain size {log2}");
+    }
+
+    #[test]
+    fn hard_dcs_hold_exactly() {
+        let d = adult_like(500, 11);
+        for dc in &d.dcs {
+            assert_eq!(
+                violation_percentage(dc, &d.instance),
+                0.0,
+                "hard DC {} violated in truth",
+                dc.name
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = adult_like(100, 3);
+        let b = adult_like(100, 3);
+        assert_eq!(a.instance, b.instance);
+        let c = adult_like(100, 4);
+        assert_ne!(a.instance, c.instance);
+    }
+
+    #[test]
+    fn education_fd_is_functional() {
+        let d = adult_like(400, 5);
+        let edu = d.schema.index_of("education").unwrap();
+        let edu_num = d.schema.index_of("education_num").unwrap();
+        let mut seen = std::collections::HashMap::new();
+        for i in 0..d.instance.n_rows() {
+            let e = d.instance.cat(i, edu);
+            let en = d.instance.num(i, edu_num);
+            let prev = seen.insert(e, en);
+            if let Some(p) = prev {
+                assert_eq!(p, en, "education {e} maps to two education_nums");
+            }
+        }
+    }
+
+    #[test]
+    fn income_correlates_with_education() {
+        let d = adult_like(4000, 13);
+        let edu_num = d.schema.index_of("education_num").unwrap();
+        let income = d.schema.index_of("income").unwrap();
+        let (mut hi_sum, mut hi_n, mut lo_sum, mut lo_n) = (0.0, 0, 0.0, 0);
+        for i in 0..d.instance.n_rows() {
+            let en = d.instance.num(i, edu_num);
+            if d.instance.cat(i, income) == 1 {
+                hi_sum += en;
+                hi_n += 1;
+            } else {
+                lo_sum += en;
+                lo_n += 1;
+            }
+        }
+        assert!(hi_n > 100, "positive class too rare: {hi_n}");
+        assert!(
+            hi_sum / hi_n as f64 > lo_sum / lo_n as f64 + 1.0,
+            "education/income correlation missing"
+        );
+    }
+
+    #[test]
+    fn capital_columns_within_domain() {
+        let d = adult_like(500, 19);
+        let g = d.schema.index_of("capital_gain").unwrap();
+        let l = d.schema.index_of("capital_loss").unwrap();
+        for i in 0..d.instance.n_rows() {
+            let gain = d.instance.num(i, g);
+            let loss = d.instance.num(i, l);
+            assert!((0.0..=99_999.0).contains(&gain));
+            assert!((0.0..=20_000.0).contains(&loss));
+            assert_eq!(loss, capital_loss_of(gain));
+        }
+    }
+
+    #[test]
+    fn capital_loss_function_is_monotone() {
+        let mut prev = 0.0;
+        for g in 0..1000 {
+            let loss = capital_loss_of(g as f64 * 100.0);
+            assert!(loss >= prev);
+            prev = loss;
+        }
+    }
+}

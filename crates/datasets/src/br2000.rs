@@ -1,0 +1,191 @@
+//! BR2000-like survey data (Table 1 row 2): 14 small-domain attributes and
+//! three *soft* DCs whose truth violation rates are small but nonzero
+//! (the paper's Table 2 reports 0.4% / 0.9% / 0.5%).
+//!
+//! All ordinal attributes derive from one latent score `u` plus noise, so
+//! pairs are mostly concordant and the soft order DCs hold approximately.
+//! The noise scales below were tuned so truth violation rates land in the
+//! paper's sub-percent regime (asserted in tests).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kamino_constraints::{parse_dc, DenialConstraint, Hardness};
+use kamino_data::{Attribute, Instance, Schema, Value};
+use kamino_dp::normal::normal;
+
+use crate::Dataset;
+
+/// Builds the BR2000-like schema: seven binary attributes (`a1`, `a2`,
+/// `a4`, `a6`–`a9`), three small categoricals (`a10`, `a12`, `a14`) and
+/// four small ordinal integers (`a3`, `a5`, `a11`, `a13`).
+pub fn br2000_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::categorical_indexed("a1", 2).unwrap(),
+        Attribute::categorical_indexed("a2", 2).unwrap(),
+        Attribute::integer("a3", 0.0, 15.0, 16).unwrap(),
+        Attribute::categorical_indexed("a4", 2).unwrap(),
+        Attribute::integer("a5", 0.0, 15.0, 16).unwrap(),
+        Attribute::categorical_indexed("a6", 2).unwrap(),
+        Attribute::categorical_indexed("a7", 2).unwrap(),
+        Attribute::categorical_indexed("a8", 2).unwrap(),
+        Attribute::categorical_indexed("a9", 2).unwrap(),
+        Attribute::categorical_indexed("a10", 3).unwrap(),
+        Attribute::integer("a11", 0.0, 11.0, 12).unwrap(),
+        Attribute::categorical_indexed("a12", 4).unwrap(),
+        Attribute::integer("a13", 0.0, 9.0, 10).unwrap(),
+        Attribute::categorical_indexed("a14", 4).unwrap(),
+    ])
+    .unwrap()
+}
+
+/// The three soft DCs of Table 1 for BR2000 (weights unknown — Kamino
+/// learns them with Algorithm 5).
+pub fn br2000_dcs(schema: &Schema) -> Vec<DenialConstraint> {
+    vec![
+        parse_dc(
+            schema,
+            "phi_b1",
+            "!(t1.a13 == t2.a13 & t1.a11 < t2.a11 & t1.a3 > t2.a3)",
+            Hardness::Soft,
+        )
+        .unwrap(),
+        parse_dc(
+            schema,
+            "phi_b2",
+            "!(t1.a12 != t2.a12 & t1.a13 <= t2.a13 & t1.a5 >= t2.a5)",
+            Hardness::Soft,
+        )
+        .unwrap(),
+        parse_dc(
+            schema,
+            "phi_b3",
+            "!(t1.a5 <= t2.a5 & t1.a3 > t2.a3 & t1.a12 != t2.a12 & t1.a11 > t2.a11)",
+            Hardness::Soft,
+        )
+        .unwrap(),
+    ]
+}
+
+fn ordinal(u: f64, noise: f64, card: usize, rng: &mut StdRng) -> f64 {
+    let v = (u + normal(rng, 0.0, noise)).clamp(0.0, 0.999_999);
+    (v * card as f64).floor()
+}
+
+/// Generates a BR2000-like instance of `n` rows.
+pub fn br2000_like(n: usize, seed: u64) -> Dataset {
+    let schema = br2000_schema();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB2000);
+    let mut inst = Instance::empty(&schema);
+    let mut row: Vec<Value> = Vec::with_capacity(schema.len());
+    for _ in 0..n {
+        let u: f64 = rng.gen();
+        // a12 strongly tracks u (quartiles) so that cross-quartile pairs are
+        // mostly concordant on (a13, a5); slight flip noise keeps it soft.
+        let mut a12 = (u * 4.0).floor().min(3.0) as u32;
+        if rng.gen::<f64>() < 0.03 {
+            a12 = rng.gen_range(0..4);
+        }
+        let a3 = ordinal(u, 0.035, 16, &mut rng);
+        let a5 = ordinal(u, 0.035, 16, &mut rng);
+        let a11 = ordinal(u, 0.04, 12, &mut rng);
+        let a13 = ordinal(u, 0.04, 10, &mut rng);
+        let bin = |th: f64, rng: &mut StdRng| -> u32 {
+            u32::from(u + normal(rng, 0.0, 0.25) > th)
+        };
+        let a10 = ordinal(u, 0.3, 3, &mut rng) as u32;
+        let a14 = ordinal(u, 0.3, 4, &mut rng) as u32;
+        row.clear();
+        row.extend_from_slice(&[
+            Value::Cat(bin(0.3, &mut rng)),
+            Value::Cat(bin(0.5, &mut rng)),
+            Value::Num(a3),
+            Value::Cat(bin(0.7, &mut rng)),
+            Value::Num(a5),
+            Value::Cat(bin(0.4, &mut rng)),
+            Value::Cat(bin(0.6, &mut rng)),
+            Value::Cat(bin(0.5, &mut rng)),
+            Value::Cat(bin(0.45, &mut rng)),
+            Value::Cat(a10),
+            Value::Num(a11),
+            Value::Cat(a12),
+            Value::Num(a13),
+            Value::Cat(a14),
+        ]);
+        inst.push_row(&schema, &row).expect("generator emits schema-conformant rows");
+    }
+    let dcs = br2000_dcs(&schema);
+    Dataset { name: "br2000".into(), schema, instance: inst, dcs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamino_constraints::violation_percentage;
+
+    #[test]
+    fn shape_matches_table1() {
+        let d = br2000_like(200, 1);
+        assert_eq!(d.schema.len(), 14);
+        assert_eq!(d.dcs.len(), 3);
+        assert_eq!(d.instance.n_rows(), 200);
+        for dc in &d.dcs {
+            assert_eq!(dc.hardness, Hardness::Soft);
+        }
+    }
+
+    #[test]
+    fn soft_dcs_have_small_nonzero_truth_rates() {
+        let d = br2000_like(2000, 5);
+        for dc in &d.dcs {
+            let pct = violation_percentage(dc, &d.instance);
+            assert!(
+                (0.0..6.0).contains(&pct),
+                "{}: truth violation {pct}% outside the soft regime",
+                dc.name
+            );
+        }
+        // at least one DC must actually be violated (they are soft)
+        let any = d.dcs.iter().any(|dc| violation_percentage(dc, &d.instance) > 0.0);
+        assert!(any, "all soft DCs hold exactly — generator lost its softness");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(br2000_like(150, 9).instance, br2000_like(150, 9).instance);
+    }
+
+    #[test]
+    fn ordinals_concordant_with_latent() {
+        // a3 and a5 both track u, so they must be strongly positively
+        // correlated with each other.
+        let d = br2000_like(3000, 2);
+        let a3 = d.schema.index_of("a3").unwrap();
+        let a5 = d.schema.index_of("a5").unwrap();
+        let n = d.instance.n_rows();
+        let m3: f64 = (0..n).map(|i| d.instance.num(i, a3)).sum::<f64>() / n as f64;
+        let m5: f64 = (0..n).map(|i| d.instance.num(i, a5)).sum::<f64>() / n as f64;
+        let mut cov = 0.0;
+        let mut v3 = 0.0;
+        let mut v5 = 0.0;
+        for i in 0..n {
+            let x = d.instance.num(i, a3) - m3;
+            let y = d.instance.num(i, a5) - m5;
+            cov += x * y;
+            v3 += x * x;
+            v5 += y * y;
+        }
+        let corr = cov / (v3.sqrt() * v5.sqrt());
+        assert!(corr > 0.9, "a3/a5 correlation {corr} too weak");
+    }
+
+    #[test]
+    fn domains_respected() {
+        let d = br2000_like(500, 3);
+        for i in 0..d.instance.n_rows() {
+            for (j, attr) in d.schema.attrs().iter().enumerate() {
+                assert!(attr.validate(d.instance.value(i, j)).is_ok());
+            }
+        }
+    }
+}

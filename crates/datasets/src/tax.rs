@@ -1,0 +1,226 @@
+//! Tax-like records (Table 1 row 3): 12 attributes, six hard DCs — the
+//! chained geography FDs (`zip → city`, `zip → state`, `areacode → state`),
+//! two exemption FDs conditioned on state, and the salary/rate order DC.
+//!
+//! The paper's Tax dataset stresses very large domains (zip ≈ 2¹⁵); the
+//! default here scales zip down for harness budgets but
+//! [`tax_like_scaled`] accepts any zip count (the paper's §4.3 "extreme
+//! domain" discussion is exercised in benches by raising it).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kamino_constraints::{parse_dc, DenialConstraint, Hardness};
+use kamino_data::stats::sample_weighted;
+use kamino_data::{Attribute, Instance, Schema, Value};
+use kamino_dp::normal::normal;
+
+use crate::Dataset;
+
+const N_STATES: usize = 20;
+const CITIES_PER_STATE: usize = 6;
+const AREACODES_PER_STATE: usize = 2;
+
+/// Builds the Tax-like schema with `n_zips` zip codes.
+pub fn tax_schema(n_zips: usize) -> Schema {
+    assert!(n_zips >= N_STATES, "need at least one zip per state");
+    Schema::new(vec![
+        Attribute::categorical("gender", vec!["F".into(), "M".into()]).unwrap(),
+        Attribute::categorical_indexed("areacode", N_STATES * AREACODES_PER_STATE).unwrap(),
+        Attribute::categorical_indexed("city", N_STATES * CITIES_PER_STATE).unwrap(),
+        Attribute::categorical_indexed("state", N_STATES).unwrap(),
+        Attribute::categorical_indexed("zip", n_zips).unwrap(),
+        Attribute::categorical(
+            "marital",
+            vec!["single".into(), "married".into(), "divorced".into(), "widowed".into()],
+        )
+        .unwrap(),
+        Attribute::categorical("has_child", vec!["no".into(), "yes".into()]).unwrap(),
+        Attribute::numeric("salary", 5_000.0, 500_000.0, 20).unwrap(),
+        Attribute::numeric("rate", 0.0, 10.0, 20).unwrap(),
+        Attribute::numeric("single_exemp", 0.0, 5_000.0, 10).unwrap(),
+        Attribute::numeric("child_exemp", 0.0, 5_000.0, 10).unwrap(),
+        Attribute::integer("age", 18.0, 90.0, 15).unwrap(),
+    ])
+    .unwrap()
+}
+
+/// The six hard DCs of Table 1 for Tax.
+pub fn tax_dcs(schema: &Schema) -> Vec<DenialConstraint> {
+    let dc = |name: &str, text: &str| parse_dc(schema, name, text, Hardness::Hard).unwrap();
+    vec![
+        dc("phi_t1", "!(t1.zip == t2.zip & t1.city != t2.city)"),
+        dc("phi_t2", "!(t1.areacode == t2.areacode & t1.state != t2.state)"),
+        dc("phi_t3", "!(t1.zip == t2.zip & t1.state != t2.state)"),
+        dc(
+            "phi_t4",
+            "!(t1.state == t2.state & t1.has_child == t2.has_child & t1.child_exemp != t2.child_exemp)",
+        ),
+        dc(
+            "phi_t5",
+            "!(t1.state == t2.state & t1.marital == t2.marital & t1.single_exemp != t2.single_exemp)",
+        ),
+        dc("phi_t6", "!(t1.state == t2.state & t1.salary > t2.salary & t1.rate < t2.rate)"),
+    ]
+}
+
+/// The state a zip code belongs to (round-robin assignment).
+fn state_of_zip(zip: usize) -> usize {
+    zip % N_STATES
+}
+
+/// The city a zip code belongs to (within its state).
+fn city_of_zip(zip: usize) -> usize {
+    state_of_zip(zip) * CITIES_PER_STATE + (zip / N_STATES) % CITIES_PER_STATE
+}
+
+/// Deterministic child exemption per (state, has_child) — FD φ₄ᵗ.
+fn child_exemp_of(state: usize, has_child: usize) -> f64 {
+    if has_child == 1 {
+        1_000.0 + 50.0 * state as f64
+    } else {
+        0.0
+    }
+}
+
+/// Deterministic single exemption per (state, marital) — FD φ₅ᵗ.
+fn single_exemp_of(state: usize, marital: usize) -> f64 {
+    match marital {
+        0 => 500.0 + 30.0 * state as f64,
+        1 => 0.0,
+        2 => 250.0 + 20.0 * state as f64,
+        _ => 100.0 + 10.0 * state as f64,
+    }
+}
+
+/// Deterministic, per-state nondecreasing tax rate — makes φ₆ᵗ exact.
+fn rate_of(state: usize, salary: f64) -> f64 {
+    let base = 1.0 + 0.1 * state as f64;
+    let progressive = 6.0 * (salary / 500_000.0).sqrt();
+    ((base + progressive) * 10.0).round() / 10.0 // quantize to one decimal
+}
+
+/// Generates a Tax-like instance with the default zip-domain scale (400).
+pub fn tax_like(n: usize, seed: u64) -> Dataset {
+    tax_like_scaled(n, seed, 400)
+}
+
+/// Generates a Tax-like instance with `n_zips` zip codes.
+pub fn tax_like_scaled(n: usize, seed: u64, n_zips: usize) -> Dataset {
+    let schema = tax_schema(n_zips);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7A50);
+    let mut inst = Instance::empty(&schema);
+    // Zipf-ish popularity over zips so FD groups have realistic skew.
+    let zip_weights: Vec<f64> =
+        (0..n_zips).map(|i| 1.0 / (i as f64 + 1.0).powf(0.8)).collect();
+    let mut row: Vec<Value> = Vec::with_capacity(schema.len());
+    for _ in 0..n {
+        let zip = sample_weighted(&zip_weights, &mut rng);
+        let state = state_of_zip(zip);
+        let city = city_of_zip(zip);
+        let areacode = state * AREACODES_PER_STATE + usize::from(rng.gen::<f64>() < 0.4);
+        let gender = u32::from(rng.gen::<f64>() < 0.5);
+        let age = normal(&mut rng, 45.0, 14.0).round().clamp(18.0, 90.0);
+        let marital = if age < 28.0 {
+            sample_weighted(&[75.0, 20.0, 4.0, 1.0], &mut rng)
+        } else {
+            sample_weighted(&[22.0, 55.0, 16.0, 7.0], &mut rng)
+        };
+        let has_child = usize::from(rng.gen::<f64>() < if marital == 1 { 0.65 } else { 0.25 });
+        // salary grows with age, lognormal spread
+        let salary = (normal(&mut rng, 10.7 + 0.008 * (age - 45.0), 0.5))
+            .exp()
+            .clamp(5_000.0, 500_000.0)
+            .round();
+        let rate = rate_of(state, salary);
+        row.clear();
+        row.extend_from_slice(&[
+            Value::Cat(gender),
+            Value::Cat(areacode as u32),
+            Value::Cat(city as u32),
+            Value::Cat(state as u32),
+            Value::Cat(zip as u32),
+            Value::Cat(marital as u32),
+            Value::Cat(has_child as u32),
+            Value::Num(salary),
+            Value::Num(rate),
+            Value::Num(single_exemp_of(state, marital)),
+            Value::Num(child_exemp_of(state, has_child)),
+            Value::Num(age),
+        ]);
+        inst.push_row(&schema, &row).expect("generator emits schema-conformant rows");
+    }
+    let dcs = tax_dcs(&schema);
+    Dataset { name: "tax".into(), schema, instance: inst, dcs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamino_constraints::violation_percentage;
+
+    #[test]
+    fn shape_matches_table1() {
+        let d = tax_like(200, 1);
+        assert_eq!(d.schema.len(), 12);
+        assert_eq!(d.dcs.len(), 6);
+        assert_eq!(d.instance.n_rows(), 200);
+    }
+
+    #[test]
+    fn all_six_hard_dcs_hold() {
+        let d = tax_like(800, 3);
+        for dc in &d.dcs {
+            assert_eq!(
+                violation_percentage(dc, &d.instance),
+                0.0,
+                "hard DC {} violated in truth",
+                dc.name
+            );
+        }
+    }
+
+    #[test]
+    fn rate_is_monotone_per_state() {
+        for state in 0..N_STATES {
+            let mut prev = 0.0;
+            for s in (5_000..500_000).step_by(10_000) {
+                let r = rate_of(state, s as f64);
+                assert!(r >= prev, "state {state}: rate decreased at salary {s}");
+                prev = r;
+            }
+        }
+    }
+
+    #[test]
+    fn geography_maps_are_functions() {
+        for zip in 0..2000 {
+            let s = state_of_zip(zip);
+            assert!(s < N_STATES);
+            let c = city_of_zip(zip);
+            // city belongs to the zip's state
+            assert_eq!(c / CITIES_PER_STATE, s);
+        }
+    }
+
+    #[test]
+    fn scaled_zip_domain() {
+        let d = tax_like_scaled(300, 2, 1_000);
+        let zip_attr = d.schema.index_of("zip").unwrap();
+        assert_eq!(d.schema.attr(zip_attr).domain_size(), 1_000);
+        for dc in &d.dcs {
+            assert_eq!(violation_percentage(dc, &d.instance), 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(tax_like(100, 8).instance, tax_like(100, 8).instance);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one zip")]
+    fn rejects_too_few_zips() {
+        tax_schema(3);
+    }
+}

@@ -1,0 +1,176 @@
+//! TPC-H-like join (Table 1 row 4): Orders ⋈ Customer ⋈ Nation flattened
+//! to 9 attributes, with the four FD-shaped hard DCs induced by the
+//! key/foreign-key constraints (`custkey → nationkey/mktsegment/n_name`,
+//! `n_name → regionkey`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kamino_constraints::{parse_dc, DenialConstraint, Hardness};
+use kamino_data::stats::sample_weighted;
+use kamino_data::{Attribute, Instance, Schema, Value};
+use kamino_dp::normal::normal;
+
+use crate::Dataset;
+
+const N_NATIONS: usize = 25;
+
+/// Builds the TPC-H-like schema for `n_customers` distinct customers.
+pub fn tpch_schema(n_customers: usize) -> Schema {
+    Schema::new(vec![
+        Attribute::categorical_indexed("c_custkey", n_customers).unwrap(),
+        Attribute::categorical_indexed("c_nationkey", N_NATIONS).unwrap(),
+        Attribute::categorical(
+            "c_mktsegment",
+            ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        )
+        .unwrap(),
+        Attribute::categorical_indexed("n_name", N_NATIONS).unwrap(),
+        Attribute::categorical_indexed("n_regionkey", 5).unwrap(),
+        Attribute::categorical(
+            "o_orderstatus",
+            vec!["F".into(), "O".into(), "P".into()],
+        )
+        .unwrap(),
+        Attribute::numeric("o_totalprice", 900.0, 500_000.0, 20).unwrap(),
+        Attribute::integer("o_orderdate", 0.0, 2_405.0, 20).unwrap(),
+        Attribute::categorical(
+            "o_orderpriority",
+            ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        )
+        .unwrap(),
+    ])
+    .unwrap()
+}
+
+/// The four hard DCs of Table 1 for TPC-H.
+pub fn tpch_dcs(schema: &Schema) -> Vec<DenialConstraint> {
+    let dc = |name: &str, text: &str| parse_dc(schema, name, text, Hardness::Hard).unwrap();
+    vec![
+        dc("phi_h1", "!(t1.c_custkey == t2.c_custkey & t1.c_nationkey != t2.c_nationkey)"),
+        dc("phi_h2", "!(t1.c_custkey == t2.c_custkey & t1.c_mktsegment != t2.c_mktsegment)"),
+        dc("phi_h3", "!(t1.c_custkey == t2.c_custkey & t1.n_name != t2.n_name)"),
+        dc("phi_h4", "!(t1.n_name == t2.n_name & t1.n_regionkey != t2.n_regionkey)"),
+    ]
+}
+
+/// Fixed nation → region map (5 nations per region, like TPC-H).
+fn region_of_nation(nation: usize) -> usize {
+    nation % 5
+}
+
+/// Generates a TPC-H-like instance of `n` order rows over `max(40, n/10)`
+/// customers.
+pub fn tpch_like(n: usize, seed: u64) -> Dataset {
+    let n_customers = (n / 10).max(40);
+    let schema = tpch_schema(n_customers);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x79C8);
+
+    // customer master table: custkey → (nation, segment)
+    let customers: Vec<(u32, u32)> = (0..n_customers)
+        .map(|_| {
+            let nation = rng.gen_range(0..N_NATIONS) as u32;
+            let segment = sample_weighted(&[22.0, 21.0, 20.0, 19.0, 18.0], &mut rng) as u32;
+            (nation, segment)
+        })
+        .collect();
+    // Zipf-ish order volume per customer
+    let cust_weights: Vec<f64> =
+        (0..n_customers).map(|i| 1.0 / (i as f64 + 1.0).powf(0.6)).collect();
+
+    let mut inst = Instance::empty(&schema);
+    let mut row: Vec<Value> = Vec::with_capacity(schema.len());
+    for _ in 0..n {
+        let ck = sample_weighted(&cust_weights, &mut rng);
+        let (nation, segment) = customers[ck];
+        let status = sample_weighted(&[48.0, 48.0, 4.0], &mut rng) as u32;
+        let price = normal(&mut rng, 11.2, 0.7).exp().clamp(900.0, 500_000.0).round();
+        let date = rng.gen_range(0..=2_405) as f64;
+        // urgent orders skew toward recent dates (a learnable correlation)
+        let priority = if date > 2_000.0 {
+            sample_weighted(&[30.0, 25.0, 20.0, 13.0, 12.0], &mut rng) as u32
+        } else {
+            sample_weighted(&[18.0, 19.0, 21.0, 21.0, 21.0], &mut rng) as u32
+        };
+        row.clear();
+        row.extend_from_slice(&[
+            Value::Cat(ck as u32),
+            Value::Cat(nation),
+            Value::Cat(segment),
+            Value::Cat(nation), // n_name is 1:1 with nationkey
+            Value::Cat(region_of_nation(nation as usize) as u32),
+            Value::Cat(status),
+            Value::Num(price),
+            Value::Num(date),
+            Value::Cat(priority),
+        ]);
+        inst.push_row(&schema, &row).expect("generator emits schema-conformant rows");
+    }
+    let dcs = tpch_dcs(&schema);
+    Dataset { name: "tpch".into(), schema, instance: inst, dcs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamino_constraints::violation_percentage;
+
+    #[test]
+    fn shape_matches_table1() {
+        let d = tpch_like(300, 1);
+        assert_eq!(d.schema.len(), 9);
+        assert_eq!(d.dcs.len(), 4);
+        assert_eq!(d.instance.n_rows(), 300);
+    }
+
+    #[test]
+    fn key_induced_fds_hold() {
+        let d = tpch_like(600, 2);
+        for dc in &d.dcs {
+            assert_eq!(
+                violation_percentage(dc, &d.instance),
+                0.0,
+                "hard DC {} violated in truth",
+                dc.name
+            );
+        }
+    }
+
+    #[test]
+    fn customer_reuse_creates_fd_groups() {
+        // FDs only constrain anything when keys repeat; verify the Zipf
+        // skew actually produces repeated customers.
+        let d = tpch_like(500, 3);
+        let ck = d.schema.index_of("c_custkey").unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..d.instance.n_rows() {
+            *counts.entry(d.instance.cat(i, ck)).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max >= 5, "most frequent customer has only {max} orders");
+    }
+
+    #[test]
+    fn nation_region_map_consistent() {
+        let d = tpch_like(300, 4);
+        let nn = d.schema.index_of("n_name").unwrap();
+        let nr = d.schema.index_of("n_regionkey").unwrap();
+        for i in 0..d.instance.n_rows() {
+            assert_eq!(
+                d.instance.cat(i, nr) as usize,
+                region_of_nation(d.instance.cat(i, nn) as usize)
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(tpch_like(120, 6).instance, tpch_like(120, 6).instance);
+    }
+}

@@ -1,0 +1,84 @@
+//! Standard-normal sampling via the Box–Muller transform.
+//!
+//! The allowed dependency set excludes `rand_distr`, so Gaussian noise is
+//! generated here and statistically tested below.
+
+use rand::Rng;
+
+/// Draws one sample from `N(0, 1)`.
+///
+/// Uses the basic (trigonometric) Box–Muller transform. The second variate
+/// of each pair is discarded for simplicity — noise generation is nowhere
+/// near the profile of this codebase (violation counting and training are),
+/// and statelessness keeps the API trivially thread-safe.
+#[inline]
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 ∈ (0, 1]: guard against ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws one sample from `N(mean, std²)`.
+#[inline]
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!(mean.abs() < 0.01, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.02, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn standard_normal_tail_mass() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let beyond_2: usize =
+            (0..n).filter(|_| standard_normal(&mut rng).abs() > 2.0).count();
+        // P(|Z| > 2) ≈ 0.0455
+        let frac = beyond_2 as f64 / n as f64;
+        assert!((frac - 0.0455).abs() < 0.005, "two-sigma tail mass {frac}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..100_000).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 5.0).abs() < 0.03);
+        assert!((var - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+
+    #[test]
+    fn all_samples_finite() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100_000).all(|_| standard_normal(&mut rng).is_finite()));
+    }
+}

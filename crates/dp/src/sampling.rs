@@ -1,0 +1,101 @@
+//! Poisson subsampling.
+//!
+//! DP-SGD (Algorithm 2 line 12) samples each training row independently
+//! with probability `b/n`, and Algorithm 5 (line 3) samples rows with
+//! probability `L_w/n`. Poisson sampling is what the Sampled Gaussian
+//! Mechanism analysis in [`crate::rdp`] assumes, so both code paths share
+//! this helper.
+
+use rand::Rng;
+
+/// Returns the indices of a Poisson subsample of `0..n`, each index
+/// included independently with probability `rate` (clamped to [0, 1]).
+pub fn poisson_sample<R: Rng + ?Sized>(n: usize, rate: f64, rng: &mut R) -> Vec<usize> {
+    let rate = rate.clamp(0.0, 1.0);
+    if rate == 0.0 {
+        return Vec::new();
+    }
+    if rate == 1.0 {
+        return (0..n).collect();
+    }
+    let mut out = Vec::with_capacity((n as f64 * rate * 1.5) as usize + 4);
+    for i in 0..n {
+        if rng.gen::<f64>() < rate {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Poisson-samples and then crops to at most `cap` indices by uniformly
+/// dropping the excess (Algorithm 5 line 4: "Drop tuples from the sample if
+/// |D̂| > L_w"). Cropping is post-processing of the subsample, so the
+/// SGM sensitivity bound computed for `cap` still applies.
+pub fn poisson_sample_capped<R: Rng + ?Sized>(
+    n: usize,
+    rate: f64,
+    cap: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut sample = poisson_sample(n, rate, rng);
+    while sample.len() > cap {
+        let drop = rng.gen_range(0..sample.len());
+        sample.swap_remove(drop);
+    }
+    sample.sort_unstable();
+    sample
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expected_sample_size() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 50_000;
+        let rate = 0.01;
+        let total: usize = (0..20).map(|_| poisson_sample(n, rate, &mut rng).len()).sum();
+        let mean = total as f64 / 20.0;
+        assert!((mean - 500.0).abs() < 50.0, "mean sample size {mean}, expected ≈ 500");
+    }
+
+    #[test]
+    fn edge_rates() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(poisson_sample(100, 0.0, &mut rng).is_empty());
+        assert_eq!(poisson_sample(100, 1.0, &mut rng).len(), 100);
+        // rates outside [0,1] clamp rather than panic
+        assert_eq!(poisson_sample(10, 2.0, &mut rng).len(), 10);
+        assert!(poisson_sample(10, -1.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn indices_are_sorted_and_unique() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let s = poisson_sample(10_000, 0.05, &mut rng);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.iter().all(|&i| i < 10_000));
+    }
+
+    #[test]
+    fn capped_sampling_respects_cap() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..10 {
+            let s = poisson_sample_capped(1000, 0.5, 100, &mut rng);
+            assert!(s.len() <= 100);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn capped_sampling_no_crop_when_small() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let uncapped = poisson_sample(1000, 0.01, &mut a);
+        let capped = poisson_sample_capped(1000, 0.01, 1000, &mut b);
+        assert_eq!(uncapped, capped);
+    }
+}

@@ -1,0 +1,399 @@
+//! Tree ensembles: RandomForest, Bagging, AdaBoost, GradientBoost, and the
+//! XGBoost-lite variant.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::tree::{RegressionTree, TreeParams};
+use super::{majority, Classifier};
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+fn bootstrap(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..n)).collect()
+}
+
+fn take<T: Clone>(items: &[T], idx: &[usize]) -> Vec<T> {
+    idx.iter().map(|&i| items[i].clone()).collect()
+}
+
+/// Random forest: bootstrapped trees with per-split feature subsampling,
+/// majority vote over leaf probabilities.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growth parameters (feature subsample filled from √d).
+    pub params: TreeParams,
+    trees: Vec<RegressionTree>,
+    fallback: bool,
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        RandomForest {
+            n_trees: 15,
+            params: TreeParams { max_depth: 8, ..Default::default() },
+            trees: Vec::new(),
+            fallback: false,
+        }
+    }
+}
+
+impl Classifier for RandomForest {
+    fn name(&self) -> &'static str {
+        "RandomForest"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool], seed: u64) {
+        self.fallback = majority(y);
+        self.trees.clear();
+        let d = x.first().map_or(1, Vec::len);
+        let mut params = self.params;
+        params.feature_subsample = Some(((d as f64).sqrt().ceil() as usize).max(1));
+        let target: Vec<f64> = y.iter().map(|&b| f64::from(b)).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF05E57);
+        for t in 0..self.n_trees {
+            let idx = bootstrap(x.len(), &mut rng);
+            let bx = take(x, &idx);
+            let bt = take(&target, &idx);
+            let w = vec![1.0; bx.len()];
+            self.trees.push(RegressionTree::fit(&bx, &bt, &w, &params, seed ^ (t as u64 * 77)));
+        }
+    }
+
+    fn predict_one(&self, x: &[f64]) -> bool {
+        if self.trees.is_empty() {
+            return self.fallback;
+        }
+        let mean: f64 =
+            self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64;
+        mean > 0.5
+    }
+}
+
+/// Bagging: bootstrapped full-feature trees.
+#[derive(Debug, Clone)]
+pub struct Bagging {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growth parameters.
+    pub params: TreeParams,
+    trees: Vec<RegressionTree>,
+    fallback: bool,
+}
+
+impl Default for Bagging {
+    fn default() -> Self {
+        Bagging {
+            n_trees: 10,
+            params: TreeParams::default(),
+            trees: Vec::new(),
+            fallback: false,
+        }
+    }
+}
+
+impl Classifier for Bagging {
+    fn name(&self) -> &'static str {
+        "Bagging"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool], seed: u64) {
+        self.fallback = majority(y);
+        self.trees.clear();
+        let target: Vec<f64> = y.iter().map(|&b| f64::from(b)).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBA66);
+        for t in 0..self.n_trees {
+            let idx = bootstrap(x.len(), &mut rng);
+            let bx = take(x, &idx);
+            let bt = take(&target, &idx);
+            let w = vec![1.0; bx.len()];
+            self.trees.push(RegressionTree::fit(
+                &bx,
+                &bt,
+                &w,
+                &self.params,
+                seed ^ (t as u64 * 131),
+            ));
+        }
+    }
+
+    fn predict_one(&self, x: &[f64]) -> bool {
+        if self.trees.is_empty() {
+            return self.fallback;
+        }
+        let mean: f64 =
+            self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64;
+        mean > 0.5
+    }
+}
+
+/// Discrete AdaBoost over decision stumps.
+#[derive(Debug, Clone)]
+pub struct AdaBoost {
+    /// Boosting rounds.
+    pub rounds: usize,
+    stumps: Vec<(RegressionTree, f64)>, // (stump, alpha)
+    fallback: bool,
+}
+
+impl Default for AdaBoost {
+    fn default() -> Self {
+        AdaBoost { rounds: 30, stumps: Vec::new(), fallback: false }
+    }
+}
+
+impl Classifier for AdaBoost {
+    fn name(&self) -> &'static str {
+        "AdaBoost"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool], seed: u64) {
+        self.fallback = majority(y);
+        self.stumps.clear();
+        let n = x.len();
+        let target: Vec<f64> = y.iter().map(|&b| f64::from(b)).collect();
+        let mut w = vec![1.0 / n as f64; n];
+        let stump_params = TreeParams { max_depth: 1, min_split: 2, ..Default::default() };
+        for round in 0..self.rounds {
+            let stump =
+                RegressionTree::fit(x, &target, &w, &stump_params, seed ^ (round as u64 * 193));
+            let pred: Vec<bool> = x.iter().map(|xi| stump.predict(xi) > 0.5).collect();
+            let err: f64 = w
+                .iter()
+                .zip(pred.iter().zip(y))
+                .filter(|(_, (p, t))| p != t)
+                .map(|(wi, _)| wi)
+                .sum();
+            let err = err.clamp(1e-10, 1.0 - 1e-10);
+            if err >= 0.5 {
+                break; // weak learner no better than chance
+            }
+            let alpha = 0.5 * ((1.0 - err) / err).ln();
+            for i in 0..n {
+                let agree = pred[i] == y[i];
+                w[i] *= if agree { (-alpha).exp() } else { alpha.exp() };
+            }
+            let total: f64 = w.iter().sum();
+            w.iter_mut().for_each(|wi| *wi /= total);
+            self.stumps.push((stump, alpha));
+        }
+    }
+
+    fn predict_one(&self, x: &[f64]) -> bool {
+        if self.stumps.is_empty() {
+            return self.fallback;
+        }
+        let score: f64 = self
+            .stumps
+            .iter()
+            .map(|(s, alpha)| alpha * if s.predict(x) > 0.5 { 1.0 } else { -1.0 })
+            .sum();
+        score > 0.0
+    }
+}
+
+/// Gradient boosting with logistic loss: trees fit pseudo-residuals
+/// `y − σ(F)`, leaves predict the mean residual, shrunk by `shrinkage`.
+#[derive(Debug, Clone)]
+pub struct GradientBoost {
+    /// Boosting rounds.
+    pub rounds: usize,
+    /// Shrinkage (learning rate).
+    pub shrinkage: f64,
+    /// Tree depth per round.
+    pub depth: usize,
+    base: f64,
+    trees: Vec<RegressionTree>,
+}
+
+impl Default for GradientBoost {
+    fn default() -> Self {
+        GradientBoost { rounds: 30, shrinkage: 0.3, depth: 3, base: 0.0, trees: Vec::new() }
+    }
+}
+
+impl GradientBoost {
+    fn raw_score(&self, x: &[f64]) -> f64 {
+        self.base + self.shrinkage * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+    }
+}
+
+impl Classifier for GradientBoost {
+    fn name(&self) -> &'static str {
+        "GradientBoost"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool], seed: u64) {
+        self.trees.clear();
+        let n = x.len();
+        let pos = y.iter().filter(|&&b| b).count() as f64;
+        let p0 = (pos / n as f64).clamp(1e-6, 1.0 - 1e-6);
+        self.base = (p0 / (1.0 - p0)).ln();
+        let mut f: Vec<f64> = vec![self.base; n];
+        let params = TreeParams { max_depth: self.depth, ..Default::default() };
+        let w = vec![1.0; n];
+        for round in 0..self.rounds {
+            let residual: Vec<f64> =
+                (0..n).map(|i| f64::from(y[i]) - sigmoid(f[i])).collect();
+            let tree =
+                RegressionTree::fit(x, &residual, &w, &params, seed ^ (round as u64 * 389));
+            for i in 0..n {
+                f[i] += self.shrinkage * tree.predict(&x[i]);
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_one(&self, x: &[f64]) -> bool {
+        self.raw_score(x) > 0.0
+    }
+}
+
+/// XGBoost-lite: gradient boosting where each leaf takes the Newton step
+/// `Σg / (Σh + λ)` (g = residual, h = σ(F)(1−σ(F))) with L2 leaf
+/// regularization λ — the core of the XGBoost objective.
+#[derive(Debug, Clone)]
+pub struct XgbLite {
+    /// Boosting rounds.
+    pub rounds: usize,
+    /// Shrinkage.
+    pub shrinkage: f64,
+    /// Tree depth.
+    pub depth: usize,
+    /// L2 leaf regularization λ.
+    pub lambda: f64,
+    base: f64,
+    trees: Vec<RegressionTree>,
+}
+
+impl Default for XgbLite {
+    fn default() -> Self {
+        XgbLite {
+            rounds: 30,
+            shrinkage: 0.3,
+            depth: 3,
+            lambda: 1.0,
+            base: 0.0,
+            trees: Vec::new(),
+        }
+    }
+}
+
+impl Classifier for XgbLite {
+    fn name(&self) -> &'static str {
+        "XGBoost"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool], seed: u64) {
+        self.trees.clear();
+        let n = x.len();
+        let pos = y.iter().filter(|&&b| b).count() as f64;
+        let p0 = (pos / n as f64).clamp(1e-6, 1.0 - 1e-6);
+        self.base = (p0 / (1.0 - p0)).ln();
+        let mut f: Vec<f64> = vec![self.base; n];
+        let params = TreeParams { max_depth: self.depth, ..Default::default() };
+        let w = vec![1.0; n];
+        for round in 0..self.rounds {
+            let grad: Vec<f64> = (0..n).map(|i| f64::from(y[i]) - sigmoid(f[i])).collect();
+            let hess: Vec<f64> = (0..n)
+                .map(|i| {
+                    let p = sigmoid(f[i]);
+                    (p * (1.0 - p)).max(1e-9)
+                })
+                .collect();
+            let lambda = self.lambda;
+            let leaf = |idx: &[usize]| {
+                let g: f64 = idx.iter().map(|&i| grad[i]).sum();
+                let h: f64 = idx.iter().map(|&i| hess[i]).sum();
+                g / (h + lambda)
+            };
+            let tree = RegressionTree::fit_with_leaf(
+                x,
+                &grad,
+                &w,
+                &params,
+                seed ^ (round as u64 * 593),
+                &leaf,
+            );
+            for i in 0..n {
+                f[i] += self.shrinkage * tree.predict(&x[i]);
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_one(&self, x: &[f64]) -> bool {
+        let score =
+            self.base + self.shrinkage * self.trees.iter().map(|t| t.predict(x)).sum::<f64>();
+        score > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{blobs, train_accuracy, xor};
+    use super::*;
+
+    #[test]
+    fn forest_beats_chance_on_xor() {
+        let (x, y) = xor(300, 1);
+        assert!(train_accuracy(&mut RandomForest::default(), &x, &y) > 0.9);
+    }
+
+    #[test]
+    fn bagging_learns_blobs() {
+        let (x, y) = blobs(200, 2);
+        assert!(train_accuracy(&mut Bagging::default(), &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn adaboost_combines_stumps() {
+        // a single stump cannot get XOR above ~0.5; boosting stumps...
+        // also cannot (XOR needs interaction), but blobs with overlap work
+        let (x, y) = blobs(300, 3);
+        assert!(train_accuracy(&mut AdaBoost::default(), &x, &y) > 0.93);
+        // and boosting must beat a single stump on a two-signal problem:
+        // y = x0 > 0 XOR-free composite with unequal strength
+        let x2: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![f64::from(i % 2 == 0), f64::from(i % 4 < 2)])
+            .collect();
+        let y2: Vec<bool> = (0..200).map(|i| (i % 2 == 0) && (i % 4 < 2)).collect();
+        let acc = train_accuracy(&mut AdaBoost::default(), &x2, &y2);
+        assert!(acc > 0.95, "adaboost on conjunction: {acc}");
+    }
+
+    #[test]
+    fn gradient_boost_solves_xor() {
+        let (x, y) = xor(300, 4);
+        assert!(train_accuracy(&mut GradientBoost::default(), &x, &y) > 0.9);
+    }
+
+    #[test]
+    fn xgb_lite_solves_xor_and_regularizes() {
+        let (x, y) = xor(300, 5);
+        assert!(train_accuracy(&mut XgbLite::default(), &x, &y) > 0.9);
+        // extreme λ shrinks every leaf toward zero ⇒ predictions revert to
+        // the base rate
+        let mut heavy = XgbLite { lambda: 1e9, ..Default::default() };
+        heavy.fit(&x, &y, 0);
+        let base_only = x.iter().all(|xi| heavy.predict_one(xi) == (heavy.base > 0.0));
+        assert!(base_only, "infinite regularization should freeze the ensemble");
+    }
+
+    #[test]
+    fn ensembles_deterministic_given_seed() {
+        let (x, y) = blobs(100, 6);
+        let mut a = RandomForest::default();
+        let mut b = RandomForest::default();
+        a.fit(&x, &y, 9);
+        b.fit(&x, &y, 9);
+        for xi in &x {
+            assert_eq!(a.predict_one(xi), b.predict_one(xi));
+        }
+    }
+}

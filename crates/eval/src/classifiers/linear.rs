@@ -1,0 +1,102 @@
+//! Logistic regression (full-batch gradient descent with L2 weight decay).
+
+use super::Classifier;
+
+/// L2-regularized logistic regression.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 penalty.
+    pub l2: f64,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        LogisticRegression { epochs: 200, lr: 0.5, l2: 1e-4, weights: Vec::new(), bias: 0.0 }
+    }
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    fn logit(&self, x: &[f64]) -> f64 {
+        self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn name(&self) -> &'static str {
+        "LogisticRegression"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool], _seed: u64) {
+        assert_eq!(x.len(), y.len());
+        let d = x.first().map_or(0, Vec::len);
+        self.weights = vec![0.0; d];
+        self.bias = 0.0;
+        let n = x.len() as f64;
+        let mut gw = vec![0.0; d];
+        for _ in 0..self.epochs {
+            gw.iter_mut().for_each(|g| *g = 0.0);
+            let mut gb = 0.0;
+            for (xi, &yi) in x.iter().zip(y) {
+                let err = sigmoid(self.logit(xi)) - f64::from(yi);
+                for (g, v) in gw.iter_mut().zip(xi) {
+                    *g += err * v;
+                }
+                gb += err;
+            }
+            for (w, g) in self.weights.iter_mut().zip(&gw) {
+                *w -= self.lr * (g / n + self.l2 * *w);
+            }
+            self.bias -= self.lr * gb / n;
+        }
+    }
+
+    fn predict_one(&self, x: &[f64]) -> bool {
+        self.logit(x) > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{blobs, train_accuracy};
+    use super::*;
+
+    #[test]
+    fn learns_blobs() {
+        let (x, y) = blobs(200, 1);
+        let mut c = LogisticRegression::default();
+        assert!(train_accuracy(&mut c, &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn weight_signs_match_signal() {
+        // y = x[0] > 0: weight 0 should become positive
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![if i % 2 == 0 { 1.0 } else { -1.0 }, 0.3]).collect();
+        let y: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let mut c = LogisticRegression::default();
+        c.fit(&x, &y, 0);
+        assert!(c.weights[0] > 0.5);
+        assert!(c.weights[1].abs() < 0.3, "irrelevant feature got weight {}", c.weights[1]);
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let (x, y) = blobs(100, 2);
+        let mut light = LogisticRegression { l2: 0.0, ..Default::default() };
+        light.fit(&x, &y, 0);
+        let mut heavy = LogisticRegression { l2: 0.5, ..Default::default() };
+        heavy.fit(&x, &y, 0);
+        let norm = |c: &LogisticRegression| c.weights.iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&heavy) < norm(&light));
+    }
+}

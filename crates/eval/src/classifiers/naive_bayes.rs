@@ -1,0 +1,137 @@
+//! Bernoulli naive Bayes.
+//!
+//! Features are binarized at `threshold` (one-hot slots become their own
+//! indicator; standardized numerics become "above threshold"); per-class
+//! Bernoulli likelihoods use Laplace smoothing.
+
+use super::{majority, Classifier};
+
+/// Bernoulli naive Bayes with Laplace smoothing.
+#[derive(Debug, Clone)]
+pub struct BernoulliNb {
+    /// Binarization threshold on feature values.
+    pub threshold: f64,
+    /// Laplace smoothing constant.
+    pub alpha: f64,
+    log_prior: [f64; 2],
+    /// `log_p[c][j]` = log P(feature j on | class c); paired with the
+    /// complement for the off state.
+    log_p_on: Vec<[f64; 2]>,
+    log_p_off: Vec<[f64; 2]>,
+    fallback: bool,
+    fitted: bool,
+}
+
+impl Default for BernoulliNb {
+    fn default() -> Self {
+        BernoulliNb {
+            threshold: 0.5,
+            alpha: 1.0,
+            log_prior: [0.0; 2],
+            log_p_on: Vec::new(),
+            log_p_off: Vec::new(),
+            fallback: false,
+            fitted: false,
+        }
+    }
+}
+
+impl Classifier for BernoulliNb {
+    fn name(&self) -> &'static str {
+        "BernoulliNB"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool], _seed: u64) {
+        assert_eq!(x.len(), y.len());
+        let d = x.first().map_or(0, Vec::len);
+        let n_pos = y.iter().filter(|&&b| b).count();
+        let n_neg = y.len() - n_pos;
+        self.fitted = true;
+        if n_pos == 0 || n_neg == 0 {
+            self.fallback = majority(y);
+            self.log_p_on.clear();
+            return;
+        }
+        let counts = [n_neg as f64, n_pos as f64];
+        self.log_prior = [counts[0].ln() - (y.len() as f64).ln(),
+                          counts[1].ln() - (y.len() as f64).ln()];
+        let mut on = vec![[0.0f64; 2]; d];
+        for (xi, &yi) in x.iter().zip(y) {
+            let c = usize::from(yi);
+            for (j, &v) in xi.iter().enumerate() {
+                if v > self.threshold {
+                    on[j][c] += 1.0;
+                }
+            }
+        }
+        self.log_p_on = (0..d)
+            .map(|j| {
+                [
+                    ((on[j][0] + self.alpha) / (counts[0] + 2.0 * self.alpha)).ln(),
+                    ((on[j][1] + self.alpha) / (counts[1] + 2.0 * self.alpha)).ln(),
+                ]
+            })
+            .collect();
+        self.log_p_off = (0..d)
+            .map(|j| {
+                [
+                    ((counts[0] - on[j][0] + self.alpha) / (counts[0] + 2.0 * self.alpha)).ln(),
+                    ((counts[1] - on[j][1] + self.alpha) / (counts[1] + 2.0 * self.alpha)).ln(),
+                ]
+            })
+            .collect();
+    }
+
+    fn predict_one(&self, x: &[f64]) -> bool {
+        assert!(self.fitted, "predict before fit");
+        if self.log_p_on.is_empty() {
+            return self.fallback;
+        }
+        let mut score = [self.log_prior[0], self.log_prior[1]];
+        for (j, &v) in x.iter().enumerate() {
+            let table = if v > self.threshold { &self.log_p_on } else { &self.log_p_off };
+            score[0] += table[j][0];
+            score[1] += table[j][1];
+        }
+        score[1] > score[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{blobs, train_accuracy};
+    use super::*;
+
+    #[test]
+    fn learns_indicator_features() {
+        // y = feature 0 is on
+        let x: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![f64::from(i % 2 == 0), f64::from(i % 3 == 0)]).collect();
+        let y: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let mut c = BernoulliNb::default();
+        c.fit(&x, &y, 0);
+        assert!(c.predict_one(&[1.0, 0.0]));
+        assert!(!c.predict_one(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn works_on_blobs_after_binarization() {
+        let (x, y) = blobs(200, 3);
+        let mut c = BernoulliNb { threshold: 0.0, ..Default::default() };
+        assert!(train_accuracy(&mut c, &x, &y) > 0.9);
+    }
+
+    #[test]
+    fn single_class_fallback() {
+        let x = vec![vec![1.0]; 5];
+        let mut c = BernoulliNb::default();
+        c.fit(&x, &[false; 5], 0);
+        assert!(!c.predict_one(&[1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        BernoulliNb::default().predict_one(&[0.0]);
+    }
+}

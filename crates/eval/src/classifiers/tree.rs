@@ -1,0 +1,288 @@
+//! Regression trees (CART) and the decision-tree classifier.
+//!
+//! One tree implementation serves four of the nine models: it fits
+//! weighted real-valued targets by variance reduction, which for {0,1}
+//! targets is exactly Gini-style impurity splitting. The ensembles
+//! ([`super::ensemble`]) reuse it for bootstrapped classification trees
+//! (forest/bagging) and residual regression (boosting).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use super::{majority, Classifier};
+
+/// Tree growth hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_split: usize,
+    /// Features considered per split (`None` = all).
+    pub feature_subsample: Option<usize>,
+    /// Maximum candidate thresholds per feature.
+    pub max_thresholds: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 8, min_split: 4, feature_subsample: None, max_thresholds: 16 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(f64),
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    root: Node,
+}
+
+impl RegressionTree {
+    /// Fits weighted targets by recursive variance-reduction splitting.
+    /// `leaf_value` computes the prediction of a leaf from the indices it
+    /// holds (boosting overrides this with Newton steps).
+    pub fn fit_with_leaf<F>(
+        x: &[Vec<f64>],
+        target: &[f64],
+        weight: &[f64],
+        params: &TreeParams,
+        seed: u64,
+        leaf_value: &F,
+    ) -> RegressionTree
+    where
+        F: Fn(&[usize]) -> f64,
+    {
+        assert_eq!(x.len(), target.len());
+        assert_eq!(x.len(), weight.len());
+        assert!(!x.is_empty(), "cannot fit a tree on no data");
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7EEE);
+        let root = grow(x, target, weight, &idx, params, 0, &mut rng, leaf_value);
+        RegressionTree { root }
+    }
+
+    /// Fits with weighted-mean leaves.
+    pub fn fit(
+        x: &[Vec<f64>],
+        target: &[f64],
+        weight: &[f64],
+        params: &TreeParams,
+        seed: u64,
+    ) -> RegressionTree {
+        let leaf = |idx: &[usize]| weighted_mean(target, weight, idx);
+        Self::fit_with_leaf(x, target, weight, params, seed, &leaf)
+    }
+
+    /// Predicted value for one example.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(v) => return *v,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves (test/diagnostic hook).
+    pub fn n_leaves(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf(_) => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+}
+
+fn weighted_mean(target: &[f64], weight: &[f64], idx: &[usize]) -> f64 {
+    let mut sw = 0.0;
+    let mut swv = 0.0;
+    for &i in idx {
+        sw += weight[i];
+        swv += weight[i] * target[i];
+    }
+    if sw > 0.0 {
+        swv / sw
+    } else {
+        0.0
+    }
+}
+
+/// Weighted sum of squared deviations from the mean over `idx`.
+fn impurity(target: &[f64], weight: &[f64], idx: &[usize]) -> f64 {
+    let mean = weighted_mean(target, weight, idx);
+    idx.iter().map(|&i| weight[i] * (target[i] - mean) * (target[i] - mean)).sum()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow<F>(
+    x: &[Vec<f64>],
+    target: &[f64],
+    weight: &[f64],
+    idx: &[usize],
+    params: &TreeParams,
+    depth: usize,
+    rng: &mut StdRng,
+    leaf_value: &F,
+) -> Node
+where
+    F: Fn(&[usize]) -> f64,
+{
+    if depth >= params.max_depth || idx.len() < params.min_split {
+        return Node::Leaf(leaf_value(idx));
+    }
+    let parent_impurity = impurity(target, weight, idx);
+    if parent_impurity <= 1e-12 {
+        return Node::Leaf(leaf_value(idx));
+    }
+    let d = x[0].len();
+    let mut features: Vec<usize> = (0..d).collect();
+    if let Some(m) = params.feature_subsample {
+        features.shuffle(rng);
+        features.truncate(m.max(1).min(d));
+    }
+    let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
+    let mut vals: Vec<f64> = Vec::with_capacity(idx.len());
+    for &f in &features {
+        vals.clear();
+        vals.extend(idx.iter().map(|&i| x[i][f]));
+        vals.sort_by(f64::total_cmp);
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        let step = (vals.len() / params.max_thresholds).max(1);
+        for w in vals.windows(2).step_by(step) {
+            let threshold = 0.5 * (w[0] + w[1]);
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for &i in idx {
+                if x[i][f] <= threshold {
+                    left.push(i);
+                } else {
+                    right.push(i);
+                }
+            }
+            if left.is_empty() || right.is_empty() {
+                continue;
+            }
+            let score = impurity(target, weight, &left) + impurity(target, weight, &right);
+            if best.is_none_or(|(b, _, _)| score < b) {
+                best = Some((score, f, threshold));
+            }
+        }
+    }
+    let Some((score, feature, threshold)) = best else {
+        return Node::Leaf(leaf_value(idx));
+    };
+    if score >= parent_impurity - 1e-12 {
+        return Node::Leaf(leaf_value(idx));
+    }
+    let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+    for &i in idx {
+        if x[i][feature] <= threshold {
+            left_idx.push(i);
+        } else {
+            right_idx.push(i);
+        }
+    }
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(grow(x, target, weight, &left_idx, params, depth + 1, rng, leaf_value)),
+        right: Box::new(grow(x, target, weight, &right_idx, params, depth + 1, rng, leaf_value)),
+    }
+}
+
+/// The single decision-tree classifier of the nine-model roster.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct DecisionTree {
+    /// Growth parameters.
+    pub params: TreeParams,
+    tree: Option<RegressionTree>,
+    fallback: bool,
+}
+
+
+impl Classifier for DecisionTree {
+    fn name(&self) -> &'static str {
+        "DecisionTree"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool], seed: u64) {
+        self.fallback = majority(y);
+        let target: Vec<f64> = y.iter().map(|&b| f64::from(b)).collect();
+        let weight = vec![1.0; y.len()];
+        self.tree = Some(RegressionTree::fit(x, &target, &weight, &self.params, seed));
+    }
+
+    fn predict_one(&self, x: &[f64]) -> bool {
+        match &self.tree {
+            Some(t) => t.predict(x) > 0.5,
+            None => self.fallback,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{blobs, train_accuracy, xor};
+    use super::*;
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let t: Vec<f64> = (0..50).map(|i| if i < 25 { 1.0 } else { 5.0 }).collect();
+        let w = vec![1.0; 50];
+        let tree = RegressionTree::fit(&x, &t, &w, &TreeParams::default(), 0);
+        assert!((tree.predict(&[3.0]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict(&[40.0]) - 5.0).abs() < 1e-9);
+        assert_eq!(tree.n_leaves(), 2);
+    }
+
+    #[test]
+    fn weights_shift_leaf_means() {
+        let x = vec![vec![0.0], vec![0.0]];
+        let t = vec![0.0, 10.0];
+        // weight everything on the second target
+        let tree = RegressionTree::fit(&x, &t, &[0.0, 1.0], &TreeParams::default(), 0);
+        assert!((tree.predict(&[0.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (x, y) = xor(200, 1);
+        let t: Vec<f64> = y.iter().map(|&b| f64::from(b)).collect();
+        let w = vec![1.0; y.len()];
+        let stump =
+            RegressionTree::fit(&x, &t, &w, &TreeParams { max_depth: 1, ..Default::default() }, 0);
+        assert!(stump.n_leaves() <= 2);
+    }
+
+    #[test]
+    fn classifier_solves_blobs_and_xor() {
+        let (x, y) = blobs(200, 2);
+        assert!(train_accuracy(&mut DecisionTree::default(), &x, &y) > 0.95);
+        let (x, y) = xor(300, 3);
+        assert!(train_accuracy(&mut DecisionTree::default(), &x, &y) > 0.9);
+    }
+
+    #[test]
+    fn pure_nodes_stop_splitting() {
+        let x = vec![vec![0.0]; 10];
+        let t = vec![1.0; 10];
+        let w = vec![1.0; 10];
+        let tree = RegressionTree::fit(&x, &t, &w, &TreeParams::default(), 0);
+        assert_eq!(tree.n_leaves(), 1);
+    }
+}

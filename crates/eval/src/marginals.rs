@@ -1,0 +1,159 @@
+//! α-way marginal queries and total variation distance (Metric III).
+//!
+//! For an attribute set `A`, the marginal `h : D → R^{|D(A)|}` is the
+//! normalized contingency table over the (quantized) domain of `A`. The
+//! paper reports `max_{a ∈ D(A)} |h(D')[a] − h(D*)[a]|` per attribute set
+//! and box-plots the distribution over sets.
+
+use std::collections::HashMap;
+
+use kamino_data::{Instance, Quantizer, Schema};
+
+/// Normalized marginal over an attribute set, keyed by the mixed-radix
+/// code of the quantized cell.
+fn marginal(schema: &Schema, inst: &Instance, attrs: &[usize]) -> HashMap<u64, f64> {
+    assert!(!attrs.is_empty(), "marginal needs at least one attribute");
+    let quantizers: Vec<Quantizer> =
+        attrs.iter().map(|&a| Quantizer::for_attr(schema.attr(a))).collect();
+    let mut counts: HashMap<u64, f64> = HashMap::new();
+    let n = inst.n_rows();
+    if n == 0 {
+        return counts;
+    }
+    for i in 0..n {
+        let mut key = 0u64;
+        for (q, &a) in quantizers.iter().zip(attrs) {
+            key = key * q.n_bins() as u64 + q.bin(inst.value(i, a)) as u64;
+        }
+        *counts.entry(key).or_insert(0.0) += 1.0;
+    }
+    let total = n as f64;
+    counts.values_mut().for_each(|v| *v /= total);
+    counts
+}
+
+/// Metric III for one attribute set: `max_a |h(D')[a] − h(D*)[a]|`.
+pub fn marginal_tvd(
+    schema: &Schema,
+    truth: &Instance,
+    synth: &Instance,
+    attrs: &[usize],
+) -> f64 {
+    let ht = marginal(schema, truth, attrs);
+    let hs = marginal(schema, synth, attrs);
+    let mut max_diff = 0.0f64;
+    for (key, &pt) in &ht {
+        let ps = hs.get(key).copied().unwrap_or(0.0);
+        max_diff = max_diff.max((pt - ps).abs());
+    }
+    for (key, &ps) in &hs {
+        if !ht.contains_key(key) {
+            max_diff = max_diff.max(ps);
+        }
+    }
+    max_diff
+}
+
+/// 1-way TVDs for every attribute, in schema order.
+pub fn tvd_all_singles(schema: &Schema, truth: &Instance, synth: &Instance) -> Vec<f64> {
+    (0..schema.len()).map(|a| marginal_tvd(schema, truth, synth, &[a])).collect()
+}
+
+/// 2-way TVDs for every unordered attribute pair.
+pub fn tvd_all_pairs(schema: &Schema, truth: &Instance, synth: &Instance) -> Vec<f64> {
+    let k = schema.len();
+    let mut out = Vec::with_capacity(k * (k - 1) / 2);
+    for a in 0..k {
+        for b in (a + 1)..k {
+            out.push(marginal_tvd(schema, truth, synth, &[a, b]));
+        }
+    }
+    out
+}
+
+/// Summary statistics the paper's box plots show: (mean, min, max).
+pub fn summarize(values: &[f64]) -> (f64, f64, f64) {
+    assert!(!values.is_empty());
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (mean, min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamino_data::{Attribute, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::categorical_indexed("a", 3).unwrap(),
+            Attribute::numeric("x", 0.0, 10.0, 5).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn inst(s: &Schema, rows: &[(u32, f64)]) -> Instance {
+        Instance::from_rows(
+            s,
+            &rows.iter().map(|&(a, x)| vec![Value::Cat(a), Value::Num(x)]).collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_instances_have_zero_tvd() {
+        let s = schema();
+        let d = inst(&s, &[(0, 1.0), (1, 5.0), (2, 9.0), (0, 3.0)]);
+        assert_eq!(marginal_tvd(&s, &d, &d, &[0]), 0.0);
+        assert_eq!(marginal_tvd(&s, &d, &d, &[0, 1]), 0.0);
+        assert!(tvd_all_singles(&s, &d, &d).iter().all(|&v| v == 0.0));
+        assert!(tvd_all_pairs(&s, &d, &d).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn disjoint_supports_have_tvd_one() {
+        let s = schema();
+        let d1 = inst(&s, &[(0, 1.0), (0, 1.0)]);
+        let d2 = inst(&s, &[(1, 9.0), (1, 9.0)]);
+        assert_eq!(marginal_tvd(&s, &d1, &d2, &[0]), 1.0);
+    }
+
+    #[test]
+    fn max_diff_semantics() {
+        let s = schema();
+        // truth: a uniform over {0,1}; synth: 3/4 on 0
+        let t = inst(&s, &[(0, 0.0), (1, 0.0), (0, 0.0), (1, 0.0)]);
+        let y = inst(&s, &[(0, 0.0), (0, 0.0), (0, 0.0), (1, 0.0)]);
+        assert!((marginal_tvd(&s, &t, &y, &[0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_way_detects_broken_correlation() {
+        let s = schema();
+        // truth: a and x perfectly correlated; synth: same marginals but
+        // anti-correlated
+        let t = inst(&s, &[(0, 1.0), (2, 9.0), (0, 1.0), (2, 9.0)]);
+        let y = inst(&s, &[(0, 9.0), (2, 1.0), (0, 9.0), (2, 1.0)]);
+        // 1-way on `a` agrees exactly
+        assert_eq!(marginal_tvd(&s, &t, &y, &[0]), 0.0);
+        // 2-way sees the swap
+        assert!((marginal_tvd(&s, &t, &y, &[0, 1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_count() {
+        let s = schema();
+        let d = inst(&s, &[(0, 1.0)]);
+        assert_eq!(tvd_all_pairs(&s, &d, &d).len(), 1);
+        assert_eq!(tvd_all_singles(&s, &d, &d).len(), 2);
+    }
+
+    #[test]
+    fn summarize_stats() {
+        let (mean, min, max) = summarize(&[0.1, 0.2, 0.6]);
+        assert!((mean - 0.3).abs() < 1e-12);
+        assert_eq!(min, 0.1);
+        assert_eq!(max, 0.6);
+    }
+}

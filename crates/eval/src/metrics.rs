@@ -1,0 +1,60 @@
+//! Binary classification metrics.
+
+/// Fraction of correct predictions.
+pub fn accuracy(pred: &[bool], truth: &[bool]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    assert!(!pred.is_empty(), "empty evaluation set");
+    let correct = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    correct as f64 / pred.len() as f64
+}
+
+/// F1 score of the positive class: harmonic mean of precision and recall.
+/// Returns 0 when the positive class is absent from both predictions and
+/// truth (the scikit-learn `zero_division=0` convention the paper's
+/// tooling uses).
+pub fn f1_score(pred: &[bool], truth: &[bool]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    let tp = pred.iter().zip(truth).filter(|(&p, &t)| p && t).count() as f64;
+    let fp = pred.iter().zip(truth).filter(|(&p, &t)| p && !t).count() as f64;
+    let fn_ = pred.iter().zip(truth).filter(|(&p, &t)| !p && t).count() as f64;
+    if tp == 0.0 {
+        return 0.0;
+    }
+    let precision = tp / (tp + fp);
+    let recall = tp / (tp + fn_);
+    2.0 * precision * recall / (precision + recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[true, false, true], &[true, true, true]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[false], &[false]), 1.0);
+    }
+
+    #[test]
+    fn f1_perfect_and_degenerate() {
+        assert_eq!(f1_score(&[true, false], &[true, false]), 1.0);
+        // no positives anywhere
+        assert_eq!(f1_score(&[false, false], &[false, false]), 0.0);
+        // predicted positives but none true
+        assert_eq!(f1_score(&[true, true], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn f1_matches_hand_computation() {
+        // tp=1, fp=1, fn=1 ⇒ p=0.5, r=0.5, f1=0.5
+        let pred = [true, true, false, false];
+        let truth = [true, false, true, false];
+        assert!((f1_score(&pred, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn accuracy_rejects_empty() {
+        accuracy(&[], &[]);
+    }
+}

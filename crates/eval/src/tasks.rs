@@ -1,0 +1,275 @@
+//! Metric II: the classification-task harness (§7.1).
+//!
+//! "On every single attribute of a dataset, we train all models to classify
+//! one binary label … using all other attributes as features. The quality
+//! of the learning task on one attribute is represented by the average of
+//! all models. … Each model is trained using 70% of the synthetic database
+//! instance, and evaluate the accuracy and F1 using the same 30% of the
+//! true database instance."
+//!
+//! Binarization (the paper's "income is more than 50k or not, age is senior
+//! or not" style labels) is mechanized as: categorical attributes predict
+//! "equals the true data's modal value"; numeric attributes predict "above
+//! the true data's median". Thresholds come from the true data so every
+//! method is scored against the same labels.
+
+use kamino_data::encode::Segment;
+use kamino_data::{AttrKind, Instance, MixedEncoder, Schema, Value};
+
+use crate::classifiers::{standard_nine, Classifier};
+use crate::metrics::{accuracy, f1_score};
+
+/// Result for one target attribute: metrics averaged over the model roster.
+#[derive(Debug, Clone)]
+pub struct AttrTaskResult {
+    /// Target attribute index.
+    pub attr: usize,
+    /// Target attribute name.
+    pub name: String,
+    /// Mean accuracy over models.
+    pub accuracy: f64,
+    /// Mean F1 over models.
+    pub f1: f64,
+}
+
+/// Metric II summary across all attributes.
+#[derive(Debug, Clone)]
+pub struct ClassificationSummary {
+    /// Per-attribute results in schema order.
+    pub per_attribute: Vec<AttrTaskResult>,
+}
+
+impl ClassificationSummary {
+    /// Mean accuracy over attributes (the paper's headline number).
+    pub fn mean_accuracy(&self) -> f64 {
+        self.per_attribute.iter().map(|r| r.accuracy).sum::<f64>()
+            / self.per_attribute.len() as f64
+    }
+
+    /// Mean F1 over attributes.
+    pub fn mean_f1(&self) -> f64 {
+        self.per_attribute.iter().map(|r| r.f1).sum::<f64>() / self.per_attribute.len() as f64
+    }
+}
+
+/// Binarization rule for attribute `attr`, derived from the true data.
+enum LabelRule {
+    /// Categorical: value equals the modal code.
+    ModalValue(u32),
+    /// Numeric: value strictly above the true median.
+    AboveMedian(f64),
+}
+
+impl LabelRule {
+    fn from_truth(schema: &Schema, truth: &Instance, attr: usize) -> LabelRule {
+        match schema.attr(attr).kind {
+            AttrKind::Categorical { .. } => {
+                let mut counts = vec![0usize; schema.attr(attr).domain_size()];
+                for i in 0..truth.n_rows() {
+                    counts[truth.cat(i, attr) as usize] += 1;
+                }
+                let modal = counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, c)| *c)
+                    .map(|(i, _)| i as u32)
+                    .unwrap_or(0);
+                LabelRule::ModalValue(modal)
+            }
+            AttrKind::Numeric { .. } => {
+                let mut vals: Vec<f64> =
+                    (0..truth.n_rows()).map(|i| truth.num(i, attr)).collect();
+                vals.sort_by(f64::total_cmp);
+                let median = vals[vals.len() / 2];
+                LabelRule::AboveMedian(median)
+            }
+        }
+    }
+
+    fn label(&self, v: Value) -> bool {
+        match (self, v) {
+            (LabelRule::ModalValue(m), Value::Cat(c)) => c == *m,
+            (LabelRule::AboveMedian(t), Value::Num(x)) => x > *t,
+            _ => unreachable!("label rule/value kind mismatch"),
+        }
+    }
+}
+
+/// Encodes the feature matrix for target `attr`: the full mixed encoding
+/// with the target's own segment removed.
+fn features_without(
+    enc: &MixedEncoder,
+    inst: &Instance,
+    rows: &[usize],
+    attr: usize,
+) -> Vec<Vec<f64>> {
+    let (drop_start, drop_len) = match enc.segments()[attr] {
+        Segment::Cat { offset, card } => (offset, card),
+        Segment::Num { offset, .. } => (offset, 1),
+    };
+    rows.iter()
+        .map(|&i| {
+            let full = enc.encode_row(inst, i);
+            let mut v = Vec::with_capacity(full.len() - drop_len);
+            v.extend_from_slice(&full[..drop_start]);
+            v.extend_from_slice(&full[drop_start + drop_len..]);
+            v
+        })
+        .collect()
+}
+
+/// Runs Metric II with the standard nine models.
+pub fn evaluate_classification(
+    schema: &Schema,
+    truth: &Instance,
+    synth: &Instance,
+    seed: u64,
+) -> ClassificationSummary {
+    evaluate_classification_with(schema, truth, synth, seed, standard_nine)
+}
+
+/// Runs Metric II with a custom model roster (the benches use a reduced
+/// roster at tight time budgets).
+pub fn evaluate_classification_with<F>(
+    schema: &Schema,
+    truth: &Instance,
+    synth: &Instance,
+    seed: u64,
+    roster: F,
+) -> ClassificationSummary
+where
+    F: Fn() -> Vec<Box<dyn Classifier>>,
+{
+    assert!(truth.n_rows() >= 10, "need at least 10 true rows to test on");
+    assert!(synth.n_rows() >= 10, "need at least 10 synthetic rows to train on");
+    let enc = MixedEncoder::new(schema);
+    // deterministic splits: first 70% of synth trains, last 30% of truth
+    // tests ("the same 30%" across methods)
+    let train_rows: Vec<usize> = (0..(synth.n_rows() * 7 / 10)).collect();
+    let test_rows: Vec<usize> = ((truth.n_rows() * 7 / 10)..truth.n_rows()).collect();
+
+    let per_attribute = (0..schema.len())
+        .map(|attr| {
+            let rule = LabelRule::from_truth(schema, truth, attr);
+            let x_train = features_without(&enc, synth, &train_rows, attr);
+            let y_train: Vec<bool> =
+                train_rows.iter().map(|&i| rule.label(synth.value(i, attr))).collect();
+            let x_test = features_without(&enc, truth, &test_rows, attr);
+            let y_test: Vec<bool> =
+                test_rows.iter().map(|&i| rule.label(truth.value(i, attr))).collect();
+
+            let mut acc_sum = 0.0;
+            let mut f1_sum = 0.0;
+            let models = roster();
+            let n_models = models.len();
+            for (m, mut model) in models.into_iter().enumerate() {
+                model.fit(&x_train, &y_train, seed ^ (m as u64 * 1009 + attr as u64));
+                let pred = model.predict(&x_test);
+                acc_sum += accuracy(&pred, &y_test);
+                f1_sum += f1_score(&pred, &y_test);
+            }
+            AttrTaskResult {
+                attr,
+                name: schema.attr(attr).name.clone(),
+                accuracy: acc_sum / n_models as f64,
+                f1: f1_sum / n_models as f64,
+            }
+        })
+        .collect();
+    ClassificationSummary { per_attribute }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamino_data::Attribute;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// b == a, x = code(a): everything predicts everything.
+    fn correlated(n: usize, seed: u64) -> (Schema, Instance) {
+        let s = Schema::new(vec![
+            Attribute::categorical_indexed("a", 2).unwrap(),
+            Attribute::categorical_indexed("b", 2).unwrap(),
+            Attribute::numeric("x", 0.0, 1.0, 4).unwrap(),
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inst = Instance::empty(&s);
+        for _ in 0..n {
+            let a = u32::from(rng.gen::<bool>());
+            inst.push_row(&s, &[Value::Cat(a), Value::Cat(a), Value::Num(a as f64)]).unwrap();
+        }
+        (s, inst)
+    }
+
+    /// Same schema, fully independent columns.
+    fn scrambled(n: usize, seed: u64) -> Instance {
+        let (s, _) = correlated(1, 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inst = Instance::empty(&s);
+        for _ in 0..n {
+            inst.push_row(
+                &s,
+                &[
+                    Value::Cat(u32::from(rng.gen::<bool>())),
+                    Value::Cat(u32::from(rng.gen::<bool>())),
+                    Value::Num(rng.gen::<f64>()),
+                ],
+            )
+            .unwrap();
+        }
+        inst
+    }
+
+    fn tiny_roster() -> Vec<Box<dyn Classifier>> {
+        vec![
+            Box::new(crate::classifiers::LogisticRegression::default()),
+            Box::new(crate::classifiers::DecisionTree::default()),
+        ]
+    }
+
+    #[test]
+    fn truth_on_truth_scores_high() {
+        let (s, truth) = correlated(200, 1);
+        let summary = evaluate_classification_with(&s, &truth, &truth, 2, tiny_roster);
+        assert_eq!(summary.per_attribute.len(), 3);
+        assert!(
+            summary.mean_accuracy() > 0.95,
+            "perfectly predictable data scored {}",
+            summary.mean_accuracy()
+        );
+        assert!(summary.mean_f1() > 0.9);
+    }
+
+    #[test]
+    fn good_synthetic_beats_scrambled_synthetic() {
+        let (s, truth) = correlated(300, 3);
+        let (_, good_synth) = correlated(300, 4);
+        let bad_synth = scrambled(300, 5);
+        let good = evaluate_classification_with(&s, &truth, &good_synth, 6, tiny_roster);
+        let bad = evaluate_classification_with(&s, &truth, &bad_synth, 6, tiny_roster);
+        assert!(
+            good.mean_accuracy() > bad.mean_accuracy() + 0.15,
+            "good {} vs bad {}",
+            good.mean_accuracy(),
+            bad.mean_accuracy()
+        );
+    }
+
+    #[test]
+    fn per_attribute_names_line_up() {
+        let (s, truth) = correlated(100, 7);
+        let summary = evaluate_classification_with(&s, &truth, &truth, 8, tiny_roster);
+        let names: Vec<&str> =
+            summary.per_attribute.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "x"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10")]
+    fn rejects_tiny_inputs() {
+        let (s, truth) = correlated(5, 9);
+        evaluate_classification_with(&s, &truth, &truth, 0, tiny_roster);
+    }
+}

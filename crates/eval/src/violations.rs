@@ -1,0 +1,40 @@
+//! Metric I: per-DC violation table.
+
+use kamino_constraints::{violation_percentage, DenialConstraint};
+use kamino_data::Instance;
+
+/// `(dc name, % violating tuple pairs)` for every DC — the rows of Table 2.
+pub fn violation_table(dcs: &[DenialConstraint], inst: &Instance) -> Vec<(String, f64)> {
+    dcs.iter().map(|dc| (dc.name.clone(), violation_percentage(dc, inst))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamino_constraints::{parse_dc, Hardness};
+    use kamino_data::{Attribute, Schema, Value};
+
+    #[test]
+    fn table_lists_every_dc() {
+        let s = Schema::new(vec![
+            Attribute::categorical_indexed("a", 2).unwrap(),
+            Attribute::categorical_indexed("b", 2).unwrap(),
+        ])
+        .unwrap();
+        let dcs = vec![
+            parse_dc(&s, "fd", "!(t1.a == t2.a & t1.b != t2.b)", Hardness::Hard).unwrap(),
+        ];
+        let inst = Instance::from_rows(
+            &s,
+            &[
+                vec![Value::Cat(0), Value::Cat(0)],
+                vec![Value::Cat(0), Value::Cat(1)],
+            ],
+        )
+        .unwrap();
+        let table = violation_table(&dcs, &inst);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table[0].0, "fd");
+        assert_eq!(table[0].1, 100.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Weight initialization.
+
+use rand::Rng;
+
+use crate::param::ParamBlock;
+
+/// Xavier/Glorot-uniform initialization for a `fan_out × fan_in` matrix:
+/// `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+pub fn xavier<R: Rng + ?Sized>(fan_out: usize, fan_in: usize, rng: &mut R) -> ParamBlock {
+    let scale = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    ParamBlock::uniform(fan_out * fan_in, scale, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_scale_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let small = xavier(4, 4, &mut rng);
+        let large = xavier(400, 400, &mut rng);
+        let max_small = small.values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let max_large = large.values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(max_small <= (6.0f64 / 8.0).sqrt() + 1e-12);
+        assert!(max_large <= (6.0f64 / 800.0).sqrt() + 1e-12);
+        assert!(max_large < max_small);
+    }
+
+    #[test]
+    fn xavier_len() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(xavier(3, 5, &mut rng).len(), 15);
+    }
+}

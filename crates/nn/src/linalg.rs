@@ -1,0 +1,162 @@
+//! Dense kernels shared by all layers.
+//!
+//! Matrices are row-major `out × in`, stored flat. These are the only
+//! numeric kernels in the workspace; everything else composes them, so
+//! keeping them allocation-free matters (the performance guide's
+//! "reuse workhorse buffers" idiom — callers pass output slices).
+
+/// `y = W·x` for row-major `W (out × in)`.
+#[inline]
+pub fn matvec(w: &[f64], x: &[f64], y: &mut [f64]) {
+    let n_in = x.len();
+    debug_assert_eq!(w.len(), y.len() * n_in);
+    for (o, yo) in y.iter_mut().enumerate() {
+        let row = &w[o * n_in..(o + 1) * n_in];
+        *yo = dot(row, x);
+    }
+}
+
+/// `x_grad += Wᵀ·dy` for row-major `W (out × in)`.
+#[inline]
+pub fn matvec_t_acc(w: &[f64], dy: &[f64], x_grad: &mut [f64]) {
+    let n_in = x_grad.len();
+    debug_assert_eq!(w.len(), dy.len() * n_in);
+    for (o, &d) in dy.iter().enumerate() {
+        if d == 0.0 {
+            continue;
+        }
+        let row = &w[o * n_in..(o + 1) * n_in];
+        for (xg, &wv) in x_grad.iter_mut().zip(row) {
+            *xg += d * wv;
+        }
+    }
+}
+
+/// `W_grad += dy ⊗ x` (outer product accumulate) for row-major gradients.
+#[inline]
+pub fn outer_acc(w_grad: &mut [f64], dy: &[f64], x: &[f64]) {
+    let n_in = x.len();
+    debug_assert_eq!(w_grad.len(), dy.len() * n_in);
+    for (o, &d) in dy.iter().enumerate() {
+        if d == 0.0 {
+            continue;
+        }
+        let row = &mut w_grad[o * n_in..(o + 1) * n_in];
+        for (wg, &xv) in row.iter_mut().zip(x) {
+            *wg += d * xv;
+        }
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha·x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+/// In-place numerically-stable softmax.
+pub fn softmax_in_place(z: &mut [f64]) {
+    let max = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in z.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 && sum.is_finite() {
+        for v in z.iter_mut() {
+            *v /= sum;
+        }
+    } else {
+        let u = 1.0 / z.len() as f64;
+        z.iter_mut().for_each(|v| *v = u);
+    }
+}
+
+/// Numerically-stable `ln Σ exp(z_i)`.
+pub fn log_sum_exp(z: &[f64]) -> f64 {
+    let max = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return max;
+    }
+    max + z.iter().map(|&v| (v - max).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_2x3() {
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // [[1,2,3],[4,5,6]]
+        let x = [1.0, 0.0, -1.0];
+        let mut y = [0.0; 2];
+        matvec(&w, &x, &mut y);
+        assert_eq!(y, [-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_acc_transposes() {
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let dy = [1.0, 1.0];
+        let mut xg = [0.0; 3];
+        matvec_t_acc(&w, &dy, &mut xg);
+        assert_eq!(xg, [5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn outer_acc_accumulates() {
+        let mut wg = [0.0; 6];
+        outer_acc(&mut wg, &[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(wg, [3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+        outer_acc(&mut wg, &[1.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(wg, [4.0, 5.0, 6.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = [1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, [3.0, -1.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_shift_invariant() {
+        let mut a = [1.0, 2.0, 3.0];
+        let mut b = [1001.0, 1002.0, 1003.0];
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        assert!(a[2] > a[1] && a[1] > a[0]);
+    }
+
+    #[test]
+    fn softmax_handles_extreme_inputs() {
+        let mut z = [f64::NEG_INFINITY, 0.0];
+        softmax_in_place(&mut z);
+        assert_eq!(z, [0.0, 1.0]);
+        let mut all_neg_inf = [f64::NEG_INFINITY, f64::NEG_INFINITY];
+        softmax_in_place(&mut all_neg_inf);
+        assert_eq!(all_neg_inf, [0.5, 0.5]);
+    }
+
+    #[test]
+    fn log_sum_exp_stable() {
+        let z = [1000.0, 1000.0];
+        assert!((log_sum_exp(&z) - (1000.0 + 2f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,146 @@
+//! Loss functions with analytic gradients.
+
+use crate::linalg::log_sum_exp;
+
+/// Softmax cross-entropy: returns the loss and writes `∂L/∂logits` into
+/// `dlogits` (`softmax(logits) − onehot(target)`).
+pub fn softmax_cross_entropy(logits: &[f64], target: usize, dlogits: &mut [f64]) -> f64 {
+    assert!(target < logits.len(), "target class out of range");
+    let lse = log_sum_exp(logits);
+    for (d, &z) in dlogits.iter_mut().zip(logits) {
+        *d = (z - lse).exp();
+    }
+    dlogits[target] -= 1.0;
+    lse - logits[target]
+}
+
+/// Mean squared error over a vector: `L = Σ (p−t)²/2`, gradient `p − t`.
+pub fn mse(pred: &[f64], target: &[f64], dpred: &mut [f64]) -> f64 {
+    debug_assert_eq!(pred.len(), target.len());
+    let mut loss = 0.0;
+    for i in 0..pred.len() {
+        let e = pred[i] - target[i];
+        dpred[i] = e;
+        loss += 0.5 * e * e;
+    }
+    loss
+}
+
+/// Binary cross-entropy on a single logit with target in {0, 1}:
+/// `L = −t·ln σ(z) − (1−t)·ln(1−σ(z))`, gradient `σ(z) − t`.
+/// Computed in the numerically stable `max(z,0) − z·t + ln(1+e^{−|z|})`
+/// form.
+pub fn bce_with_logit(logit: f64, target: f64) -> (f64, f64) {
+    debug_assert!((0.0..=1.0).contains(&target));
+    let loss = logit.max(0.0) - logit * target + (-logit.abs()).exp().ln_1p();
+    let sigma = 1.0 / (1.0 + (-logit).exp());
+    (loss, sigma - target)
+}
+
+/// Gaussian negative log-likelihood with parameters (μ, ln σ):
+/// `L = ln σ + (y−μ)²/(2σ²)` (dropping the constant), with gradients
+/// `∂L/∂μ = (μ−y)/σ²` and `∂L/∂lnσ = 1 − (y−μ)²/σ²`.
+pub fn gaussian_nll(mu: f64, log_sigma: f64, y: f64) -> (f64, f64, f64) {
+    let sigma2 = (2.0 * log_sigma).exp();
+    let diff = y - mu;
+    let loss = log_sigma + diff * diff / (2.0 * sigma2);
+    let dmu = -diff / sigma2;
+    let dlog_sigma = 1.0 - diff * diff / sigma2;
+    (loss, dmu, dlog_sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff(f: impl Fn(f64) -> f64, x: f64) -> f64 {
+        let h = 1e-6;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = [0.0, 0.0, 0.0, 0.0];
+        let mut d = [0.0; 4];
+        let loss = softmax_cross_entropy(&logits, 1, &mut d);
+        assert!((loss - (4.0f64).ln()).abs() < 1e-12);
+        assert!((d[1] - (0.25 - 1.0)).abs() < 1e-12);
+        assert!((d[0] - 0.25).abs() < 1e-12);
+        // gradient sums to zero
+        assert!(d.iter().sum::<f64>().abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_fd() {
+        let base = [0.4, -1.2, 2.0];
+        let mut d = [0.0; 3];
+        softmax_cross_entropy(&base, 2, &mut d);
+        for i in 0..3 {
+            let num = finite_diff(
+                |x| {
+                    let mut z = base;
+                    z[i] = x;
+                    let mut tmp = [0.0; 3];
+                    softmax_cross_entropy(&z, 2, &mut tmp)
+                },
+                base[i],
+            );
+            assert!((num - d[i]).abs() < 1e-6, "component {i}: {num} vs {}", d[i]);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_stable_with_huge_logits() {
+        let logits = [1000.0, -1000.0];
+        let mut d = [0.0; 2];
+        let loss = softmax_cross_entropy(&logits, 0, &mut d);
+        assert!(loss.abs() < 1e-9);
+        assert!(d.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn mse_loss_and_gradient() {
+        let mut d = [0.0; 2];
+        let loss = mse(&[1.0, 3.0], &[0.0, 1.0], &mut d);
+        assert!((loss - 2.5).abs() < 1e-12);
+        assert_eq!(d, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn bce_matches_naive_formula() {
+        for &(z, t) in &[(0.3, 1.0), (-2.0, 0.0), (5.0, 1.0), (-5.0, 1.0)] {
+            let (loss, grad) = bce_with_logit(z, t);
+            let sigma = 1.0 / (1.0 + (-z as f64).exp());
+            let naive = -t * sigma.ln() - (1.0 - t) * (1.0 - sigma).ln();
+            assert!((loss - naive).abs() < 1e-9, "z={z} t={t}");
+            assert!((grad - (sigma - t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bce_stable_at_extreme_logits() {
+        let (loss, grad) = bce_with_logit(500.0, 0.0);
+        assert!((loss - 500.0).abs() < 1e-9);
+        assert!((grad - 1.0).abs() < 1e-9);
+        let (loss2, _) = bce_with_logit(-500.0, 0.0);
+        assert!(loss2.abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_nll_gradients_match_fd() {
+        let (mu, ls, y) = (0.7, -0.3, 1.5);
+        let (_, dmu, dls) = gaussian_nll(mu, ls, y);
+        let num_mu = finite_diff(|m| gaussian_nll(m, ls, y).0, mu);
+        let num_ls = finite_diff(|l| gaussian_nll(mu, l, y).0, ls);
+        assert!((dmu - num_mu).abs() < 1e-6);
+        assert!((dls - num_ls).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gaussian_nll_minimized_at_truth() {
+        // at μ = y, the μ-gradient vanishes and lnσ-gradient pushes σ down
+        let (_, dmu, dls) = gaussian_nll(2.0, 0.0, 2.0);
+        assert_eq!(dmu, 0.0);
+        assert_eq!(dls, 1.0);
+    }
+}

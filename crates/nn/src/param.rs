@@ -1,0 +1,85 @@
+//! Parameter blocks: flat value/gradient buffers.
+
+use rand::Rng;
+
+/// One trainable tensor, stored flat, with a gradient buffer of the same
+/// shape. Layers own their blocks; models expose them to the optimizer via
+/// [`crate::optim::PerExampleModel::visit_blocks`].
+#[derive(Debug, Clone)]
+pub struct ParamBlock {
+    /// Parameter values.
+    pub values: Vec<f64>,
+    /// Gradient accumulator (per-example during DP-SGD).
+    pub grads: Vec<f64>,
+}
+
+impl ParamBlock {
+    /// A zero-initialized block of `len` parameters.
+    pub fn zeros(len: usize) -> ParamBlock {
+        ParamBlock { values: vec![0.0; len], grads: vec![0.0; len] }
+    }
+
+    /// A block initialized uniformly on `[-scale, scale]`.
+    pub fn uniform<R: Rng + ?Sized>(len: usize, scale: f64, rng: &mut R) -> ParamBlock {
+        let values = (0..len).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect();
+        ParamBlock { values, grads: vec![0.0; len] }
+    }
+
+    /// Number of parameters.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the block is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Zeroes the gradient buffer.
+    #[inline]
+    pub fn zero_grad(&mut self) {
+        self.grads.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Sum of squared gradients (for global-norm clipping).
+    #[inline]
+    pub fn grad_sq_norm(&self) -> f64 {
+        self.grads.iter().map(|g| g * g).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_shape() {
+        let b = ParamBlock::zeros(5);
+        assert_eq!(b.len(), 5);
+        assert!(b.values.iter().all(|&v| v == 0.0));
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn uniform_init_within_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = ParamBlock::uniform(1000, 0.2, &mut rng);
+        assert!(b.values.iter().all(|&v| v.abs() <= 0.2));
+        // not degenerate
+        let distinct = b.values.iter().filter(|&&v| v != b.values[0]).count();
+        assert!(distinct > 900);
+    }
+
+    #[test]
+    fn zero_grad_and_norm() {
+        let mut b = ParamBlock::zeros(3);
+        b.grads = vec![3.0, 4.0, 0.0];
+        assert_eq!(b.grad_sq_norm(), 25.0);
+        b.zero_grad();
+        assert_eq!(b.grad_sq_norm(), 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Finite-difference gradient checking shared by layer/model tests.
+
+use crate::param::ParamBlock;
+
+/// Verifies analytic gradients against central finite differences.
+///
+/// * `loss_fn` computes the scalar loss without touching gradients.
+/// * `backward_fn` runs forward + backward, accumulating gradients into the
+///   model's blocks (which this helper zeroes first).
+/// * `visit` enumerates the model's parameter blocks in a stable order.
+///
+/// A strided subset of parameters per block is checked (up to ~24) to keep
+/// tests fast while still covering every block.
+pub fn finite_diff_check<M>(
+    loss_fn: &mut dyn FnMut(&mut M) -> f64,
+    backward_fn: &mut dyn FnMut(&mut M),
+    visit: &mut dyn FnMut(&mut M, &mut dyn FnMut(&mut ParamBlock)),
+    model: &mut M,
+) {
+    visit(model, &mut |b| b.zero_grad());
+    backward_fn(model);
+    let mut grads: Vec<Vec<f64>> = Vec::new();
+    visit(model, &mut |b| grads.push(b.grads.clone()));
+
+    let h = 1e-5;
+    for (bi, block_grads) in grads.iter().enumerate() {
+        let n = block_grads.len();
+        if n == 0 {
+            continue;
+        }
+        let stride = (n / 24).max(1);
+        for i in (0..n).step_by(stride) {
+            let mut perturb = |m: &mut M, delta: f64| {
+                let mut idx = 0;
+                visit(m, &mut |b| {
+                    if idx == bi {
+                        b.values[i] += delta;
+                    }
+                    idx += 1;
+                });
+            };
+            perturb(model, h);
+            let l_plus = loss_fn(model);
+            perturb(model, -2.0 * h);
+            let l_minus = loss_fn(model);
+            perturb(model, h); // restore
+            let numeric = (l_plus - l_minus) / (2.0 * h);
+            let analytic = block_grads[i];
+            let tol = 1e-4 * (1.0 + numeric.abs().max(analytic.abs()));
+            assert!(
+                (numeric - analytic).abs() <= tol,
+                "block {bi} param {i}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Hard-constraint stress test: the Tax-like corpus chains large-domain
+//! functional dependencies (zip → city, zip → state, areacode → state, two
+//! state-conditioned exemption FDs) with a salary/rate order constraint.
+//! Demonstrates constraint-aware sequencing, the hard-FD lookup
+//! optimization (§7.3.6), and the order-DC feasible-band sampling.
+//!
+//! ```sh
+//! cargo run --release --example tax_constraints
+//! ```
+
+use std::time::Instant;
+
+use kamino::constraints::violation_percentage;
+use kamino::core::{run_kamino, KaminoConfig};
+use kamino::datasets::tax_like;
+use kamino::dp::Budget;
+
+fn main() {
+    let data = tax_like(800, 3);
+    println!("Tax-like, n = 800, 6 hard DCs, zip domain = 400\n");
+
+    let mut cfg = KaminoConfig::new(Budget::new(1.0, 1e-6));
+    cfg.seed = 9;
+    cfg.train_scale = 0.3;
+
+    for lookup in [false, true] {
+        cfg.hard_fd_lookup = lookup;
+        let start = Instant::now();
+        let report = run_kamino(&data.schema, &data.instance, &data.dcs, &cfg);
+        let elapsed = start.elapsed();
+        println!(
+            "hard_fd_lookup = {lookup}: sampled in {:.2}s (total {:.2}s)",
+            report.timings.sampling.as_secs_f64(),
+            elapsed.as_secs_f64()
+        );
+        for dc in &data.dcs {
+            println!(
+                "  {}: synthetic violations {:.2}%",
+                dc.name,
+                violation_percentage(dc, &report.instance)
+            );
+        }
+        println!(
+            "  sequence: {:?}\n",
+            report
+                .sequence
+                .iter()
+                .map(|&a| data.schema.attr(a).name.as_str())
+                .collect::<Vec<_>>()
+        );
+    }
+    println!(
+        "Note how the sequencing heuristic placed each FD determinant (zip,\n\
+         areacode, state) before its dependents, and how all six hard DCs\n\
+         hold in the synthetic data either way — the lookup path is just faster."
+    );
+}
