@@ -21,8 +21,7 @@ pub struct Discretized {
 impl Discretized {
     /// Quantizes `inst` against `schema`.
     pub fn from_instance(schema: &Schema, inst: &Instance) -> Discretized {
-        let quantizers: Vec<Quantizer> =
-            schema.attrs().iter().map(Quantizer::for_attr).collect();
+        let quantizers: Vec<Quantizer> = schema.attrs().iter().map(Quantizer::for_attr).collect();
         let cards: Vec<usize> = quantizers.iter().map(Quantizer::n_bins).collect();
         let codes = (0..inst.n_rows())
             .map(|i| {
@@ -31,7 +30,11 @@ impl Discretized {
                     .collect()
             })
             .collect();
-        Discretized { codes, cards, quantizers }
+        Discretized {
+            codes,
+            cards,
+            quantizers,
+        }
     }
 
     /// Number of rows.
@@ -73,7 +76,11 @@ impl Discretized {
     /// `(counts, parent_config_index)` where configs are mixed-radix codes
     /// over the parents. Layout: `counts[config * card(x) + x_code]`.
     pub fn joint_with_parents(&self, x: usize, parents: &[usize]) -> Vec<f64> {
-        let n_cfg: usize = parents.iter().map(|&p| self.cards[p]).product::<usize>().max(1);
+        let n_cfg: usize = parents
+            .iter()
+            .map(|&p| self.cards[p])
+            .product::<usize>()
+            .max(1);
         let cx = self.cards[x];
         let mut counts = vec![0.0; n_cfg * cx];
         for row in &self.codes {
@@ -94,7 +101,11 @@ impl Discretized {
 
     /// Number of parent configurations.
     pub fn n_configs(&self, parents: &[usize]) -> usize {
-        parents.iter().map(|&p| self.cards[p]).product::<usize>().max(1)
+        parents
+            .iter()
+            .map(|&p| self.cards[p])
+            .product::<usize>()
+            .max(1)
     }
 }
 
@@ -172,7 +183,7 @@ mod tests {
         let j = d.joint2(0, 1);
         // a=0 ↔ bin 0, a=1 ↔ bin 4, perfectly correlated
         assert_eq!(j[0], 10.0);
-        assert_eq!(j[1 * 5 + 4], 10.0);
+        assert_eq!(j[5 + 4], 10.0); // row a=1, col bin 4
         assert_eq!(j.iter().sum::<f64>(), 20.0);
     }
 
@@ -181,7 +192,7 @@ mod tests {
         let (_, d) = setup();
         assert_eq!(d.n_configs(&[0, 1]), 10);
         assert_eq!(d.n_configs(&[]), 1);
-        assert_eq!(d.config_of(&[1, 3], &[0, 1]), 1 * 5 + 3);
+        assert_eq!(d.config_of(&[1, 3], &[0, 1]), 5 + 3); // row 1, col 3
     }
 
     #[test]

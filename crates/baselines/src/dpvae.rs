@@ -38,7 +38,15 @@ pub struct DpVae {
 
 impl Default for DpVae {
     fn default() -> Self {
-        DpVae { latent: 8, hidden: 48, steps: 400, batch: 32, lr: 0.08, clip: 1.0, kl_weight: 0.4 }
+        DpVae {
+            latent: 8,
+            hidden: 48,
+            steps: 400,
+            batch: 32,
+            lr: 0.08,
+            clip: 1.0,
+            kl_weight: 0.4,
+        }
     }
 }
 
@@ -94,8 +102,10 @@ impl PerExampleModel<VaeExample> for VaeModel {
         let mut enc_cache = MlpCache::default();
         let h = self.enc.forward(&ex.x, &mut enc_cache);
         let (mu, logvar_raw) = h.split_at(l);
-        let logvar: Vec<f64> =
-            logvar_raw.iter().map(|&v| v.clamp(LOGVAR_RANGE.0, LOGVAR_RANGE.1)).collect();
+        let logvar: Vec<f64> = logvar_raw
+            .iter()
+            .map(|&v| v.clamp(LOGVAR_RANGE.0, LOGVAR_RANGE.1))
+            .collect();
         let std: Vec<f64> = logvar.iter().map(|&v| (0.5 * v).exp()).collect();
         let z: Vec<f64> = (0..l).map(|i| mu[i] + std[i] * ex.eps[i]).collect();
 
@@ -172,7 +182,9 @@ impl Synthesizer for DpVae {
                 .iter()
                 .map(|&i| VaeExample {
                     x: encoded[i].clone(),
-                    eps: (0..self.latent).map(|_| standard_normal(&mut rng)).collect(),
+                    eps: (0..self.latent)
+                        .map(|_| standard_normal(&mut rng))
+                        .collect(),
                 })
                 .collect();
             opt.step(&mut model, &batch, &mut rng);
@@ -181,7 +193,9 @@ impl Synthesizer for DpVae {
         // decode latent-prior samples
         let mut out = Instance::zeroed(schema, n_out);
         for i in 0..n_out {
-            let z: Vec<f64> = (0..self.latent).map(|_| standard_normal(&mut rng)).collect();
+            let z: Vec<f64> = (0..self.latent)
+                .map(|_| standard_normal(&mut rng))
+                .collect();
             let y = model.dec.infer(&z);
             let row = enc.decode_sampled(schema, &y, &mut rng);
             for (j, v) in row.into_iter().enumerate() {
@@ -215,7 +229,10 @@ mod tests {
             })
             .collect();
         let inst = Instance::from_rows(&s, &rows).unwrap();
-        let vae = DpVae { steps: 600, ..DpVae::default() };
+        let vae = DpVae {
+            steps: 600,
+            ..DpVae::default()
+        };
         let out = vae.synthesize(&s, &inst, Budget::non_private(), 600, 1);
         let m = normalize(&histogram(&s, &out, 0));
         assert!(m[0] > 0.6, "dominant class lost: {m:?}");
@@ -225,7 +242,10 @@ mod tests {
     #[test]
     fn private_run_valid_on_adult() {
         let d = adult_like(300, 2);
-        let vae = DpVae { steps: 60, ..DpVae::default() };
+        let vae = DpVae {
+            steps: 60,
+            ..DpVae::default()
+        };
         let out = vae.synthesize(&d.schema, &d.instance, Budget::new(1.0, 1e-6), 200, 3);
         assert_eq!(out.n_rows(), 200);
         for i in 0..out.n_rows() {
@@ -238,17 +258,29 @@ mod tests {
     #[test]
     fn violates_dcs_like_the_paper_reports() {
         let d = adult_like(400, 4);
-        let vae = DpVae { steps: 100, ..DpVae::default() };
+        let vae = DpVae {
+            steps: 100,
+            ..DpVae::default()
+        };
         let out = vae.synthesize(&d.schema, &d.instance, Budget::new(1.0, 1e-6), 400, 5);
-        let total: f64 =
-            d.dcs.iter().map(|dc| kamino_constraints::violation_percentage(dc, &out)).sum();
-        assert!(total > 0.0, "i.i.d. VAE sampling should violate the Adult DCs");
+        let total: f64 = d
+            .dcs
+            .iter()
+            .map(|dc| kamino_constraints::violation_percentage(dc, &out))
+            .sum();
+        assert!(
+            total > 0.0,
+            "i.i.d. VAE sampling should violate the Adult DCs"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let d = adult_like(150, 6);
-        let vae = DpVae { steps: 30, ..DpVae::default() };
+        let vae = DpVae {
+            steps: 30,
+            ..DpVae::default()
+        };
         let a = vae.synthesize(&d.schema, &d.instance, Budget::new(1.0, 1e-6), 80, 7);
         let b = vae.synthesize(&d.schema, &d.instance, Budget::new(1.0, 1e-6), 80, 7);
         assert_eq!(a, b);

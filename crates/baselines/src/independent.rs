@@ -49,8 +49,8 @@ impl Synthesizer for Independent {
             .collect();
         let mut out = Instance::zeroed(schema, n_out);
         for i in 0..n_out {
-            for j in 0..k {
-                let code = kamino_data::stats::sample_weighted(&dists[j], &mut rng) as u32;
+            for (j, dist) in dists.iter().enumerate() {
+                let code = kamino_data::stats::sample_weighted(dist, &mut rng) as u32;
                 out.set(i, j, disc.decode(j, code, &mut rng));
             }
         }
@@ -74,7 +74,10 @@ mod tests {
         let truth = normalize(&histogram(&d.schema, &d.instance, income));
         let synth = normalize(&histogram(&d.schema, &out, income));
         for (t, s) in truth.iter().zip(&synth) {
-            assert!((t - s).abs() < 0.05, "marginal drift {truth:?} vs {synth:?}");
+            assert!(
+                (t - s).abs() < 0.05,
+                "marginal drift {truth:?} vs {synth:?}"
+            );
         }
     }
 
@@ -91,8 +94,7 @@ mod tests {
     #[test]
     fn private_run_is_valid_and_noisy() {
         let d = adult_like(300, 5);
-        let out =
-            Independent.synthesize(&d.schema, &d.instance, Budget::new(1.0, 1e-6), 300, 6);
+        let out = Independent.synthesize(&d.schema, &d.instance, Budget::new(1.0, 1e-6), 300, 6);
         for i in 0..out.n_rows() {
             for j in 0..d.schema.len() {
                 assert!(d.schema.attr(j).validate(out.value(i, j)).is_ok());

@@ -81,11 +81,14 @@ impl Synthesizer for NistPgm {
         let k = schema.len();
 
         // random measured pairs (data-independent)
-        let mut all_pairs: Vec<(usize, usize)> =
-            (0..k).flat_map(|a| ((a + 1)..k).map(move |b| (a, b))).collect();
+        let mut all_pairs: Vec<(usize, usize)> = (0..k)
+            .flat_map(|a| ((a + 1)..k).map(move |b| (a, b)))
+            .collect();
         all_pairs.shuffle(&mut rng);
-        let measured: Vec<(usize, usize)> =
-            all_pairs.into_iter().take(self.n_pairs.min(k * (k - 1) / 2)).collect();
+        let measured: Vec<(usize, usize)> = all_pairs
+            .into_iter()
+            .take(self.n_pairs.min(k * (k - 1) / 2))
+            .collect();
 
         // calibrate one σ for all (k + |pairs|) Gaussian releases
         let releases = (k + measured.len()) as u64;
@@ -149,20 +152,14 @@ impl Synthesizer for NistPgm {
                         }
                         visited[v] = true;
                         codes[v] = sample_conditional(
-                            &twoway,
-                            &disc,
-                            u,
-                            codes[u],
-                            v,
-                            &oneway[v],
-                            &mut rng,
+                            &twoway, &disc, u, codes[u], v, &oneway[v], &mut rng,
                         );
                         stack.push(v);
                     }
                 }
             }
-            for j in 0..k {
-                out.set(i, j, disc.decode(j, codes[j], &mut rng));
+            for (j, &code) in codes.iter().enumerate() {
+                out.set(i, j, disc.decode(j, code, &mut rng));
             }
         }
         out
@@ -189,8 +186,9 @@ fn sample_conditional(
         } else if let Some(j) = twoway.get(&(child, parent)) {
             // layout card(child) × card(parent): column = parent code
             let cb = disc.cards[parent];
-            let col: Vec<f64> =
-                (0..disc.cards[child]).map(|x| j[x * cb + pcode as usize]).collect();
+            let col: Vec<f64> = (0..disc.cards[child])
+                .map(|x| j[x * cb + pcode as usize])
+                .collect();
             (j, false, col)
         } else {
             unreachable!("tree edges are always measured pairs")
@@ -218,12 +216,18 @@ mod tests {
             Attribute::categorical_indexed("b", 3).unwrap(),
         ])
         .unwrap();
-        let rows: Vec<Vec<Value>> =
-            (0..400).map(|i| vec![Value::Cat((i % 3) as u32), Value::Cat((i % 3) as u32)]).collect();
+        let rows: Vec<Vec<Value>> = (0..400)
+            .map(|i| vec![Value::Cat((i % 3) as u32), Value::Cat((i % 3) as u32)])
+            .collect();
         let inst = Instance::from_rows(&s, &rows).unwrap();
         let out = NistPgm { n_pairs: 1 }.synthesize(&s, &inst, Budget::non_private(), 400, 1);
-        let agree = (0..out.n_rows()).filter(|&i| out.cat(i, 0) == out.cat(i, 1)).count();
-        assert!(agree as f64 / 400.0 > 0.95, "tree edge not exploited: {agree}/400");
+        let agree = (0..out.n_rows())
+            .filter(|&i| out.cat(i, 0) == out.cat(i, 1))
+            .count();
+        assert!(
+            agree as f64 / 400.0 > 0.95,
+            "tree edge not exploited: {agree}/400"
+        );
     }
 
     #[test]
@@ -234,11 +238,14 @@ mod tests {
             Attribute::categorical_indexed("b", 3).unwrap(),
         ])
         .unwrap();
-        let rows: Vec<Vec<Value>> =
-            (0..600).map(|i| vec![Value::Cat((i % 3) as u32), Value::Cat((i % 3) as u32)]).collect();
+        let rows: Vec<Vec<Value>> = (0..600)
+            .map(|i| vec![Value::Cat((i % 3) as u32), Value::Cat((i % 3) as u32)])
+            .collect();
         let inst = Instance::from_rows(&s, &rows).unwrap();
         let out = NistPgm { n_pairs: 0 }.synthesize(&s, &inst, Budget::non_private(), 600, 2);
-        let agree = (0..out.n_rows()).filter(|&i| out.cat(i, 0) == out.cat(i, 1)).count();
+        let agree = (0..out.n_rows())
+            .filter(|&i| out.cat(i, 0) == out.cat(i, 1))
+            .count();
         let rate = agree as f64 / 600.0;
         assert!(rate < 0.6, "independent sampling should agree ~1/3: {rate}");
     }
@@ -246,7 +253,8 @@ mod tests {
     #[test]
     fn runs_on_adult_privately() {
         let d = adult_like(300, 3);
-        let out = NistPgm::default().synthesize(&d.schema, &d.instance, Budget::new(1.0, 1e-6), 300, 4);
+        let out =
+            NistPgm::default().synthesize(&d.schema, &d.instance, Budget::new(1.0, 1e-6), 300, 4);
         assert_eq!(out.n_rows(), 300);
         for i in 0..out.n_rows() {
             for j in 0..d.schema.len() {

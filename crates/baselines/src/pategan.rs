@@ -42,7 +42,14 @@ pub struct PateGan {
 
 impl Default for PateGan {
     fn default() -> Self {
-        PateGan { n_teachers: 5, steps: 150, latent: 8, hidden: 48, label_batch: 8, lr: 0.1 }
+        PateGan {
+            n_teachers: 5,
+            steps: 150,
+            latent: 8,
+            hidden: 48,
+            label_batch: 8,
+            lr: 0.1,
+        }
     }
 }
 
@@ -85,8 +92,9 @@ impl Synthesizer for PateGan {
         let k = self.n_teachers.max(1);
 
         let mut generator = Mlp::new(&[self.latent, self.hidden, dim], &mut rng);
-        let mut teachers: Vec<Mlp> =
-            (0..k).map(|_| Mlp::new(&[dim, self.hidden, 1], &mut rng)).collect();
+        let mut teachers: Vec<Mlp> = (0..k)
+            .map(|_| Mlp::new(&[dim, self.hidden, 1], &mut rng))
+            .collect();
         let mut student = Mlp::new(&[dim, self.hidden, 1], &mut rng);
 
         // shard the (encoded) data across teachers
@@ -123,10 +131,7 @@ impl Synthesizer for PateGan {
             // 2. label fakes by noisy teacher majority; train the student
             for _ in 0..self.label_batch {
                 let (_, fake) = gen_fake(&generator, &mut rng);
-                let votes = teachers
-                    .iter()
-                    .filter(|t| logit(t, &fake) > 0.0)
-                    .count() as f64;
+                let votes = teachers.iter().filter(|t| logit(t, &fake) > 0.0).count() as f64;
                 let noisy = votes + sigma_vote * standard_normal(&mut rng);
                 let label = f64::from(noisy > k as f64 / 2.0);
                 let (_, dlogit) = loss::bce_with_logit(logit(&student, &fake), label);
@@ -172,7 +177,10 @@ mod tests {
     #[test]
     fn produces_valid_instances() {
         let d = adult_like(250, 1);
-        let gan = PateGan { steps: 40, ..PateGan::default() };
+        let gan = PateGan {
+            steps: 40,
+            ..PateGan::default()
+        };
         let out = gan.synthesize(&d.schema, &d.instance, Budget::new(1.0, 1e-6), 150, 2);
         assert_eq!(out.n_rows(), 150);
         for i in 0..out.n_rows() {
@@ -185,10 +193,16 @@ mod tests {
     #[test]
     fn violates_dcs_like_the_paper_reports() {
         let d = adult_like(300, 3);
-        let gan = PateGan { steps: 50, ..PateGan::default() };
+        let gan = PateGan {
+            steps: 50,
+            ..PateGan::default()
+        };
         let out = gan.synthesize(&d.schema, &d.instance, Budget::new(1.0, 1e-6), 300, 4);
-        let total: f64 =
-            d.dcs.iter().map(|dc| kamino_constraints::violation_percentage(dc, &out)).sum();
+        let total: f64 = d
+            .dcs
+            .iter()
+            .map(|dc| kamino_constraints::violation_percentage(dc, &out))
+            .sum();
         assert!(total > 0.0, "GAN sampling should violate the Adult DCs");
     }
 
@@ -197,18 +211,32 @@ mod tests {
         // with ε = ∞ the vote noise is zero; just verify the run completes
         // and produces diverse output (generator did not collapse to one row)
         let d = adult_like(250, 5);
-        let gan = PateGan { steps: 60, ..PateGan::default() };
+        let gan = PateGan {
+            steps: 60,
+            ..PateGan::default()
+        };
         let out = gan.synthesize(&d.schema, &d.instance, Budget::non_private(), 120, 6);
         let distinct: std::collections::HashSet<Vec<String>> = (0..out.n_rows())
-            .map(|i| (0..d.schema.len()).map(|j| format!("{}", out.value(i, j))).collect())
+            .map(|i| {
+                (0..d.schema.len())
+                    .map(|j| format!("{}", out.value(i, j)))
+                    .collect()
+            })
             .collect();
-        assert!(distinct.len() > 10, "generator collapsed: {} distinct rows", distinct.len());
+        assert!(
+            distinct.len() > 10,
+            "generator collapsed: {} distinct rows",
+            distinct.len()
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let d = adult_like(150, 7);
-        let gan = PateGan { steps: 20, ..PateGan::default() };
+        let gan = PateGan {
+            steps: 20,
+            ..PateGan::default()
+        };
         let a = gan.synthesize(&d.schema, &d.instance, Budget::new(1.0, 1e-6), 60, 8);
         let b = gan.synthesize(&d.schema, &d.instance, Budget::new(1.0, 1e-6), 60, 8);
         assert_eq!(a, b);

@@ -63,9 +63,9 @@ fn parent_candidates(chosen: &[usize], degree: usize) -> Vec<Vec<usize>> {
     for _ in 0..degree {
         let mut next = Vec::new();
         for base in &frontier {
-            let start = base.last().map_or(0, |&l| {
-                chosen.iter().position(|&c| c == l).unwrap() + 1
-            });
+            let start = base
+                .last()
+                .map_or(0, |&l| chosen.iter().position(|&c| c == l).unwrap() + 1);
             for &c in &chosen[start..] {
                 let mut s = base.clone();
                 s.push(c);
@@ -96,17 +96,19 @@ impl Synthesizer for PrivBayes {
         let k = schema.len();
         let n = disc.n_rows();
         let non_private = budget.is_non_private();
-        let (eps_structure, eps_params) =
-            if non_private { (f64::INFINITY, f64::INFINITY) } else {
-                (budget.epsilon / 2.0, budget.epsilon / 2.0)
-            };
+        let (eps_structure, eps_params) = if non_private {
+            (f64::INFINITY, f64::INFINITY)
+        } else {
+            (budget.epsilon / 2.0, budget.epsilon / 2.0)
+        };
 
         // --- structure learning ---
         let mut order: Vec<usize> = Vec::with_capacity(k);
         let mut parents_of: Vec<Vec<usize>> = vec![vec![]; k];
         // first attribute: smallest domain (deterministic, data-free)
-        let first =
-            (0..k).min_by_key(|&a| (schema.attr(a).domain_size(), a)).expect("k ≥ 1");
+        let first = (0..k)
+            .min_by_key(|&a| (schema.attr(a).domain_size(), a))
+            .expect("k ≥ 1");
         order.push(first);
         let eps_per_choice = eps_structure / (k.max(2) - 1) as f64;
         let delta_mi = mi_sensitivity(n.max(2));
@@ -122,10 +124,7 @@ impl Synthesizer for PrivBayes {
                     if disc.n_configs(&ps) * disc.cards[x] > 50_000 {
                         continue;
                     }
-                    let mi = mutual_information(
-                        &disc.joint_with_parents(x, &ps),
-                        disc.cards[x],
-                    );
+                    let mi = mutual_information(&disc.joint_with_parents(x, &ps), disc.cards[x]);
                     cands.push((x, ps, mi));
                 }
             }
@@ -140,9 +139,7 @@ impl Synthesizer for PrivBayes {
             } else {
                 let weights: Vec<f64> = cands
                     .iter()
-                    .map(|(_, _, mi)| {
-                        (eps_per_choice * mi / (2.0 * delta_mi)).min(700.0).exp()
-                    })
+                    .map(|(_, _, mi)| (eps_per_choice * mi / (2.0 * delta_mi)).min(700.0).exp())
                     .collect();
                 sample_weighted(&weights, &mut rng)
             };
@@ -154,8 +151,11 @@ impl Synthesizer for PrivBayes {
         // --- parameter learning ---
         // each tuple touches every one of the k released marginals,
         // changing two cells each ⇒ L1 sensitivity 2k
-        let laplace_scale =
-            if non_private { 0.0 } else { 2.0 * k as f64 / eps_params };
+        let laplace_scale = if non_private {
+            0.0
+        } else {
+            2.0 * k as f64 / eps_params
+        };
         let nodes: Vec<Node> = order
             .iter()
             .map(|&attr| {
@@ -181,7 +181,12 @@ impl Synthesizer for PrivBayes {
                         }
                     })
                     .collect();
-                Node { attr, parents: ps, dist, fallback }
+                Node {
+                    attr,
+                    parents: ps,
+                    dist,
+                    fallback,
+                }
             })
             .collect();
 
@@ -234,11 +239,14 @@ mod tests {
             Attribute::categorical_indexed("b", 3).unwrap(),
         ])
         .unwrap();
-        let rows: Vec<Vec<Value>> =
-            (0..300).map(|i| vec![Value::Cat((i % 3) as u32), Value::Cat((i % 3) as u32)]).collect();
+        let rows: Vec<Vec<Value>> = (0..300)
+            .map(|i| vec![Value::Cat((i % 3) as u32), Value::Cat((i % 3) as u32)])
+            .collect();
         let inst = Instance::from_rows(&s, &rows).unwrap();
         let out = PrivBayes::default().synthesize(&s, &inst, Budget::non_private(), 300, 1);
-        let agree = (0..out.n_rows()).filter(|&i| out.cat(i, 0) == out.cat(i, 1)).count();
+        let agree = (0..out.n_rows())
+            .filter(|&i| out.cat(i, 0) == out.cat(i, 1))
+            .count();
         assert!(
             agree as f64 / out.n_rows() as f64 > 0.95,
             "PrivBayes lost a deterministic dependency: {agree}/300"
@@ -252,9 +260,11 @@ mod tests {
         let out =
             PrivBayes::default().synthesize(&d.schema, &d.instance, Budget::new(1.0, 1e-6), 400, 3);
         assert_eq!(out.n_rows(), 400);
-        let total: f64 =
-            d.dcs.iter().map(|dc| violation_percentage(dc, &out)).sum();
-        assert!(total > 0.0, "expected nonzero DC violations from i.i.d. sampling");
+        let total: f64 = d.dcs.iter().map(|dc| violation_percentage(dc, &out)).sum();
+        assert!(
+            total > 0.0,
+            "expected nonzero DC violations from i.i.d. sampling"
+        );
     }
 
     #[test]

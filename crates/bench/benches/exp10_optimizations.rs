@@ -14,14 +14,20 @@ fn bench(c: &mut Criterion) {
     let adult = Corpus::Adult.generate(150, 1);
     for (name, parallel) in [("sequential_training", false), ("parallel_training", true)] {
         g.bench_function(name, |b| {
-            let variant = KaminoVariant { parallel, ..Default::default() };
+            let variant = KaminoVariant {
+                parallel,
+                ..Default::default()
+            };
             b.iter(|| black_box(Method::Kamino(variant).run(&adult, budget, 5)))
         });
     }
     let tpch = Corpus::TpcH.generate(400, 1);
     for (name, lookup) in [("tpch_candidate_scoring", false), ("tpch_fd_lookup", true)] {
         g.bench_function(name, |b| {
-            let variant = KaminoVariant { hard_fd_lookup: lookup, ..Default::default() };
+            let variant = KaminoVariant {
+                hard_fd_lookup: lookup,
+                ..Default::default()
+            };
             b.iter(|| black_box(Method::Kamino(variant).run(&tpch, budget, 5)))
         });
     }

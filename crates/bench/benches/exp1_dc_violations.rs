@@ -19,16 +19,14 @@ fn bench(c: &mut Criterion) {
     g.bench_function("kamino_synthesize_and_measure", |b| {
         b.iter(|| {
             let (inst, _) = Method::kamino().run(&d, budget, 7);
-            let total: f64 =
-                d.dcs.iter().map(|dc| violation_percentage(dc, &inst)).sum();
+            let total: f64 = d.dcs.iter().map(|dc| violation_percentage(dc, &inst)).sum();
             black_box(total)
         })
     });
     g.bench_function("privbayes_synthesize_and_measure", |b| {
         b.iter(|| {
             let inst = PrivBayes::default().synthesize(&d.schema, &d.instance, budget, 150, 7);
-            let total: f64 =
-                d.dcs.iter().map(|dc| violation_percentage(dc, &inst)).sum();
+            let total: f64 = d.dcs.iter().map(|dc| violation_percentage(dc, &inst)).sum();
             black_box(total)
         })
     });

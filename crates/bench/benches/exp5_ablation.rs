@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for (name, ablation) in [("kamino", Ablation::None), ("randboth", Ablation::RandBoth)] {
         g.bench_function(name, |b| {
-            let variant = KaminoVariant { ablation, ..Default::default() };
+            let variant = KaminoVariant {
+                ablation,
+                ..Default::default()
+            };
             b.iter(|| black_box(Method::Kamino(variant).run(&d, budget, 5)))
         });
     }

@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for (name, ar) in [("constraint_aware", false), ("accept_reject", true)] {
         g.bench_function(name, |b| {
-            let variant = KaminoVariant { ar_sampling: ar, ..Default::default() };
+            let variant = KaminoVariant {
+                ar_sampling: ar,
+                ..Default::default()
+            };
             b.iter(|| black_box(Method::Kamino(variant).run(&d, budget, 5)))
         });
     }

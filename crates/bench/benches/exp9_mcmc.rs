@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for ratio in [0.0, 2.0] {
         g.bench_function(format!("mcmc_ratio_{ratio}"), |b| {
-            let variant = KaminoVariant { mcmc_ratio: ratio, ..Default::default() };
+            let variant = KaminoVariant {
+                mcmc_ratio: ratio,
+                ..Default::default()
+            };
             b.iter(|| black_box(Method::Kamino(variant).run(&d, budget, 5)))
         });
     }

@@ -1,12 +1,67 @@
 //! Microbenchmarks for the hot substrate kernels: violation counting
 //! (FD fast path, order fast path, naive scan), incremental counters, the
-//! RDP accountant, and one DP-SGD step.
+//! RDP accountant, batch candidate scoring (serial vs. the rayon-backed
+//! parallel substrate), and DP-SGD steps (serial vs. microbatch-parallel).
+//!
+//! The `*_serial` / `*_parallel` pairs share one setup and produce
+//! identical outputs; only wall-clock should differ. Run with
+//! `RAYON_NUM_THREADS=<k>` to fix the worker count (the parallel entries
+//! degenerate to the serial path when only one worker is available, so
+//! measure on ≥4 threads to see the speedup).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use kamino_constraints::{count_violating_pairs, parse_dc, CandidateRow, DcCounter, Hardness};
+use kamino_constraints::{
+    count_violating_pairs, parse_dc, CandidateRow, CellContext, DcCounter, Hardness, ScoreSet,
+};
+use kamino_data::Value;
 use kamino_datasets::adult_like;
 use kamino_dp::RdpAccountant;
+use kamino_nn::{DpSgd, ParamBlock, PerExampleModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+
+/// Dense linear model (64×64) for DP-SGD step benchmarks: one
+/// matrix-vector product + outer-product gradient per example.
+#[derive(Clone)]
+struct DenseModel {
+    w: ParamBlock,
+    dim: usize,
+}
+
+impl DenseModel {
+    fn new(dim: usize) -> DenseModel {
+        DenseModel {
+            w: ParamBlock::zeros(dim * dim),
+            dim,
+        }
+    }
+}
+
+impl PerExampleModel<Vec<f64>> for DenseModel {
+    fn forward_backward(&mut self, x: &Vec<f64>) -> f64 {
+        let d = self.dim;
+        let mut loss = 0.0;
+        for r in 0..d {
+            let row = r * d..(r + 1) * d;
+            let y: f64 = self.w.values[row.clone()]
+                .iter()
+                .zip(x)
+                .map(|(w, xc)| w * xc)
+                .sum();
+            let err = y - x[r];
+            loss += 0.5 * err * err;
+            for (g, &xc) in self.w.grads[row].iter_mut().zip(x) {
+                *g += err * xc;
+            }
+        }
+        loss
+    }
+
+    fn visit_blocks(&mut self, f: &mut dyn FnMut(&mut ParamBlock)) {
+        f(&mut self.w);
+    }
+}
 
 fn bench(c: &mut Criterion) {
     let d = adult_like(2_000, 1);
@@ -21,6 +76,7 @@ fn bench(c: &mut Criterion) {
     .unwrap();
 
     let mut g = c.benchmark_group("micro_substrates");
+    g.sample_size(10);
     g.bench_function("count_pairs_fd_fastpath_n2000", |b| {
         b.iter(|| black_box(count_violating_pairs(fd, &d.instance)))
     });
@@ -43,6 +99,63 @@ fn bench(c: &mut Criterion) {
             black_box(total)
         })
     });
+
+    // Batch candidate scoring through the scan-counter prefix: the
+    // Algorithm 3 inner loop at n = 2000 with a 64-value candidate set
+    // (~128k pair evaluations per call). Serial vs. rayon-parallel.
+    {
+        let gain = d.schema.index_of("capital_gain").unwrap();
+        let dcs = vec![naive_ord.clone()];
+        let weights = [1.5];
+        let mut set = ScoreSet::build(&[0], &dcs);
+        for i in 0..d.instance.n_rows() {
+            set.insert(&CandidateRow::committed(&d.instance, i, gain));
+        }
+        let cell = CellContext::new(&d.instance, d.instance.n_rows() - 1, gain);
+        let values: Vec<Value> = (0..64).map(|k| Value::Num(k as f64 * 30.0)).collect();
+        let reference = set.score_candidates(cell, &values, &weights, false);
+        assert_eq!(
+            reference,
+            set.score_candidates(cell, &values, &weights, true),
+            "parallel scoring must be bit-identical"
+        );
+        g.bench_function("score_candidates_serial_n2000_d64", |b| {
+            b.iter(|| black_box(set.score_candidates(cell, &values, &weights, false)))
+        });
+        g.bench_function("score_candidates_parallel_n2000_d64", |b| {
+            b.iter(|| black_box(set.score_candidates(cell, &values, &weights, true)))
+        });
+    }
+
+    // One DP-SGD step on a dense 64×64 model over a 256-example batch:
+    // serial vs. microbatch-parallel (16 microbatches).
+    {
+        let dim = 64;
+        let mut rng = StdRng::seed_from_u64(7);
+        let batch: Vec<Vec<f64>> = (0..256)
+            .map(|_| (0..dim).map(|_| rng.gen::<f64>() - 0.5).collect())
+            .collect();
+        let opt = DpSgd {
+            clip: 1.0,
+            noise_multiplier: 1.1,
+            lr: 0.05,
+            expected_batch: 256.0,
+        };
+        g.bench_function("dpsgd_step_serial_b256_d64x64", |b| {
+            let mut model = DenseModel::new(dim);
+            let mut rng = StdRng::seed_from_u64(8);
+            b.iter(|| black_box(opt.step(&mut model, &batch, &mut rng)))
+        });
+        g.bench_function("dpsgd_step_parallel_b256_d64x64", |b| {
+            let mut model = DenseModel::new(dim);
+            let mut rng = StdRng::seed_from_u64(8);
+            b.iter(|| {
+                let proto = model.clone();
+                black_box(opt.step_parallel(&mut model, &batch, &mut rng, || proto.clone()))
+            })
+        });
+    }
+
     g.bench_function("rdp_accountant_5000_sgm_steps", |b| {
         b.iter(|| {
             let mut acc = RdpAccountant::new();

@@ -24,19 +24,21 @@ fn main() {
         &["Mode", "Train (s)", "Accuracy"],
     );
     for parallel in [false, true] {
-        let variant = KaminoVariant { parallel, ..Default::default() };
+        let variant = KaminoVariant {
+            parallel,
+            ..Default::default()
+        };
         let (inst, rep) = Method::Kamino(variant).run(&d, budget, seed);
         let rep = rep.unwrap();
-        let summary = evaluate_classification_with(
-            &d.schema,
-            &d.instance,
-            &inst,
-            seed,
-            classifier_roster,
-        );
+        let summary =
+            evaluate_classification_with(&d.schema, &d.instance, &inst, seed, classifier_roster);
         ta.row(vec![
-            if parallel { "parallel (fresh embeddings)" } else { "sequential (reused)" }
-                .to_string(),
+            if parallel {
+                "parallel (fresh embeddings)"
+            } else {
+                "sequential (reused)"
+            }
+            .to_string(),
             format!("{:.2}", rep.timings.training.as_secs_f64()),
             format!("{:.3}", summary.mean_accuracy()),
         ]);
@@ -51,14 +53,22 @@ fn main() {
         &["Mode", "Sampling (s)", "Total viol. %"],
     );
     for lookup in [false, true] {
-        let variant = KaminoVariant { hard_fd_lookup: lookup, ..Default::default() };
+        let variant = KaminoVariant {
+            hard_fd_lookup: lookup,
+            ..Default::default()
+        };
         let start = Instant::now();
         let (inst, rep) = Method::Kamino(variant).run(&d, budget, seed);
         let _ = start;
         let rep = rep.unwrap();
         let viol: f64 = d.dcs.iter().map(|dc| violation_percentage(dc, &inst)).sum();
         tb.row(vec![
-            if lookup { "FD lookup" } else { "candidate scoring" }.to_string(),
+            if lookup {
+                "FD lookup"
+            } else {
+                "candidate scoring"
+            }
+            .to_string(),
             format!("{:.2}", rep.timings.sampling.as_secs_f64()),
             format!("{viol:.2}"),
         ]);

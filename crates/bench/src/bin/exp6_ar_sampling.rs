@@ -22,14 +22,22 @@ fn main() {
         let n = config::rows_for(corpus);
         let d = corpus.generate(n, 1);
         for ar in [false, true] {
-            let variant = KaminoVariant { ar_sampling: ar, ..Default::default() };
+            let variant = KaminoVariant {
+                ar_sampling: ar,
+                ..Default::default()
+            };
             let start = Instant::now();
             let (inst, _) = Method::Kamino(variant).run(&d, budget, seed);
             let elapsed = start.elapsed().as_secs_f64();
             for dc in &d.dcs {
                 t.row(vec![
                     corpus.name().to_string(),
-                    if ar { "accept-reject" } else { "constraint-aware" }.to_string(),
+                    if ar {
+                        "accept-reject"
+                    } else {
+                        "constraint-aware"
+                    }
+                    .to_string(),
                     dc.name.clone(),
                     format!("{:.2}", violation_percentage(dc, &inst)),
                     format!("{elapsed:.2}"),

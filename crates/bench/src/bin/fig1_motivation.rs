@@ -27,14 +27,22 @@ fn main() {
     ] {
         let mut t = report::Table::new(
             &format!("Figure 1 (Adult-like, n={n}, {label}): standard vs cleaned"),
-            &["Method", "Arm", "DC viol. %", "Accuracy", "2-way TVD (mean)"],
+            &[
+                "Method",
+                "Arm",
+                "DC viol. %",
+                "Accuracy",
+                "2-way TVD (mean)",
+            ],
         );
         for b in figure1_roster() {
             let standard = b.synthesize(&d.schema, &d.instance, budget, n, seed);
             let cleaned = repair(&d.schema, &standard, &d.dcs);
             for (arm, inst) in [("standard", &standard), ("cleaned", &cleaned)] {
-                let viol: f64 =
-                    violation_table(&d.dcs, inst).iter().map(|(_, pct)| pct).sum::<f64>();
+                let viol: f64 = violation_table(&d.dcs, inst)
+                    .iter()
+                    .map(|(_, pct)| pct)
+                    .sum::<f64>();
                 let summary = evaluate_classification_with(
                     &d.schema,
                     &d.instance,

@@ -16,12 +16,22 @@ fn main() {
         let n = config::rows_for(corpus);
         let d = corpus.generate(n, 1);
         let mut t = report::Table::new(
-            &format!("Figure 3 ({}, n={n}, eps=1): accuracy / F1 over attributes", corpus.name()),
-            &["Method", "Acc mean", "Acc min", "Acc max", "F1 mean", "F1 min", "F1 max"],
+            &format!(
+                "Figure 3 ({}, n={n}, eps=1): accuracy / F1 over attributes",
+                corpus.name()
+            ),
+            &[
+                "Method", "Acc mean", "Acc min", "Acc max", "F1 mean", "F1 min", "F1 max",
+            ],
         );
         let mut eval_row = |name: String, synth: &kamino_data::Instance| {
-            let summary =
-                evaluate_classification_with(&d.schema, &d.instance, synth, seed, classifier_roster);
+            let summary = evaluate_classification_with(
+                &d.schema,
+                &d.instance,
+                synth,
+                seed,
+                classifier_roster,
+            );
             let accs: Vec<f64> = summary.per_attribute.iter().map(|r| r.accuracy).collect();
             let f1s: Vec<f64> = summary.per_attribute.iter().map(|r| r.f1).collect();
             let (am, alo, ahi) = summarize(&accs);

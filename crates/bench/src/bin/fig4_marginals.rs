@@ -13,7 +13,13 @@ fn main() {
         let d = corpus.generate(n, 1);
         let mut t = report::Table::new(
             &format!("Figure 4 ({}, n={n}, eps=1): marginal TVD", corpus.name()),
-            &["Method", "1-way mean", "1-way max", "2-way mean", "2-way max"],
+            &[
+                "Method",
+                "1-way mean",
+                "1-way max",
+                "2-way mean",
+                "2-way max",
+            ],
         );
         for m in Method::paper_roster() {
             let (inst, _) = m.run(&d, budget, seed);

@@ -11,7 +11,15 @@ fn main() {
     let seed = config::seeds()[0];
     let mut t = report::Table::new(
         "Figure 7: per-phase execution time (seconds)",
-        &["Dataset", "Seq.", "Train", "DC weights", "Sampling", "Total", "Train+Samp %"],
+        &[
+            "Dataset",
+            "Seq.",
+            "Train",
+            "DC weights",
+            "Sampling",
+            "Total",
+            "Train+Samp %",
+        ],
     );
     for corpus in Corpus::all() {
         let n = config::rows_for(corpus);

@@ -21,7 +21,16 @@ fn main() {
     let base = Corpus::Adult.generate(n, 1);
     let mut t = report::Table::new(
         &format!("Figure 8 (Adult-like, n={n}): scaling the number of DCs"),
-        &["#DCs", "Accuracy", "F1", "1-way TVD", "2-way TVD", "Train (s)", "Weights (s)", "Sample (s)"],
+        &[
+            "#DCs",
+            "Accuracy",
+            "F1",
+            "1-way TVD",
+            "2-way TVD",
+            "Train (s)",
+            "Weights (s)",
+            "Sample (s)",
+        ],
     );
     for &n_dcs in &[2usize, 4, 8, 16, 32, 64, 128] {
         let discovered = discover_approximate_dcs(&base.schema, &base.instance, n_dcs, 25.0);
@@ -36,13 +45,8 @@ fn main() {
         let (inst, rep) = Method::kamino().run(&d, budget, seed);
         let _ = start;
         let rep = rep.unwrap();
-        let summary = evaluate_classification_with(
-            &d.schema,
-            &d.instance,
-            &inst,
-            seed,
-            classifier_roster,
-        );
+        let summary =
+            evaluate_classification_with(&d.schema, &d.instance, &inst, seed, classifier_roster);
         let (t1, _, _) = summarize(&tvd_all_singles(&d.schema, &d.instance, &inst));
         let (t2, _, _) = summarize(&tvd_all_pairs(&d.schema, &d.instance, &inst));
         t.row(vec![

@@ -16,19 +16,24 @@ fn main() {
     let d = Corpus::Adult.generate(n, 1);
     let mut t = report::Table::new(
         &format!("Figure 9 (Adult-like, n={n}): MCMC re-sampling sweep"),
-        &["m/n", "Accuracy", "F1", "1-way TVD", "2-way TVD", "Sampling (s)"],
+        &[
+            "m/n",
+            "Accuracy",
+            "F1",
+            "1-way TVD",
+            "2-way TVD",
+            "Sampling (s)",
+        ],
     );
     for &ratio in &[0.0, 0.5, 1.0, 2.0, 3.0] {
-        let variant = KaminoVariant { mcmc_ratio: ratio, ..Default::default() };
+        let variant = KaminoVariant {
+            mcmc_ratio: ratio,
+            ..Default::default()
+        };
         let (inst, rep) = Method::Kamino(variant).run(&d, budget, seed);
         let rep = rep.unwrap();
-        let summary = evaluate_classification_with(
-            &d.schema,
-            &d.instance,
-            &inst,
-            seed,
-            classifier_roster,
-        );
+        let summary =
+            evaluate_classification_with(&d.schema, &d.instance, &inst, seed, classifier_roster);
         let (t1, _, _) = summarize(&tvd_all_singles(&d.schema, &d.instance, &inst));
         let (t2, _, _) = summarize(&tvd_all_pairs(&d.schema, &d.instance, &inst));
         t.row(vec![

@@ -12,7 +12,11 @@ fn main() {
     for corpus in Corpus::all() {
         let n = config::rows_for(corpus);
         let d = corpus.generate(n, config::seeds()[0]);
-        let hard = d.dcs.iter().filter(|dc| dc.hardness == Hardness::Hard).count();
+        let hard = d
+            .dcs
+            .iter()
+            .filter(|dc| dc.hardness == Hardness::Hard)
+            .count();
         let names: Vec<&str> = d.dcs.iter().map(|dc| dc.name.as_str()).collect();
         t.row(vec![
             corpus.name().to_string(),
@@ -30,10 +34,15 @@ fn main() {
         let d = corpus.generate(50, 0);
         println!("{}:", corpus.name());
         for dc in &d.dcs {
-            println!("  {:8} [{}]  {}", dc.name, match dc.hardness {
-                Hardness::Hard => "hard",
-                Hardness::Soft => "soft",
-            }, dc.display(&d.schema));
+            println!(
+                "  {:8} [{}]  {}",
+                dc.name,
+                match dc.hardness {
+                    Hardness::Hard => "hard",
+                    Hardness::Soft => "soft",
+                },
+                dc.display(&d.schema)
+            );
         }
     }
 }

@@ -18,7 +18,10 @@ fn main() {
         let mut header = vec!["DC".to_string(), "Truth".to_string()];
         header.extend(methods.iter().map(Method::name));
         let mut t = report::Table::new(
-            &format!("Table 2 ({}, n={n}, eps=1): % violating tuple pairs", corpus.name()),
+            &format!(
+                "Table 2 ({}, n={n}, eps=1): % violating tuple pairs",
+                corpus.name()
+            ),
             &header.iter().map(String::as_str).collect::<Vec<_>>(),
         );
 
@@ -33,10 +36,12 @@ fn main() {
             }
         }
         for (li, dc) in d.dcs.iter().enumerate() {
-            let mut row =
-                vec![dc.name.clone(), format!("{:.2}", violation_percentage(dc, &d.instance))];
-            for mi in 0..methods.len() {
-                let (m, s) = report::mean_std(&cells[mi][li]);
+            let mut row = vec![
+                dc.name.clone(),
+                format!("{:.2}", violation_percentage(dc, &d.instance)),
+            ];
+            for method_cells in cells.iter().take(methods.len()) {
+                let (m, s) = report::mean_std(&method_cells[li]);
                 row.push(report::pm(m, s));
             }
             t.row(row);

@@ -26,13 +26,23 @@ fn main() {
 
     let mut t3 = report::Table::new(
         &format!("Table 3 (Adult-like, n={n}, eps=1): % DC-violating pairs"),
-        &["DC", "Truth", "Kamino", "RandSequence", "RandSampling", "RandBoth"],
+        &[
+            "DC",
+            "Truth",
+            "Kamino",
+            "RandSequence",
+            "RandSampling",
+            "RandBoth",
+        ],
     );
     let mut viols: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); d.dcs.len()]; arms.len()];
     let mut quality: Vec<Vec<[f64; 4]>> = vec![Vec::new(); arms.len()];
     for &seed in &config::seeds() {
         for (ai, (_, ablation)) in arms.iter().enumerate() {
-            let variant = KaminoVariant { ablation: *ablation, ..Default::default() };
+            let variant = KaminoVariant {
+                ablation: *ablation,
+                ..Default::default()
+            };
             let (inst, _) = Method::Kamino(variant).run(&d, budget, seed);
             for (li, dc) in d.dcs.iter().enumerate() {
                 viols[ai][li].push(violation_percentage(dc, &inst));
@@ -52,10 +62,12 @@ fn main() {
         }
     }
     for (li, dc) in d.dcs.iter().enumerate() {
-        let mut row =
-            vec![dc.name.clone(), format!("{:.2}", violation_percentage(dc, &d.instance))];
-        for ai in 0..arms.len() {
-            let (m, s) = report::mean_std(&viols[ai][li]);
+        let mut row = vec![
+            dc.name.clone(),
+            format!("{:.2}", violation_percentage(dc, &d.instance)),
+        ];
+        for arm_viols in viols.iter().take(arms.len()) {
+            let (m, s) = report::mean_std(&arm_viols[li]);
             row.push(report::pm(m, s));
         }
         t3.row(row);

@@ -36,7 +36,10 @@ pub mod config {
 
     /// Training-scale knob for Kamino (fraction of the paper's T range).
     pub fn train_scale() -> f64 {
-        std::env::var("KAMINO_TRAIN_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.4)
+        std::env::var("KAMINO_TRAIN_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.4)
     }
 
     /// The paper reports mean±std of 3 runs.
@@ -108,10 +111,16 @@ impl Method {
     /// baselines followed by Kamino.
     pub fn paper_roster() -> Vec<Method> {
         vec![
-            Method::Baseline(Box::new(DpVae { steps: 200, ..DpVae::default() })),
+            Method::Baseline(Box::new(DpVae {
+                steps: 200,
+                ..DpVae::default()
+            })),
             Method::Baseline(Box::new(NistPgm::default())),
             Method::Baseline(Box::new(PrivBayes::default())),
-            Method::Baseline(Box::new(PateGan { steps: 120, ..PateGan::default() })),
+            Method::Baseline(Box::new(PateGan {
+                steps: 120,
+                ..PateGan::default()
+            })),
             Method::kamino(),
         ]
     }
@@ -159,9 +168,10 @@ impl Method {
                 let inst = report.instance.clone();
                 (inst, Some(report))
             }
-            Method::Baseline(b) => {
-                (b.synthesize(&d.schema, &d.instance, budget, d.instance.n_rows(), seed), None)
-            }
+            Method::Baseline(b) => (
+                b.synthesize(&d.schema, &d.instance, budget, d.instance.n_rows(), seed),
+                None,
+            ),
         }
     }
 }
@@ -170,8 +180,14 @@ impl Method {
 pub fn figure1_roster() -> Vec<Box<dyn Synthesizer>> {
     vec![
         Box::new(PrivBayes::default()),
-        Box::new(PateGan { steps: 120, ..PateGan::default() }),
-        Box::new(DpVae { steps: 200, ..DpVae::default() }),
+        Box::new(PateGan {
+            steps: 120,
+            ..PateGan::default()
+        }),
+        Box::new(DpVae {
+            steps: 200,
+            ..DpVae::default()
+        }),
     ]
 }
 
@@ -257,7 +273,11 @@ pub mod report {
                     .join("  ")
             };
             let _ = writeln!(out, "{}", line(&self.header, &widths));
-            let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+            let _ = writeln!(
+                out,
+                "{}",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+            );
             for row in &self.rows {
                 let _ = writeln!(out, "{}", line(row, &widths));
             }
@@ -294,17 +314,24 @@ mod tests {
     fn method_names() {
         assert_eq!(Method::kamino().name(), "Kamino");
         let names: Vec<String> = Method::paper_roster().iter().map(Method::name).collect();
-        assert_eq!(names, vec!["DP-VAE", "NIST", "PrivBayes", "PATE-GAN", "Kamino"]);
-        let mut v = KaminoVariant::default();
-        v.ablation = Ablation::RandBoth;
+        assert_eq!(
+            names,
+            vec!["DP-VAE", "NIST", "PrivBayes", "PATE-GAN", "Kamino"]
+        );
+        let v = KaminoVariant {
+            ablation: Ablation::RandBoth,
+            ..Default::default()
+        };
         assert_eq!(Method::Kamino(v).name(), "RandBoth");
     }
 
     #[test]
     fn ablation_switch_wiring() {
         let budget = Budget::new(1.0, 1e-6);
-        let mut v = KaminoVariant::default();
-        v.ablation = Ablation::RandSampling;
+        let mut v = KaminoVariant {
+            ablation: Ablation::RandSampling,
+            ..Default::default()
+        };
         let cfg = Method::kamino_config(budget, 0, &v);
         assert!(!cfg.constraint_aware_sampling);
         assert!(cfg.constraint_aware_sequencing);

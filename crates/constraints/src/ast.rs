@@ -160,8 +160,15 @@ impl DenialConstraint {
         predicates: Vec<Predicate>,
         hardness: Hardness,
     ) -> DenialConstraint {
-        assert!(!predicates.is_empty(), "a denial constraint needs at least one predicate");
-        DenialConstraint { name: name.into(), predicates, hardness }
+        assert!(
+            !predicates.is_empty(),
+            "a denial constraint needs at least one predicate"
+        );
+        DenialConstraint {
+            name: name.into(),
+            predicates,
+            hardness,
+        }
     }
 
     /// Whether any predicate references the second tuple — i.e. the DC is
@@ -236,8 +243,14 @@ impl DenialConstraint {
         for p in &self.predicates {
             let (a1, a2) = match (p.lhs, p.rhs) {
                 (
-                    Operand::Attr { tuple: ta, attr: aa },
-                    Operand::Attr { tuple: tb, attr: ab },
+                    Operand::Attr {
+                        tuple: ta,
+                        attr: aa,
+                    },
+                    Operand::Attr {
+                        tuple: tb,
+                        attr: ab,
+                    },
                 ) if ta != tb => (aa, ab),
                 _ => return None,
             };
@@ -273,8 +286,14 @@ impl DenialConstraint {
         for p in &self.predicates {
             let (a1, a2) = match (p.lhs, p.rhs) {
                 (
-                    Operand::Attr { tuple: TupleRef::T1, attr: aa },
-                    Operand::Attr { tuple: TupleRef::T2, attr: ab },
+                    Operand::Attr {
+                        tuple: TupleRef::T1,
+                        attr: aa,
+                    },
+                    Operand::Attr {
+                        tuple: TupleRef::T2,
+                        attr: ab,
+                    },
                 ) => (aa, ab),
                 _ => return None,
             };
@@ -290,7 +309,11 @@ impl DenialConstraint {
         if orders.len() != 2 || orders[0].0 == orders[1].0 {
             return None;
         }
-        Some(StrictOrder { eq_attrs, a: orders[0], b: orders[1] })
+        Some(StrictOrder {
+            eq_attrs,
+            a: orders[0],
+            b: orders[1],
+        })
     }
 
     /// Renders the DC with attribute names from `schema` in a form the
@@ -359,8 +382,16 @@ mod tests {
         DenialConstraint::new(
             "phi1",
             vec![
-                Predicate { lhs: attr(TupleRef::T1, 0), op: CmpOp::Eq, rhs: attr(TupleRef::T2, 0) },
-                Predicate { lhs: attr(TupleRef::T1, 1), op: CmpOp::Ne, rhs: attr(TupleRef::T2, 1) },
+                Predicate {
+                    lhs: attr(TupleRef::T1, 0),
+                    op: CmpOp::Eq,
+                    rhs: attr(TupleRef::T2, 0),
+                },
+                Predicate {
+                    lhs: attr(TupleRef::T1, 1),
+                    op: CmpOp::Ne,
+                    rhs: attr(TupleRef::T2, 1),
+                },
             ],
             Hardness::Hard,
         )
@@ -371,8 +402,16 @@ mod tests {
         DenialConstraint::new(
             "phi2",
             vec![
-                Predicate { lhs: attr(TupleRef::T1, 2), op: CmpOp::Gt, rhs: attr(TupleRef::T2, 2) },
-                Predicate { lhs: attr(TupleRef::T1, 3), op: CmpOp::Lt, rhs: attr(TupleRef::T2, 3) },
+                Predicate {
+                    lhs: attr(TupleRef::T1, 2),
+                    op: CmpOp::Gt,
+                    rhs: attr(TupleRef::T2, 2),
+                },
+                Predicate {
+                    lhs: attr(TupleRef::T1, 3),
+                    op: CmpOp::Lt,
+                    rhs: attr(TupleRef::T2, 3),
+                },
             ],
             Hardness::Hard,
         )
@@ -418,7 +457,10 @@ mod tests {
         assert!(order_dc().is_binary());
         assert!(!unary_dc().is_binary());
         assert_eq!(fd_dc().attrs().into_iter().collect::<Vec<_>>(), vec![0, 1]);
-        assert_eq!(unary_dc().attrs().into_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            unary_dc().attrs().into_iter().collect::<Vec<_>>(),
+            vec![1, 2]
+        );
     }
 
     #[test]
@@ -436,9 +478,21 @@ mod tests {
         let dc = DenialConstraint::new(
             "fd2",
             vec![
-                Predicate { lhs: attr(TupleRef::T1, 0), op: CmpOp::Eq, rhs: attr(TupleRef::T2, 0) },
-                Predicate { lhs: attr(TupleRef::T1, 2), op: CmpOp::Eq, rhs: attr(TupleRef::T2, 2) },
-                Predicate { lhs: attr(TupleRef::T1, 1), op: CmpOp::Ne, rhs: attr(TupleRef::T2, 1) },
+                Predicate {
+                    lhs: attr(TupleRef::T1, 0),
+                    op: CmpOp::Eq,
+                    rhs: attr(TupleRef::T2, 0),
+                },
+                Predicate {
+                    lhs: attr(TupleRef::T1, 2),
+                    op: CmpOp::Eq,
+                    rhs: attr(TupleRef::T2, 2),
+                },
+                Predicate {
+                    lhs: attr(TupleRef::T1, 1),
+                    op: CmpOp::Ne,
+                    rhs: attr(TupleRef::T2, 1),
+                },
             ],
             Hardness::Hard,
         );
@@ -451,18 +505,38 @@ mod tests {
     fn unary_violation_semantics() {
         let dc = unary_dc();
         // edu_num=3 (<5) and gain=95 (>90): all predicates true ⇒ violation
-        let vals = [Value::Cat(0), Value::Num(3.0), Value::Num(95.0), Value::Num(0.0)];
+        let vals = [
+            Value::Cat(0),
+            Value::Num(3.0),
+            Value::Num(95.0),
+            Value::Num(0.0),
+        ];
         assert!(dc.violated_by_tuple(|a| vals[a]));
         // gain=50 breaks the conjunction
-        let ok = [Value::Cat(0), Value::Num(3.0), Value::Num(50.0), Value::Num(0.0)];
+        let ok = [
+            Value::Cat(0),
+            Value::Num(3.0),
+            Value::Num(50.0),
+            Value::Num(0.0),
+        ];
         assert!(!dc.violated_by_tuple(|a| ok[a]));
     }
 
     #[test]
     fn pair_violation_orientations() {
         let dc = order_dc();
-        let r1 = [Value::Cat(0), Value::Num(0.0), Value::Num(10.0), Value::Num(1.0)];
-        let r2 = [Value::Cat(0), Value::Num(0.0), Value::Num(5.0), Value::Num(9.0)];
+        let r1 = [
+            Value::Cat(0),
+            Value::Num(0.0),
+            Value::Num(10.0),
+            Value::Num(1.0),
+        ];
+        let r2 = [
+            Value::Cat(0),
+            Value::Num(0.0),
+            Value::Num(5.0),
+            Value::Num(9.0),
+        ];
         // r1.gain > r2.gain and r1.loss < r2.loss: (r1, r2) orientation violates
         assert!(dc.violated_by_ordered_pair(&|a| r1[a], &|a| r2[a]));
         assert!(!dc.violated_by_ordered_pair(&|a| r2[a], &|a| r1[a]));
@@ -474,10 +548,25 @@ mod tests {
     #[test]
     fn fd_pair_violation_is_symmetric() {
         let dc = fd_dc();
-        let r1 = [Value::Cat(1), Value::Num(10.0), Value::Num(0.0), Value::Num(0.0)];
-        let r2 = [Value::Cat(1), Value::Num(12.0), Value::Num(0.0), Value::Num(0.0)];
+        let r1 = [
+            Value::Cat(1),
+            Value::Num(10.0),
+            Value::Num(0.0),
+            Value::Num(0.0),
+        ];
+        let r2 = [
+            Value::Cat(1),
+            Value::Num(12.0),
+            Value::Num(0.0),
+            Value::Num(0.0),
+        ];
         assert!(dc.violated_by_pair(&|a| r1[a], &|a| r2[a]));
-        let r3 = [Value::Cat(2), Value::Num(12.0), Value::Num(0.0), Value::Num(0.0)];
+        let r3 = [
+            Value::Cat(2),
+            Value::Num(12.0),
+            Value::Num(0.0),
+            Value::Num(0.0),
+        ];
         assert!(!dc.violated_by_pair(&|a| r1[a], &|a| r3[a]));
     }
 

@@ -28,9 +28,15 @@ pub struct DiscoveredDc {
 
 fn cross_pred(a: usize, op: CmpOp) -> Predicate {
     Predicate {
-        lhs: Operand::Attr { tuple: TupleRef::T1, attr: a },
+        lhs: Operand::Attr {
+            tuple: TupleRef::T1,
+            attr: a,
+        },
         op,
-        rhs: Operand::Attr { tuple: TupleRef::T2, attr: a },
+        rhs: Operand::Attr {
+            tuple: TupleRef::T2,
+            attr: a,
+        },
     }
 }
 
@@ -94,9 +100,14 @@ pub fn discover_approximate_dcs(
         })
         .collect();
     scored.sort_by(|x, y| {
-        x.violation_pct.total_cmp(&y.violation_pct).then_with(|| x.dc.name.cmp(&y.dc.name))
+        x.violation_pct
+            .total_cmp(&y.violation_pct)
+            .then_with(|| x.dc.name.cmp(&y.dc.name))
     });
-    let passing = scored.iter().take_while(|d| d.violation_pct <= max_violation_pct).count();
+    let passing = scored
+        .iter()
+        .take_while(|d| d.violation_pct <= max_violation_pct)
+        .count();
     scored.truncate(passing.max(n.min(scored.len())));
     scored.truncate(n);
     scored
@@ -123,7 +134,12 @@ mod tests {
             .map(|i| {
                 let a = (i % 3) as u32;
                 let x = (i % 10) as f64;
-                vec![Value::Cat(a), Value::Cat(a), Value::Num(x), Value::Num(x / 2.0)]
+                vec![
+                    Value::Cat(a),
+                    Value::Cat(a),
+                    Value::Num(x),
+                    Value::Num(x / 2.0),
+                ]
             })
             .collect();
         Instance::from_rows(s, &rows).unwrap()
@@ -148,7 +164,10 @@ mod tests {
             .filter(|f| f.violation_pct == 0.0)
             .map(|f| f.dc.name.as_str())
             .collect();
-        assert!(exact.contains(&"fd_a_b"), "planted FD a→b not discovered: {exact:?}");
+        assert!(
+            exact.contains(&"fd_a_b"),
+            "planted FD a→b not discovered: {exact:?}"
+        );
         assert!(exact.contains(&"fd_b_a"));
         // x,y are concordant: the discordance DC ¬(x↑ ∧ y↓) holds exactly
         assert!(exact.contains(&"ord_x_y_disc"));

@@ -41,7 +41,10 @@ pub(crate) fn value_key(v: Value) -> u64 {
 /// # Panics
 /// Panics if `dc` is binary.
 pub fn count_unary_violations(dc: &DenialConstraint, inst: &Instance) -> u64 {
-    assert!(!dc.is_binary(), "count_unary_violations called with a binary DC");
+    assert!(
+        !dc.is_binary(),
+        "count_unary_violations called with a binary DC"
+    );
     let mut count = 0;
     for i in 0..inst.n_rows() {
         if dc.violated_by_tuple(|a| inst.value(i, a)) {
@@ -57,7 +60,10 @@ pub fn count_unary_violations(dc: &DenialConstraint, inst: &Instance) -> u64 {
 /// # Panics
 /// Panics if `dc` is unary.
 pub fn count_violating_pairs(dc: &DenialConstraint, inst: &Instance) -> u64 {
-    assert!(dc.is_binary(), "count_violating_pairs called with a unary DC");
+    assert!(
+        dc.is_binary(),
+        "count_violating_pairs called with a unary DC"
+    );
     if let Some(fd) = dc.as_fd() {
         return fd_violating_pairs(&fd.lhs, fd.rhs, inst);
     }
@@ -86,7 +92,11 @@ fn fd_violating_pairs(lhs: &[usize], rhs: usize, inst: &Instance) -> u64 {
     let mut groups: HashMap<Vec<u64>, HashMap<u64, u64>> = HashMap::new();
     for i in 0..inst.n_rows() {
         let key: Vec<u64> = lhs.iter().map(|&a| value_key(inst.value(i, a))).collect();
-        *groups.entry(key).or_default().entry(value_key(inst.value(i, rhs))).or_insert(0) += 1;
+        *groups
+            .entry(key)
+            .or_default()
+            .entry(value_key(inst.value(i, rhs)))
+            .or_insert(0) += 1;
     }
     let choose2 = |m: u64| m * m.saturating_sub(1) / 2;
     groups
@@ -114,9 +124,17 @@ pub fn per_tuple_violations(dc: &DenialConstraint, inst: &Instance) -> Vec<u64> 
         let mut groups: HashMap<Vec<u64>, HashMap<u64, u64>> = HashMap::new();
         let mut keys = Vec::with_capacity(n);
         for i in 0..n {
-            let key: Vec<u64> = fd.lhs.iter().map(|&a| value_key(inst.value(i, a))).collect();
+            let key: Vec<u64> = fd
+                .lhs
+                .iter()
+                .map(|&a| value_key(inst.value(i, a)))
+                .collect();
             let rv = value_key(inst.value(i, fd.rhs));
-            *groups.entry(key.clone()).or_default().entry(rv).or_insert(0) += 1;
+            *groups
+                .entry(key.clone())
+                .or_default()
+                .entry(rv)
+                .or_insert(0) += 1;
             keys.push((key, rv));
         }
         return keys
@@ -193,8 +211,11 @@ impl OrderShape {
         let n = inst.n_rows();
         let mut groups: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
         for i in 0..n {
-            let key: Vec<u64> =
-                self.eq_attrs.iter().map(|&a| value_key(inst.value(i, a))).collect();
+            let key: Vec<u64> = self
+                .eq_attrs
+                .iter()
+                .map(|&a| value_key(inst.value(i, a)))
+                .collect();
             groups.entry(key).or_default().push(i);
         }
         let larger_b_means_violation = match (self.op_a, self.op_b) {
@@ -216,7 +237,8 @@ impl OrderShape {
         // Sort by a ascending; process tie-blocks of equal a together.
         let mut order: Vec<usize> = rows.to_vec();
         order.sort_by(|&i, &j| {
-            inst.value(i, self.attr_a).compare(inst.value(j, self.attr_a))
+            inst.value(i, self.attr_a)
+                .compare(inst.value(j, self.attr_a))
         });
         // Coordinate-compress b.
         let mut bs: Vec<Value> = rows.iter().map(|&i| inst.value(i, self.attr_b)).collect();
@@ -233,8 +255,7 @@ impl OrderShape {
             let mut end = idx + 1;
             let a_val = inst.value(order[idx], self.attr_a);
             while end < order.len()
-                && inst.value(order[end], self.attr_a).compare(a_val)
-                    == std::cmp::Ordering::Equal
+                && inst.value(order[end], self.attr_a).compare(a_val) == std::cmp::Ordering::Equal
             {
                 end += 1;
             }
@@ -265,7 +286,10 @@ pub(crate) struct Fenwick {
 
 impl Fenwick {
     pub(crate) fn new(n: usize) -> Fenwick {
-        Fenwick { tree: vec![0; n + 1], total: 0 }
+        Fenwick {
+            tree: vec![0; n + 1],
+            total: 0,
+        }
     }
 
     /// Adds one occurrence at 0-based position `i`.
@@ -317,7 +341,13 @@ mod tests {
         let rows: Vec<Vec<Value>> = rows
             .iter()
             .map(|&(e, en, g, l, st)| {
-                vec![Value::Cat(e), Value::Num(en), Value::Num(g), Value::Num(l), Value::Cat(st)]
+                vec![
+                    Value::Cat(e),
+                    Value::Num(en),
+                    Value::Num(g),
+                    Value::Num(l),
+                    Value::Cat(st),
+                ]
             })
             .collect();
         Instance::from_rows(s, &rows).unwrap()
@@ -326,9 +356,13 @@ mod tests {
     #[test]
     fn fd_pair_counting_matches_naive() {
         let s = schema();
-        let dc =
-            parse_dc(&s, "fd", "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)", Hardness::Hard)
-                .unwrap();
+        let dc = parse_dc(
+            &s,
+            "fd",
+            "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)",
+            Hardness::Hard,
+        )
+        .unwrap();
         // group edu=0: edu_num 10,10,12 → 2 violating pairs; edu=1: 10,11 → 1
         let d = inst(
             &s,
@@ -348,9 +382,13 @@ mod tests {
     #[test]
     fn order_dc_fast_path_matches_naive() {
         let s = schema();
-        let dc =
-            parse_dc(&s, "ord", "!(t1.gain > t2.gain & t1.loss < t2.loss)", Hardness::Hard)
-                .unwrap();
+        let dc = parse_dc(
+            &s,
+            "ord",
+            "!(t1.gain > t2.gain & t1.loss < t2.loss)",
+            Hardness::Hard,
+        )
+        .unwrap();
         let d = inst(
             &s,
             &[
@@ -382,22 +420,29 @@ mod tests {
             &s,
             &[
                 (0, 0.0, 10.0, 1.0, 0),
-                (0, 0.0, 5.0, 9.0, 0),  // same state as r0: violating pair
+                (0, 0.0, 5.0, 9.0, 0), // same state as r0: violating pair
                 (0, 0.0, 10.0, 1.0, 1),
-                (0, 0.0, 5.0, 9.0, 2),  // different states: no violation
+                (0, 0.0, 5.0, 9.0, 2), // different states: no violation
             ],
         );
         assert!(OrderShape::recognize(&dc).is_some());
-        assert_eq!(count_violating_pairs(&dc, &d), naive_violating_pairs(&dc, &d));
+        assert_eq!(
+            count_violating_pairs(&dc, &d),
+            naive_violating_pairs(&dc, &d)
+        );
         assert_eq!(count_violating_pairs(&dc, &d), 1);
     }
 
     #[test]
     fn non_strict_order_uses_naive_and_counts_correctly() {
         let s = schema();
-        let dc =
-            parse_dc(&s, "ns", "!(t1.gain >= t2.gain & t1.loss <= t2.loss)", Hardness::Soft)
-                .unwrap();
+        let dc = parse_dc(
+            &s,
+            "ns",
+            "!(t1.gain >= t2.gain & t1.loss <= t2.loss)",
+            Hardness::Soft,
+        )
+        .unwrap();
         assert!(OrderShape::recognize(&dc).is_none());
         let d = inst(&s, &[(0, 0.0, 5.0, 5.0, 0), (0, 0.0, 5.0, 5.0, 0)]);
         // equal rows satisfy >= and <= in both orientations
@@ -424,9 +469,13 @@ mod tests {
     #[test]
     fn per_tuple_violations_fd() {
         let s = schema();
-        let dc =
-            parse_dc(&s, "fd", "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)", Hardness::Hard)
-                .unwrap();
+        let dc = parse_dc(
+            &s,
+            "fd",
+            "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)",
+            Hardness::Hard,
+        )
+        .unwrap();
         let d = inst(
             &s,
             &[
@@ -443,10 +492,21 @@ mod tests {
     #[test]
     fn per_tuple_violations_general_binary_and_unary() {
         let s = schema();
-        let ord =
-            parse_dc(&s, "ord", "!(t1.gain > t2.gain & t1.loss < t2.loss)", Hardness::Soft)
-                .unwrap();
-        let d = inst(&s, &[(0, 0.0, 10.0, 1.0, 0), (0, 0.0, 5.0, 9.0, 0), (0, 0.0, 1.0, 10.0, 0)]);
+        let ord = parse_dc(
+            &s,
+            "ord",
+            "!(t1.gain > t2.gain & t1.loss < t2.loss)",
+            Hardness::Soft,
+        )
+        .unwrap();
+        let d = inst(
+            &s,
+            &[
+                (0, 0.0, 10.0, 1.0, 0),
+                (0, 0.0, 5.0, 9.0, 0),
+                (0, 0.0, 1.0, 10.0, 0),
+            ],
+        );
         // pairs (0,1), (0,2), (1,2) all violate
         assert_eq!(per_tuple_violations(&ord, &d), vec![2, 2, 2]);
         let u = parse_dc(&s, "u", "!(t1.gain > 90)", Hardness::Soft).unwrap();
@@ -457,9 +517,13 @@ mod tests {
     #[test]
     fn empty_and_singleton_instances() {
         let s = schema();
-        let dc =
-            parse_dc(&s, "fd", "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)", Hardness::Hard)
-                .unwrap();
+        let dc = parse_dc(
+            &s,
+            "fd",
+            "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)",
+            Hardness::Hard,
+        )
+        .unwrap();
         let empty = Instance::empty(&s);
         assert_eq!(count_violating_pairs(&dc, &empty), 0);
         assert_eq!(violation_percentage(&dc, &empty), 0.0);

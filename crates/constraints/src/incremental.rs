@@ -15,7 +15,21 @@
 //!   `A_φ`), matching the paper's stated O(n) per-candidate complexity for
 //!   general binary DCs.
 //!
-//! Counters also support [`DcCounter::remove`] so the constrained MCMC step
+//! ## Read/write split
+//!
+//! The state is layered so the read path can run concurrently:
+//!
+//! * [`FdIndex`] and [`ScanIndex`] are the **prefix indexes**. All scoring
+//!   entry points take `&self` — an index is immutable for the entire
+//!   duration of a scoring pass, so any number of threads may score
+//!   candidates against it at once.
+//! * [`DcCounter`] owns an index and adds the **mutation API**
+//!   ([`DcCounter::insert`] / [`DcCounter::remove`], used when a cell is
+//!   committed or MCMC re-opens one). Between mutations it hands out
+//!   [`DcScorer`] — a `Copy` read-only view — and answers batch queries
+//!   via [`DcCounter::score_candidates`].
+//!
+//! Counters support [`DcCounter::remove`] so the constrained MCMC step
 //! (Algorithm 3 line 12) can take one tuple out, re-sample its cell
 //! conditioned on all others, and re-insert it.
 
@@ -23,7 +37,7 @@ use std::collections::HashMap;
 
 use kamino_data::{Instance, Value};
 
-use crate::ast::{DenialConstraint, Fd};
+use crate::ast::{CmpOp, DenialConstraint, Fd};
 use crate::engine::value_key;
 
 /// A view of one tuple where the `target` attribute takes a hypothetical
@@ -41,14 +55,24 @@ impl<'a> CandidateRow<'a> {
     /// Builds a candidate view of `row` with `target` hypothetically set to
     /// `value`.
     pub fn new(inst: &'a Instance, row: usize, target: usize, value: Value) -> CandidateRow<'a> {
-        CandidateRow { inst, row, target, value }
+        CandidateRow {
+            inst,
+            row,
+            target,
+            value,
+        }
     }
 
     /// Builds a view of `row` exactly as currently stored (used when
     /// inserting a finalized row, or removing it for MCMC).
     pub fn committed(inst: &'a Instance, row: usize, target: usize) -> CandidateRow<'a> {
         let value = inst.value(row, target);
-        CandidateRow { inst, row, target, value }
+        CandidateRow {
+            inst,
+            row,
+            target,
+            value,
+        }
     }
 
     /// Value of `attr` under the hypothesis.
@@ -74,112 +98,39 @@ impl<'a> CandidateRow<'a> {
     }
 }
 
-/// Incremental violation counter for one DC. See the module docs for the
-/// per-shape strategies.
-pub enum DcCounter {
-    /// Unary DC: stateless evaluation of the candidate row.
-    Unary(DenialConstraint),
-    /// FD-shaped binary DC: hash index on the determinant.
-    Fd(FdCounter),
-    /// General binary DC: exact scan over stored prefix rows.
-    Scan(ScanCounter),
+/// The cell a scoring pass is about: row `row` of `inst` at attribute
+/// `target`, with every *other* attribute read from the partially filled
+/// instance. Pair it with a candidate value via [`CellContext::with`] to
+/// get the [`CandidateRow`] hypothesis for that value.
+#[derive(Clone, Copy)]
+pub struct CellContext<'a> {
+    inst: &'a Instance,
+    row: usize,
+    target: usize,
 }
 
-impl DcCounter {
-    /// Chooses the best counter implementation for `dc`.
-    pub fn build(dc: &DenialConstraint) -> DcCounter {
-        if !dc.is_binary() {
-            return DcCounter::Unary(dc.clone());
-        }
-        if let Some(fd) = dc.as_fd() {
-            return DcCounter::Fd(FdCounter::new(fd));
-        }
-        DcCounter::Scan(ScanCounter::new(dc.clone()))
+impl<'a> CellContext<'a> {
+    /// Describes the cell at (`row`, `target`) of `inst`.
+    pub fn new(inst: &'a Instance, row: usize, target: usize) -> CellContext<'a> {
+        CellContext { inst, row, target }
     }
 
-    /// `|V(φ, t_i | D_:i)|` if the candidate row were committed: the number
-    /// of new violations against currently inserted rows (for binary DCs),
-    /// or whether the row itself violates (for unary DCs).
-    pub fn count_new(&self, cand: &CandidateRow<'_>) -> u64 {
-        match self {
-            DcCounter::Unary(dc) => u64::from(dc.violated_by_tuple(|a| cand.get(a))),
-            DcCounter::Fd(c) => c.count_new(cand),
-            DcCounter::Scan(c) => c.count_new(cand),
-        }
+    /// The hypothesis "this cell takes value `v`".
+    #[inline]
+    pub fn with(&self, v: Value) -> CandidateRow<'a> {
+        CandidateRow::new(self.inst, self.row, self.target, v)
     }
 
-    /// Commits the candidate row into the prefix state.
-    pub fn insert(&mut self, cand: &CandidateRow<'_>) {
-        match self {
-            DcCounter::Unary(_) => {}
-            DcCounter::Fd(c) => c.insert(cand),
-            DcCounter::Scan(c) => c.insert(cand),
-        }
+    /// The attribute being sampled.
+    #[inline]
+    pub fn target(&self) -> usize {
+        self.target
     }
 
-    /// Removes a previously inserted row (its values must match what was
-    /// inserted — pass a [`CandidateRow::committed`] view). Used by MCMC.
-    pub fn remove(&mut self, cand: &CandidateRow<'_>) {
-        match self {
-            DcCounter::Unary(_) => {}
-            DcCounter::Fd(c) => c.remove(cand),
-            DcCounter::Scan(c) => c.remove(cand),
-        }
-    }
-
-    /// For hard FDs (§7.3.6 optimization): the dependent value every member
-    /// of the candidate's determinant group carries, if the group exists
-    /// and is internally consistent. `None` for non-FD counters, unseen
-    /// groups, or inconsistent groups.
-    pub fn required_value(&self, cand: &CandidateRow<'_>) -> Option<Value> {
-        match self {
-            DcCounter::Fd(c) => c.required_value(cand),
-            _ => None,
-        }
-    }
-
-    /// For FD counters, the dependent (right-hand-side) attribute of the
-    /// FD; `None` otherwise. The sampler's hard-FD fast path only applies
-    /// [`Self::required_value`] when the attribute being sampled *is* the
-    /// dependent.
-    pub fn fd_rhs(&self) -> Option<usize> {
-        match self {
-            DcCounter::Fd(c) => Some(c.fd.rhs),
-            _ => None,
-        }
-    }
-
-    /// For strict-order DCs (`¬(eqs ∧ A≶ ∧ B≶)`), the closed interval of
-    /// `target` values that create *no* violation against the inserted
-    /// rows, given the candidate's other attribute values. `None` when the
-    /// DC is not order-shaped, `target` is not one of its order attributes,
-    /// or the prefix is already inconsistent for this context (the band
-    /// would be empty). Unbounded sides come back as ±∞.
-    ///
-    /// If the inserted rows are violation-free, the band is always
-    /// non-empty: for rows `r₁, r₂` with `other(r₁) ≶ other(cand) ≶
-    /// other(r₂)`, consistency of `(r₁, r₂)` forces their target values to
-    /// be ordered compatibly.
-    pub fn feasible_range(&self, cand: &CandidateRow<'_>, target: usize) -> Option<(f64, f64)> {
-        match self {
-            DcCounter::Scan(c) => c.feasible_range(cand, target),
-            _ => None,
-        }
-    }
-
-    /// Number of rows currently inserted (0 for unary counters, which keep
-    /// no state).
-    pub fn len(&self) -> usize {
-        match self {
-            DcCounter::Unary(_) => 0,
-            DcCounter::Fd(c) => c.n_rows,
-            DcCounter::Scan(c) => c.rows.len(),
-        }
-    }
-
-    /// Whether no rows are inserted.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
+    /// The row being filled.
+    #[inline]
+    pub fn row(&self) -> usize {
+        self.row
     }
 }
 
@@ -190,28 +141,60 @@ struct FdGroup {
     by_rhs: HashMap<u64, (u64, Value)>,
 }
 
-/// Hash-indexed incremental counter for an FD `X → B`.
-pub struct FdCounter {
+/// Immutable-at-scoring-time prefix index for an FD `X → B`: a hash index
+/// on the determinant. Every method takes `&self`; mutation goes through
+/// the owning [`DcCounter`].
+pub struct FdIndex {
     fd: Fd,
     groups: HashMap<Vec<u64>, FdGroup>,
     n_rows: usize,
 }
 
-impl FdCounter {
-    fn new(fd: Fd) -> FdCounter {
-        FdCounter { fd, groups: HashMap::new(), n_rows: 0 }
+impl FdIndex {
+    fn new(fd: Fd) -> FdIndex {
+        FdIndex {
+            fd,
+            groups: HashMap::new(),
+            n_rows: 0,
+        }
     }
 
     fn key(&self, cand: &CandidateRow<'_>) -> Vec<u64> {
-        self.fd.lhs.iter().map(|&a| value_key(cand.get(a))).collect()
+        self.fd
+            .lhs
+            .iter()
+            .map(|&a| value_key(cand.get(a)))
+            .collect()
     }
 
-    fn count_new(&self, cand: &CandidateRow<'_>) -> u64 {
+    /// New violations the candidate would introduce against the prefix.
+    pub fn count_new(&self, cand: &CandidateRow<'_>) -> u64 {
         let key = self.key(cand);
-        let Some(group) = self.groups.get(&key) else { return 0 };
-        let same =
-            group.by_rhs.get(&value_key(cand.get(self.fd.rhs))).map_or(0, |&(c, _)| c);
+        let Some(group) = self.groups.get(&key) else {
+            return 0;
+        };
+        let same = group
+            .by_rhs
+            .get(&value_key(cand.get(self.fd.rhs)))
+            .map_or(0, |&(c, _)| c);
         group.total - same
+    }
+
+    /// The dependent value every member of the candidate's determinant
+    /// group carries, if the group exists and is internally consistent
+    /// (§7.3.6 hard-FD lookup).
+    pub fn required_value(&self, cand: &CandidateRow<'_>) -> Option<Value> {
+        let group = self.groups.get(&self.key(cand))?;
+        if group.by_rhs.len() == 1 {
+            group.by_rhs.values().next().map(|&(_, v)| v)
+        } else {
+            None
+        }
+    }
+
+    /// The FD's dependent (right-hand-side) attribute.
+    pub fn rhs(&self) -> usize {
+        self.fd.rhs
     }
 
     fn insert(&mut self, cand: &CandidateRow<'_>) {
@@ -229,7 +212,10 @@ impl FdCounter {
         let Some(group) = self.groups.get_mut(&key) else {
             panic!("removing a row that was never inserted (unknown determinant group)")
         };
-        let entry = group.by_rhs.get_mut(&rhs_key).expect("removing an uninserted dependent");
+        let entry = group
+            .by_rhs
+            .get_mut(&rhs_key)
+            .expect("removing an uninserted dependent");
         entry.0 -= 1;
         if entry.0 == 0 {
             group.by_rhs.remove(&rhs_key);
@@ -239,15 +225,6 @@ impl FdCounter {
             self.groups.remove(&key);
         }
         self.n_rows -= 1;
-    }
-
-    fn required_value(&self, cand: &CandidateRow<'_>) -> Option<Value> {
-        let group = self.groups.get(&self.key(cand))?;
-        if group.by_rhs.len() == 1 {
-            group.by_rhs.values().next().map(|&(_, v)| v)
-        } else {
-            None
-        }
     }
 }
 
@@ -259,16 +236,19 @@ struct OrderInfo {
     b: (usize, CmpOp),
 }
 
-use crate::ast::CmpOp;
-
 fn recognize_order(dc: &DenialConstraint) -> Option<OrderInfo> {
     let so = dc.as_strict_order()?;
-    Some(OrderInfo { eq_attrs: so.eq_attrs, a: so.a, b: so.b })
+    Some(OrderInfo {
+        eq_attrs: so.eq_attrs,
+        a: so.a,
+        b: so.b,
+    })
 }
 
-/// Exact-scan incremental counter for general binary DCs. Stores each
-/// inserted row restricted to `A_φ`.
-pub struct ScanCounter {
+/// Immutable-at-scoring-time prefix index for general binary DCs: stores
+/// each inserted row restricted to `A_φ` and scores by exact scan. Every
+/// method takes `&self`; mutation goes through the owning [`DcCounter`].
+pub struct ScanIndex {
     dc: DenialConstraint,
     attrs: Vec<usize>,
     /// row id → values aligned with `attrs`
@@ -276,20 +256,29 @@ pub struct ScanCounter {
     order: Option<OrderInfo>,
 }
 
-impl ScanCounter {
-    fn new(dc: DenialConstraint) -> ScanCounter {
+impl ScanIndex {
+    fn new(dc: DenialConstraint) -> ScanIndex {
         let attrs: Vec<usize> = dc.attrs().into_iter().collect();
         let order = recognize_order(&dc);
-        ScanCounter { dc, attrs, rows: HashMap::new(), order }
+        ScanIndex {
+            dc,
+            attrs,
+            rows: HashMap::new(),
+            order,
+        }
     }
 
     #[inline]
     fn pos(&self, attr: usize) -> usize {
         // A_φ is tiny (≤ 4 attributes in practice); linear search beats a map.
-        self.attrs.iter().position(|&a| a == attr).expect("attribute not in A_phi")
+        self.attrs
+            .iter()
+            .position(|&a| a == attr)
+            .expect("attribute not in A_phi")
     }
 
-    fn count_new(&self, cand: &CandidateRow<'_>) -> u64 {
+    /// New violations the candidate would introduce against the prefix.
+    pub fn count_new(&self, cand: &CandidateRow<'_>) -> u64 {
         let mut count = 0;
         for (&row_id, stored) in &self.rows {
             if row_id == cand.row() {
@@ -303,6 +292,18 @@ impl ScanCounter {
         count
     }
 
+    /// Number of prefix rows a single candidate score must visit — the
+    /// work estimate batch schedulers use to decide whether parallelism
+    /// pays for itself.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
     fn insert(&mut self, cand: &CandidateRow<'_>) {
         let values: Vec<Value> = self.attrs.iter().map(|&a| cand.get(a)).collect();
         let prev = self.rows.insert(cand.row(), values);
@@ -310,14 +311,16 @@ impl ScanCounter {
     }
 
     fn remove(&mut self, cand: &CandidateRow<'_>) {
-        self.rows.remove(&cand.row()).expect("removing a row that was never inserted");
+        self.rows
+            .remove(&cand.row())
+            .expect("removing a row that was never inserted");
     }
 
     /// Feasible interval for the `target` attribute of `cand` under a
     /// strict order DC (see [`DcCounter::feasible_range`]). Scans stored
     /// rows, accumulating the tightest closed bounds `[lo, hi]` such that
     /// any `v ∈ [lo, hi]` creates no violation with the prefix.
-    fn feasible_range(&self, cand: &CandidateRow<'_>, target: usize) -> Option<(f64, f64)> {
+    pub fn feasible_range(&self, cand: &CandidateRow<'_>, target: usize) -> Option<(f64, f64)> {
         let info = self.order.as_ref()?;
         // which order predicate binds the target? the other one is known
         // from the candidate's context.
@@ -373,6 +376,182 @@ impl ScanCounter {
     }
 }
 
+/// A `Copy`, `Send + Sync` read-only view of one counter's prefix index —
+/// the handle the parallel scoring substrate fans out across threads.
+/// Obtained from [`DcCounter::scorer`]; lives only between mutations.
+#[derive(Clone, Copy)]
+pub enum DcScorer<'a> {
+    /// Unary DC: stateless evaluation of the candidate row.
+    Unary(&'a DenialConstraint),
+    /// FD-shaped binary DC: hash-index lookups.
+    Fd(&'a FdIndex),
+    /// General binary DC: exact scan of the stored prefix.
+    Scan(&'a ScanIndex),
+}
+
+impl DcScorer<'_> {
+    /// `|V(φ, t_i | D_:i)|` if the candidate row were committed.
+    pub fn count_new(&self, cand: &CandidateRow<'_>) -> u64 {
+        match self {
+            DcScorer::Unary(dc) => u64::from(dc.violated_by_tuple(|a| cand.get(a))),
+            DcScorer::Fd(ix) => ix.count_new(cand),
+            DcScorer::Scan(ix) => ix.count_new(cand),
+        }
+    }
+
+    /// Hard-FD lookup value (see [`DcCounter::required_value`]).
+    pub fn required_value(&self, cand: &CandidateRow<'_>) -> Option<Value> {
+        match self {
+            DcScorer::Fd(ix) => ix.required_value(cand),
+            _ => None,
+        }
+    }
+
+    /// Order-DC feasible band (see [`DcCounter::feasible_range`]).
+    pub fn feasible_range(&self, cand: &CandidateRow<'_>, target: usize) -> Option<(f64, f64)> {
+        match self {
+            DcScorer::Scan(ix) => ix.feasible_range(cand, target),
+            _ => None,
+        }
+    }
+
+    /// FD dependent attribute (see [`DcCounter::fd_rhs`]).
+    pub fn fd_rhs(&self) -> Option<usize> {
+        match self {
+            DcScorer::Fd(ix) => Some(ix.rhs()),
+            _ => None,
+        }
+    }
+
+    /// Prefix rows one candidate score visits (1 for O(1) counters) — the
+    /// per-candidate work estimate used to decide whether to parallelize.
+    pub fn scan_cost(&self) -> usize {
+        match self {
+            DcScorer::Scan(ix) => ix.len().max(1),
+            _ => 1,
+        }
+    }
+}
+
+/// Incremental violation counter for one DC: a prefix index plus the
+/// mutation API. See the module docs for the per-shape strategies and the
+/// read/write split.
+pub enum DcCounter {
+    /// Unary DC: stateless evaluation of the candidate row.
+    Unary(DenialConstraint),
+    /// FD-shaped binary DC: hash index on the determinant.
+    Fd(FdIndex),
+    /// General binary DC: exact scan over stored prefix rows.
+    Scan(ScanIndex),
+}
+
+impl DcCounter {
+    /// Chooses the best counter implementation for `dc`.
+    pub fn build(dc: &DenialConstraint) -> DcCounter {
+        if !dc.is_binary() {
+            return DcCounter::Unary(dc.clone());
+        }
+        if let Some(fd) = dc.as_fd() {
+            return DcCounter::Fd(FdIndex::new(fd));
+        }
+        DcCounter::Scan(ScanIndex::new(dc.clone()))
+    }
+
+    /// The read-only scoring view over the current prefix index.
+    pub fn scorer(&self) -> DcScorer<'_> {
+        match self {
+            DcCounter::Unary(dc) => DcScorer::Unary(dc),
+            DcCounter::Fd(ix) => DcScorer::Fd(ix),
+            DcCounter::Scan(ix) => DcScorer::Scan(ix),
+        }
+    }
+
+    /// `|V(φ, t_i | D_:i)|` if the candidate row were committed: the number
+    /// of new violations against currently inserted rows (for binary DCs),
+    /// or whether the row itself violates (for unary DCs).
+    pub fn count_new(&self, cand: &CandidateRow<'_>) -> u64 {
+        self.scorer().count_new(cand)
+    }
+
+    /// Batch form of [`Self::count_new`]: the violation count for every
+    /// candidate value of the cell, in input order. `&self` — the prefix
+    /// index is immutable during the pass, so callers may fan this out
+    /// across threads (the `score` module does exactly that across a whole
+    /// counter set).
+    pub fn score_candidates(&self, cell: CellContext<'_>, values: &[Value]) -> Vec<u64> {
+        let scorer = self.scorer();
+        values
+            .iter()
+            .map(|&v| scorer.count_new(&cell.with(v)))
+            .collect()
+    }
+
+    /// Commits the candidate row into the prefix state.
+    pub fn insert(&mut self, cand: &CandidateRow<'_>) {
+        match self {
+            DcCounter::Unary(_) => {}
+            DcCounter::Fd(ix) => ix.insert(cand),
+            DcCounter::Scan(ix) => ix.insert(cand),
+        }
+    }
+
+    /// Removes a previously inserted row (its values must match what was
+    /// inserted — pass a [`CandidateRow::committed`] view). Used by MCMC.
+    pub fn remove(&mut self, cand: &CandidateRow<'_>) {
+        match self {
+            DcCounter::Unary(_) => {}
+            DcCounter::Fd(ix) => ix.remove(cand),
+            DcCounter::Scan(ix) => ix.remove(cand),
+        }
+    }
+
+    /// For hard FDs (§7.3.6 optimization): the dependent value every member
+    /// of the candidate's determinant group carries, if the group exists
+    /// and is internally consistent. `None` for non-FD counters, unseen
+    /// groups, or inconsistent groups.
+    pub fn required_value(&self, cand: &CandidateRow<'_>) -> Option<Value> {
+        self.scorer().required_value(cand)
+    }
+
+    /// For FD counters, the dependent (right-hand-side) attribute of the
+    /// FD; `None` otherwise. The sampler's hard-FD fast path only applies
+    /// [`Self::required_value`] when the attribute being sampled *is* the
+    /// dependent.
+    pub fn fd_rhs(&self) -> Option<usize> {
+        self.scorer().fd_rhs()
+    }
+
+    /// For strict-order DCs (`¬(eqs ∧ A≶ ∧ B≶)`), the closed interval of
+    /// `target` values that create *no* violation against the inserted
+    /// rows, given the candidate's other attribute values. `None` when the
+    /// DC is not order-shaped, `target` is not one of its order attributes,
+    /// or the prefix is already inconsistent for this context (the band
+    /// would be empty). Unbounded sides come back as ±∞.
+    ///
+    /// If the inserted rows are violation-free, the band is always
+    /// non-empty: for rows `r₁, r₂` with `other(r₁) ≶ other(cand) ≶
+    /// other(r₂)`, consistency of `(r₁, r₂)` forces their target values to
+    /// be ordered compatibly.
+    pub fn feasible_range(&self, cand: &CandidateRow<'_>, target: usize) -> Option<(f64, f64)> {
+        self.scorer().feasible_range(cand, target)
+    }
+
+    /// Number of rows currently inserted (0 for unary counters, which keep
+    /// no state).
+    pub fn len(&self) -> usize {
+        match self {
+            DcCounter::Unary(_) => 0,
+            DcCounter::Fd(ix) => ix.n_rows,
+            DcCounter::Scan(ix) => ix.rows.len(),
+        }
+    }
+
+    /// Whether no rows are inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,20 +573,29 @@ mod tests {
     fn inst(s: &Schema, rows: &[(u32, f64, f64, f64)]) -> Instance {
         let rows: Vec<Vec<Value>> = rows
             .iter()
-            .map(|&(e, en, g, l)| {
-                vec![Value::Cat(e), Value::Num(en), Value::Num(g), Value::Num(l)]
-            })
+            .map(|&(e, en, g, l)| vec![Value::Cat(e), Value::Num(en), Value::Num(g), Value::Num(l)])
             .collect();
         Instance::from_rows(s, &rows).unwrap()
     }
 
     fn fd_dc(s: &Schema) -> DenialConstraint {
-        parse_dc(s, "fd", "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)", Hardness::Hard)
-            .unwrap()
+        parse_dc(
+            s,
+            "fd",
+            "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)",
+            Hardness::Hard,
+        )
+        .unwrap()
     }
 
     fn ord_dc(s: &Schema) -> DenialConstraint {
-        parse_dc(s, "ord", "!(t1.gain > t2.gain & t1.loss < t2.loss)", Hardness::Hard).unwrap()
+        parse_dc(
+            s,
+            "ord",
+            "!(t1.gain > t2.gain & t1.loss < t2.loss)",
+            Hardness::Hard,
+        )
+        .unwrap()
     }
 
     /// Eqn. (3): the sum of incremental counts over the tuple sequence
@@ -420,7 +608,11 @@ mod tests {
             incremental_sum += counter.count_new(&cand);
             counter.insert(&cand);
         }
-        assert_eq!(incremental_sum, count_violating_pairs(dc, d), "chain rule violated");
+        assert_eq!(
+            incremental_sum,
+            count_violating_pairs(dc, d),
+            "chain rule violated"
+        );
     }
 
     #[test]
@@ -460,28 +652,143 @@ mod tests {
     fn fd_candidate_counts() {
         let s = schema();
         let dc = fd_dc(&s);
-        let d = inst(&s, &[(0, 10.0, 0.0, 0.0), (0, 10.0, 0.0, 0.0), (1, 5.0, 0.0, 0.0)]);
+        let d = inst(
+            &s,
+            &[(0, 10.0, 0.0, 0.0), (0, 10.0, 0.0, 0.0), (1, 5.0, 0.0, 0.0)],
+        );
         let mut counter = DcCounter::build(&dc);
         for i in 0..3 {
             counter.insert(&CandidateRow::committed(&d, i, 1));
         }
         // hypothetical 4th row with edu=0
-        let probe = inst(&s, &[(0, 10.0, 0.0, 0.0), (0, 10.0, 0.0, 0.0), (1, 5.0, 0.0, 0.0), (0, 0.0, 0.0, 0.0)]);
+        let probe = inst(
+            &s,
+            &[
+                (0, 10.0, 0.0, 0.0),
+                (0, 10.0, 0.0, 0.0),
+                (1, 5.0, 0.0, 0.0),
+                (0, 0.0, 0.0, 0.0),
+            ],
+        );
         // edu_num = 10 matches the group: no new violations
-        assert_eq!(counter.count_new(&CandidateRow::new(&probe, 3, 1, Value::Num(10.0))), 0);
+        assert_eq!(
+            counter.count_new(&CandidateRow::new(&probe, 3, 1, Value::Num(10.0))),
+            0
+        );
         // edu_num = 11 conflicts with both group members
-        assert_eq!(counter.count_new(&CandidateRow::new(&probe, 3, 1, Value::Num(11.0))), 2);
+        assert_eq!(
+            counter.count_new(&CandidateRow::new(&probe, 3, 1, Value::Num(11.0))),
+            2
+        );
         // unseen determinant: no violations either way
-        let probe2 =
-            inst(&s, &[(0, 10.0, 0.0, 0.0), (0, 10.0, 0.0, 0.0), (1, 5.0, 0.0, 0.0), (3, 0.0, 0.0, 0.0)]);
-        assert_eq!(counter.count_new(&CandidateRow::new(&probe2, 3, 1, Value::Num(1.0))), 0);
+        let probe2 = inst(
+            &s,
+            &[
+                (0, 10.0, 0.0, 0.0),
+                (0, 10.0, 0.0, 0.0),
+                (1, 5.0, 0.0, 0.0),
+                (3, 0.0, 0.0, 0.0),
+            ],
+        );
+        assert_eq!(
+            counter.count_new(&CandidateRow::new(&probe2, 3, 1, Value::Num(1.0))),
+            0
+        );
+    }
+
+    #[test]
+    fn batch_scoring_matches_single_candidate_path() {
+        let s = schema();
+        let dc = fd_dc(&s);
+        let d = inst(
+            &s,
+            &[(0, 10.0, 0.0, 0.0), (0, 10.0, 0.0, 0.0), (1, 5.0, 0.0, 0.0)],
+        );
+        let mut counter = DcCounter::build(&dc);
+        for i in 0..3 {
+            counter.insert(&CandidateRow::committed(&d, i, 1));
+        }
+        let probe = inst(
+            &s,
+            &[
+                (0, 10.0, 0.0, 0.0),
+                (0, 10.0, 0.0, 0.0),
+                (1, 5.0, 0.0, 0.0),
+                (0, 0.0, 0.0, 0.0),
+            ],
+        );
+        let cell = CellContext::new(&probe, 3, 1);
+        let values: Vec<Value> = (1..=16).map(|k| Value::Num(k as f64)).collect();
+        let batch = counter.score_candidates(cell, &values);
+        for (v, got) in values.iter().zip(&batch) {
+            assert_eq!(*got, counter.count_new(&cell.with(*v)));
+        }
+        // and the same through the order-DC scan index
+        let ord = ord_dc(&s);
+        let d2 = inst(
+            &s,
+            &[
+                (0, 0.0, 10.0, 1.0),
+                (0, 0.0, 5.0, 9.0),
+                (0, 0.0, 7.0, 7.0),
+                (0, 0.0, 0.0, 0.0),
+            ],
+        );
+        let mut scan = DcCounter::build(&ord);
+        for i in 0..3 {
+            scan.insert(&CandidateRow::committed(&d2, i, 3));
+        }
+        let cell2 = CellContext::new(&d2, 3, 3);
+        let values2: Vec<Value> = (0..20).map(|k| Value::Num(k as f64)).collect();
+        let batch2 = scan.score_candidates(cell2, &values2);
+        for (v, got) in values2.iter().zip(&batch2) {
+            assert_eq!(*got, scan.count_new(&cell2.with(*v)));
+        }
+    }
+
+    #[test]
+    fn scorer_view_answers_like_the_counter() {
+        let s = schema();
+        let dc = ord_dc(&s);
+        let d = inst(
+            &s,
+            &[(0, 0.0, 10.0, 1.0), (0, 0.0, 5.0, 9.0), (0, 0.0, 7.0, 7.0)],
+        );
+        let mut counter = DcCounter::build(&dc);
+        for i in 0..2 {
+            counter.insert(&CandidateRow::committed(&d, i, 3));
+        }
+        let scorer = counter.scorer();
+        let cand = CandidateRow::new(&d, 2, 3, Value::Num(7.0));
+        assert_eq!(scorer.count_new(&cand), counter.count_new(&cand));
+        assert_eq!(
+            scorer.feasible_range(&cand, 3),
+            counter.feasible_range(&cand, 3)
+        );
+        assert_eq!(scorer.fd_rhs(), None);
+        assert_eq!(scorer.scan_cost(), 2);
+        // the view is Copy + Send + Sync: fan it across threads
+        let copies = [scorer; 4];
+        let counts: Vec<u64> = std::thread::scope(|sc| {
+            copies
+                .iter()
+                .map(|sv| sc.spawn(move || sv.count_new(&cand)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(counts.iter().all(|&c| c == counter.count_new(&cand)));
     }
 
     #[test]
     fn fd_required_value_lookup() {
         let s = schema();
         let dc = fd_dc(&s);
-        let d = inst(&s, &[(0, 10.0, 0.0, 0.0), (0, 10.0, 0.0, 0.0), (1, 5.0, 0.0, 0.0)]);
+        let d = inst(
+            &s,
+            &[(0, 10.0, 0.0, 0.0), (0, 10.0, 0.0, 0.0), (1, 5.0, 0.0, 0.0)],
+        );
         let mut counter = DcCounter::build(&dc);
         for i in 0..3 {
             counter.insert(&CandidateRow::committed(&d, i, 1));
@@ -496,17 +803,26 @@ mod tests {
             c2.insert(&CandidateRow::committed(&d2, i, 1));
         }
         let probe2 = inst(&s, &[(2, 0.0, 0.0, 0.0)]);
-        assert_eq!(c2.required_value(&CandidateRow::new(&probe2, 0, 1, Value::Num(0.0))), None);
+        assert_eq!(
+            c2.required_value(&CandidateRow::new(&probe2, 0, 1, Value::Num(0.0))),
+            None
+        );
         // unseen group → None
         let probe3 = inst(&s, &[(3, 0.0, 0.0, 0.0)]);
-        assert_eq!(c2.required_value(&CandidateRow::new(&probe3, 0, 1, Value::Num(0.0))), None);
+        assert_eq!(
+            c2.required_value(&CandidateRow::new(&probe3, 0, 1, Value::Num(0.0))),
+            None
+        );
     }
 
     #[test]
     fn remove_then_requery_supports_mcmc() {
         let s = schema();
         let dc = ord_dc(&s);
-        let d = inst(&s, &[(0, 0.0, 10.0, 1.0), (0, 0.0, 5.0, 9.0), (0, 0.0, 7.0, 7.0)]);
+        let d = inst(
+            &s,
+            &[(0, 0.0, 10.0, 1.0), (0, 0.0, 5.0, 9.0), (0, 0.0, 7.0, 7.0)],
+        );
         let mut counter = DcCounter::build(&dc);
         for i in 0..3 {
             counter.insert(&CandidateRow::committed(&d, i, 3));
@@ -518,10 +834,16 @@ mod tests {
         // gain and larger loss → no violation either orientation for row 0?
         // (10 > 5 ∧ 1 < 0.5)=false, (5 > 10 ∧ 0.5 < 1)=false → ok;
         // row 2: (7 > 5 ∧ 7 < 0.5)=false, (5 > 7 ...)=false → ok.
-        assert_eq!(counter.count_new(&CandidateRow::new(&d, 1, 3, Value::Num(0.5))), 0);
+        assert_eq!(
+            counter.count_new(&CandidateRow::new(&d, 1, 3, Value::Num(0.5))),
+            0
+        );
         // what if loss were 20? row0: (10>5 ∧ 1<20) → violation. row2:
         // (7>5 ∧ 7<20) → violation.
-        assert_eq!(counter.count_new(&CandidateRow::new(&d, 1, 3, Value::Num(20.0))), 2);
+        assert_eq!(
+            counter.count_new(&CandidateRow::new(&d, 1, 3, Value::Num(20.0))),
+            2
+        );
         // reinsert the original and the state is consistent again
         counter.insert(&CandidateRow::committed(&d, 1, 3));
         assert_eq!(counter.len(), 3);
@@ -537,8 +859,14 @@ mod tests {
         counter.insert(&CandidateRow::committed(&d, 1, 1));
         counter.remove(&CandidateRow::committed(&d, 1, 1));
         let probe = inst(&s, &[(0, 0.0, 0.0, 0.0)]);
-        assert_eq!(counter.count_new(&CandidateRow::new(&probe, 0, 1, Value::Num(12.0))), 1);
-        assert_eq!(counter.required_value(&CandidateRow::new(&probe, 0, 1, Value::Num(0.0))), Some(Value::Num(10.0)));
+        assert_eq!(
+            counter.count_new(&CandidateRow::new(&probe, 0, 1, Value::Num(12.0))),
+            1
+        );
+        assert_eq!(
+            counter.required_value(&CandidateRow::new(&probe, 0, 1, Value::Num(0.0))),
+            Some(Value::Num(10.0))
+        );
     }
 
     #[test]
@@ -548,8 +876,14 @@ mod tests {
         let mut counter = DcCounter::build(&dc);
         assert!(counter.is_empty());
         let d = inst(&s, &[(0, 0.0, 50.0, 0.0)]);
-        assert_eq!(counter.count_new(&CandidateRow::new(&d, 0, 2, Value::Num(95.0))), 1);
-        assert_eq!(counter.count_new(&CandidateRow::new(&d, 0, 2, Value::Num(10.0))), 0);
+        assert_eq!(
+            counter.count_new(&CandidateRow::new(&d, 0, 2, Value::Num(95.0))),
+            1
+        );
+        assert_eq!(
+            counter.count_new(&CandidateRow::new(&d, 0, 2, Value::Num(10.0))),
+            0
+        );
         counter.insert(&CandidateRow::committed(&d, 0, 2));
         assert_eq!(counter.len(), 0);
     }
@@ -563,15 +897,18 @@ mod tests {
         let d = inst(&s, &[(0, 0.0, 10.0, 1.0)]);
         let mut counter = DcCounter::build(&dc);
         counter.insert(&CandidateRow::committed(&d, 0, 3));
-        assert_eq!(counter.count_new(&CandidateRow::new(&d, 0, 3, Value::Num(50.0))), 0);
+        assert_eq!(
+            counter.count_new(&CandidateRow::new(&d, 0, 3, Value::Num(50.0))),
+            0
+        );
     }
 
     #[test]
     fn feasible_range_for_order_dc() {
         let s = schema();
         let dc = ord_dc(&s); // ¬(gain↑ ∧ loss↓): loss must be monotone in gain
-        // rows 0 and 1 are the inserted prefix; rows 2 and 3 are probes
-        // (probe row ids must differ from inserted ids, as during sampling)
+                             // rows 0 and 1 are the inserted prefix; rows 2 and 3 are probes
+                             // (probe row ids must differ from inserted ids, as during sampling)
         let d = inst(
             &s,
             &[
@@ -596,7 +933,10 @@ mod tests {
         assert_eq!(lo2, f64::NEG_INFINITY);
         // any value inside the band really is violation-free
         for v in [10.0, 20.0, 30.0] {
-            assert_eq!(counter.count_new(&CandidateRow::new(&d, 2, 3, Value::Num(v))), 0);
+            assert_eq!(
+                counter.count_new(&CandidateRow::new(&d, 2, 3, Value::Num(v))),
+                0
+            );
         }
         // and just outside, it is not
         assert!(counter.count_new(&CandidateRow::new(&d, 2, 3, Value::Num(9.0))) > 0);
@@ -614,7 +954,10 @@ mod tests {
             Hardness::Hard,
         )
         .unwrap();
-        let d = inst(&s, &[(0, 0.0, 2.0, 10.0), (1, 0.0, 2.0, 99.0), (0, 0.0, 5.0, 0.0)]);
+        let d = inst(
+            &s,
+            &[(0, 0.0, 2.0, 10.0), (1, 0.0, 2.0, 99.0), (0, 0.0, 5.0, 0.0)],
+        );
         let mut counter = DcCounter::build(&dc);
         for i in 0..2 {
             counter.insert(&CandidateRow::committed(&d, i, 3));
@@ -644,7 +987,10 @@ mod tests {
         let s = schema();
         let dc = ord_dc(&s);
         // rows 0 and 1 already violate each other
-        let d = inst(&s, &[(0, 0.0, 2.0, 50.0), (0, 0.0, 8.0, 10.0), (0, 0.0, 5.0, 0.0)]);
+        let d = inst(
+            &s,
+            &[(0, 0.0, 2.0, 50.0), (0, 0.0, 8.0, 10.0), (0, 0.0, 5.0, 0.0)],
+        );
         let mut counter = DcCounter::build(&dc);
         for i in 0..2 {
             counter.insert(&CandidateRow::committed(&d, i, 3));

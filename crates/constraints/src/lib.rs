@@ -16,6 +16,9 @@
 //!   Algorithm 3 queries per candidate value — with a hash-index fast path
 //!   for FDs and an exact scan fallback matching the paper's stated
 //!   complexity,
+//! * the batch candidate-[`score`] substrate: a read-only scoring view
+//!   over the incremental counters that evaluates whole candidate sets at
+//!   once, in parallel when the `parallel` feature (default) is enabled,
 //! * approximate-DC [`discovery`] used by Experiment 8 to scale `|Φ|`.
 
 pub mod ast;
@@ -23,10 +26,12 @@ pub mod discovery;
 pub mod engine;
 pub mod incremental;
 pub mod parser;
+pub mod score;
 
 pub use ast::{CmpOp, DenialConstraint, Fd, Hardness, Operand, Predicate, StrictOrder, TupleRef};
 pub use engine::{
     count_unary_violations, count_violating_pairs, per_tuple_violations, violation_percentage,
 };
-pub use incremental::{CandidateRow, DcCounter};
+pub use incremental::{CandidateRow, CellContext, DcCounter, DcScorer};
 pub use parser::parse_dc;
+pub use score::ScoreSet;

@@ -132,7 +132,9 @@ fn parse_predicate(schema: &Schema, name: &str, raw: &str) -> Result<Predicate, 
             }
         }
     }
-    Err(DataError::Parse(format!("`{name}`: predicate `{raw}` has no comparison operator")))
+    Err(DataError::Parse(format!(
+        "`{name}`: predicate `{raw}` has no comparison operator"
+    )))
 }
 
 enum RawOperand<'a> {
@@ -147,10 +149,16 @@ fn parse_operand<'a>(
     txt: &'a str,
 ) -> Result<RawOperand<'a>, DataError> {
     if let Some(rest) = txt.strip_prefix("t1.").or_else(|| txt.strip_prefix("ti.")) {
-        return Ok(RawOperand::Attr(TupleRef::T1, schema.index_of(rest.trim())?));
+        return Ok(RawOperand::Attr(
+            TupleRef::T1,
+            schema.index_of(rest.trim())?,
+        ));
     }
     if let Some(rest) = txt.strip_prefix("t2.").or_else(|| txt.strip_prefix("tj.")) {
-        return Ok(RawOperand::Attr(TupleRef::T2, schema.index_of(rest.trim())?));
+        return Ok(RawOperand::Attr(
+            TupleRef::T2,
+            schema.index_of(rest.trim())?,
+        ));
     }
     if let Some(inner) = txt.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')) {
         return Ok(RawOperand::LabelConst(inner));
@@ -263,9 +271,13 @@ mod tests {
     #[test]
     fn parses_fd() {
         let s = schema();
-        let dc =
-            parse_dc(&s, "phi1", "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)", Hardness::Hard)
-                .unwrap();
+        let dc = parse_dc(
+            &s,
+            "phi1",
+            "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)",
+            Hardness::Hard,
+        )
+        .unwrap();
         assert!(dc.is_binary());
         let fd = dc.as_fd().unwrap();
         assert_eq!(fd.lhs, vec![0]);
@@ -292,28 +304,40 @@ mod tests {
     #[test]
     fn parses_unary_with_constants() {
         let s = schema();
-        let dc =
-            parse_dc(&s, "phi3", "!(t1.age < 10 & t1.cap_gain > 1000000)", Hardness::Hard).unwrap();
+        let dc = parse_dc(
+            &s,
+            "phi3",
+            "!(t1.age < 10 & t1.cap_gain > 1000000)",
+            Hardness::Hard,
+        )
+        .unwrap();
         assert!(!dc.is_binary());
-        assert_eq!(
-            dc.predicates[1].rhs,
-            Operand::Const(Value::Num(1000000.0))
-        );
+        assert_eq!(dc.predicates[1].rhs, Operand::Const(Value::Num(1000000.0)));
     }
 
     #[test]
     fn parses_label_constant() {
         let s = schema();
-        let dc = parse_dc(&s, "cfd", "!(t1.edu == 'BS' & t1.edu_num < 10)", Hardness::Soft).unwrap();
+        let dc = parse_dc(
+            &s,
+            "cfd",
+            "!(t1.edu == 'BS' & t1.edu_num < 10)",
+            Hardness::Soft,
+        )
+        .unwrap();
         assert_eq!(dc.predicates[0].rhs, Operand::Const(Value::Cat(1)));
     }
 
     #[test]
     fn accepts_single_equals_and_ti_tj() {
         let s = schema();
-        let dc =
-            parse_dc(&s, "p", "!(ti.edu = tj.edu & ti.edu_num != tj.edu_num)", Hardness::Hard)
-                .unwrap();
+        let dc = parse_dc(
+            &s,
+            "p",
+            "!(ti.edu = tj.edu & ti.edu_num != tj.edu_num)",
+            Hardness::Hard,
+        )
+        .unwrap();
         assert!(dc.as_fd().is_some());
     }
 
@@ -358,7 +382,13 @@ mod tests {
     fn whitespace_insensitive() {
         let s = schema();
         let a = parse_dc(&s, "p", "!(t1.age<10&t1.cap_gain>5)", Hardness::Hard).unwrap();
-        let b = parse_dc(&s, "p", "!( t1.age < 10 & t1.cap_gain > 5 )", Hardness::Hard).unwrap();
+        let b = parse_dc(
+            &s,
+            "p",
+            "!( t1.age < 10 & t1.cap_gain > 5 )",
+            Hardness::Hard,
+        )
+        .unwrap();
         assert_eq!(a.predicates, b.predicates);
     }
 

@@ -49,10 +49,12 @@ pub fn synthesize_ar<R: Rng + ?Sized>(
     let mut inst = Instance::zeroed(schema, n);
     let active = active_dcs_by_position(&model.sequence, dcs);
 
-    for j in 0..k {
+    for (j, active_j) in active.iter().enumerate().take(k) {
         let target = model.sequence[j];
-        let mut counters: Vec<(usize, DcCounter)> =
-            active[j].iter().map(|&l| (l, DcCounter::build(&dcs[l]))).collect();
+        let mut counters: Vec<(usize, DcCounter)> = active_j
+            .iter()
+            .map(|&l| (l, DcCounter::build(&dcs[l])))
+            .collect();
         for i in 0..n {
             let value = ar_cell(schema, model, j, &inst, i, &counters, weights, cfg, rng);
             inst.set(i, target, value);
@@ -81,7 +83,10 @@ fn model_draw<R: Rng + ?Sized>(
         return q.sample_in_bin(b, rng);
     }
     let sm = model.submodel_at(j);
-    let ctx: Vec<Value> = model.sequence[..j].iter().map(|&a| inst.value(row, a)).collect();
+    let ctx: Vec<Value> = model.sequence[..j]
+        .iter()
+        .map(|&a| inst.value(row, a))
+        .collect();
     match (&sm.kind, &schema.attr(target).kind) {
         (SubModelKind::NoisyMarginal { dist }, _) => {
             let b = sample_weighted(dist, rng);
@@ -93,7 +98,11 @@ fn model_draw<R: Rng + ?Sized>(
         }
         (SubModelKind::Discriminative { .. }, AttrKind::Numeric { .. }) => {
             let (mu, sigma) = sm.predict_num(&model.store, &ctx);
-            q.clamp(Value::Num(kamino_dp::normal::normal(rng, mu, sigma.max(1e-9))))
+            q.clamp(Value::Num(kamino_dp::normal::normal(
+                rng,
+                mu,
+                sigma.max(1e-9),
+            )))
         }
     }
 }
@@ -232,7 +241,14 @@ mod tests {
         let dcs =
             vec![parse_dc(&s, "fd", "!(t1.a == t2.a & t1.b != t2.b)", Hardness::Hard).unwrap()];
         let mut rng = StdRng::seed_from_u64(6);
-        let ar = synthesize_ar(&s, &m, &dcs, &[HARD_WEIGHT], &ArSampleConfig::new(150), &mut rng);
+        let ar = synthesize_ar(
+            &s,
+            &m,
+            &dcs,
+            &[HARD_WEIGHT],
+            &ArSampleConfig::new(150),
+            &mut rng,
+        );
         assert_eq!(count_violating_pairs(&dcs[0], &ar), 0);
     }
 

@@ -50,13 +50,19 @@ pub enum EmbedCtx {
 /// (§2.3: "a unified representation with a fixed dimensionality for each
 /// attribute").
 pub struct EmbeddingStore {
-    embedders: Vec<AttrEmbedder>,
+    /// `None` marks an attribute not materialized in this store — only
+    /// produced by [`EmbeddingStore::subset_for`] worker clones, which
+    /// never touch those attributes.
+    embedders: Vec<Option<AttrEmbedder>>,
     dim: usize,
 }
 
 impl Clone for EmbeddingStore {
     fn clone(&self) -> Self {
-        EmbeddingStore { embedders: self.embedders.clone(), dim: self.dim }
+        EmbeddingStore {
+            embedders: self.embedders.clone(),
+            dim: self.dim,
+        }
     }
 }
 
@@ -68,15 +74,44 @@ impl EmbeddingStore {
             .iter()
             .map(|attr| match &attr.kind {
                 AttrKind::Categorical { labels } => {
-                    AttrEmbedder::Cat(Embedding::new(labels.len(), dim, rng))
+                    Some(AttrEmbedder::Cat(Embedding::new(labels.len(), dim, rng)))
                 }
-                AttrKind::Numeric { min, max, .. } => AttrEmbedder::Num {
+                AttrKind::Numeric { min, max, .. } => Some(AttrEmbedder::Num {
                     enc: ContinuousEncoder::new(dim, rng),
                     std: Standardizer::from_range(*min, *max),
-                },
+                }),
             })
             .collect();
         EmbeddingStore { embedders, dim }
+    }
+
+    /// A partial clone carrying only the embedders of `attrs` — what a
+    /// microbatch-parallel DP-SGD worker needs (the sub-model's context
+    /// attributes plus its target). Accessing any other attribute through
+    /// the clone panics, so misuse cannot go unnoticed.
+    pub fn subset_for(&self, attrs: impl IntoIterator<Item = usize>) -> EmbeddingStore {
+        let mut embedders: Vec<Option<AttrEmbedder>> = vec![None; self.embedders.len()];
+        for a in attrs {
+            embedders[a] = self.embedders[a].clone();
+        }
+        EmbeddingStore {
+            embedders,
+            dim: self.dim,
+        }
+    }
+
+    #[inline]
+    fn emb(&self, attr: usize) -> &AttrEmbedder {
+        self.embedders[attr]
+            .as_ref()
+            .expect("attribute not materialized in this (worker) store")
+    }
+
+    #[inline]
+    fn emb_mut(&mut self, attr: usize) -> &mut AttrEmbedder {
+        self.embedders[attr]
+            .as_mut()
+            .expect("attribute not materialized in this (worker) store")
     }
 
     /// Embedding dimension `d`.
@@ -86,7 +121,7 @@ impl EmbeddingStore {
 
     /// Embeds `v` (a value of attribute `attr`) into `out`.
     pub fn embed(&self, attr: usize, v: Value, out: &mut [f64]) -> EmbedCtx {
-        match (&self.embedders[attr], v) {
+        match (self.emb(attr), v) {
             (AttrEmbedder::Cat(e), Value::Cat(code)) => {
                 out.copy_from_slice(e.forward(code));
                 EmbedCtx::Cat(code)
@@ -100,7 +135,7 @@ impl EmbeddingStore {
 
     /// Backpropagates `dz` through the embedder used in [`Self::embed`].
     pub fn backward(&mut self, attr: usize, ctx: &EmbedCtx, dz: &[f64]) {
-        match (&mut self.embedders[attr], ctx) {
+        match (self.emb_mut(attr), ctx) {
             (AttrEmbedder::Cat(e), EmbedCtx::Cat(code)) => e.backward(*code, dz),
             (AttrEmbedder::Num { enc, .. }, EmbedCtx::Num(cache)) => enc.backward(cache, dz),
             _ => panic!("embed context does not match attribute {attr}'s embedder"),
@@ -109,7 +144,7 @@ impl EmbeddingStore {
 
     /// The standardizer of a numeric attribute (panics for categorical).
     pub fn standardizer(&self, attr: usize) -> Standardizer {
-        match &self.embedders[attr] {
+        match self.emb(attr) {
             AttrEmbedder::Num { std, .. } => *std,
             AttrEmbedder::Cat(_) => panic!("attribute {attr} is categorical"),
         }
@@ -117,7 +152,7 @@ impl EmbeddingStore {
 
     /// Visits the parameter blocks of one attribute's embedder.
     pub fn visit_attr_blocks(&mut self, attr: usize, f: &mut dyn FnMut(&mut ParamBlock)) {
-        match &mut self.embedders[attr] {
+        match self.emb_mut(attr) {
             AttrEmbedder::Cat(e) => e.visit_blocks(f),
             AttrEmbedder::Num { enc, .. } => enc.visit_blocks(f),
         }
@@ -171,7 +206,11 @@ impl SubModel {
         let SubModelKind::Discriminative { attention, .. } = &self.kind else {
             panic!("context_vector on a noisy-marginal sub-model")
         };
-        assert_eq!(ctx_values.len(), self.context.len(), "context arity mismatch");
+        assert_eq!(
+            ctx_values.len(),
+            self.context.len(),
+            "context arity mismatch"
+        );
         let dim = store.dim();
         let embs: Vec<Vec<f64>> = self
             .context
@@ -195,7 +234,9 @@ impl SubModel {
         match &self.kind {
             SubModelKind::NoisyMarginal { dist } => dist.clone(),
             SubModelKind::Discriminative { head, .. } => {
-                let Head::Cat(h) = head else { panic!("target is not categorical") };
+                let Head::Cat(h) = head else {
+                    panic!("target is not categorical")
+                };
                 let store = self.own_store.as_ref().unwrap_or(store);
                 let v = self.context_vector(store, ctx_values);
                 h.predict(&v)
@@ -208,7 +249,9 @@ impl SubModel {
         let SubModelKind::Discriminative { head, .. } = &self.kind else {
             panic!("predict_num on a noisy-marginal sub-model")
         };
-        let Head::Num(h) = head else { panic!("target is not numeric") };
+        let Head::Num(h) = head else {
+            panic!("target is not numeric")
+        };
         let store = self.own_store.as_ref().unwrap_or(store);
         let v = self.context_vector(store, ctx_values);
         let (mu_s, sigma_s) = h.predict(&v);
@@ -241,6 +284,36 @@ pub struct SubModelTrainer<'a> {
     pub store: &'a mut EmbeddingStore,
     /// The discriminative sub-model being trained.
     pub sm: &'a mut SubModel,
+}
+
+/// Owning counterpart of [`SubModelTrainer`] — the per-thread worker of
+/// microbatch-parallel DP-SGD. Each worker starts from a clone of the
+/// current parameters and accumulates its microbatch's clipped gradients
+/// locally; the optimizer merges the sums in microbatch order, so the
+/// update equals the serial one exactly.
+pub struct OwnedTrainer {
+    /// Clone of the embedding store being trained.
+    pub store: EmbeddingStore,
+    /// Clone of the sub-model being trained.
+    pub sm: SubModel,
+}
+
+impl PerExampleModel<TrainRow> for OwnedTrainer {
+    fn forward_backward(&mut self, row: &TrainRow) -> f64 {
+        SubModelTrainer {
+            store: &mut self.store,
+            sm: &mut self.sm,
+        }
+        .forward_backward(row)
+    }
+
+    fn visit_blocks(&mut self, f: &mut dyn FnMut(&mut ParamBlock)) {
+        SubModelTrainer {
+            store: &mut self.store,
+            sm: &mut self.sm,
+        }
+        .visit_blocks(f)
+    }
 }
 
 impl PerExampleModel<TrainRow> for SubModelTrainer<'_> {
@@ -407,7 +480,9 @@ mod tests {
         let sm = SubModel {
             target: 0,
             context: vec![],
-            kind: SubModelKind::NoisyMarginal { dist: vec![0.25, 0.5, 0.25] },
+            kind: SubModelKind::NoisyMarginal {
+                dist: vec![0.25, 0.5, 0.25],
+            },
             own_store: None,
         };
         let s = schema();
@@ -436,7 +511,10 @@ mod tests {
             .collect();
         let cfg = DpSgd::non_private(0.3, rows.len() as f64);
         for _ in 0..150 {
-            let mut trainer = SubModelTrainer { store: &mut store, sm: &mut sm };
+            let mut trainer = SubModelTrainer {
+                store: &mut store,
+                sm: &mut sm,
+            };
             cfg.step(&mut trainer, &rows, &mut rng);
         }
         let p_yes = sm.predict_cat(&store, &[Value::Cat(1), Value::Num(5.0)]);
@@ -470,7 +548,10 @@ mod tests {
             expected_batch: rows.len() as f64,
         };
         for _ in 0..600 {
-            let mut trainer = SubModelTrainer { store: &mut store, sm: &mut sm };
+            let mut trainer = SubModelTrainer {
+                store: &mut store,
+                sm: &mut sm,
+            };
             cfg.step(&mut trainer, &rows, &mut rng);
         }
         for a in 0..3u32 {
@@ -504,7 +585,10 @@ mod tests {
             context: vec![Value::Cat(1), Value::Num(7.0)],
             target: Value::Cat(1),
         };
-        let mut trainer = SubModelTrainer { store: &mut store, sm: &mut sm };
+        let mut trainer = SubModelTrainer {
+            store: &mut store,
+            sm: &mut sm,
+        };
         kamino_nn::testutil::finite_diff_check(
             &mut |t: &mut SubModelTrainer<'_>| {
                 // loss via a throwaway gradient pass (grads zeroed after)

@@ -91,7 +91,9 @@ pub fn search_params(budget: Budget, shape: SearchShape) -> PrivacyParams {
     let scale = shape.train_scale.max(1e-6);
     let b_max = 32usize;
     let b_min = 16usize;
-    let t_max = (((5 * shape.n) as f64 / b_min as f64) * scale).ceil().max(1.0) as usize;
+    let t_max = (((5 * shape.n) as f64 / b_min as f64) * scale)
+        .ceil()
+        .max(1.0) as usize;
     let t_min = ((shape.n as f64 / b_min as f64) * scale).ceil().max(1.0) as usize;
 
     if budget.is_non_private() {

@@ -43,6 +43,11 @@ pub struct KaminoConfig {
     pub hard_fd_lookup: bool,
     /// Use accept–reject sampling instead of Algorithm 3 (Exp. 6).
     pub ar_sampling: bool,
+    /// Route candidate scoring and DP-SGD gradient microbatches through
+    /// the rayon-backed parallel substrate. Purely a performance switch —
+    /// outputs are bit-identical to the serial path for a fixed seed
+    /// (unlike `parallel_training`, which changes the trained model).
+    pub parallel_substrate: bool,
     /// Scales the DP-SGD iteration range of Algorithm 6 (quality knob for
     /// harness runs; always privacy-safe).
     pub train_scale: f64,
@@ -67,6 +72,7 @@ impl KaminoConfig {
             constraint_aware_sequencing: true,
             hard_fd_lookup: false,
             ar_sampling: false,
+            parallel_substrate: true,
             train_scale: 1.0,
             output_n: None,
             large_domain_threshold: 256,
@@ -133,11 +139,7 @@ pub fn run_kamino(
     let shape = SearchShape {
         n,
         n_sgd_models: count_sgd_models(schema, &sequence, cfg.large_domain_threshold),
-        n_marginal_releases: count_marginal_releases(
-            schema,
-            &sequence,
-            cfg.large_domain_threshold,
-        ),
+        n_marginal_releases: count_marginal_releases(schema, &sequence, cfg.large_domain_threshold),
         first_attr_domain: schema.attr(sequence[0]).domain_size(),
         weights_unknown,
         train_scale: cfg.train_scale,
@@ -156,6 +158,7 @@ pub fn run_kamino(
         sigma_g: params.sigma_g,
         sigma_d: params.sigma_d,
         parallel: cfg.parallel_training,
+        microbatch_parallel: cfg.parallel_substrate,
         large_domain_threshold: cfg.large_domain_threshold,
         seed: cfg.seed,
     };
@@ -182,7 +185,14 @@ pub fn run_kamino(
     let t0 = Instant::now();
     let out_n = cfg.output_n.unwrap_or(n);
     let instance_out = if cfg.ar_sampling {
-        synthesize_ar(schema, &model, dcs, &weights, &ArSampleConfig::new(out_n), &mut rng)
+        synthesize_ar(
+            schema,
+            &model,
+            dcs,
+            &weights,
+            &ArSampleConfig::new(out_n),
+            &mut rng,
+        )
     } else {
         let sample_cfg = SampleConfig {
             n: out_n,
@@ -191,12 +201,19 @@ pub fn run_kamino(
             mcmc_resamples: (cfg.mcmc_ratio * out_n as f64).round() as usize,
             constraint_aware: cfg.constraint_aware_sampling,
             hard_fd_lookup: cfg.hard_fd_lookup,
+            parallel: cfg.parallel_substrate,
         };
         synthesize(schema, &model, dcs, &weights, &sample_cfg, &mut rng)
     };
     timings.sampling = t0.elapsed();
 
-    KaminoReport { instance: instance_out, sequence, weights, params, timings }
+    KaminoReport {
+        instance: instance_out,
+        sequence,
+        weights,
+        params,
+        timings,
+    }
 }
 
 #[cfg(test)]
@@ -239,11 +256,18 @@ mod tests {
         cfg.lr = 0.3;
         let report = run_kamino(&d.schema, &d.instance, &d.dcs, &cfg);
         assert_eq!(report.weights.len(), 3);
-        assert!(report.weights.iter().all(|w| w.is_finite()), "soft weights must be finite");
+        assert!(
+            report.weights.iter().all(|w| w.is_finite()),
+            "soft weights must be finite"
+        );
         // soft regime: violations allowed but far below the i.i.d. level
         for dc in &d.dcs {
             let pct = violation_percentage(dc, &report.instance);
-            assert!(pct < 15.0, "soft DC {} at {pct}% — far outside the soft regime", dc.name);
+            assert!(
+                pct < 15.0,
+                "soft DC {} at {pct}% — far outside the soft regime",
+                dc.name
+            );
         }
     }
 

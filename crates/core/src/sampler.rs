@@ -25,7 +25,7 @@
 //! * the "RandSampling" ablation (Experiment 5): `constraint_aware =
 //!   false` samples i.i.d. from the model.
 
-use kamino_constraints::{CandidateRow, DcCounter, DenialConstraint};
+use kamino_constraints::{CandidateRow, CellContext, DenialConstraint, ScoreSet};
 use kamino_data::stats::sample_weighted;
 use kamino_data::{AttrKind, Instance, Quantizer, Schema, Value};
 use rand::Rng;
@@ -50,6 +50,10 @@ pub struct SampleConfig {
     pub constraint_aware: bool,
     /// Enable the hard-FD lookup fast path (Exp. 10).
     pub hard_fd_lookup: bool,
+    /// Route candidate scoring through the rayon-backed parallel
+    /// substrate (`constraints::score`). Purely a performance switch: the
+    /// sampled output is bit-identical either way.
+    pub parallel: bool,
 }
 
 impl SampleConfig {
@@ -62,6 +66,7 @@ impl SampleConfig {
             mcmc_resamples: 0,
             constraint_aware: true,
             hard_fd_lookup: false,
+            parallel: true,
         }
     }
 }
@@ -85,36 +90,27 @@ pub fn synthesize<R: Rng + ?Sized>(
     let mut inst = Instance::zeroed(schema, n);
     let active = active_dcs_by_position(&model.sequence, dcs);
 
-    for j in 0..k {
+    for (j, active_j) in active.iter().enumerate().take(k) {
         let target = model.sequence[j];
-        let mut counters: Vec<(usize, DcCounter)> =
-            active[j].iter().map(|&l| (l, DcCounter::build(&dcs[l]))).collect();
+        let mut scores = ScoreSet::build(active_j, dcs);
 
         for i in 0..n {
-            let value = sample_cell(schema, model, j, &inst, i, &counters, weights, cfg, rng);
+            let value = sample_cell(schema, model, j, &inst, i, &scores, weights, cfg, rng);
             inst.set(i, target, value);
-            let committed = CandidateRow::committed(&inst, i, target);
-            for (_, c) in &mut counters {
-                c.insert(&committed);
-            }
+            scores.insert(&CandidateRow::committed(&inst, i, target));
         }
 
         // Constrained MCMC (line 12): re-sample m random cells of this
-        // column conditioned on everything else.
+        // column conditioned on everything else. Each site draw and its
+        // candidate draws share one interleaved RNG stream, and every
+        // site is re-scored through the same batch substrate as the main
+        // pass.
         for _ in 0..cfg.mcmc_resamples {
             let r = rng.gen_range(0..n);
-            {
-                let committed = CandidateRow::committed(&inst, r, target);
-                for (_, c) in &mut counters {
-                    c.remove(&committed);
-                }
-            }
-            let value = sample_cell(schema, model, j, &inst, r, &counters, weights, cfg, rng);
+            scores.remove(&CandidateRow::committed(&inst, r, target));
+            let value = sample_cell(schema, model, j, &inst, r, &scores, weights, cfg, rng);
             inst.set(r, target, value);
-            let committed = CandidateRow::committed(&inst, r, target);
-            for (_, c) in &mut counters {
-                c.insert(&committed);
-            }
+            scores.insert(&CandidateRow::committed(&inst, r, target));
         }
     }
     inst
@@ -128,7 +124,7 @@ fn sample_cell<R: Rng + ?Sized>(
     j: usize,
     inst: &Instance,
     row: usize,
-    counters: &[(usize, DcCounter)],
+    scores: &ScoreSet,
     weights: &[f64],
     cfg: &SampleConfig,
     rng: &mut R,
@@ -139,8 +135,8 @@ fn sample_cell<R: Rng + ?Sized>(
     // hard FD whose determinant group already exists and is consistent,
     // copy the forced value.
     if cfg.hard_fd_lookup && cfg.constraint_aware {
-        for (l, c) in counters {
-            if weights[*l].is_infinite() && c.fd_rhs() == Some(target) {
+        for (l, c) in scores.iter() {
+            if weights[l].is_infinite() && c.fd_rhs() == Some(target) {
                 let placeholder = placeholder_value(schema, target);
                 let probe = CandidateRow::new(inst, row, target, placeholder);
                 if let Some(v) = c.required_value(&probe) {
@@ -151,7 +147,7 @@ fn sample_cell<R: Rng + ?Sized>(
     }
 
     let mut candidates = candidate_values(schema, model, j, inst, row, cfg, rng);
-    if !cfg.constraint_aware || counters.is_empty() {
+    if !cfg.constraint_aware || scores.is_empty() {
         let probs: Vec<f64> = candidates.iter().map(|&(_, p)| p).collect();
         return candidates[sample_weighted(&probs, rng)].0;
     }
@@ -161,12 +157,14 @@ fn sample_cell<R: Rng + ?Sized>(
     // carries. Continuous candidate sets almost never contain it by
     // chance, so inject it (this is the "selected set of values" of §4.2:
     // candidates the model alone would miss but the constraints demand).
-    for (l, c) in counters {
-        if weights[*l].is_infinite() && c.fd_rhs() == Some(target) {
+    for (l, c) in scores.iter() {
+        if weights[l].is_infinite() && c.fd_rhs() == Some(target) {
             let placeholder = placeholder_value(schema, target);
             let probe = CandidateRow::new(inst, row, target, placeholder);
             if let Some(v) = c.required_value(&probe) {
-                if !candidates.iter().any(|&(cv, _)| cv.compare(v) == std::cmp::Ordering::Equal)
+                if !candidates
+                    .iter()
+                    .any(|&(cv, _)| cv.compare(v) == std::cmp::Ordering::Equal)
                 {
                     let p = candidates.iter().map(|&(_, p)| p).fold(0.0, f64::max);
                     candidates.push((v, p.max(1e-12)));
@@ -184,8 +182,8 @@ fn sample_cell<R: Rng + ?Sized>(
         let mut lo = f64::NEG_INFINITY;
         let mut hi = f64::INFINITY;
         let mut bounded = false;
-        for (l, c) in counters {
-            if !weights[*l].is_infinite() {
+        for (l, c) in scores.iter() {
+            if !weights[l].is_infinite() {
                 continue;
             }
             let placeholder = placeholder_value(schema, target);
@@ -218,18 +216,16 @@ fn sample_cell<R: Rng + ?Sized>(
         }
     }
 
-    // Score candidates: P[v] ∝ p_{v|c} · exp(−Σ w_φ·vio_φ).
+    // Score candidates: P[v] ∝ p_{v|c} · exp(−Σ w_φ·vio_φ). The whole
+    // candidate set goes through the batch substrate in one call — the
+    // counters' prefix indexes are immutable for the duration, so the
+    // penalties can be (and by default are) evaluated concurrently.
+    let cell = CellContext::new(inst, row, target);
+    let values: Vec<Value> = candidates.iter().map(|&(v, _)| v).collect();
+    let penalties = scores.score_candidates(cell, &values, weights, cfg.parallel);
     let mut scored = Vec::with_capacity(candidates.len());
     let mut best_fallback = (f64::INFINITY, f64::NEG_INFINITY, 0usize); // (penalty, p, idx)
-    for (idx, &(v, p)) in candidates.iter().enumerate() {
-        let cand = CandidateRow::new(inst, row, target, v);
-        let mut penalty = 0.0;
-        for (l, c) in counters {
-            let vio = c.count_new(&cand);
-            if vio > 0 {
-                penalty += weights[*l] * vio as f64;
-            }
-        }
+    for (idx, (&(_, p), &penalty)) in candidates.iter().zip(&penalties).enumerate() {
         scored.push(p * (-penalty).exp());
         if penalty < best_fallback.0 || (penalty == best_fallback.0 && p > best_fallback.1) {
             best_fallback = (penalty, p, idx);
@@ -275,7 +271,10 @@ fn candidate_values<R: Rng + ?Sized>(
     }
 
     let sm: &SubModel = model.submodel_at(j);
-    let ctx: Vec<Value> = model.sequence[..j].iter().map(|&a| inst.value(row, a)).collect();
+    let ctx: Vec<Value> = model.sequence[..j]
+        .iter()
+        .map(|&a| inst.value(row, a))
+        .collect();
 
     match (&sm.kind, &attr.kind) {
         (SubModelKind::NoisyMarginal { dist }, AttrKind::Categorical { .. }) => {
@@ -284,8 +283,7 @@ fn candidate_values<R: Rng + ?Sized>(
                 .map(|(code, p)| (Value::Cat(code as u32), p))
                 .collect()
         }
-        (SubModelKind::NoisyMarginal { dist }, AttrKind::Numeric { .. }) => (0..cfg
-            .d_candidates)
+        (SubModelKind::NoisyMarginal { dist }, AttrKind::Numeric { .. }) => (0..cfg.d_candidates)
             .map(|_| {
                 let b = sample_weighted(dist, rng);
                 (q.sample_in_bin(b, rng), dist[b])
@@ -352,7 +350,8 @@ mod tests {
         for _ in 0..n {
             let a = rng.gen_range(0..3u32);
             let x = (3.0 * a as f64 + rng.gen::<f64>()).clamp(0.0, 10.0);
-            inst.push_row(s, &[Value::Cat(a), Value::Cat(a), Value::Num(x)]).unwrap();
+            inst.push_row(s, &[Value::Cat(a), Value::Cat(a), Value::Num(x)])
+                .unwrap();
         }
         inst
     }
@@ -396,7 +395,14 @@ mod tests {
         let dcs = vec![fd(&s)];
         let weights = vec![HARD_WEIGHT];
         let mut rng = StdRng::seed_from_u64(4);
-        let aware = synthesize(&s, &model, &dcs, &weights, &SampleConfig::new(250), &mut rng);
+        let aware = synthesize(
+            &s,
+            &model,
+            &dcs,
+            &weights,
+            &SampleConfig::new(250),
+            &mut rng,
+        );
         assert_eq!(
             count_violating_pairs(&dcs[0], &aware),
             0,
@@ -432,18 +438,34 @@ mod tests {
         let s = schema();
         let truth = toy_instance(&s, 300, 7);
         let model = trained_model(&s, &truth, 10);
-        let dcs = vec![parse_dc(&s, "fd", "!(t1.a == t2.a & t1.b != t2.b)", Hardness::Soft)
-            .unwrap()];
+        let dcs =
+            vec![parse_dc(&s, "fd", "!(t1.a == t2.a & t1.b != t2.b)", Hardness::Soft).unwrap()];
         let mut rng = StdRng::seed_from_u64(8);
         // near-zero weight ≈ unconstrained; hard weight ⇒ zero violations
-        let loose = synthesize(&s, &model, &dcs, &[0.001], &SampleConfig::new(200), &mut rng);
+        let loose = synthesize(
+            &s,
+            &model,
+            &dcs,
+            &[0.001],
+            &SampleConfig::new(200),
+            &mut rng,
+        );
         let mut rng = StdRng::seed_from_u64(8);
-        let strict =
-            synthesize(&s, &model, &dcs, &[HARD_WEIGHT], &SampleConfig::new(200), &mut rng);
+        let strict = synthesize(
+            &s,
+            &model,
+            &dcs,
+            &[HARD_WEIGHT],
+            &SampleConfig::new(200),
+            &mut rng,
+        );
         let loose_v = count_violating_pairs(&dcs[0], &loose);
         let strict_v = count_violating_pairs(&dcs[0], &strict);
         assert_eq!(strict_v, 0);
-        assert!(loose_v > 0, "weight 0.001 should behave like no constraint here");
+        assert!(
+            loose_v > 0,
+            "weight 0.001 should behave like no constraint here"
+        );
     }
 
     #[test]
@@ -455,7 +477,11 @@ mod tests {
         let out = synthesize(&s, &model, &[], &[], &SampleConfig::new(2_000), &mut rng);
         let got = normalize(&histogram(&s, &out, 0));
         for (g, w) in got.iter().zip(&model.first_dist) {
-            assert!((g - w).abs() < 0.06, "marginal drift: {got:?} vs {:?}", model.first_dist);
+            assert!(
+                (g - w).abs() < 0.06,
+                "marginal drift: {got:?} vs {:?}",
+                model.first_dist
+            );
         }
     }
 
@@ -482,8 +508,14 @@ mod tests {
         // forbid x > 8 outright
         let dcs = vec![parse_dc(&s, "u", "!(t1.x > 8)", Hardness::Hard).unwrap()];
         let mut rng = StdRng::seed_from_u64(14);
-        let out =
-            synthesize(&s, &model, &dcs, &[HARD_WEIGHT], &SampleConfig::new(300), &mut rng);
+        let out = synthesize(
+            &s,
+            &model,
+            &dcs,
+            &[HARD_WEIGHT],
+            &SampleConfig::new(300),
+            &mut rng,
+        );
         for i in 0..out.n_rows() {
             assert!(out.num(i, 2) <= 8.0, "unary DC violated at row {i}");
         }

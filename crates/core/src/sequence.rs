@@ -19,7 +19,11 @@ pub fn sequence_attrs(schema: &Schema, dcs: &[DenialConstraint]) -> Vec<usize> {
     // Σ ← FDs from Φ, sorted by increasing minimal domain size of the LHS.
     let mut fds: Vec<_> = dcs.iter().filter_map(|dc| dc.as_fd()).collect();
     fds.sort_by_key(|fd| {
-        fd.lhs.iter().map(|&a| schema.attr(a).domain_size()).min().unwrap_or(usize::MAX)
+        fd.lhs
+            .iter()
+            .map(|&a| schema.attr(a).domain_size())
+            .min()
+            .unwrap_or(usize::MAX)
     });
 
     let mut seq: Vec<usize> = Vec::with_capacity(schema.len());
@@ -57,10 +61,7 @@ pub fn random_sequence<R: Rng + ?Sized>(schema: &Schema, rng: &mut R) -> Vec<usi
 /// become *active* at `j`: their attribute set `A_φ` is covered by the
 /// first `j+1` sequence attributes but not by the first `j` (the paper's
 /// `Φ_{A_j}`). Every DC activates at exactly one position.
-pub fn active_dcs_by_position(
-    sequence: &[usize],
-    dcs: &[DenialConstraint],
-) -> Vec<Vec<usize>> {
+pub fn active_dcs_by_position(sequence: &[usize], dcs: &[DenialConstraint]) -> Vec<Vec<usize>> {
     let mut pos_of_attr = vec![usize::MAX; sequence.len()];
     for (pos, &a) in sequence.iter().enumerate() {
         pos_of_attr[a] = pos;
@@ -73,7 +74,11 @@ pub fn active_dcs_by_position(
             .map(|a| pos_of_attr[a])
             .max()
             .expect("a DC references at least one attribute");
-        assert!(activation != usize::MAX, "DC {} references an attribute outside the sequence", dc.name);
+        assert!(
+            activation != usize::MAX,
+            "DC {} references an attribute outside the sequence",
+            dc.name
+        );
         active[activation].push(l);
     }
     active
@@ -111,7 +116,10 @@ mod tests {
         .unwrap()];
         let seq = sequence_attrs(&s, &dcs);
         let pos = |a: usize| seq.iter().position(|&x| x == a).unwrap();
-        assert!(pos(1) < pos(2), "FD determinant must precede dependent: {seq:?}");
+        assert!(
+            pos(1) < pos(2),
+            "FD determinant must precede dependent: {seq:?}"
+        );
         // FD attributes come before everything else
         assert_eq!(seq[0], 1);
         assert_eq!(seq[1], 2);
@@ -129,10 +137,20 @@ mod tests {
     fn fds_sorted_by_min_lhs_domain() {
         let s = schema();
         let dcs = vec![
-            parse_dc(&s, "fd_big", "!(t1.big == t2.big & t1.gain != t2.gain)", Hardness::Hard)
-                .unwrap(),
-            parse_dc(&s, "fd_tiny", "!(t1.tiny == t2.tiny & t1.loss != t2.loss)", Hardness::Hard)
-                .unwrap(),
+            parse_dc(
+                &s,
+                "fd_big",
+                "!(t1.big == t2.big & t1.gain != t2.gain)",
+                Hardness::Hard,
+            )
+            .unwrap(),
+            parse_dc(
+                &s,
+                "fd_tiny",
+                "!(t1.tiny == t2.tiny & t1.loss != t2.loss)",
+                Hardness::Hard,
+            )
+            .unwrap(),
         ];
         let seq = sequence_attrs(&s, &dcs);
         // the FD with the smaller determinant domain (tiny=2) goes first
@@ -158,10 +176,20 @@ mod tests {
     fn sequence_is_a_permutation() {
         let s = schema();
         let dcs = vec![
-            parse_dc(&s, "a", "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)", Hardness::Hard)
-                .unwrap(),
-            parse_dc(&s, "b", "!(t1.edu_num == t2.edu_num & t1.edu != t2.edu)", Hardness::Hard)
-                .unwrap(),
+            parse_dc(
+                &s,
+                "a",
+                "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)",
+                Hardness::Hard,
+            )
+            .unwrap(),
+            parse_dc(
+                &s,
+                "b",
+                "!(t1.edu_num == t2.edu_num & t1.edu != t2.edu)",
+                Hardness::Hard,
+            )
+            .unwrap(),
         ];
         let mut seq = sequence_attrs(&s, &dcs);
         seq.sort_unstable();
@@ -181,10 +209,20 @@ mod tests {
     fn activation_positions() {
         let s = schema();
         let dcs = vec![
-            parse_dc(&s, "fd", "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)", Hardness::Hard)
-                .unwrap(),
-            parse_dc(&s, "ord", "!(t1.gain > t2.gain & t1.loss < t2.loss)", Hardness::Hard)
-                .unwrap(),
+            parse_dc(
+                &s,
+                "fd",
+                "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)",
+                Hardness::Hard,
+            )
+            .unwrap(),
+            parse_dc(
+                &s,
+                "ord",
+                "!(t1.gain > t2.gain & t1.loss < t2.loss)",
+                Hardness::Hard,
+            )
+            .unwrap(),
             parse_dc(&s, "u", "!(t1.gain > 9)", Hardness::Hard).unwrap(),
         ];
         let seq = sequence_attrs(&s, &dcs); // [1, 2, 3, 4, 5, 0]

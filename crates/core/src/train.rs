@@ -18,12 +18,13 @@ use kamino_data::stats::{histogram, normalize};
 use kamino_data::{AttrKind, Instance, Quantizer, Schema, Value};
 use kamino_dp::mechanisms::add_gaussian_noise;
 use kamino_dp::poisson_sample;
-use kamino_nn::{Attention, CategoricalHead, DpSgd, GaussianHead};
+use kamino_nn::{microbatch_parallel_worthwhile, Attention, CategoricalHead, DpSgd, GaussianHead};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::model::{
-    DataModel, EmbeddingStore, Head, SubModel, SubModelKind, SubModelTrainer, TrainRow,
+    DataModel, EmbeddingStore, Head, OwnedTrainer, SubModel, SubModelKind, SubModelTrainer,
+    TrainRow,
 };
 
 /// Training configuration — the slice of Ψ that Algorithm 2 consumes.
@@ -45,7 +46,14 @@ pub struct TrainConfig {
     /// DP-SGD noise multiplier (`σ_d`); 0 disables noise.
     pub sigma_d: f64,
     /// Train sub-models in parallel with private embeddings (Exp. 10).
+    /// This changes the trained model (no embedding reuse across
+    /// sub-models); contrast with `microbatch_parallel`.
     pub parallel: bool,
+    /// Parallelize per-example gradients inside each DP-SGD step via the
+    /// rayon-backed microbatch substrate. Purely a performance switch:
+    /// gradient sums are merged in fixed microbatch order, so the trained
+    /// model is bit-identical to the serial path.
+    pub microbatch_parallel: bool,
     /// Domains larger than this use the §4.3 noisy-marginal fallback.
     pub large_domain_threshold: usize,
     /// RNG seed.
@@ -63,6 +71,7 @@ impl Default for TrainConfig {
             sigma_g: 1.0,
             sigma_d: 1.1,
             parallel: false,
+            microbatch_parallel: true,
             large_domain_threshold: 256,
             seed: 0,
         }
@@ -85,7 +94,12 @@ fn noisy_distribution(
 }
 
 /// Extracts the training rows (context values + target) for one sub-model.
-fn training_rows(inst: &Instance, context: &[usize], target: usize, ids: &[usize]) -> Vec<TrainRow> {
+fn training_rows(
+    inst: &Instance,
+    context: &[usize],
+    target: usize,
+    ids: &[usize],
+) -> Vec<TrainRow> {
     ids.iter()
         .map(|&i| TrainRow {
             context: context.iter().map(|&a| inst.value(i, a)).collect(),
@@ -102,9 +116,11 @@ fn fresh_submodel(
     rng: &mut StdRng,
 ) -> SubModel {
     let head = match schema.attr(target).kind {
-        AttrKind::Categorical { .. } => {
-            Head::Cat(CategoricalHead::new(store.dim(), schema.attr(target).domain_size(), rng))
-        }
+        AttrKind::Categorical { .. } => Head::Cat(CategoricalHead::new(
+            store.dim(),
+            schema.attr(target).domain_size(),
+            rng,
+        )),
         AttrKind::Numeric { .. } => Head::Num(GaussianHead::new(store.dim(), rng)),
     };
     SubModel {
@@ -141,8 +157,29 @@ fn train_one(
     for _ in 0..cfg.iters {
         let ids = poisson_sample(n, rate, rng);
         let rows = training_rows(inst, &context, target, &ids);
-        let mut trainer = SubModelTrainer { store, sm };
-        opt.step(&mut trainer, &rows, rng);
+        if cfg.microbatch_parallel && microbatch_parallel_worthwhile(rows.len()) {
+            // Per-example gradients fan out across workers, each on a
+            // clone of the current parameters; merged in microbatch order
+            // the update is bit-identical to the serial step. Workers only
+            // touch the context embedders (forward/backward) and the
+            // target's standardizer, so the prototype carries just those.
+            let proto_store = store.subset_for(context.iter().copied().chain([target]));
+            let proto_sm = sm.clone();
+            let mut trainer = SubModelTrainer {
+                store: &mut *store,
+                sm: &mut *sm,
+            };
+            opt.step_parallel(&mut trainer, &rows, rng, || OwnedTrainer {
+                store: proto_store.clone(),
+                sm: proto_sm.clone(),
+            });
+        } else {
+            let mut trainer = SubModelTrainer {
+                store: &mut *store,
+                sm: &mut *sm,
+            };
+            opt.step(&mut trainer, &rows, rng);
+        }
     }
 }
 
@@ -153,7 +190,11 @@ pub fn train_model(
     sequence: &[usize],
     cfg: &TrainConfig,
 ) -> DataModel {
-    assert_eq!(sequence.len(), schema.len(), "sequence must cover the schema");
+    assert_eq!(
+        sequence.len(),
+        schema.len(),
+        "sequence must cover the schema"
+    );
     let n = inst.n_rows();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7EA1);
     let mut store = EmbeddingStore::new(schema, cfg.embed_dim, &mut rng);
@@ -170,13 +211,13 @@ pub fn train_model(
     if cfg.parallel {
         // Exp. 10: fresh private embeddings per sub-model, trained on
         // separate threads (no reuse ⇒ independent, embarrassingly parallel).
-        let results: Vec<SubModel> = crossbeam::thread::scope(|scope| {
+        let results: Vec<SubModel> = std::thread::scope(|scope| {
             let handles: Vec<_> = plan
                 .iter()
                 .enumerate()
                 .map(|(idx, (context, target))| {
                     let store_proto = &store;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut trng = StdRng::seed_from_u64(cfg.seed ^ (0xBEE5 + idx as u64));
                         let mut own = store_proto.clone();
                         let mut sm =
@@ -189,9 +230,11 @@ pub fn train_model(
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("trainer thread panicked")).collect()
-        })
-        .expect("crossbeam scope failed");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("trainer thread panicked"))
+                .collect()
+        });
         submodels = results;
     } else {
         for (context, target) in &plan {
@@ -203,7 +246,12 @@ pub fn train_model(
         }
     }
 
-    DataModel { sequence: sequence.to_vec(), first_dist, store, submodels }
+    DataModel {
+        sequence: sequence.to_vec(),
+        first_dist,
+        store,
+        submodels,
+    }
 }
 
 /// Chooses between the discriminative sub-model and the §4.3 extreme-domain
@@ -292,7 +340,8 @@ mod tests {
         for _ in 0..n {
             let a = rng.gen_range(0..3u32);
             let x = (3.0 * a as f64 + rng.gen::<f64>() * 0.5).clamp(0.0, 10.0);
-            inst.push_row(schema, &[Value::Cat(a), Value::Cat(a), Value::Num(x)]).unwrap();
+            inst.push_row(schema, &[Value::Cat(a), Value::Cat(a), Value::Num(x)])
+                .unwrap();
         }
         inst
     }
@@ -327,8 +376,12 @@ mod tests {
         cfg.sigma_g = 5.0;
         let model = train_model(&s, &inst, &[0, 1, 2], &cfg);
         let truth = normalize(&histogram(&s, &inst, 0));
-        let dist: f64 =
-            model.first_dist.iter().zip(&truth).map(|(a, b)| (a - b).abs()).sum::<f64>();
+        let dist: f64 = model
+            .first_dist
+            .iter()
+            .zip(&truth)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>();
         assert!(dist > 1e-4, "sigma_g = 5 left the distribution untouched");
         assert!((model.first_dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
@@ -340,8 +393,14 @@ mod tests {
         let model = train_model(&s, &inst, &[0, 1, 2], &non_private(300));
         // P(b = a | a) must dominate after training
         for a in 0..3u32 {
-            let p = model.submodel_at(1).predict_cat(&model.store, &[Value::Cat(a)]);
-            assert!(p[a as usize] > 0.7, "P(b={a}|a={a}) = {} too low", p[a as usize]);
+            let p = model
+                .submodel_at(1)
+                .predict_cat(&model.store, &[Value::Cat(a)]);
+            assert!(
+                p[a as usize] > 0.7,
+                "P(b={a}|a={a}) = {} too low",
+                p[a as usize]
+            );
         }
     }
 
@@ -350,8 +409,12 @@ mod tests {
         let s = schema();
         let inst = toy_instance(&s, 400, 3);
         let model = train_model(&s, &inst, &[0, 1, 2], &non_private(400));
-        let (mu0, _) = model.submodel_at(2).predict_num(&model.store, &[Value::Cat(0), Value::Cat(0)]);
-        let (mu2, _) = model.submodel_at(2).predict_num(&model.store, &[Value::Cat(2), Value::Cat(2)]);
+        let (mu0, _) = model
+            .submodel_at(2)
+            .predict_num(&model.store, &[Value::Cat(0), Value::Cat(0)]);
+        let (mu2, _) = model
+            .submodel_at(2)
+            .predict_num(&model.store, &[Value::Cat(2), Value::Cat(2)]);
         assert!(mu2 > mu0 + 2.0, "x(a=2) = {mu2} not above x(a=0) = {mu0}");
     }
 
@@ -359,9 +422,14 @@ mod tests {
     fn private_training_runs_and_stays_finite() {
         let s = schema();
         let inst = toy_instance(&s, 200, 4);
-        let cfg = TrainConfig { iters: 30, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            iters: 30,
+            ..TrainConfig::default()
+        };
         let model = train_model(&s, &inst, &[0, 1, 2], &cfg);
-        let p = model.submodel_at(1).predict_cat(&model.store, &[Value::Cat(1)]);
+        let p = model
+            .submodel_at(1)
+            .predict_cat(&model.store, &[Value::Cat(1)]);
         assert!(p.iter().all(|x| x.is_finite()));
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
@@ -374,10 +442,15 @@ mod tests {
         cfg.parallel = true;
         let model = train_model(&s, &inst, &[0, 1, 2], &cfg);
         for sm in &model.submodels {
-            assert!(sm.own_store.is_some(), "parallel training must produce private stores");
+            assert!(
+                sm.own_store.is_some(),
+                "parallel training must produce private stores"
+            );
         }
         // predictions still work through the private stores
-        let p = model.submodel_at(1).predict_cat(&model.store, &[Value::Cat(2)]);
+        let p = model
+            .submodel_at(1)
+            .predict_cat(&model.store, &[Value::Cat(2)]);
         assert_eq!(p.len(), 3);
     }
 
@@ -391,12 +464,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let mut inst = Instance::empty(&s);
         for _ in 0..100 {
-            inst.push_row(&s, &[Value::Cat(rng.gen_range(0..3)), Value::Cat(rng.gen_range(0..500))])
-                .unwrap();
+            inst.push_row(
+                &s,
+                &[
+                    Value::Cat(rng.gen_range(0..3)),
+                    Value::Cat(rng.gen_range(0..500)),
+                ],
+            )
+            .unwrap();
         }
         let cfg = non_private(5);
         let model = train_model(&s, &inst, &[0, 1], &cfg);
-        assert!(matches!(model.submodels[0].kind, SubModelKind::NoisyMarginal { .. }));
+        assert!(matches!(
+            model.submodels[0].kind,
+            SubModelKind::NoisyMarginal { .. }
+        ));
         assert_eq!(count_marginal_releases(&s, &[0, 1], 256), 2);
         assert_eq!(count_sgd_models(&s, &[0, 1], 256), 0);
     }

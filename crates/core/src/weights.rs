@@ -54,7 +54,14 @@ pub struct WeightConfig {
 
 impl Default for WeightConfig {
     fn default() -> Self {
-        WeightConfig { l_w: 100, sigma_w: 1.0, t_w: 100, b_w: 1, lr_w: 0.3, w_max: 8.0 }
+        WeightConfig {
+            l_w: 100,
+            sigma_w: 1.0,
+            t_w: 100,
+            b_w: 1,
+            lr_w: 0.3,
+            w_max: 8.0,
+        }
     }
 }
 
@@ -121,8 +128,11 @@ pub fn learn_weights<R: Rng + ?Sized>(
     // Lines 8-14: per-attribute update sweeps.
     let active = active_dcs_by_position(sequence, dcs);
     for dcs_here in &active {
-        let soft_here: Vec<usize> =
-            dcs_here.iter().copied().filter(|&l| dcs[l].hardness == Hardness::Soft).collect();
+        let soft_here: Vec<usize> = dcs_here
+            .iter()
+            .copied()
+            .filter(|&l| dcs[l].hardness == Hardness::Soft)
+            .collect();
         if soft_here.is_empty() {
             continue;
         }
@@ -168,7 +178,11 @@ mod tests {
             let y = if clean { x } else { (20.0 - x).floor() };
             inst.push_row(
                 schema,
-                &[Value::Cat(rng.gen_range(0..4)), Value::Num(x), Value::Num(y)],
+                &[
+                    Value::Cat(rng.gen_range(0..4)),
+                    Value::Num(x),
+                    Value::Num(y),
+                ],
             )
             .unwrap();
         }
@@ -176,11 +190,23 @@ mod tests {
     }
 
     fn soft_dc(schema: &Schema) -> DenialConstraint {
-        parse_dc(schema, "soft", "!(t1.x > t2.x & t1.y < t2.y)", Hardness::Soft).unwrap()
+        parse_dc(
+            schema,
+            "soft",
+            "!(t1.x > t2.x & t1.y < t2.y)",
+            Hardness::Soft,
+        )
+        .unwrap()
     }
 
     fn hard_dc(schema: &Schema) -> DenialConstraint {
-        parse_dc(schema, "hard", "!(t1.a == t2.a & t1.x != t2.x)", Hardness::Hard).unwrap()
+        parse_dc(
+            schema,
+            "hard",
+            "!(t1.a == t2.a & t1.x != t2.x)",
+            Hardness::Hard,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -209,7 +235,10 @@ mod tests {
     #[test]
     fn violated_soft_dc_gets_smaller_weight_than_clean_one() {
         let s = schema();
-        let cfg = WeightConfig { sigma_w: 0.0, ..WeightConfig::default() };
+        let cfg = WeightConfig {
+            sigma_w: 0.0,
+            ..WeightConfig::default()
+        };
         let dcs = vec![soft_dc(&s)];
         let seq = sequence_attrs(&s, &dcs);
         let mut rng = StdRng::seed_from_u64(5);
@@ -228,14 +257,20 @@ mod tests {
     #[test]
     fn weights_stay_in_bounds_under_noise() {
         let s = schema();
-        let cfg = WeightConfig { sigma_w: 3.0, ..WeightConfig::default() };
+        let cfg = WeightConfig {
+            sigma_w: 3.0,
+            ..WeightConfig::default()
+        };
         let dcs = vec![soft_dc(&s)];
         let seq = sequence_attrs(&s, &dcs);
         for seed in 0..5 {
             let mut rng = StdRng::seed_from_u64(seed);
             let inst = instance(&s, seed % 2 == 0, 300, seed);
             let w = learn_weights(&s, &inst, &dcs, &seq, &cfg, &mut rng)[0];
-            assert!((0.0..=cfg.w_max).contains(&w), "weight {w} escaped [0, w_max]");
+            assert!(
+                (0.0..=cfg.w_max).contains(&w),
+                "weight {w} escaped [0, w_max]"
+            );
         }
     }
 

@@ -13,14 +13,13 @@ use crate::schema::{AttrKind, Schema};
 use crate::value::Value;
 
 /// Writes `inst` as CSV with a header row of attribute names.
-pub fn write_csv<W: Write>(
-    schema: &Schema,
-    inst: &Instance,
-    out: &mut W,
-) -> Result<(), DataError> {
+pub fn write_csv<W: Write>(schema: &Schema, inst: &Instance, out: &mut W) -> Result<(), DataError> {
     for a in schema.attrs() {
         if a.name.contains(',') {
-            return Err(DataError::Parse(format!("attribute name `{}` contains a comma", a.name)));
+            return Err(DataError::Parse(format!(
+                "attribute name `{}` contains a comma",
+                a.name
+            )));
         }
         if let AttrKind::Categorical { labels } = &a.kind {
             if let Some(bad) = labels.iter().find(|l| l.contains(',')) {
@@ -68,7 +67,10 @@ pub fn read_csv<R: BufRead>(schema: &Schema, input: R) -> Result<Instance, DataE
         .map_err(DataError::from)?;
     let names: Vec<&str> = header.split(',').map(str::trim).collect();
     if names.len() != schema.len() {
-        return Err(DataError::ArityMismatch { expected: schema.len(), got: names.len() });
+        return Err(DataError::ArityMismatch {
+            expected: schema.len(),
+            got: names.len(),
+        });
     }
     // Columns may appear in any order; build the permutation.
     let mut perm = Vec::with_capacity(names.len());
@@ -84,15 +86,21 @@ pub fn read_csv<R: BufRead>(schema: &Schema, input: R) -> Result<Instance, DataE
         }
         let cells: Vec<&str> = line.split(',').map(str::trim).collect();
         if cells.len() != schema.len() {
-            return Err(DataError::ArityMismatch { expected: schema.len(), got: cells.len() });
+            return Err(DataError::ArityMismatch {
+                expected: schema.len(),
+                got: cells.len(),
+            });
         }
         for (pos, cell) in cells.iter().enumerate() {
             let j = perm[pos];
             let attr = schema.attr(j);
             row[j] = match &attr.kind {
-                AttrKind::Categorical { .. } => Value::Cat(attr.code(cell).ok_or_else(|| {
-                    DataError::UnknownLabel { attr: attr.name.clone(), label: cell.to_string() }
-                })?),
+                AttrKind::Categorical { .. } => {
+                    Value::Cat(attr.code(cell).ok_or_else(|| DataError::UnknownLabel {
+                        attr: attr.name.clone(),
+                        label: cell.to_string(),
+                    })?)
+                }
                 AttrKind::Numeric { .. } => Value::Num(cell.parse::<f64>().map_err(|_| {
                     DataError::Parse(format!("line {}: `{cell}` is not numeric", lineno + 2))
                 })?),
@@ -149,14 +157,20 @@ mod tests {
     fn read_rejects_unknown_label() {
         let (s, _) = toy();
         let text = "edu,gain\nPhD,1.0\n";
-        assert!(matches!(read_csv(&s, text.as_bytes()), Err(DataError::UnknownLabel { .. })));
+        assert!(matches!(
+            read_csv(&s, text.as_bytes()),
+            Err(DataError::UnknownLabel { .. })
+        ));
     }
 
     #[test]
     fn read_rejects_bad_number() {
         let (s, _) = toy();
         let text = "edu,gain\nHS,abc\n";
-        assert!(matches!(read_csv(&s, text.as_bytes()), Err(DataError::Parse(_))));
+        assert!(matches!(
+            read_csv(&s, text.as_bytes()),
+            Err(DataError::Parse(_))
+        ));
     }
 
     #[test]
@@ -176,7 +190,7 @@ mod tests {
     #[test]
     fn write_rejects_comma_label() {
         let s = Schema::new(vec![
-            Attribute::categorical("c", vec!["a,b".into()]).unwrap(),
+            Attribute::categorical("c", vec!["a,b".into()]).unwrap()
         ])
         .unwrap();
         let inst = Instance::zeroed(&s, 1);

@@ -62,17 +62,25 @@ impl MixedEncoder {
         for attr in schema.attrs() {
             match &attr.kind {
                 AttrKind::Categorical { labels } => {
-                    segments.push(Segment::Cat { offset, card: labels.len() });
+                    segments.push(Segment::Cat {
+                        offset,
+                        card: labels.len(),
+                    });
                     offset += labels.len();
                 }
                 AttrKind::Numeric { min, max, .. } => {
-                    segments
-                        .push(Segment::Num { offset, std: Standardizer::from_range(*min, *max) });
+                    segments.push(Segment::Num {
+                        offset,
+                        std: Standardizer::from_range(*min, *max),
+                    });
                     offset += 1;
                 }
             }
         }
-        MixedEncoder { segments, dim: offset }
+        MixedEncoder {
+            segments,
+            dim: offset,
+        }
     }
 
     /// Encoded vector width.
@@ -133,7 +141,9 @@ impl MixedEncoder {
                 Segment::Num { offset, std } => {
                     let raw = std.inverse(v[*offset]);
                     match schema.attr(j).kind {
-                        AttrKind::Numeric { min, max, integer, .. } => {
+                        AttrKind::Numeric {
+                            min, max, integer, ..
+                        } => {
                             let c = raw.clamp(min, max);
                             Value::Num(if integer { c.round() } else { c })
                         }
@@ -170,7 +180,9 @@ impl MixedEncoder {
                 Segment::Num { offset, std } => {
                     let raw = std.inverse(v[*offset]);
                     match schema.attr(j).kind {
-                        AttrKind::Numeric { min, max, integer, .. } => {
+                        AttrKind::Numeric {
+                            min, max, integer, ..
+                        } => {
                             let c = raw.clamp(min, max);
                             Value::Num(if integer { c.round() } else { c })
                         }
@@ -288,7 +300,9 @@ mod tests {
         let s = Schema::new(vec![Attribute::integer("i", 0.0, 9.0, 10).unwrap()]).unwrap();
         let enc = MixedEncoder::new(&s);
         let mut v = vec![0.0; 1];
-        let Segment::Num { std, .. } = &enc.segments()[0] else { panic!() };
+        let Segment::Num { std, .. } = &enc.segments()[0] else {
+            panic!()
+        };
         v[0] = std.forward(4.4);
         let row = enc.decode(&s, &v);
         assert_eq!(row[0], Value::Num(4.0));

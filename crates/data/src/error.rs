@@ -10,7 +10,10 @@ pub enum DataError {
     /// A categorical label was not part of an attribute's domain.
     UnknownLabel { attr: String, label: String },
     /// A value's type did not match the attribute's kind.
-    TypeMismatch { attr: String, expected: &'static str },
+    TypeMismatch {
+        attr: String,
+        expected: &'static str,
+    },
     /// A row had the wrong number of cells for the schema.
     ArityMismatch { expected: usize, got: usize },
     /// An attribute was declared with an empty or invalid domain.
@@ -26,13 +29,19 @@ impl fmt::Display for DataError {
         match self {
             DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
             DataError::UnknownLabel { attr, label } => {
-                write!(f, "label `{label}` is not in the domain of attribute `{attr}`")
+                write!(
+                    f,
+                    "label `{label}` is not in the domain of attribute `{attr}`"
+                )
             }
             DataError::TypeMismatch { attr, expected } => {
                 write!(f, "attribute `{attr}` expects a {expected} value")
             }
             DataError::ArityMismatch { expected, got } => {
-                write!(f, "row has {got} cells but the schema has {expected} attributes")
+                write!(
+                    f,
+                    "row has {got} cells but the schema has {expected} attributes"
+                )
             }
             DataError::InvalidDomain(msg) => write!(f, "invalid domain: {msg}"),
             DataError::Parse(msg) => write!(f, "parse error: {msg}"),
@@ -57,9 +66,15 @@ mod tests {
     fn display_is_informative() {
         let e = DataError::UnknownAttribute("zip".into());
         assert!(e.to_string().contains("zip"));
-        let e = DataError::UnknownLabel { attr: "edu".into(), label: "PhD2".into() };
+        let e = DataError::UnknownLabel {
+            attr: "edu".into(),
+            label: "PhD2".into(),
+        };
         assert!(e.to_string().contains("PhD2") && e.to_string().contains("edu"));
-        let e = DataError::ArityMismatch { expected: 3, got: 2 };
+        let e = DataError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('2'));
     }
 

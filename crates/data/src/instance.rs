@@ -111,7 +111,10 @@ impl Instance {
     /// Appends one row, validating cells against the schema.
     pub fn push_row(&mut self, schema: &Schema, row: &[Value]) -> Result<(), DataError> {
         if row.len() != schema.len() {
-            return Err(DataError::ArityMismatch { expected: schema.len(), got: row.len() });
+            return Err(DataError::ArityMismatch {
+                expected: schema.len(),
+                got: row.len(),
+            });
         }
         for (j, &v) in row.iter().enumerate() {
             schema.attr(j).validate(v)?;
@@ -191,7 +194,10 @@ impl Instance {
                 Column::Num(v) => Column::Num(rows.iter().map(|&r| v[r]).collect()),
             })
             .collect();
-        Instance { columns, n_rows: rows.len() }
+        Instance {
+            columns,
+            n_rows: rows.len(),
+        }
     }
 }
 
@@ -212,8 +218,10 @@ mod tests {
     fn push_and_read_rows() {
         let s = toy_schema();
         let mut inst = Instance::empty(&s);
-        inst.push_row(&s, &[Value::Cat(1), Value::Num(2.0)]).unwrap();
-        inst.push_row(&s, &[Value::Cat(2), Value::Num(7.5)]).unwrap();
+        inst.push_row(&s, &[Value::Cat(1), Value::Num(2.0)])
+            .unwrap();
+        inst.push_row(&s, &[Value::Cat(2), Value::Num(7.5)])
+            .unwrap();
         assert_eq!(inst.n_rows(), 2);
         assert_eq!(inst.n_cols(), 2);
         assert_eq!(inst.cat(0, 0), 1);
@@ -228,9 +236,13 @@ mod tests {
         // wrong arity
         assert!(inst.push_row(&s, &[Value::Cat(0)]).is_err());
         // out-of-domain code
-        assert!(inst.push_row(&s, &[Value::Cat(9), Value::Num(0.0)]).is_err());
+        assert!(inst
+            .push_row(&s, &[Value::Cat(9), Value::Num(0.0)])
+            .is_err());
         // wrong kind
-        assert!(inst.push_row(&s, &[Value::Num(0.0), Value::Num(0.0)]).is_err());
+        assert!(inst
+            .push_row(&s, &[Value::Num(0.0), Value::Num(0.0)])
+            .is_err());
         // failed pushes leave the instance unchanged
         assert_eq!(inst.n_rows(), 0);
         assert!(inst.column(0).is_empty());

@@ -23,17 +23,36 @@ pub struct Quantizer {
 
 #[derive(Debug, Clone)]
 enum QKind {
-    Cat { card: usize },
-    Num { min: f64, max: f64, bins: usize, integer: bool },
+    Cat {
+        card: usize,
+    },
+    Num {
+        min: f64,
+        max: f64,
+        bins: usize,
+        integer: bool,
+    },
 }
 
 impl Quantizer {
     /// Builds the quantizer for `attr`.
     pub fn for_attr(attr: &Attribute) -> Quantizer {
         match &attr.kind {
-            AttrKind::Categorical { labels } => Quantizer { kind: QKind::Cat { card: labels.len() } },
-            AttrKind::Numeric { min, max, bins, integer } => Quantizer {
-                kind: QKind::Num { min: *min, max: *max, bins: *bins, integer: *integer },
+            AttrKind::Categorical { labels } => Quantizer {
+                kind: QKind::Cat { card: labels.len() },
+            },
+            AttrKind::Numeric {
+                min,
+                max,
+                bins,
+                integer,
+            } => Quantizer {
+                kind: QKind::Num {
+                    min: *min,
+                    max: *max,
+                    bins: *bins,
+                    integer: *integer,
+                },
             },
         }
     }
@@ -71,7 +90,12 @@ impl Quantizer {
     pub fn representative(&self, bin: usize) -> Value {
         match &self.kind {
             QKind::Cat { card } => Value::Cat(bin.min(card - 1) as u32),
-            QKind::Num { min, max, bins, integer } => {
+            QKind::Num {
+                min,
+                max,
+                bins,
+                integer,
+            } => {
                 let w = (max - min) / *bins as f64;
                 let mid = min + (bin as f64 + 0.5) * w;
                 Value::Num(if *integer { mid.round() } else { mid })
@@ -85,11 +109,20 @@ impl Quantizer {
     pub fn sample_in_bin<R: Rng + ?Sized>(&self, bin: usize, rng: &mut R) -> Value {
         match &self.kind {
             QKind::Cat { card } => Value::Cat(bin.min(card - 1) as u32),
-            QKind::Num { min, max, bins, integer } => {
+            QKind::Num {
+                min,
+                max,
+                bins,
+                integer,
+            } => {
                 let w = (max - min) / *bins as f64;
                 let lo = min + bin as f64 * w;
                 let x = lo + rng.gen::<f64>() * w;
-                Value::Num(if *integer { x.round().clamp(*min, *max) } else { x })
+                Value::Num(if *integer {
+                    x.round().clamp(*min, *max)
+                } else {
+                    x
+                })
             }
         }
     }
@@ -98,7 +131,12 @@ impl Quantizer {
     /// attribute domain; identity for categorical quantizers.
     pub fn clamp(&self, v: Value) -> Value {
         match (&self.kind, v) {
-            (QKind::Num { min, max, integer, .. }, Value::Num(x)) => {
+            (
+                QKind::Num {
+                    min, max, integer, ..
+                },
+                Value::Num(x),
+            ) => {
                 let c = x.clamp(*min, *max);
                 Value::Num(if *integer { c.round() } else { c })
             }
@@ -149,7 +187,9 @@ mod tests {
     fn integer_representative_rounds() {
         let q = Quantizer::for_attr(&Attribute::integer("x", 0.0, 9.0, 3).unwrap());
         for b in 0..3 {
-            let Value::Num(x) = q.representative(b) else { panic!() };
+            let Value::Num(x) = q.representative(b) else {
+                panic!()
+            };
             assert_eq!(x, x.round());
         }
     }

@@ -49,7 +49,9 @@ impl Attribute {
     ) -> Result<Attribute, DataError> {
         let name = name.into();
         if labels.is_empty() {
-            return Err(DataError::InvalidDomain(format!("attribute `{name}` has no labels")));
+            return Err(DataError::InvalidDomain(format!(
+                "attribute `{name}` has no labels"
+            )));
         }
         let mut seen = std::collections::HashSet::with_capacity(labels.len());
         for l in &labels {
@@ -59,7 +61,10 @@ impl Attribute {
                 )));
             }
         }
-        Ok(Attribute { name, kind: AttrKind::Categorical { labels } })
+        Ok(Attribute {
+            name,
+            kind: AttrKind::Categorical { labels },
+        })
     }
 
     /// Convenience constructor: categorical attribute with labels `0..card`
@@ -110,9 +115,19 @@ impl Attribute {
             )));
         }
         if bins == 0 {
-            return Err(DataError::InvalidDomain(format!("attribute `{name}` has zero bins")));
+            return Err(DataError::InvalidDomain(format!(
+                "attribute `{name}` has zero bins"
+            )));
         }
-        Ok(Attribute { name, kind: AttrKind::Numeric { min, max, bins, integer } })
+        Ok(Attribute {
+            name,
+            kind: AttrKind::Numeric {
+                min,
+                max,
+                bins,
+                integer,
+            },
+        })
     }
 
     /// Whether this attribute is categorical.
@@ -165,12 +180,14 @@ impl Attribute {
                 }
             }
             (AttrKind::Numeric { .. }, Value::Num(x)) if x.is_finite() => Ok(()),
-            (AttrKind::Categorical { .. }, Value::Num(_)) => {
-                Err(DataError::TypeMismatch { attr: self.name.clone(), expected: "categorical" })
-            }
-            (AttrKind::Numeric { .. }, _) => {
-                Err(DataError::TypeMismatch { attr: self.name.clone(), expected: "numeric" })
-            }
+            (AttrKind::Categorical { .. }, Value::Num(_)) => Err(DataError::TypeMismatch {
+                attr: self.name.clone(),
+                expected: "categorical",
+            }),
+            (AttrKind::Numeric { .. }, _) => Err(DataError::TypeMismatch {
+                attr: self.name.clone(),
+                expected: "numeric",
+            }),
         }
     }
 }
@@ -239,7 +256,10 @@ impl Schema {
     /// The log₂ of the full domain size `Π |D(A_j)|`, the quantity Table 1
     /// reports as "Domain size" (≈ 2^52 for Adult etc.).
     pub fn log2_domain_size(&self) -> f64 {
-        self.attrs.iter().map(|a| (a.domain_size() as f64).log2()).sum()
+        self.attrs
+            .iter()
+            .map(|a| (a.domain_size() as f64).log2())
+            .sum()
     }
 }
 

@@ -77,12 +77,18 @@ impl Standardizer {
     /// Fits standardization parameters on a numeric column.
     pub fn fit(values: &[f64]) -> Standardizer {
         if values.is_empty() {
-            return Standardizer { mean: 0.0, std: 1.0 };
+            return Standardizer {
+                mean: 0.0,
+                std: 1.0,
+            };
         }
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
         let var = values.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-        Standardizer { mean, std: var.sqrt().max(1e-9) }
+        Standardizer {
+            mean,
+            std: var.sqrt().max(1e-9),
+        }
     }
 
     /// Fits from the attribute's declared domain rather than the data; this
@@ -119,7 +125,11 @@ mod tests {
         let s = Schema::new(vec![Attribute::categorical_indexed("c", 3).unwrap()]).unwrap();
         let inst = Instance::from_rows(
             &s,
-            &[vec![Value::Cat(0)], vec![Value::Cat(2)], vec![Value::Cat(2)]],
+            &[
+                vec![Value::Cat(0)],
+                vec![Value::Cat(2)],
+                vec![Value::Cat(2)],
+            ],
         )
         .unwrap();
         assert_eq!(histogram(&s, &inst, 0), vec![1.0, 0.0, 2.0]);
@@ -130,7 +140,11 @@ mod tests {
         let s = Schema::new(vec![Attribute::numeric("x", 0.0, 10.0, 2).unwrap()]).unwrap();
         let inst = Instance::from_rows(
             &s,
-            &[vec![Value::Num(1.0)], vec![Value::Num(6.0)], vec![Value::Num(9.0)]],
+            &[
+                vec![Value::Num(1.0)],
+                vec![Value::Num(6.0)],
+                vec![Value::Num(9.0)],
+            ],
         )
         .unwrap();
         assert_eq!(histogram(&s, &inst, 0), vec![1.0, 2.0]);

@@ -23,33 +23,78 @@ use kamino_dp::normal::normal;
 use crate::Dataset;
 
 const EDUCATIONS: [&str; 16] = [
-    "Preschool", "1st-4th", "5th-6th", "7th-8th", "9th", "10th", "11th", "12th", "HS-grad",
-    "Some-college", "Assoc-voc", "Assoc-acdm", "Bachelors", "Masters", "Prof-school",
+    "Preschool",
+    "1st-4th",
+    "5th-6th",
+    "7th-8th",
+    "9th",
+    "10th",
+    "11th",
+    "12th",
+    "HS-grad",
+    "Some-college",
+    "Assoc-voc",
+    "Assoc-acdm",
+    "Bachelors",
+    "Masters",
+    "Prof-school",
     "Doctorate",
 ];
 
 const WORKCLASSES: [&str; 8] = [
-    "Private", "Self-emp-not-inc", "Self-emp-inc", "Federal-gov", "Local-gov", "State-gov",
-    "Without-pay", "Never-worked",
+    "Private",
+    "Self-emp-not-inc",
+    "Self-emp-inc",
+    "Federal-gov",
+    "Local-gov",
+    "State-gov",
+    "Without-pay",
+    "Never-worked",
 ];
 
 const MARITALS: [&str; 7] = [
-    "Married-civ-spouse", "Divorced", "Never-married", "Separated", "Widowed",
-    "Married-spouse-absent", "Married-AF-spouse",
+    "Married-civ-spouse",
+    "Divorced",
+    "Never-married",
+    "Separated",
+    "Widowed",
+    "Married-spouse-absent",
+    "Married-AF-spouse",
 ];
 
 const OCCUPATIONS: [&str; 14] = [
-    "Tech-support", "Craft-repair", "Other-service", "Sales", "Exec-managerial",
-    "Prof-specialty", "Handlers-cleaners", "Machine-op-inspct", "Adm-clerical",
-    "Farming-fishing", "Transport-moving", "Priv-house-serv", "Protective-serv",
+    "Tech-support",
+    "Craft-repair",
+    "Other-service",
+    "Sales",
+    "Exec-managerial",
+    "Prof-specialty",
+    "Handlers-cleaners",
+    "Machine-op-inspct",
+    "Adm-clerical",
+    "Farming-fishing",
+    "Transport-moving",
+    "Priv-house-serv",
+    "Protective-serv",
     "Armed-Forces",
 ];
 
-const RELATIONSHIPS: [&str; 6] =
-    ["Wife", "Own-child", "Husband", "Not-in-family", "Other-relative", "Unmarried"];
+const RELATIONSHIPS: [&str; 6] = [
+    "Wife",
+    "Own-child",
+    "Husband",
+    "Not-in-family",
+    "Other-relative",
+    "Unmarried",
+];
 
-const RACES: [&str; 5] =
-    ["White", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other", "Black"];
+const RACES: [&str; 5] = [
+    "White",
+    "Asian-Pac-Islander",
+    "Amer-Indian-Eskimo",
+    "Other",
+    "Black",
+];
 
 /// Builds the Adult-like schema (shared with tests and benches).
 pub fn adult_schema() -> Schema {
@@ -118,8 +163,9 @@ pub fn adult_like(n: usize, seed: u64) -> Dataset {
     let mut inst = Instance::empty(&schema);
 
     // skewed education-level prior (HS-grad / Some-college heavy)
-    let edu_weights: [f64; 16] =
-        [0.2, 0.5, 1.0, 2.0, 1.6, 2.8, 3.6, 1.3, 32.0, 22.0, 4.2, 3.2, 16.0, 5.4, 1.8, 1.2];
+    let edu_weights: [f64; 16] = [
+        0.2, 0.5, 1.0, 2.0, 1.6, 2.8, 3.6, 1.3, 32.0, 22.0, 4.2, 3.2, 16.0, 5.4, 1.8, 1.2,
+    ];
 
     let mut row: Vec<Value> = Vec::with_capacity(schema.len());
     for _ in 0..n {
@@ -129,7 +175,9 @@ pub fn adult_like(n: usize, seed: u64) -> Dataset {
         let sex = usize::from(rng.gen::<f64>() < 0.67); // 1 = Male
         let race = sample_weighted(&[85.0, 3.0, 1.0, 1.0, 10.0], &mut rng);
         let country = sample_weighted(
-            &(0..20).map(|i| 1.0 / (i as f64 + 1.0).powf(1.6)).collect::<Vec<_>>(),
+            &(0..20)
+                .map(|i| 1.0 / (i as f64 + 1.0).powf(1.6))
+                .collect::<Vec<_>>(),
             &mut rng,
         );
         // marital status skews with age
@@ -153,12 +201,16 @@ pub fn adult_like(n: usize, seed: u64) -> Dataset {
         // occupation skews with education level
         let occupation = if edu >= 12 {
             sample_weighted(
-                &[8.0, 3.0, 3.0, 10.0, 25.0, 32.0, 1.0, 1.0, 7.0, 1.0, 2.0, 0.3, 2.0, 0.2],
+                &[
+                    8.0, 3.0, 3.0, 10.0, 25.0, 32.0, 1.0, 1.0, 7.0, 1.0, 2.0, 0.3, 2.0, 0.2,
+                ],
                 &mut rng,
             )
         } else {
             sample_weighted(
-                &[3.0, 16.0, 14.0, 11.0, 7.0, 4.0, 7.0, 9.0, 13.0, 4.0, 7.0, 1.0, 3.0, 0.3],
+                &[
+                    3.0, 16.0, 14.0, 11.0, 7.0, 4.0, 7.0, 9.0, 13.0, 4.0, 7.0, 1.0, 3.0, 0.3,
+                ],
                 &mut rng,
             )
         };
@@ -167,7 +219,9 @@ pub fn adult_like(n: usize, seed: u64) -> Dataset {
             .round()
             .clamp(1.0, 99.0);
         // income: the planted signal the classification task recovers
-        let logit = 0.55 * (edu_num - 9.5) + 0.035 * (age - 38.0) + 0.04 * (hours - 40.0)
+        let logit = 0.55 * (edu_num - 9.5)
+            + 0.035 * (age - 38.0)
+            + 0.04 * (hours - 40.0)
             + if sex == 1 { 0.7 } else { 0.0 }
             + if marital == 0 { 1.1 } else { -0.6 }
             - 1.4;
@@ -175,7 +229,10 @@ pub fn adult_like(n: usize, seed: u64) -> Dataset {
         // capital gain: zero-inflated, heavier for high earners
         let gain_p = 0.05 + 0.12 * income as f64;
         let gain = if rng.gen::<f64>() < gain_p {
-            normal(&mut rng, 8.6, 0.9).exp().clamp(0.0, 99_999.0).round()
+            normal(&mut rng, 8.6, 0.9)
+                .exp()
+                .clamp(0.0, 99_999.0)
+                .round()
         } else {
             0.0
         };
@@ -200,11 +257,17 @@ pub fn adult_like(n: usize, seed: u64) -> Dataset {
             Value::Cat(country as u32),
             Value::Cat(income as u32),
         ]);
-        inst.push_row(&schema, &row).expect("generator emits schema-conformant rows");
+        inst.push_row(&schema, &row)
+            .expect("generator emits schema-conformant rows");
     }
 
     let dcs = adult_dcs(&schema);
-    Dataset { name: "adult".into(), schema, instance: inst, dcs }
+    Dataset {
+        name: "adult".into(),
+        schema,
+        instance: inst,
+        dcs,
+    }
 }
 
 #[cfg(test)]

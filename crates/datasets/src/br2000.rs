@@ -90,9 +90,7 @@ pub fn br2000_like(n: usize, seed: u64) -> Dataset {
         let a5 = ordinal(u, 0.035, 16, &mut rng);
         let a11 = ordinal(u, 0.04, 12, &mut rng);
         let a13 = ordinal(u, 0.04, 10, &mut rng);
-        let bin = |th: f64, rng: &mut StdRng| -> u32 {
-            u32::from(u + normal(rng, 0.0, 0.25) > th)
-        };
+        let bin = |th: f64, rng: &mut StdRng| -> u32 { u32::from(u + normal(rng, 0.0, 0.25) > th) };
         let a10 = ordinal(u, 0.3, 3, &mut rng) as u32;
         let a14 = ordinal(u, 0.3, 4, &mut rng) as u32;
         row.clear();
@@ -112,10 +110,16 @@ pub fn br2000_like(n: usize, seed: u64) -> Dataset {
             Value::Num(a13),
             Value::Cat(a14),
         ]);
-        inst.push_row(&schema, &row).expect("generator emits schema-conformant rows");
+        inst.push_row(&schema, &row)
+            .expect("generator emits schema-conformant rows");
     }
     let dcs = br2000_dcs(&schema);
-    Dataset { name: "br2000".into(), schema, instance: inst, dcs }
+    Dataset {
+        name: "br2000".into(),
+        schema,
+        instance: inst,
+        dcs,
+    }
 }
 
 #[cfg(test)]
@@ -146,8 +150,14 @@ mod tests {
             );
         }
         // at least one DC must actually be violated (they are soft)
-        let any = d.dcs.iter().any(|dc| violation_percentage(dc, &d.instance) > 0.0);
-        assert!(any, "all soft DCs hold exactly — generator lost its softness");
+        let any = d
+            .dcs
+            .iter()
+            .any(|dc| violation_percentage(dc, &d.instance) > 0.0);
+        assert!(
+            any,
+            "all soft DCs hold exactly — generator lost its softness"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl Dataset {
         self.dcs
             .iter()
             .map(|dc| {
-                (dc.name.clone(), kamino_constraints::violation_percentage(dc, &self.instance))
+                (
+                    dc.name.clone(),
+                    kamino_constraints::violation_percentage(dc, &self.instance),
+                )
             })
             .collect()
     }

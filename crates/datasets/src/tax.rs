@@ -32,7 +32,12 @@ pub fn tax_schema(n_zips: usize) -> Schema {
         Attribute::categorical_indexed("zip", n_zips).unwrap(),
         Attribute::categorical(
             "marital",
-            vec!["single".into(), "married".into(), "divorced".into(), "widowed".into()],
+            vec![
+                "single".into(),
+                "married".into(),
+                "divorced".into(),
+                "widowed".into(),
+            ],
         )
         .unwrap(),
         Attribute::categorical("has_child", vec!["no".into(), "yes".into()]).unwrap(),
@@ -111,8 +116,9 @@ pub fn tax_like_scaled(n: usize, seed: u64, n_zips: usize) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7A50);
     let mut inst = Instance::empty(&schema);
     // Zipf-ish popularity over zips so FD groups have realistic skew.
-    let zip_weights: Vec<f64> =
-        (0..n_zips).map(|i| 1.0 / (i as f64 + 1.0).powf(0.8)).collect();
+    let zip_weights: Vec<f64> = (0..n_zips)
+        .map(|i| 1.0 / (i as f64 + 1.0).powf(0.8))
+        .collect();
     let mut row: Vec<Value> = Vec::with_capacity(schema.len());
     for _ in 0..n {
         let zip = sample_weighted(&zip_weights, &mut rng);
@@ -148,10 +154,16 @@ pub fn tax_like_scaled(n: usize, seed: u64, n_zips: usize) -> Dataset {
             Value::Num(child_exemp_of(state, has_child)),
             Value::Num(age),
         ]);
-        inst.push_row(&schema, &row).expect("generator emits schema-conformant rows");
+        inst.push_row(&schema, &row)
+            .expect("generator emits schema-conformant rows");
     }
     let dcs = tax_dcs(&schema);
-    Dataset { name: "tax".into(), schema, instance: inst, dcs }
+    Dataset {
+        name: "tax".into(),
+        schema,
+        instance: inst,
+        dcs,
+    }
 }
 
 #[cfg(test)]

@@ -22,19 +22,21 @@ pub fn tpch_schema(n_customers: usize) -> Schema {
         Attribute::categorical_indexed("c_nationkey", N_NATIONS).unwrap(),
         Attribute::categorical(
             "c_mktsegment",
-            ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            [
+                "AUTOMOBILE",
+                "BUILDING",
+                "FURNITURE",
+                "MACHINERY",
+                "HOUSEHOLD",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         )
         .unwrap(),
         Attribute::categorical_indexed("n_name", N_NATIONS).unwrap(),
         Attribute::categorical_indexed("n_regionkey", 5).unwrap(),
-        Attribute::categorical(
-            "o_orderstatus",
-            vec!["F".into(), "O".into(), "P".into()],
-        )
-        .unwrap(),
+        Attribute::categorical("o_orderstatus", vec!["F".into(), "O".into(), "P".into()]).unwrap(),
         Attribute::numeric("o_totalprice", 900.0, 500_000.0, 20).unwrap(),
         Attribute::integer("o_orderdate", 0.0, 2_405.0, 20).unwrap(),
         Attribute::categorical(
@@ -53,10 +55,22 @@ pub fn tpch_schema(n_customers: usize) -> Schema {
 pub fn tpch_dcs(schema: &Schema) -> Vec<DenialConstraint> {
     let dc = |name: &str, text: &str| parse_dc(schema, name, text, Hardness::Hard).unwrap();
     vec![
-        dc("phi_h1", "!(t1.c_custkey == t2.c_custkey & t1.c_nationkey != t2.c_nationkey)"),
-        dc("phi_h2", "!(t1.c_custkey == t2.c_custkey & t1.c_mktsegment != t2.c_mktsegment)"),
-        dc("phi_h3", "!(t1.c_custkey == t2.c_custkey & t1.n_name != t2.n_name)"),
-        dc("phi_h4", "!(t1.n_name == t2.n_name & t1.n_regionkey != t2.n_regionkey)"),
+        dc(
+            "phi_h1",
+            "!(t1.c_custkey == t2.c_custkey & t1.c_nationkey != t2.c_nationkey)",
+        ),
+        dc(
+            "phi_h2",
+            "!(t1.c_custkey == t2.c_custkey & t1.c_mktsegment != t2.c_mktsegment)",
+        ),
+        dc(
+            "phi_h3",
+            "!(t1.c_custkey == t2.c_custkey & t1.n_name != t2.n_name)",
+        ),
+        dc(
+            "phi_h4",
+            "!(t1.n_name == t2.n_name & t1.n_regionkey != t2.n_regionkey)",
+        ),
     ]
 }
 
@@ -81,8 +95,9 @@ pub fn tpch_like(n: usize, seed: u64) -> Dataset {
         })
         .collect();
     // Zipf-ish order volume per customer
-    let cust_weights: Vec<f64> =
-        (0..n_customers).map(|i| 1.0 / (i as f64 + 1.0).powf(0.6)).collect();
+    let cust_weights: Vec<f64> = (0..n_customers)
+        .map(|i| 1.0 / (i as f64 + 1.0).powf(0.6))
+        .collect();
 
     let mut inst = Instance::empty(&schema);
     let mut row: Vec<Value> = Vec::with_capacity(schema.len());
@@ -90,7 +105,10 @@ pub fn tpch_like(n: usize, seed: u64) -> Dataset {
         let ck = sample_weighted(&cust_weights, &mut rng);
         let (nation, segment) = customers[ck];
         let status = sample_weighted(&[48.0, 48.0, 4.0], &mut rng) as u32;
-        let price = normal(&mut rng, 11.2, 0.7).exp().clamp(900.0, 500_000.0).round();
+        let price = normal(&mut rng, 11.2, 0.7)
+            .exp()
+            .clamp(900.0, 500_000.0)
+            .round();
         let date = rng.gen_range(0..=2_405) as f64;
         // urgent orders skew toward recent dates (a learnable correlation)
         let priority = if date > 2_000.0 {
@@ -110,10 +128,16 @@ pub fn tpch_like(n: usize, seed: u64) -> Dataset {
             Value::Num(date),
             Value::Cat(priority),
         ]);
-        inst.push_row(&schema, &row).expect("generator emits schema-conformant rows");
+        inst.push_row(&schema, &row)
+            .expect("generator emits schema-conformant rows");
     }
     let dcs = tpch_dcs(&schema);
-    Dataset { name: "tpch".into(), schema, instance: inst, dcs }
+    Dataset {
+        name: "tpch".into(),
+        schema,
+        instance: inst,
+        dcs,
+    }
 }
 
 #[cfg(test)]

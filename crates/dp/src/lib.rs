@@ -50,7 +50,10 @@ impl Budget {
     /// An effectively unbounded budget, used for the paper's ε = ∞
     /// (non-private) runs in Figure 6.
     pub fn non_private() -> Budget {
-        Budget { epsilon: f64::INFINITY, delta: 1e-6 }
+        Budget {
+            epsilon: f64::INFINITY,
+            delta: 1e-6,
+        }
     }
 
     /// Whether this budget disables privacy noise (ε = ∞).

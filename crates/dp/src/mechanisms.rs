@@ -22,7 +22,10 @@ pub fn add_gaussian_noise<R: Rng + ?Sized>(
     sigma: f64,
     rng: &mut R,
 ) {
-    assert!(sensitivity >= 0.0 && sigma >= 0.0, "noise parameters must be nonnegative");
+    assert!(
+        sensitivity >= 0.0 && sigma >= 0.0,
+        "noise parameters must be nonnegative"
+    );
     let std = sensitivity * sigma;
     if std == 0.0 {
         return;
@@ -90,7 +93,10 @@ mod tests {
         let mean = values.iter().sum::<f64>() / n as f64;
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05);
-        assert!((var - 9.0).abs() < 0.2, "variance {var}, expected (2·1.5)² = 9");
+        assert!(
+            (var - 9.0).abs() < 0.2,
+            "variance {var}, expected (2·1.5)² = 9"
+        );
     }
 
     #[test]

@@ -51,8 +51,9 @@ mod tests {
     fn standard_normal_tail_mass() {
         let mut rng = StdRng::seed_from_u64(7);
         let n = 100_000;
-        let beyond_2: usize =
-            (0..n).filter(|_| standard_normal(&mut rng).abs() > 2.0).count();
+        let beyond_2: usize = (0..n)
+            .filter(|_| standard_normal(&mut rng).abs() > 2.0)
+            .count();
         // P(|Z| > 2) ≈ 0.0455
         let frac = beyond_2 as f64 / n as f64;
         assert!((frac - 0.0455).abs() < 0.005, "two-sigma tail mass {frac}");

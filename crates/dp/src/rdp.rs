@@ -95,7 +95,9 @@ impl Default for RdpAccountant {
 impl RdpAccountant {
     /// An accountant with zero spent cost.
     pub fn new() -> RdpAccountant {
-        RdpAccountant { costs: [0.0; ALPHA_GRID.len()] }
+        RdpAccountant {
+            costs: [0.0; ALPHA_GRID.len()],
+        }
     }
 
     /// Composes `count` releases of an unsampled Gaussian mechanism with
@@ -137,7 +139,10 @@ impl RdpAccountant {
 /// (`q = 1` calibrates plain Gaussian releases). Used by Algorithm 6 and by
 /// the baselines to fit their budgets.
 pub fn calibrate_sgm_sigma(target_eps: f64, delta: f64, q: f64, count: u64) -> f64 {
-    assert!(target_eps > 0.0 && target_eps.is_finite(), "target epsilon must be positive");
+    assert!(
+        target_eps > 0.0 && target_eps.is_finite(),
+        "target epsilon must be positive"
+    );
     let eps_of = |sigma: f64| {
         let mut acc = RdpAccountant::new();
         acc.add_sgm(sigma, q, count);
@@ -188,7 +193,10 @@ mod tests {
             for &sigma in &[0.7, 1.1, 3.0] {
                 let a = sgm_rdp(alpha, sigma, 1.0);
                 let b = gaussian_rdp(alpha as f64, sigma);
-                assert!((a - b).abs() < 1e-9, "alpha={alpha} sigma={sigma}: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "alpha={alpha} sigma={sigma}: {a} vs {b}"
+                );
             }
         }
     }
@@ -276,7 +284,10 @@ mod tests {
         let mut acc = RdpAccountant::new();
         acc.add_sgm(1.1, 32.0 / 32561.0, 5000);
         let eps = acc.epsilon(1e-6);
-        assert!(eps > 0.3 && eps < 3.0, "eps {eps} outside plausible DP-SGD range");
+        assert!(
+            eps > 0.3 && eps < 3.0,
+            "eps {eps} outside plausible DP-SGD range"
+        );
     }
 
     #[test]

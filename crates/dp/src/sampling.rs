@@ -57,9 +57,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let n = 50_000;
         let rate = 0.01;
-        let total: usize = (0..20).map(|_| poisson_sample(n, rate, &mut rng).len()).sum();
+        let total: usize = (0..20)
+            .map(|_| poisson_sample(n, rate, &mut rng).len())
+            .sum();
         let mean = total as f64 / 20.0;
-        assert!((mean - 500.0).abs() < 50.0, "mean sample size {mean}, expected ≈ 500");
+        assert!(
+            (mean - 500.0).abs() < 50.0,
+            "mean sample size {mean}, expected ≈ 500"
+        );
     }
 
     #[test]

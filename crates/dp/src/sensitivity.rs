@@ -63,9 +63,7 @@ mod tests {
 
     #[test]
     fn lemma1_monotone_in_sample_size() {
-        assert!(
-            violation_matrix_sensitivity(0, 1, 200) > violation_matrix_sensitivity(0, 1, 100)
-        );
+        assert!(violation_matrix_sensitivity(0, 1, 200) > violation_matrix_sensitivity(0, 1, 100));
     }
 
     #[test]

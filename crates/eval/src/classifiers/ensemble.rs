@@ -36,7 +36,10 @@ impl Default for RandomForest {
     fn default() -> Self {
         RandomForest {
             n_trees: 15,
-            params: TreeParams { max_depth: 8, ..Default::default() },
+            params: TreeParams {
+                max_depth: 8,
+                ..Default::default()
+            },
             trees: Vec::new(),
             fallback: false,
         }
@@ -61,7 +64,13 @@ impl Classifier for RandomForest {
             let bx = take(x, &idx);
             let bt = take(&target, &idx);
             let w = vec![1.0; bx.len()];
-            self.trees.push(RegressionTree::fit(&bx, &bt, &w, &params, seed ^ (t as u64 * 77)));
+            self.trees.push(RegressionTree::fit(
+                &bx,
+                &bt,
+                &w,
+                &params,
+                seed ^ (t as u64 * 77),
+            ));
         }
     }
 
@@ -143,7 +152,11 @@ pub struct AdaBoost {
 
 impl Default for AdaBoost {
     fn default() -> Self {
-        AdaBoost { rounds: 30, stumps: Vec::new(), fallback: false }
+        AdaBoost {
+            rounds: 30,
+            stumps: Vec::new(),
+            fallback: false,
+        }
     }
 }
 
@@ -158,7 +171,11 @@ impl Classifier for AdaBoost {
         let n = x.len();
         let target: Vec<f64> = y.iter().map(|&b| f64::from(b)).collect();
         let mut w = vec![1.0 / n as f64; n];
-        let stump_params = TreeParams { max_depth: 1, min_split: 2, ..Default::default() };
+        let stump_params = TreeParams {
+            max_depth: 1,
+            min_split: 2,
+            ..Default::default()
+        };
         for round in 0..self.rounds {
             let stump =
                 RegressionTree::fit(x, &target, &w, &stump_params, seed ^ (round as u64 * 193));
@@ -213,7 +230,13 @@ pub struct GradientBoost {
 
 impl Default for GradientBoost {
     fn default() -> Self {
-        GradientBoost { rounds: 30, shrinkage: 0.3, depth: 3, base: 0.0, trees: Vec::new() }
+        GradientBoost {
+            rounds: 30,
+            shrinkage: 0.3,
+            depth: 3,
+            base: 0.0,
+            trees: Vec::new(),
+        }
     }
 }
 
@@ -235,13 +258,14 @@ impl Classifier for GradientBoost {
         let p0 = (pos / n as f64).clamp(1e-6, 1.0 - 1e-6);
         self.base = (p0 / (1.0 - p0)).ln();
         let mut f: Vec<f64> = vec![self.base; n];
-        let params = TreeParams { max_depth: self.depth, ..Default::default() };
+        let params = TreeParams {
+            max_depth: self.depth,
+            ..Default::default()
+        };
         let w = vec![1.0; n];
         for round in 0..self.rounds {
-            let residual: Vec<f64> =
-                (0..n).map(|i| f64::from(y[i]) - sigmoid(f[i])).collect();
-            let tree =
-                RegressionTree::fit(x, &residual, &w, &params, seed ^ (round as u64 * 389));
+            let residual: Vec<f64> = (0..n).map(|i| f64::from(y[i]) - sigmoid(f[i])).collect();
+            let tree = RegressionTree::fit(x, &residual, &w, &params, seed ^ (round as u64 * 389));
             for i in 0..n {
                 f[i] += self.shrinkage * tree.predict(&x[i]);
             }
@@ -296,7 +320,10 @@ impl Classifier for XgbLite {
         let p0 = (pos / n as f64).clamp(1e-6, 1.0 - 1e-6);
         self.base = (p0 / (1.0 - p0)).ln();
         let mut f: Vec<f64> = vec![self.base; n];
-        let params = TreeParams { max_depth: self.depth, ..Default::default() };
+        let params = TreeParams {
+            max_depth: self.depth,
+            ..Default::default()
+        };
         let w = vec![1.0; n];
         for round in 0..self.rounds {
             let grad: Vec<f64> = (0..n).map(|i| f64::from(y[i]) - sigmoid(f[i])).collect();
@@ -379,10 +406,18 @@ mod tests {
         assert!(train_accuracy(&mut XgbLite::default(), &x, &y) > 0.9);
         // extreme λ shrinks every leaf toward zero ⇒ predictions revert to
         // the base rate
-        let mut heavy = XgbLite { lambda: 1e9, ..Default::default() };
+        let mut heavy = XgbLite {
+            lambda: 1e9,
+            ..Default::default()
+        };
         heavy.fit(&x, &y, 0);
-        let base_only = x.iter().all(|xi| heavy.predict_one(xi) == (heavy.base > 0.0));
-        assert!(base_only, "infinite regularization should freeze the ensemble");
+        let base_only = x
+            .iter()
+            .all(|xi| heavy.predict_one(xi) == (heavy.base > 0.0));
+        assert!(
+            base_only,
+            "infinite regularization should freeze the ensemble"
+        );
     }
 
     #[test]

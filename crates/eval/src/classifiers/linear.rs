@@ -17,7 +17,13 @@ pub struct LogisticRegression {
 
 impl Default for LogisticRegression {
     fn default() -> Self {
-        LogisticRegression { epochs: 200, lr: 0.5, l2: 1e-4, weights: Vec::new(), bias: 0.0 }
+        LogisticRegression {
+            epochs: 200,
+            lr: 0.5,
+            l2: 1e-4,
+            weights: Vec::new(),
+            bias: 0.0,
+        }
     }
 }
 
@@ -81,20 +87,32 @@ mod tests {
     #[test]
     fn weight_signs_match_signal() {
         // y = x[0] > 0: weight 0 should become positive
-        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![if i % 2 == 0 { 1.0 } else { -1.0 }, 0.3]).collect();
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![if i % 2 == 0 { 1.0 } else { -1.0 }, 0.3])
+            .collect();
         let y: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
         let mut c = LogisticRegression::default();
         c.fit(&x, &y, 0);
         assert!(c.weights[0] > 0.5);
-        assert!(c.weights[1].abs() < 0.3, "irrelevant feature got weight {}", c.weights[1]);
+        assert!(
+            c.weights[1].abs() < 0.3,
+            "irrelevant feature got weight {}",
+            c.weights[1]
+        );
     }
 
     #[test]
     fn regularization_shrinks_weights() {
         let (x, y) = blobs(100, 2);
-        let mut light = LogisticRegression { l2: 0.0, ..Default::default() };
+        let mut light = LogisticRegression {
+            l2: 0.0,
+            ..Default::default()
+        };
         light.fit(&x, &y, 0);
-        let mut heavy = LogisticRegression { l2: 0.5, ..Default::default() };
+        let mut heavy = LogisticRegression {
+            l2: 0.5,
+            ..Default::default()
+        };
         heavy.fit(&x, &y, 0);
         let norm = |c: &LogisticRegression| c.weights.iter().map(|w| w * w).sum::<f64>();
         assert!(norm(&heavy) < norm(&light));

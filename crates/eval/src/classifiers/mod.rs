@@ -67,7 +67,10 @@ pub(crate) mod testutil {
         for i in 0..n {
             let pos = i % 2 == 0;
             let cx = if pos { 1.5 } else { -1.5 };
-            x.push(vec![cx + rng.gen::<f64>() - 0.5, cx + rng.gen::<f64>() - 0.5]);
+            x.push(vec![
+                cx + rng.gen::<f64>() - 0.5,
+                cx + rng.gen::<f64>() - 0.5,
+            ]);
             y.push(pos);
         }
         (x, y)
@@ -125,14 +128,24 @@ mod tests {
         let (x, y) = testutil::blobs(200, 1);
         for mut c in standard_nine() {
             let acc = testutil::train_accuracy(c.as_mut(), &x, &y);
-            assert!(acc > 0.9, "{} only reached {acc} on separable blobs", c.name());
+            assert!(
+                acc > 0.9,
+                "{} only reached {acc} on separable blobs",
+                c.name()
+            );
         }
     }
 
     #[test]
     fn nonlinear_models_solve_xor() {
         let (x, y) = testutil::xor(300, 2);
-        for name in ["DecisionTree", "RandomForest", "GradientBoost", "XGBoost", "MLP"] {
+        for name in [
+            "DecisionTree",
+            "RandomForest",
+            "GradientBoost",
+            "XGBoost",
+            "MLP",
+        ] {
             let mut c = standard_nine()
                 .into_iter()
                 .find(|c| c.name() == name)
@@ -148,7 +161,11 @@ mod tests {
         let y = vec![true; 20];
         for mut c in standard_nine() {
             c.fit(&x, &y, 3);
-            assert!(c.predict_one(&[0.0, 1.0]), "{} failed on single-class data", c.name());
+            assert!(
+                c.predict_one(&[0.0, 1.0]),
+                "{} failed on single-class data",
+                c.name()
+            );
         }
     }
 

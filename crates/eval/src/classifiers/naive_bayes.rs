@@ -53,8 +53,10 @@ impl Classifier for BernoulliNb {
             return;
         }
         let counts = [n_neg as f64, n_pos as f64];
-        self.log_prior = [counts[0].ln() - (y.len() as f64).ln(),
-                          counts[1].ln() - (y.len() as f64).ln()];
+        self.log_prior = [
+            counts[0].ln() - (y.len() as f64).ln(),
+            counts[1].ln() - (y.len() as f64).ln(),
+        ];
         let mut on = vec![[0.0f64; 2]; d];
         for (xi, &yi) in x.iter().zip(y) {
             let c = usize::from(yi);
@@ -89,7 +91,11 @@ impl Classifier for BernoulliNb {
         }
         let mut score = [self.log_prior[0], self.log_prior[1]];
         for (j, &v) in x.iter().enumerate() {
-            let table = if v > self.threshold { &self.log_p_on } else { &self.log_p_off };
+            let table = if v > self.threshold {
+                &self.log_p_on
+            } else {
+                &self.log_p_off
+            };
             score[0] += table[j][0];
             score[1] += table[j][1];
         }
@@ -105,8 +111,9 @@ mod tests {
     #[test]
     fn learns_indicator_features() {
         // y = feature 0 is on
-        let x: Vec<Vec<f64>> =
-            (0..100).map(|i| vec![f64::from(i % 2 == 0), f64::from(i % 3 == 0)]).collect();
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![f64::from(i % 2 == 0), f64::from(i % 3 == 0)])
+            .collect();
         let y: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
         let mut c = BernoulliNb::default();
         c.fit(&x, &y, 0);
@@ -117,7 +124,10 @@ mod tests {
     #[test]
     fn works_on_blobs_after_binarization() {
         let (x, y) = blobs(200, 3);
-        let mut c = BernoulliNb { threshold: 0.0, ..Default::default() };
+        let mut c = BernoulliNb {
+            threshold: 0.0,
+            ..Default::default()
+        };
         assert!(train_accuracy(&mut c, &x, &y) > 0.9);
     }
 

@@ -24,7 +24,14 @@ pub struct MlpClassifier {
 
 impl Default for MlpClassifier {
     fn default() -> Self {
-        MlpClassifier { hidden: 16, epochs: 40, batch: 16, lr: 0.3, net: None, fallback: false }
+        MlpClassifier {
+            hidden: 16,
+            epochs: 40,
+            batch: 16,
+            lr: 0.3,
+            net: None,
+            fallback: false,
+        }
     }
 }
 
@@ -80,7 +87,10 @@ mod tests {
         let (x, y) = blobs(200, 1);
         assert!(train_accuracy(&mut MlpClassifier::default(), &x, &y) > 0.95);
         let (x, y) = xor(300, 2);
-        let mut big = MlpClassifier { epochs: 120, ..Default::default() };
+        let mut big = MlpClassifier {
+            epochs: 120,
+            ..Default::default()
+        };
         assert!(train_accuracy(&mut big, &x, &y) > 0.85);
     }
 

@@ -27,14 +27,24 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 8, min_split: 4, feature_subsample: None, max_thresholds: 16 }
+        TreeParams {
+            max_depth: 8,
+            min_split: 4,
+            feature_subsample: None,
+            max_thresholds: 16,
+        }
     }
 }
 
 #[derive(Debug, Clone)]
 enum Node {
     Leaf(f64),
-    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
 }
 
 /// A fitted regression tree.
@@ -85,8 +95,17 @@ impl RegressionTree {
         loop {
             match node {
                 Node::Leaf(v) => return *v,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -121,7 +140,9 @@ fn weighted_mean(target: &[f64], weight: &[f64], idx: &[usize]) -> f64 {
 /// Weighted sum of squared deviations from the mean over `idx`.
 fn impurity(target: &[f64], weight: &[f64], idx: &[usize]) -> f64 {
     let mean = weighted_mean(target, weight, idx);
-    idx.iter().map(|&i| weight[i] * (target[i] - mean) * (target[i] - mean)).sum()
+    idx.iter()
+        .map(|&i| weight[i] * (target[i] - mean) * (target[i] - mean))
+        .sum()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -198,21 +219,37 @@ where
     Node::Split {
         feature,
         threshold,
-        left: Box::new(grow(x, target, weight, &left_idx, params, depth + 1, rng, leaf_value)),
-        right: Box::new(grow(x, target, weight, &right_idx, params, depth + 1, rng, leaf_value)),
+        left: Box::new(grow(
+            x,
+            target,
+            weight,
+            &left_idx,
+            params,
+            depth + 1,
+            rng,
+            leaf_value,
+        )),
+        right: Box::new(grow(
+            x,
+            target,
+            weight,
+            &right_idx,
+            params,
+            depth + 1,
+            rng,
+            leaf_value,
+        )),
     }
 }
 
 /// The single decision-tree classifier of the nine-model roster.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DecisionTree {
     /// Growth parameters.
     pub params: TreeParams,
     tree: Option<RegressionTree>,
     fallback: bool,
 }
-
 
 impl Classifier for DecisionTree {
     fn name(&self) -> &'static str {
@@ -264,8 +301,16 @@ mod tests {
         let (x, y) = xor(200, 1);
         let t: Vec<f64> = y.iter().map(|&b| f64::from(b)).collect();
         let w = vec![1.0; y.len()];
-        let stump =
-            RegressionTree::fit(&x, &t, &w, &TreeParams { max_depth: 1, ..Default::default() }, 0);
+        let stump = RegressionTree::fit(
+            &x,
+            &t,
+            &w,
+            &TreeParams {
+                max_depth: 1,
+                ..Default::default()
+            },
+            0,
+        );
         assert!(stump.n_leaves() <= 2);
     }
 

@@ -148,9 +148,13 @@ mod tests {
     #[test]
     fn fd_repair_majority_vote() {
         let s = schema();
-        let dc =
-            parse_dc(&s, "fd", "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)", Hardness::Hard)
-                .unwrap();
+        let dc = parse_dc(
+            &s,
+            "fd",
+            "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)",
+            Hardness::Hard,
+        )
+        .unwrap();
         let d = inst(
             &s,
             &[
@@ -160,7 +164,7 @@ mod tests {
                 (1, 5.0, 0.0, 0.0),
             ],
         );
-        let fixed = repair(&s, &d, &[dc.clone()]);
+        let fixed = repair(&s, &d, std::slice::from_ref(&dc));
         assert_eq!(count_violating_pairs(&dc, &fixed), 0);
         assert_eq!(fixed.num(2, 1), 10.0);
         assert_eq!(fixed.num(3, 1), 5.0, "other groups untouched");
@@ -169,9 +173,13 @@ mod tests {
     #[test]
     fn order_repair_makes_concordant() {
         let s = schema();
-        let dc =
-            parse_dc(&s, "ord", "!(t1.gain > t2.gain & t1.loss < t2.loss)", Hardness::Hard)
-                .unwrap();
+        let dc = parse_dc(
+            &s,
+            "ord",
+            "!(t1.gain > t2.gain & t1.loss < t2.loss)",
+            Hardness::Hard,
+        )
+        .unwrap();
         let d = inst(
             &s,
             &[
@@ -181,7 +189,7 @@ mod tests {
             ],
         );
         assert!(count_violating_pairs(&dc, &d) > 0);
-        let fixed = repair(&s, &d, &[dc.clone()]);
+        let fixed = repair(&s, &d, std::slice::from_ref(&dc));
         assert_eq!(count_violating_pairs(&dc, &fixed), 0);
         // the loss *marginal* is preserved (same multiset)
         let mut before: Vec<f64> = (0..3).map(|i| d.num(i, 3)).collect();
@@ -197,9 +205,13 @@ mod tests {
         // but rewrites cells, so the joint (edu_num, gain) distribution
         // moves even though no DC touches gain
         let s = schema();
-        let dc =
-            parse_dc(&s, "fd", "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)", Hardness::Hard)
-                .unwrap();
+        let dc = parse_dc(
+            &s,
+            "fd",
+            "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)",
+            Hardness::Hard,
+        )
+        .unwrap();
         let d = inst(
             &s,
             &[
@@ -208,7 +220,7 @@ mod tests {
                 (0, 10.0, 85.0, 0.0),
             ],
         );
-        let fixed = repair(&s, &d, &[dc.clone()]);
+        let fixed = repair(&s, &d, std::slice::from_ref(&dc));
         assert_eq!(violation_percentage(&dc, &fixed), 0.0);
         // row 1's edu_num was rewritten 12 → 10, breaking its pairing with
         // the low gain value
@@ -233,7 +245,7 @@ mod tests {
                 (1, 0.0, 99.0, 0.1), // alone in edu=1: untouched
             ],
         );
-        let fixed = repair(&s, &d, &[dc.clone()]);
+        let fixed = repair(&s, &d, std::slice::from_ref(&dc));
         assert_eq!(count_violating_pairs(&dc, &fixed), 0);
         assert_eq!(fixed.num(2, 3), 0.1);
     }

@@ -13,8 +13,10 @@ use kamino_data::{Instance, Quantizer, Schema};
 /// code of the quantized cell.
 fn marginal(schema: &Schema, inst: &Instance, attrs: &[usize]) -> HashMap<u64, f64> {
     assert!(!attrs.is_empty(), "marginal needs at least one attribute");
-    let quantizers: Vec<Quantizer> =
-        attrs.iter().map(|&a| Quantizer::for_attr(schema.attr(a))).collect();
+    let quantizers: Vec<Quantizer> = attrs
+        .iter()
+        .map(|&a| Quantizer::for_attr(schema.attr(a)))
+        .collect();
     let mut counts: HashMap<u64, f64> = HashMap::new();
     let n = inst.n_rows();
     if n == 0 {
@@ -33,12 +35,7 @@ fn marginal(schema: &Schema, inst: &Instance, attrs: &[usize]) -> HashMap<u64, f
 }
 
 /// Metric III for one attribute set: `max_a |h(D')[a] − h(D*)[a]|`.
-pub fn marginal_tvd(
-    schema: &Schema,
-    truth: &Instance,
-    synth: &Instance,
-    attrs: &[usize],
-) -> f64 {
+pub fn marginal_tvd(schema: &Schema, truth: &Instance, synth: &Instance, attrs: &[usize]) -> f64 {
     let ht = marginal(schema, truth, attrs);
     let hs = marginal(schema, synth, attrs);
     let mut max_diff = 0.0f64;
@@ -56,7 +53,9 @@ pub fn marginal_tvd(
 
 /// 1-way TVDs for every attribute, in schema order.
 pub fn tvd_all_singles(schema: &Schema, truth: &Instance, synth: &Instance) -> Vec<f64> {
-    (0..schema.len()).map(|a| marginal_tvd(schema, truth, synth, &[a])).collect()
+    (0..schema.len())
+        .map(|a| marginal_tvd(schema, truth, synth, &[a]))
+        .collect()
 }
 
 /// 2-way TVDs for every unordered attribute pair.
@@ -96,7 +95,10 @@ mod tests {
     fn inst(s: &Schema, rows: &[(u32, f64)]) -> Instance {
         Instance::from_rows(
             s,
-            &rows.iter().map(|&(a, x)| vec![Value::Cat(a), Value::Num(x)]).collect::<Vec<_>>(),
+            &rows
+                .iter()
+                .map(|&(a, x)| vec![Value::Cat(a), Value::Num(x)])
+                .collect::<Vec<_>>(),
         )
         .unwrap()
     }

@@ -31,7 +31,10 @@ mod tests {
 
     #[test]
     fn accuracy_basics() {
-        assert_eq!(accuracy(&[true, false, true], &[true, true, true]), 2.0 / 3.0);
+        assert_eq!(
+            accuracy(&[true, false, true], &[true, true, true]),
+            2.0 / 3.0
+        );
         assert_eq!(accuracy(&[false], &[false]), 1.0);
     }
 

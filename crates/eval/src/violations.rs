@@ -5,7 +5,9 @@ use kamino_data::Instance;
 
 /// `(dc name, % violating tuple pairs)` for every DC — the rows of Table 2.
 pub fn violation_table(dcs: &[DenialConstraint], inst: &Instance) -> Vec<(String, f64)> {
-    dcs.iter().map(|dc| (dc.name.clone(), violation_percentage(dc, inst))).collect()
+    dcs.iter()
+        .map(|dc| (dc.name.clone(), violation_percentage(dc, inst)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -21,9 +23,8 @@ mod tests {
             Attribute::categorical_indexed("b", 2).unwrap(),
         ])
         .unwrap();
-        let dcs = vec![
-            parse_dc(&s, "fd", "!(t1.a == t2.a & t1.b != t2.b)", Hardness::Hard).unwrap(),
-        ];
+        let dcs =
+            vec![parse_dc(&s, "fd", "!(t1.a == t2.a & t1.b != t2.b)", Hardness::Hard).unwrap()];
         let inst = Instance::from_rows(
             &s,
             &[

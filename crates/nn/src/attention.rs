@@ -33,7 +33,10 @@ impl Attention {
     /// Attention over `n_context` embeddings of width `dim`. Scores start
     /// at zero — uniform attention.
     pub fn new(n_context: usize, dim: usize) -> Attention {
-        Attention { scores: ParamBlock::zeros(n_context), dim }
+        Attention {
+            scores: ParamBlock::zeros(n_context),
+            dim,
+        }
     }
 
     /// Number of context positions.
@@ -56,7 +59,11 @@ impl Attention {
     /// Combines context embeddings into the context vector
     /// `v = Σ α_i e_i`, `α = softmax(scores)`.
     pub fn forward(&self, embeddings: &[&[f64]], v: &mut [f64]) -> AttentionCache {
-        assert_eq!(embeddings.len(), self.scores.len(), "context arity mismatch");
+        assert_eq!(
+            embeddings.len(),
+            self.scores.len(),
+            "context arity mismatch"
+        );
         assert_eq!(v.len(), self.dim);
         let alpha = self.weights();
         v.iter_mut().for_each(|x| *x = 0.0);

@@ -20,7 +20,9 @@ pub struct CategoricalHead {
 impl CategoricalHead {
     /// Head mapping a `dim`-dimensional context vector to `card` classes.
     pub fn new<R: Rng + ?Sized>(dim: usize, card: usize, rng: &mut R) -> CategoricalHead {
-        CategoricalHead { linear: Linear::new(dim, card, rng) }
+        CategoricalHead {
+            linear: Linear::new(dim, card, rng),
+        }
     }
 
     /// Number of classes.
@@ -70,7 +72,9 @@ const LOG_SIGMA_RANGE: (f64, f64) = (-4.0, 2.0);
 impl GaussianHead {
     /// Head mapping a `dim`-dimensional context vector to (μ, ln σ).
     pub fn new<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> GaussianHead {
-        GaussianHead { linear: Linear::new(dim, 2, rng) }
+        GaussianHead {
+            linear: Linear::new(dim, 2, rng),
+        }
     }
 
     /// Predicted (μ, σ) in standardized units.

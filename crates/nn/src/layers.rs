@@ -20,7 +20,12 @@ pub struct Linear {
 impl Linear {
     /// Xavier-initialized layer.
     pub fn new<R: Rng + ?Sized>(n_in: usize, n_out: usize, rng: &mut R) -> Linear {
-        Linear { w: xavier(n_out, n_in, rng), b: ParamBlock::zeros(n_out), n_in, n_out }
+        Linear {
+            w: xavier(n_out, n_in, rng),
+            b: ParamBlock::zeros(n_out),
+            n_in,
+            n_out,
+        }
     }
 
     /// Input width.
@@ -71,7 +76,11 @@ impl Embedding {
     /// A new embedding table with small uniform init.
     pub fn new<R: Rng + ?Sized>(card: usize, dim: usize, rng: &mut R) -> Embedding {
         let scale = (1.0 / dim as f64).sqrt();
-        Embedding { table: ParamBlock::uniform(card * dim, scale, rng), card, dim }
+        Embedding {
+            table: ParamBlock::uniform(card * dim, scale, rng),
+            card,
+            dim,
+        }
     }
 
     /// Domain cardinality.
@@ -87,14 +96,22 @@ impl Embedding {
     /// The embedding row for `code`.
     pub fn forward(&self, code: u32) -> &[f64] {
         let c = code as usize;
-        assert!(c < self.card, "code {c} out of range for cardinality {}", self.card);
+        assert!(
+            c < self.card,
+            "code {c} out of range for cardinality {}",
+            self.card
+        );
         &self.table.values[c * self.dim..(c + 1) * self.dim]
     }
 
     /// Accumulates the gradient `dz` into the row for `code`.
     pub fn backward(&mut self, code: u32, dz: &[f64]) {
         let c = code as usize;
-        axpy(1.0, dz, &mut self.table.grads[c * self.dim..(c + 1) * self.dim]);
+        axpy(
+            1.0,
+            dz,
+            &mut self.table.grads[c * self.dim..(c + 1) * self.dim],
+        );
     }
 
     /// Applies `f` to the table block.
@@ -146,8 +163,8 @@ impl ContinuousEncoder {
     /// Computes `z = B·relu(A·x + c) + d`, returning the cache for backward.
     pub fn forward(&self, x: f64, z: &mut [f64]) -> EncoderCache {
         let mut hidden = vec![0.0; self.dim];
-        for i in 0..self.dim {
-            hidden[i] = (self.a.values[i] * x + self.c.values[i]).max(0.0);
+        for ((h, &a), &c) in hidden.iter_mut().zip(&self.a.values).zip(&self.c.values) {
+            *h = (a * x + c).max(0.0);
         }
         matvec(&self.b.values, &hidden, z);
         axpy(1.0, &self.d.values, z);
@@ -162,10 +179,14 @@ impl ContinuousEncoder {
         let mut dh = vec![0.0; self.dim];
         matvec_t_acc(&self.b.values, dz, &mut dh);
         // h = relu(a·x + c)
-        for i in 0..self.dim {
-            if cache.hidden[i] > 0.0 {
-                self.a.grads[i] += dh[i] * cache.x;
-                self.c.grads[i] += dh[i];
+        for ((&dhi, &h), (ga, gc)) in dh
+            .iter()
+            .zip(&cache.hidden)
+            .zip(self.a.grads.iter_mut().zip(self.c.grads.iter_mut()))
+        {
+            if h > 0.0 {
+                *ga += dhi * cache.x;
+                *gc += dhi;
             }
         }
     }

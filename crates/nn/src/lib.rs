@@ -37,7 +37,7 @@ pub use attention::Attention;
 pub use heads::{CategoricalHead, GaussianHead};
 pub use layers::{ContinuousEncoder, Embedding, Linear};
 pub use mlp::Mlp;
-pub use optim::{DpSgd, PerExampleModel};
+pub use optim::{microbatch_parallel_worthwhile, DpSgd, PerExampleModel, MICROBATCH};
 pub use param::ParamBlock;
 
 // Public so downstream crates can gradient-check their composite models

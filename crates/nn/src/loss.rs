@@ -85,7 +85,11 @@ mod tests {
                 },
                 base[i],
             );
-            assert!((num - d[i]).abs() < 1e-6, "component {i}: {num} vs {}", d[i]);
+            assert!(
+                (num - d[i]).abs() < 1e-6,
+                "component {i}: {num} vs {}",
+                d[i]
+            );
         }
     }
 
@@ -110,7 +114,7 @@ mod tests {
     fn bce_matches_naive_formula() {
         for &(z, t) in &[(0.3, 1.0), (-2.0, 0.0), (5.0, 1.0), (-5.0, 1.0)] {
             let (loss, grad) = bce_with_logit(z, t);
-            let sigma = 1.0 / (1.0 + (-z as f64).exp());
+            let sigma = 1.0 / (1.0 + (-z).exp());
             let naive = -t * sigma.ln() - (1.0 - t) * (1.0 - sigma).ln();
             assert!((loss - naive).abs() < 1e-9, "z={z} t={t}");
             assert!((grad - (sigma - t)).abs() < 1e-12);

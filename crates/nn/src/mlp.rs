@@ -27,8 +27,14 @@ impl Mlp {
     /// Builds an MLP with the given layer widths, e.g. `[8, 16, 16, 4]` for
     /// an 8-input, 4-output network with two hidden layers of 16.
     pub fn new<R: Rng + ?Sized>(widths: &[usize], rng: &mut R) -> Mlp {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
-        let layers = widths.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
+        let layers = widths
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
         Mlp { layers }
     }
 
@@ -71,7 +77,11 @@ impl Mlp {
     /// Backpropagates `dout` (gradient at the network output), accumulating
     /// parameter gradients, and returns the gradient at the input.
     pub fn backward(&mut self, cache: &MlpCache, dout: &[f64]) -> Vec<f64> {
-        assert_eq!(cache.acts.len(), self.layers.len() + 1, "cache does not match forward");
+        assert_eq!(
+            cache.acts.len(),
+            self.layers.len() + 1,
+            "cache does not match forward"
+        );
         let mut grad = dout.to_vec();
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter_mut().enumerate().rev() {
@@ -166,7 +176,7 @@ mod tests {
     #[test]
     fn learns_xor() {
         // the classic nonlinear sanity check: XOR is not linearly separable
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = StdRng::seed_from_u64(1);
         let mut mlp = Mlp::new(&[2, 8, 1], &mut rng);
         let data = [
             ([0.0, 0.0], 0.0),

@@ -39,62 +39,197 @@ pub struct DpSgd {
     pub expected_batch: f64,
 }
 
+/// Fixed per-example-gradient microbatch size. Both the serial and the
+/// parallel path accumulate clipped gradients microbatch-by-microbatch and
+/// merge the partial sums in microbatch order, so the floating-point
+/// result is independent of thread count — parallel training is
+/// bit-identical to serial training for a fixed seed.
+pub const MICROBATCH: usize = 16;
+
+/// Whether [`DpSgd::step_parallel`] would actually fan `batch_len`
+/// examples out across threads (parallel feature on, more than one
+/// microbatch, more than one worker available). Callers use this to skip
+/// building worker prototypes when the serial fallback would run anyway.
+pub fn microbatch_parallel_worthwhile(batch_len: usize) -> bool {
+    #[cfg(feature = "parallel")]
+    {
+        batch_len > MICROBATCH && rayon::current_num_threads() > 1
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = batch_len;
+        false
+    }
+}
+
+/// Accumulates the clipped per-example gradient sums and total loss for
+/// `batch` (one microbatch) into fresh buffers shaped like `sizes`.
+fn accumulate_clipped<E, M>(
+    model: &mut M,
+    batch: &[E],
+    clip: f64,
+    sizes: &[usize],
+) -> (Vec<Vec<f64>>, f64)
+where
+    M: PerExampleModel<E>,
+{
+    let mut sums: Vec<Vec<f64>> = sizes.iter().map(|&n| vec![0.0; n]).collect();
+    let mut total_loss = 0.0;
+    for example in batch {
+        model.visit_blocks(&mut |b| b.zero_grad());
+        total_loss += model.forward_backward(example);
+        // Global L2 norm across all blocks, then clip scale.
+        let mut sq = 0.0;
+        model.visit_blocks(&mut |b| sq += b.grad_sq_norm());
+        let norm = sq.sqrt();
+        let scale = if norm > clip { clip / norm } else { 1.0 };
+        let mut idx = 0;
+        model.visit_blocks(&mut |b| {
+            for (s, g) in sums[idx].iter_mut().zip(&b.grads) {
+                *s += scale * g;
+            }
+            idx += 1;
+        });
+    }
+    (sums, total_loss)
+}
+
 impl DpSgd {
     /// A non-private configuration (no clipping, no noise).
     pub fn non_private(lr: f64, expected_batch: f64) -> DpSgd {
-        DpSgd { clip: f64::INFINITY, noise_multiplier: 0.0, lr, expected_batch }
+        DpSgd {
+            clip: f64::INFINITY,
+            noise_multiplier: 0.0,
+            lr,
+            expected_batch,
+        }
+    }
+
+    fn check(&self) {
+        assert!(
+            self.expected_batch > 0.0,
+            "expected batch size must be positive"
+        );
+        assert!(self.clip > 0.0, "clip threshold must be positive");
+    }
+
+    /// Block shapes of `model` (stable order, per `visit_blocks`).
+    fn block_sizes<E, M: PerExampleModel<E>>(&self, model: &mut M) -> Vec<usize> {
+        let mut sizes = Vec::new();
+        model.visit_blocks(&mut |b| sizes.push(b.len()));
+        sizes
+    }
+
+    /// Noises the merged gradient sum (σ_d·C per coordinate), averages by
+    /// the expected batch size, and applies the step to `model`.
+    fn apply<E, M, R>(&self, model: &mut M, sums: &[Vec<f64>], rng: &mut R)
+    where
+        M: PerExampleModel<E>,
+        R: Rng + ?Sized,
+    {
+        let noise_std = self.noise_multiplier
+            * if self.clip.is_finite() {
+                self.clip
+            } else {
+                0.0
+            };
+        let mut idx = 0;
+        model.visit_blocks(&mut |b| {
+            for (i, s) in sums[idx].iter().enumerate() {
+                let noisy = s + if noise_std > 0.0 {
+                    noise_std * standard_normal(rng)
+                } else {
+                    0.0
+                };
+                b.values[i] -= self.lr * noisy / self.expected_batch;
+            }
+            idx += 1;
+        });
     }
 
     /// Runs one optimizer step on `batch`, returning the mean example loss
     /// (or 0.0 for an empty Poisson batch — the step still applies noise,
-    /// as the mechanism requires).
+    /// as the mechanism requires). Serial; see [`DpSgd::step_parallel`]
+    /// for the microbatch-parallel form (both produce identical updates).
     pub fn step<E, M, R>(&self, model: &mut M, batch: &[E], rng: &mut R) -> f64
     where
         M: PerExampleModel<E>,
         R: Rng + ?Sized,
     {
-        assert!(self.expected_batch > 0.0, "expected batch size must be positive");
-        assert!(self.clip > 0.0, "clip threshold must be positive");
-        // Shape discovery + summed-gradient buffers.
-        let mut sizes = Vec::new();
-        model.visit_blocks(&mut |b| sizes.push(b.len()));
+        self.check();
+        let sizes = self.block_sizes::<E, _>(model);
         let mut sums: Vec<Vec<f64>> = sizes.iter().map(|&n| vec![0.0; n]).collect();
-
         let mut total_loss = 0.0;
-        for example in batch {
-            model.visit_blocks(&mut |b| b.zero_grad());
-            total_loss += model.forward_backward(example);
-            // Global L2 norm across all blocks, then clip scale.
-            let mut sq = 0.0;
-            model.visit_blocks(&mut |b| sq += b.grad_sq_norm());
-            let norm = sq.sqrt();
-            let scale = if norm > self.clip { self.clip / norm } else { 1.0 };
-            let mut idx = 0;
-            model.visit_blocks(&mut |b| {
-                for (s, g) in sums[idx].iter_mut().zip(&b.grads) {
-                    *s += scale * g;
+        for micro in batch.chunks(MICROBATCH) {
+            let (part, loss) = accumulate_clipped(model, micro, self.clip, &sizes);
+            for (s, p) in sums.iter_mut().zip(&part) {
+                for (a, b) in s.iter_mut().zip(p) {
+                    *a += b;
                 }
-                idx += 1;
-            });
-        }
-
-        // Noise the sum (σ_d·C per coordinate), average, and step.
-        let noise_std = self.noise_multiplier * if self.clip.is_finite() { self.clip } else { 0.0 };
-        let mut idx = 0;
-        model.visit_blocks(&mut |b| {
-            for (i, s) in sums[idx].iter().enumerate() {
-                let noisy =
-                    s + if noise_std > 0.0 { noise_std * standard_normal(rng) } else { 0.0 };
-                b.values[i] -= self.lr * noisy / self.expected_batch;
             }
-            idx += 1;
-        });
-
+            total_loss += loss;
+        }
+        self.apply::<E, _, _>(model, &sums, rng);
         if batch.is_empty() {
             0.0
         } else {
             total_loss / batch.len() as f64
         }
+    }
+
+    /// Microbatch-parallel DP-SGD step: per-example gradients are
+    /// computed on up to `ceil(|batch| / MICROBATCH)` workers, each
+    /// operating on a fresh model built by `make_worker` (a clone of the
+    /// current parameters), and the clipped sums are merged in microbatch
+    /// order before the (serial) noise-and-apply phase on `model`.
+    ///
+    /// Because the merge order is fixed by microbatch index — not thread
+    /// schedule — and `rng` is only consumed in the apply phase, this
+    /// produces **bit-identical** parameters to [`DpSgd::step`] for any
+    /// thread count. Requires the `parallel` feature; without it (or for
+    /// small batches) it falls back to the serial step.
+    pub fn step_parallel<E, M, W, F, R>(
+        &self,
+        model: &mut M,
+        batch: &[E],
+        rng: &mut R,
+        make_worker: F,
+    ) -> f64
+    where
+        M: PerExampleModel<E>,
+        W: PerExampleModel<E>,
+        E: Sync,
+        F: Fn() -> W + Sync,
+        R: Rng + ?Sized,
+    {
+        #[cfg(feature = "parallel")]
+        {
+            self.check();
+            if batch.len() > MICROBATCH && rayon::current_num_threads() > 1 {
+                let sizes = self.block_sizes::<E, _>(model);
+                let n_micro = batch.len().div_ceil(MICROBATCH);
+                let parts = rayon::par_map_indexed(n_micro, |mi| {
+                    let start = mi * MICROBATCH;
+                    let end = (start + MICROBATCH).min(batch.len());
+                    let mut worker = make_worker();
+                    accumulate_clipped(&mut worker, &batch[start..end], self.clip, &sizes)
+                });
+                let mut sums: Vec<Vec<f64>> = sizes.iter().map(|&n| vec![0.0; n]).collect();
+                let mut total_loss = 0.0;
+                for (part, loss) in &parts {
+                    for (s, p) in sums.iter_mut().zip(part) {
+                        for (a, b) in s.iter_mut().zip(p) {
+                            *a += b;
+                        }
+                    }
+                    total_loss += loss;
+                }
+                self.apply::<E, _, _>(model, &sums, rng);
+                return total_loss / batch.len() as f64;
+            }
+        }
+        let _ = &make_worker;
+        self.step(model, batch, rng)
     }
 }
 
@@ -123,7 +258,9 @@ mod tests {
     #[test]
     fn non_private_sgd_converges_to_mean() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut model = Quad { w: ParamBlock::zeros(1) };
+        let mut model = Quad {
+            w: ParamBlock::zeros(1),
+        };
         let data = [1.0, 2.0, 3.0, 4.0];
         let cfg = DpSgd::non_private(0.2, data.len() as f64);
         for _ in 0..200 {
@@ -137,8 +274,15 @@ mod tests {
         // One outlier example (x = 1000) must move w by at most
         // lr·C/b per step when clipping is on.
         let mut rng = StdRng::seed_from_u64(1);
-        let mut model = Quad { w: ParamBlock::zeros(1) };
-        let cfg = DpSgd { clip: 1.0, noise_multiplier: 0.0, lr: 0.5, expected_batch: 1.0 };
+        let mut model = Quad {
+            w: ParamBlock::zeros(1),
+        };
+        let cfg = DpSgd {
+            clip: 1.0,
+            noise_multiplier: 0.0,
+            lr: 0.5,
+            expected_batch: 1.0,
+        };
         cfg.step(&mut model, &[1000.0], &mut rng);
         // unclipped gradient would be −1000; clipped is −1
         assert!((model.w.values[0] - 0.5).abs() < 1e-12);
@@ -162,9 +306,17 @@ mod tests {
             }
         }
         let mut rng = StdRng::seed_from_u64(2);
-        let mut model = TwoBlock { a: ParamBlock::zeros(1), b: ParamBlock::zeros(1) };
+        let mut model = TwoBlock {
+            a: ParamBlock::zeros(1),
+            b: ParamBlock::zeros(1),
+        };
         // global norm is 5; clip to 1 ⇒ per-block grads scale by 1/5
-        let cfg = DpSgd { clip: 1.0, noise_multiplier: 0.0, lr: 1.0, expected_batch: 1.0 };
+        let cfg = DpSgd {
+            clip: 1.0,
+            noise_multiplier: 0.0,
+            lr: 1.0,
+            expected_batch: 1.0,
+        };
         cfg.step(&mut model, &[()], &mut rng);
         assert!((model.a.values[0] + 0.6).abs() < 1e-12);
         assert!((model.b.values[0] + 0.8).abs() < 1e-12);
@@ -175,11 +327,21 @@ mod tests {
         // the Gaussian mechanism must fire even when the Poisson batch is
         // empty, otherwise the release leaks the batch size
         let mut rng = StdRng::seed_from_u64(3);
-        let mut model = Quad { w: ParamBlock::zeros(1) };
-        let cfg = DpSgd { clip: 1.0, noise_multiplier: 1.0, lr: 1.0, expected_batch: 4.0 };
+        let mut model = Quad {
+            w: ParamBlock::zeros(1),
+        };
+        let cfg = DpSgd {
+            clip: 1.0,
+            noise_multiplier: 1.0,
+            lr: 1.0,
+            expected_batch: 4.0,
+        };
         let loss = cfg.step::<f64, _, _>(&mut model, &[], &mut rng);
         assert_eq!(loss, 0.0);
-        assert_ne!(model.w.values[0], 0.0, "noise must be applied to empty batches");
+        assert_ne!(
+            model.w.values[0], 0.0,
+            "noise must be applied to empty batches"
+        );
     }
 
     #[test]
@@ -187,11 +349,17 @@ mod tests {
         let trials = 2000;
         let spread = |mult: f64, seed: u64| -> f64 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let cfg =
-                DpSgd { clip: 1.0, noise_multiplier: mult, lr: 1.0, expected_batch: 1.0 };
+            let cfg = DpSgd {
+                clip: 1.0,
+                noise_multiplier: mult,
+                lr: 1.0,
+                expected_batch: 1.0,
+            };
             let mut acc = 0.0;
             for _ in 0..trials {
-                let mut model = Quad { w: ParamBlock::zeros(1) };
+                let mut model = Quad {
+                    w: ParamBlock::zeros(1),
+                };
                 cfg.step::<f64, _, _>(&mut model, &[], &mut rng);
                 acc += model.w.values[0] * model.w.values[0];
             }
@@ -205,19 +373,66 @@ mod tests {
     #[test]
     fn private_training_still_converges_roughly() {
         let mut rng = StdRng::seed_from_u64(4);
-        let mut model = Quad { w: ParamBlock::zeros(1) };
+        let mut model = Quad {
+            w: ParamBlock::zeros(1),
+        };
         let data = [2.0, 3.0];
-        let cfg = DpSgd { clip: 5.0, noise_multiplier: 0.1, lr: 0.1, expected_batch: 2.0 };
+        let cfg = DpSgd {
+            clip: 5.0,
+            noise_multiplier: 0.1,
+            lr: 0.1,
+            expected_batch: 2.0,
+        };
         for _ in 0..500 {
             cfg.step(&mut model, &data, &mut rng);
         }
-        assert!((model.w.values[0] - 2.5).abs() < 0.5, "w = {}", model.w.values[0]);
+        assert!(
+            (model.w.values[0] - 2.5).abs() < 0.5,
+            "w = {}",
+            model.w.values[0]
+        );
+    }
+
+    #[test]
+    fn parallel_step_is_bitwise_identical_to_serial() {
+        // 40 examples → 3 microbatches; the parallel path must reproduce
+        // the serial parameters exactly (fixed-order merge), including
+        // when noise is on (rng draws happen in the apply phase only).
+        let data: Vec<f64> = (0..40).map(|i| (i % 7) as f64 - 3.0).collect();
+        for noise in [0.0, 0.7] {
+            let cfg = DpSgd {
+                clip: 1.0,
+                noise_multiplier: noise,
+                lr: 0.1,
+                expected_batch: 32.0,
+            };
+            let mut serial = Quad {
+                w: ParamBlock::zeros(1),
+            };
+            let mut rng_s = StdRng::seed_from_u64(11);
+            let mut parallel = Quad {
+                w: ParamBlock::zeros(1),
+            };
+            let mut rng_p = StdRng::seed_from_u64(11);
+            let mut losses = (0.0, 0.0);
+            for _ in 0..20 {
+                losses.0 = cfg.step(&mut serial, &data, &mut rng_s);
+                let proto = parallel.w.clone();
+                losses.1 = cfg.step_parallel(&mut parallel, &data, &mut rng_p, || Quad {
+                    w: proto.clone(),
+                });
+            }
+            assert_eq!(serial.w.values[0].to_bits(), parallel.w.values[0].to_bits());
+            assert_eq!(losses.0, losses.1);
+        }
     }
 
     #[test]
     fn reports_mean_loss() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut model = Quad { w: ParamBlock::zeros(1) };
+        let mut model = Quad {
+            w: ParamBlock::zeros(1),
+        };
         let cfg = DpSgd::non_private(0.0, 2.0); // lr 0: loss unchanged
         let loss = cfg.step(&mut model, &[1.0, 3.0], &mut rng);
         assert!((loss - (0.5 + 4.5) / 2.0).abs() < 1e-12);

@@ -16,13 +16,21 @@ pub struct ParamBlock {
 impl ParamBlock {
     /// A zero-initialized block of `len` parameters.
     pub fn zeros(len: usize) -> ParamBlock {
-        ParamBlock { values: vec![0.0; len], grads: vec![0.0; len] }
+        ParamBlock {
+            values: vec![0.0; len],
+            grads: vec![0.0; len],
+        }
     }
 
     /// A block initialized uniformly on `[-scale, scale]`.
     pub fn uniform<R: Rng + ?Sized>(len: usize, scale: f64, rng: &mut R) -> ParamBlock {
-        let values = (0..len).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect();
-        ParamBlock { values, grads: vec![0.0; len] }
+        let values = (0..len)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        ParamBlock {
+            values,
+            grads: vec![0.0; len],
+        }
     }
 
     /// Number of parameters.

@@ -11,10 +11,13 @@ use crate::param::ParamBlock;
 ///
 /// A strided subset of parameters per block is checked (up to ~24) to keep
 /// tests fast while still covering every block.
+/// Visitor that enumerates a model's parameter blocks in a stable order.
+pub type BlockVisit<M> = dyn FnMut(&mut M, &mut dyn FnMut(&mut ParamBlock));
+
 pub fn finite_diff_check<M>(
     loss_fn: &mut dyn FnMut(&mut M) -> f64,
     backward_fn: &mut dyn FnMut(&mut M),
-    visit: &mut dyn FnMut(&mut M, &mut dyn FnMut(&mut ParamBlock)),
+    visit: &mut BlockVisit<M>,
     model: &mut M,
 ) {
     visit(model, &mut |b| b.zero_grad());

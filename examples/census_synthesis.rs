@@ -17,8 +17,11 @@ use kamino::eval::marginals::{summarize, tvd_all_pairs, tvd_all_singles};
 use kamino::eval::tasks::evaluate_classification;
 
 fn evaluate(name: &str, data: &kamino::datasets::Dataset, synth: &Instance) {
-    let viol: f64 =
-        data.dcs.iter().map(|dc| violation_percentage(dc, synth)).sum();
+    let viol: f64 = data
+        .dcs
+        .iter()
+        .map(|dc| violation_percentage(dc, synth))
+        .sum();
     let summary = evaluate_classification(&data.schema, &data.instance, synth, 3);
     let (tvd1, _, _) = summarize(&tvd_all_singles(&data.schema, &data.instance, synth));
     let (tvd2, _, _) = summarize(&tvd_all_pairs(&data.schema, &data.instance, synth));

@@ -16,11 +16,7 @@ fn main() {
             vec!["north".into(), "south".into(), "east".into()],
         )
         .unwrap(),
-        Attribute::categorical(
-            "region",
-            vec!["metro".into(), "rural".into()],
-        )
-        .unwrap(),
+        Attribute::categorical("region", vec!["metro".into(), "rural".into()]).unwrap(),
         Attribute::integer("age", 0.0, 99.0, 10).unwrap(),
         // Equal bin counts matter here: Algorithm 4 orders non-FD
         // attributes by domain size, and visit_cost must be sampled
@@ -63,14 +59,29 @@ north,metro,42,510,51
     // 3. Declare constraints in the text syntax.
     let dcs = vec![
         // each clinic sits in exactly one region (an FD)
-        parse_dc(&schema, "clinic_region", "!(t1.clinic == t2.clinic & t1.region != t2.region)", Hardness::Hard)
-            .unwrap(),
+        parse_dc(
+            &schema,
+            "clinic_region",
+            "!(t1.clinic == t2.clinic & t1.region != t2.region)",
+            Hardness::Hard,
+        )
+        .unwrap(),
         // copay scales with cost: no pair may have higher cost but lower copay
-        parse_dc(&schema, "cost_copay", "!(t1.visit_cost > t2.visit_cost & t1.copay < t2.copay)", Hardness::Hard)
-            .unwrap(),
+        parse_dc(
+            &schema,
+            "cost_copay",
+            "!(t1.visit_cost > t2.visit_cost & t1.copay < t2.copay)",
+            Hardness::Hard,
+        )
+        .unwrap(),
         // minors are never billed more than 1000
-        parse_dc(&schema, "minor_cap", "!(t1.age < 18 & t1.visit_cost > 1000)", Hardness::Hard)
-            .unwrap(),
+        parse_dc(
+            &schema,
+            "minor_cap",
+            "!(t1.age < 18 & t1.visit_cost > 1000)",
+            Hardness::Hard,
+        )
+        .unwrap(),
     ];
 
     // 4. Synthesize under (ε = 2, δ = 1e-6).

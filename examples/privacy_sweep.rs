@@ -20,18 +20,32 @@ fn main() {
         "eps", "achieved", "T", "sigma_d", "sigma_g", "1-way TVD", "violations"
     );
     for eps in [0.1, 0.2, 0.4, 0.8, 1.6, f64::INFINITY] {
-        let budget =
-            if eps.is_infinite() { Budget::non_private() } else { Budget::new(eps, 1e-6) };
+        let budget = if eps.is_infinite() {
+            Budget::non_private()
+        } else {
+            Budget::new(eps, 1e-6)
+        };
         let mut cfg = KaminoConfig::new(budget);
         cfg.seed = 13;
         cfg.train_scale = 0.3;
         let report = run_kamino(&data.schema, &data.instance, &data.dcs, &cfg);
-        let (tvd1, _, _) = summarize(&tvd_all_singles(&data.schema, &data.instance, &report.instance));
-        let viol: f64 =
-            data.dcs.iter().map(|dc| violation_percentage(dc, &report.instance)).sum();
+        let (tvd1, _, _) = summarize(&tvd_all_singles(
+            &data.schema,
+            &data.instance,
+            &report.instance,
+        ));
+        let viol: f64 = data
+            .dcs
+            .iter()
+            .map(|dc| violation_percentage(dc, &report.instance))
+            .sum();
         println!(
             "{:>6}  {:>9.3}  {:>5}  {:>7.2}  {:>7.3}  {:>9.3}  {:>9.2}%",
-            if eps.is_infinite() { "inf".to_string() } else { format!("{eps}") },
+            if eps.is_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{eps}")
+            },
             report.params.achieved_epsilon,
             report.params.t,
             report.params.sigma_d,

@@ -14,7 +14,11 @@ fn main() {
     // The "private" data: 1,000 census-like rows with two hard DCs
     // (education → education_num, and capital gain/loss monotonicity).
     let data = adult_like(1_000, 42);
-    println!("true data: {} rows × {} attributes", data.instance.n_rows(), data.schema.len());
+    println!(
+        "true data: {} rows × {} attributes",
+        data.instance.n_rows(),
+        data.schema.len()
+    );
     for dc in &data.dcs {
         println!("  constraint {}: {}", dc.name, dc.display(&data.schema));
     }
@@ -26,10 +30,17 @@ fn main() {
     let report = run_kamino(&data.schema, &data.instance, &data.dcs, &cfg);
 
     println!("\nsynthesized {} rows", report.instance.n_rows());
-    println!("privacy spent: epsilon = {:.3} (budget 1.0)", report.params.achieved_epsilon);
+    println!(
+        "privacy spent: epsilon = {:.3} (budget 1.0)",
+        report.params.achieved_epsilon
+    );
     println!(
         "schema sequence: {:?}",
-        report.sequence.iter().map(|&a| data.schema.attr(a).name.as_str()).collect::<Vec<_>>()
+        report
+            .sequence
+            .iter()
+            .map(|&a| data.schema.attr(a).name.as_str())
+            .collect::<Vec<_>>()
     );
     println!("\nconstraint violations (percentage of tuple pairs):");
     for dc in &data.dcs {

@@ -2,7 +2,7 @@
 //! preserve constraints that every i.i.d. baseline breaks, without giving
 //! up marginal quality relative to the noisiest baselines.
 
-use kamino::baselines::{paper_baselines, Synthesizer};
+use kamino::baselines::paper_baselines;
 use kamino::constraints::violation_percentage;
 use kamino::core::{run_kamino, KaminoConfig};
 use kamino::datasets::Corpus;
@@ -19,9 +19,15 @@ fn kamino_preserves_what_baselines_break() {
     cfg.embed_dim = 8;
     cfg.seed = 3;
     let kamino_out = run_kamino(&d.schema, &d.instance, &d.dcs, &cfg).instance;
-    let kamino_viol: f64 =
-        d.dcs.iter().map(|dc| violation_percentage(dc, &kamino_out)).sum();
-    assert!(kamino_viol < 0.5, "Kamino violated hard DCs: {kamino_viol}%");
+    let kamino_viol: f64 = d
+        .dcs
+        .iter()
+        .map(|dc| violation_percentage(dc, &kamino_out))
+        .sum();
+    assert!(
+        kamino_viol < 0.5,
+        "Kamino violated hard DCs: {kamino_viol}%"
+    );
 
     for baseline in paper_baselines() {
         let out = baseline.synthesize(&d.schema, &d.instance, budget, 300, 3);
@@ -57,7 +63,13 @@ fn all_baselines_produce_valid_instances_on_all_corpora() {
         let d = corpus.generate(200, 9);
         for baseline in paper_baselines() {
             let out = baseline.synthesize(&d.schema, &d.instance, budget, 120, 11);
-            assert_eq!(out.n_rows(), 120, "{} on {}", baseline.name(), corpus.name());
+            assert_eq!(
+                out.n_rows(),
+                120,
+                "{} on {}",
+                baseline.name(),
+                corpus.name()
+            );
             for i in 0..out.n_rows() {
                 for j in 0..d.schema.len() {
                     assert!(

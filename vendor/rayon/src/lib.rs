@@ -1,0 +1,248 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the data-parallel API subset Kamino's hot paths use:
+//!
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` — indexed parallel map,
+//! * `slice.par_chunks(n).map(f).collect::<Vec<_>>()` — chunked map,
+//! * [`join`] — two-way fork-join,
+//! * [`current_num_threads`] — worker count (`RAYON_NUM_THREADS` honored).
+//!
+//! Execution model: iterators are lazy until `collect`/`sum`, at which
+//! point the input is split into one contiguous chunk per worker and run
+//! under [`std::thread::scope`]. Results are written back **by index**, so
+//! output order — and therefore every downstream computation — is
+//! identical to the serial path regardless of thread count or scheduling.
+//! With `RAYON_NUM_THREADS=1` (or one hardware thread) everything runs
+//! inline on the caller thread. There is deliberately **no minimum input
+//! length**: callers gate on estimated work before fanning out, and the
+//! shim must not overrule them — ten candidates that each scan a
+//! 2000-row prefix want threads as much as a thousand cheap ones.
+//!
+//! This is not upstream rayon: there is no work-stealing pool, and spawn
+//! cost is paid per `collect` (~tens of µs). Kamino only routes
+//! batch-sized work (hundreds of candidate scores, gradient microbatches)
+//! through it, where that cost is noise.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads parallel operations will use.
+/// `RAYON_NUM_THREADS` (upstream rayon's variable) overrides the hardware
+/// count; `1` forces serial execution everywhere.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs the two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon shim: join worker panicked"))
+    })
+}
+
+/// Indexed parallel map over `0..len`: calls `f(i)` for every index and
+/// returns the results in index order. The workhorse behind the iterator
+/// facade; exposed for callers that want to avoid slice plumbing.
+pub fn par_map_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    // No item-count floor here: callers gate on estimated *work* (a few
+    // expensive items deserve threads as much as many cheap ones), and a
+    // second floor in the shim would silently defeat those gates.
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (ci, slot_chunk) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let base = ci * chunk;
+                for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(base + off));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("rayon shim: worker skipped a slot"))
+        .collect()
+}
+
+/// Lazy parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// Lazy parallel iterator over non-overlapping sub-slices.
+pub struct ParChunks<'a, T> {
+    items: &'a [T],
+    size: usize,
+}
+
+/// A `map` stage pending execution.
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        R: Send,
+        F: Fn(&'a [T]) -> R + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<ParIter<'a, T>, F> {
+    fn run(self) -> Vec<R> {
+        let items = self.inner.items;
+        let f = self.f;
+        par_map_indexed(items.len(), |i| f(&items[i]))
+    }
+
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(self.run())
+    }
+
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a [T]) -> R + Sync> ParMap<ParChunks<'a, T>, F> {
+    fn run(self) -> Vec<R> {
+        let items = self.inner.items;
+        let size = self.inner.size.max(1);
+        let n_chunks = items.len().div_ceil(size);
+        let f = self.f;
+        par_map_indexed(n_chunks, |ci| {
+            let start = ci * size;
+            let end = (start + size).min(items.len());
+            f(&items[start..end])
+        })
+    }
+
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(self.run())
+    }
+
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+}
+
+/// Slice extension supplying `par_iter` / `par_chunks` (upstream:
+/// `rayon::prelude::*`).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<'_, T>;
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "par_chunks: chunk size must be positive");
+        ParChunks { items: self, size }
+    }
+}
+
+pub mod prelude {
+    pub use crate::ParallelSlice;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{join, par_map_indexed};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_map_covers_everything() {
+        let v: Vec<u64> = (0..101).collect();
+        let sums: Vec<u64> = v.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<u64>(), (0..101).sum::<u64>());
+        assert_eq!(sums[0], (0..10).sum::<u64>());
+        assert_eq!(sums[10], 100);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let v: Vec<u64> = (0..500).collect();
+        let s: u64 = v.par_iter().map(|&x| x + 1).sum();
+        assert_eq!(s, (1..=500).sum::<u64>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let v: Vec<u32> = vec![];
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        assert_eq!(par_map_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+}
