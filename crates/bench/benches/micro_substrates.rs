@@ -7,7 +7,10 @@
 //! identical outputs; only wall-clock should differ. Run with
 //! `RAYON_NUM_THREADS=<k>` to fix the worker count (the parallel entries
 //! degenerate to the serial path when only one worker is available, so
-//! measure on ≥4 threads to see the speedup).
+//! measure on ≥4 threads to see the speedup). The
+//! `synthesize_{serial,sharded4}` pair compares the sequential Algorithm 3
+//! against the sharded engine (different outputs by design — see
+//! `kamino_core::sampler` — but both hard-DC clean, asserted in setup).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use kamino_constraints::{
@@ -154,6 +157,59 @@ fn bench(c: &mut Criterion) {
                 black_box(opt.step_parallel(&mut model, &batch, &mut rng, || proto.clone()))
             })
         });
+    }
+
+    // Serial vs. sharded synthesis: one trained model, the full Algorithm
+    // 3 column walk at n = 512, sequential against 4 row shards with the
+    // cross-shard repair pass. Unlike the scoring/DP-SGD pairs the two
+    // entries are NOT bit-identical (sharding re-orders the conditioning
+    // prefix); what they share is the hard-DC guarantee, asserted below.
+    {
+        use kamino_core::{synthesize, train_model, SampleConfig, TrainConfig};
+
+        let dsmall = adult_like(512, 3);
+        let sequence = kamino_core::sequence_attrs(&dsmall.schema, &dsmall.dcs);
+        let tc = TrainConfig {
+            iters: 40,
+            embed_dim: 8,
+            ..TrainConfig::default()
+        };
+        let model = train_model(&dsmall.schema, &dsmall.instance, &sequence, &tc);
+        let weights = vec![f64::INFINITY; dsmall.dcs.len()];
+        for shards in [1usize, 4] {
+            let mut sc = SampleConfig::new(512);
+            sc.shards = shards;
+            let out = {
+                let mut rng = StdRng::seed_from_u64(11);
+                synthesize(&dsmall.schema, &model, &dsmall.dcs, &weights, &sc, &mut rng)
+            };
+            for dc in &dsmall.dcs {
+                assert_eq!(
+                    count_violating_pairs(dc, &out),
+                    0,
+                    "{} violated at shards={shards}",
+                    dc.name
+                );
+            }
+            let name = if shards == 1 {
+                "synthesize_serial_n512"
+            } else {
+                "synthesize_sharded4_n512"
+            };
+            g.bench_function(name, |b| {
+                let mut rng = StdRng::seed_from_u64(11);
+                b.iter(|| {
+                    black_box(synthesize(
+                        &dsmall.schema,
+                        &model,
+                        &dsmall.dcs,
+                        &weights,
+                        &sc,
+                        &mut rng,
+                    ))
+                })
+            });
+        }
     }
 
     g.bench_function("rdp_accountant_5000_sgm_steps", |b| {

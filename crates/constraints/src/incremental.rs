@@ -192,6 +192,21 @@ impl FdIndex {
         }
     }
 
+    /// The most common dependent value in the candidate's determinant
+    /// group, if the group exists. Unlike [`FdIndex::required_value`] this
+    /// also answers for *inconsistent* groups — the sharded repair pass
+    /// uses it to steer conflicting rows toward the majority side. Ties
+    /// break on the value key so the answer never depends on hash-map
+    /// iteration order.
+    pub fn majority_value(&self, cand: &CandidateRow<'_>) -> Option<Value> {
+        let group = self.groups.get(&self.key(cand))?;
+        group
+            .by_rhs
+            .iter()
+            .max_by(|(ka, (ca, _)), (kb, (cb, _))| ca.cmp(cb).then(ka.cmp(kb)))
+            .map(|(_, &(_, v))| v)
+    }
+
     /// The FD's dependent (right-hand-side) attribute.
     pub fn rhs(&self) -> usize {
         self.fd.rhs
@@ -225,6 +240,21 @@ impl FdIndex {
             self.groups.remove(&key);
         }
         self.n_rows -= 1;
+    }
+
+    /// Absorbs another index over the *same* FD: determinant groups are
+    /// summed entry-wise. Counts are additive, so the merged index answers
+    /// exactly as if every row of both indexes had been inserted into one.
+    fn merge(&mut self, other: FdIndex) {
+        debug_assert_eq!(self.fd, other.fd, "merging indexes of different FDs");
+        for (key, group) in other.groups {
+            let dst = self.groups.entry(key).or_default();
+            dst.total += group.total;
+            for (rhs_key, (count, repr)) in group.by_rhs {
+                dst.by_rhs.entry(rhs_key).or_insert((0, repr)).0 += count;
+            }
+        }
+        self.n_rows += other.n_rows;
     }
 }
 
@@ -314,6 +344,17 @@ impl ScanIndex {
         self.rows
             .remove(&cand.row())
             .expect("removing a row that was never inserted");
+    }
+
+    /// Absorbs another index over the same DC. Row ids must be disjoint —
+    /// shards partition the instance, so a collision means the caller
+    /// merged overlapping shards.
+    fn merge(&mut self, other: ScanIndex) {
+        debug_assert_eq!(self.dc.name, other.dc.name, "merging different DCs");
+        for (row_id, values) in other.rows {
+            let prev = self.rows.insert(row_id, values);
+            assert!(prev.is_none(), "row {row_id} present in both shards");
+        }
     }
 
     /// Feasible interval for the `target` attribute of `cand` under a
@@ -513,6 +554,17 @@ impl DcCounter {
         self.scorer().required_value(cand)
     }
 
+    /// For FD counters, the majority dependent value of the candidate's
+    /// determinant group — defined even when the group is inconsistent
+    /// (see [`FdIndex::majority_value`]). `None` for non-FD counters or
+    /// unseen groups.
+    pub fn majority_value(&self, cand: &CandidateRow<'_>) -> Option<Value> {
+        match self {
+            DcCounter::Fd(ix) => ix.majority_value(cand),
+            _ => None,
+        }
+    }
+
     /// For FD counters, the dependent (right-hand-side) attribute of the
     /// FD; `None` otherwise. The sampler's hard-FD fast path only applies
     /// [`Self::required_value`] when the attribute being sampled *is* the
@@ -534,6 +586,22 @@ impl DcCounter {
     /// be ordered compatibly.
     pub fn feasible_range(&self, cand: &CandidateRow<'_>, target: usize) -> Option<(f64, f64)> {
         self.scorer().feasible_range(cand, target)
+    }
+
+    /// Absorbs another counter built for the **same DC** over a disjoint
+    /// row-id range (a shard). The merged counter answers every query —
+    /// `count_new`, `required_value`, `feasible_range` — exactly as if all
+    /// rows of both counters had been inserted into one, because both
+    /// index shapes keep purely additive state (FD group counts sum;
+    /// scan rows union). Used by the sharded sampler to combine per-shard
+    /// prefix indexes before the cross-shard repair pass.
+    pub fn merge(&mut self, other: DcCounter) {
+        match (self, other) {
+            (DcCounter::Unary(_), DcCounter::Unary(_)) => {}
+            (DcCounter::Fd(a), DcCounter::Fd(b)) => a.merge(b),
+            (DcCounter::Scan(a), DcCounter::Scan(b)) => a.merge(b),
+            _ => panic!("merging counters of different shapes (different DCs?)"),
+        }
     }
 
     /// Number of rows currently inserted (0 for unary counters, which keep

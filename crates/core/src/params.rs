@@ -2,10 +2,13 @@
 //!
 //! Given the end-to-end budget (ε, δ) and the model shape, pick
 //! `Ψ = {σ_g, σ_d, σ_w, b, T, …}` so the composed RDP cost converts to at
-//! most ε at δ (Eqn. 7). Parameters start at their quality-greedy extremes
-//! (σ minimal, `T`/`b` maximal) and are backed off in the paper's priority
-//! order — decrease `T`, raise `σ_d`, raise `σ_g`, lower `b` — until the
-//! accountant fits the budget.
+//! most ε at δ (Eqn. 7). The σ's are no longer hand-tuned constants
+//! escalated by a back-off loop: for each candidate iteration count `T`
+//! the [`BudgetPlanner`] *solves* the per-mechanism σ's of Theorem 1
+//! directly, and the search only walks `T` down from its quality-greedy
+//! maximum until the planned DP-SGD noise is below the paper's `σ_d` cap
+//! (or `T` bottoms out — privacy always wins over accuracy, so the final
+//! plan is accepted whatever its σ's).
 //!
 //! Deviations (documented in DESIGN.md):
 //! * `σ_w` is calibrated so the single violation-matrix release consumes a
@@ -13,11 +16,8 @@
 //!   paper's `ε_w = 100` with the classic calibration formula yields
 //!   `σ_w ≈ 0.05`, whose RDP cost alone exceeds any practical ε (the
 //!   classic formula is only valid for ε < 1 in the first place).
-//! * when the paper's parameter caps cannot reach ε (very tight budgets),
-//!   the loop keeps escalating `σ_d`/`σ_g` beyond their caps rather than
-//!   looping forever — privacy always wins over accuracy.
 
-use kamino_dp::{Budget, RdpAccountant};
+use kamino_dp::{Budget, BudgetPlanner, RunShape};
 
 /// The searched parameter set Ψ.
 #[derive(Debug, Clone)]
@@ -68,28 +68,28 @@ pub struct SearchShape {
     pub train_scale: f64,
 }
 
-fn total_epsilon(p: &PrivacyParams, shape: &SearchShape, delta: f64) -> f64 {
-    let mut acc = RdpAccountant::new();
-    acc.add_gaussian(p.sigma_g, shape.n_marginal_releases as u64);
-    let q = (p.b as f64 / shape.n as f64).min(1.0);
-    acc.add_sgm(p.sigma_d, q, (p.t * shape.n_sgd_models) as u64);
-    if p.learn_weights {
-        let qw = (p.l_w as f64 / shape.n as f64).min(1.0);
-        acc.add_sgm(p.sigma_w, qw, 1);
-    }
-    acc.epsilon(delta)
-}
-
 /// Binary-searches the smallest σ such that one SGM release at rate `q`
 /// costs at most `target_eps` at `delta`.
 pub fn calibrate_sigma(target_eps: f64, delta: f64, q: f64) -> f64 {
     kamino_dp::calibrate_sgm_sigma(target_eps, delta, q, 1)
 }
 
+/// The paper's cap on DP-SGD noise: above this, gradient signal drowns and
+/// it is better to trade iterations away instead.
+const SIGMA_D_CAP: f64 = 1.5;
+
+/// Weight-learning sample cap `L_w` (Algorithm 5's default).
+const L_W: usize = 100;
+
 /// Algorithm 6: search a Ψ fitting `budget` for the given model shape.
+///
+/// The σ's come from the [`BudgetPlanner`] (which solves Theorem 1's
+/// composition exactly); the search itself only picks `T`, preferring the
+/// quality-greedy maximum and backing off while the planned `σ_d` exceeds
+/// the paper's cap.
 pub fn search_params(budget: Budget, shape: SearchShape) -> PrivacyParams {
     let scale = shape.train_scale.max(1e-6);
-    let b_max = 32usize;
+    let b = 32usize;
     let b_min = 16usize;
     let t_max = (((5 * shape.n) as f64 / b_min as f64) * scale)
         .ceil()
@@ -101,75 +101,56 @@ pub fn search_params(budget: Budget, shape: SearchShape) -> PrivacyParams {
             non_private: true,
             sigma_g: 0.0,
             sigma_d: 0.0,
-            b: b_max,
+            b,
             t: t_max,
             clip: 1.0,
             lr: 0.05,
             learn_weights: shape.weights_unknown,
             sigma_w: 0.0,
-            l_w: 100,
+            l_w: L_W,
             b_w: 1,
             t_w: 100,
             achieved_epsilon: f64::INFINITY,
         };
     }
 
-    let (eps, delta) = (budget.epsilon, budget.delta);
-    // line 3 bounds
-    let sigma_g_min = (0.1 / shape.first_attr_domain as f64).max(1e-3);
-    let sigma_g_max = 4.0 * (1.25f64 / delta).ln().sqrt() / eps;
-    let sigma_d_max = 1.5;
-
-    // σ_w: fixed 10% share of ε for the single violation-matrix release.
-    let (sigma_w, l_w) = if shape.weights_unknown {
-        let qw = (100.0 / shape.n as f64).min(1.0);
-        (calibrate_sigma(0.1 * eps, delta, qw), 100)
-    } else {
-        (0.0, 100)
+    let planner = BudgetPlanner::new(budget);
+    let run_shape = |t: usize| RunShape {
+        n: shape.n,
+        histogram_releases: shape.n_marginal_releases as u64,
+        sgd_steps: (t * shape.n_sgd_models) as u64,
+        batch: b,
+        weight_sample: if shape.weights_unknown { L_W } else { 0 },
     };
 
-    let mut p = PrivacyParams {
+    let mut t = t_max;
+    let mut plan = planner.plan(&run_shape(t));
+    while plan.sigma_d > SIGMA_D_CAP && t > t_min {
+        t = ((t as f64 * 0.7) as usize).max(t_min);
+        plan = planner.plan(&run_shape(t));
+    }
+
+    PrivacyParams {
         non_private: false,
-        sigma_g: sigma_g_min,
-        sigma_d: 1.1,
-        b: b_max,
-        t: t_max,
+        sigma_g: plan.sigma_g,
+        sigma_d: plan.sigma_d,
+        b,
+        t,
         clip: 1.0,
         lr: 0.05,
         learn_weights: shape.weights_unknown,
-        sigma_w,
-        l_w,
+        sigma_w: plan.sigma_w,
+        l_w: L_W,
         b_w: 1,
-        t_w: l_w,
-        achieved_epsilon: f64::INFINITY,
-    };
-
-    // back-off loop, one adjustment per pass in priority order
-    loop {
-        let current = total_epsilon(&p, &shape, delta);
-        if current <= eps {
-            p.achieved_epsilon = current;
-            return p;
-        }
-        if p.t > t_min {
-            p.t = ((p.t as f64 * 0.7) as usize).max(t_min);
-        } else if p.sigma_d < sigma_d_max {
-            p.sigma_d = (p.sigma_d + 0.05).min(sigma_d_max);
-        } else if p.sigma_g < sigma_g_max {
-            p.sigma_g = (p.sigma_g * 2.0).min(sigma_g_max);
-        } else if p.b > b_min {
-            p.b = b_min;
-        } else {
-            // escalation beyond the paper's caps so the loop terminates
-            p.sigma_d *= 1.25;
-            p.sigma_g *= 1.25;
-        }
+        t_w: L_W,
+        achieved_epsilon: plan.achieved_epsilon,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kamino_dp::RdpAccountant;
 
     fn shape(n: usize) -> SearchShape {
         SearchShape {

@@ -55,6 +55,12 @@ pub struct KaminoConfig {
     pub output_n: Option<usize>,
     /// Domain-size threshold for the §4.3 noisy-marginal fallback.
     pub large_domain_threshold: usize,
+    /// Row shards synthesized concurrently per column pass (see
+    /// [`crate::sampler`]'s module docs). `1` is the sequential Algorithm
+    /// 3, bit-identical to the pre-sharding sampler; defaults to the
+    /// `KAMINO_SHARDS` environment variable when set (the CI matrix uses
+    /// it to run the whole suite through the sharded engine), else `1`.
+    pub shards: usize,
 }
 
 impl KaminoConfig {
@@ -76,8 +82,19 @@ impl KaminoConfig {
             train_scale: 1.0,
             output_n: None,
             large_domain_threshold: 256,
+            shards: shards_from_env(),
         }
     }
+}
+
+/// The `KAMINO_SHARDS` default: lets CI (and operators) force every
+/// pipeline run through the sharded engine without touching call sites.
+fn shards_from_env() -> usize {
+    std::env::var("KAMINO_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1)
 }
 
 /// Wall-clock time per pipeline phase — the series of Figure 7.
@@ -114,14 +131,41 @@ pub struct KaminoReport {
     pub timings: PhaseTimings,
 }
 
-/// Runs Kamino end-to-end (Algorithm 1): sequencing → parameter search →
-/// model training → weight learning → constraint-aware sampling.
-pub fn run_kamino(
+/// A trained synthesis session: everything Algorithm 1 produces *before*
+/// sampling (lines 2–5), plus the RNG stream, so sampling can run many
+/// times — in batches, with different shard counts — without re-spending
+/// the privacy budget. Synthesis from a trained model is post-processing:
+/// it never touches the true instance, so every [`FittedKamino::sample`]
+/// call is covered by the (ε, δ) spent at fit time.
+///
+/// Obtained from [`fit_kamino`]; the `kamino` facade wraps it in the
+/// `Synthesizer` session API.
+pub struct FittedKamino {
+    /// The schema sequence used (Algorithm 4's output).
+    pub sequence: Vec<usize>,
+    /// Final DC weights (aligned with the DC list).
+    pub weights: Vec<f64>,
+    /// The privacy parameters Ψ selected by the planner-backed Algorithm 6.
+    pub params: PrivacyParams,
+    /// Wall-clock timings of the fit phases (sampling still zero).
+    pub timings: PhaseTimings,
+    schema: Schema,
+    dcs: Vec<DenialConstraint>,
+    model: crate::model::DataModel,
+    cfg: KaminoConfig,
+    n_input: usize,
+    rng: StdRng,
+}
+
+/// Runs Algorithm 1's lines 2–5: sequencing → parameter search → model
+/// training → weight learning. The returned [`FittedKamino`] samples any
+/// number of synthetic instances without further budget cost.
+pub fn fit_kamino(
     schema: &Schema,
     instance: &Instance,
     dcs: &[DenialConstraint],
     cfg: &KaminoConfig,
-) -> KaminoReport {
+) -> FittedKamino {
     let n = instance.n_rows();
     assert!(n > 0, "cannot synthesize from an empty instance");
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4A31);
@@ -181,37 +225,95 @@ pub fn run_kamino(
     };
     timings.dc_weights = t0.elapsed();
 
-    // Line 6: Synthesize (Algorithm 3 or the Exp. 6 accept–reject variant).
+    FittedKamino {
+        sequence,
+        weights,
+        params,
+        timings,
+        schema: schema.clone(),
+        dcs: dcs.to_vec(),
+        model,
+        cfg: cfg.clone(),
+        n_input: n,
+        rng,
+    }
+}
+
+impl FittedKamino {
+    /// The ε the fit actually spent at the budget's δ.
+    pub fn achieved_epsilon(&self) -> f64 {
+        self.params.achieved_epsilon
+    }
+
+    /// The schema this session synthesizes for.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Rows in the true instance the session was fitted on.
+    pub fn n_input(&self) -> usize {
+        self.n_input
+    }
+
+    /// Synthesizes `n` rows (Algorithm 3, or the Exp. 6 accept–reject
+    /// variant when the config asks for it), advancing the session's RNG
+    /// stream. Pure post-processing: spends no additional budget.
+    pub fn sample(&mut self, n: usize) -> Instance {
+        if self.cfg.ar_sampling {
+            synthesize_ar(
+                &self.schema,
+                &self.model,
+                &self.dcs,
+                &self.weights,
+                &ArSampleConfig::new(n),
+                &mut self.rng,
+            )
+        } else {
+            let sample_cfg = SampleConfig {
+                n,
+                d_candidates: self.cfg.d_candidates,
+                max_cat_candidates: 64,
+                mcmc_resamples: (self.cfg.mcmc_ratio * n as f64).round() as usize,
+                constraint_aware: self.cfg.constraint_aware_sampling,
+                hard_fd_lookup: self.cfg.hard_fd_lookup,
+                parallel: self.cfg.parallel_substrate,
+                shards: self.cfg.shards,
+                repair_sweeps: 4,
+            };
+            synthesize(
+                &self.schema,
+                &self.model,
+                &self.dcs,
+                &self.weights,
+                &sample_cfg,
+                &mut self.rng,
+            )
+        }
+    }
+}
+
+/// Runs Kamino end-to-end (Algorithm 1): sequencing → parameter search →
+/// model training → weight learning → constraint-aware sampling.
+pub fn run_kamino(
+    schema: &Schema,
+    instance: &Instance,
+    dcs: &[DenialConstraint],
+    cfg: &KaminoConfig,
+) -> KaminoReport {
+    let mut fitted = fit_kamino(schema, instance, dcs, cfg);
+
+    // Line 6: Synthesize.
     let t0 = Instant::now();
-    let out_n = cfg.output_n.unwrap_or(n);
-    let instance_out = if cfg.ar_sampling {
-        synthesize_ar(
-            schema,
-            &model,
-            dcs,
-            &weights,
-            &ArSampleConfig::new(out_n),
-            &mut rng,
-        )
-    } else {
-        let sample_cfg = SampleConfig {
-            n: out_n,
-            d_candidates: cfg.d_candidates,
-            max_cat_candidates: 64,
-            mcmc_resamples: (cfg.mcmc_ratio * out_n as f64).round() as usize,
-            constraint_aware: cfg.constraint_aware_sampling,
-            hard_fd_lookup: cfg.hard_fd_lookup,
-            parallel: cfg.parallel_substrate,
-        };
-        synthesize(schema, &model, dcs, &weights, &sample_cfg, &mut rng)
-    };
+    let out_n = cfg.output_n.unwrap_or(fitted.n_input);
+    let instance_out = fitted.sample(out_n);
+    let mut timings = fitted.timings;
     timings.sampling = t0.elapsed();
 
     KaminoReport {
         instance: instance_out,
-        sequence,
-        weights,
-        params,
+        sequence: fitted.sequence,
+        weights: fitted.weights,
+        params: fitted.params,
         timings,
     }
 }

@@ -6,15 +6,35 @@ use crate::instance::{Column, Instance};
 use crate::quantize::Quantizer;
 use crate::schema::Schema;
 
+/// [`histogram_with_clamped`]'s output: bin counts plus how many values
+/// fell outside the declared domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramCounts {
+    /// Counts of values per quantization bin.
+    pub counts: Vec<f64>,
+    /// Categorical codes outside the declared domain, folded into the
+    /// last bin (saturating — though in practice any nonzero value is an
+    /// encoding bug upstream).
+    pub clamped: u64,
+}
+
 /// Counts of values per quantization bin for attribute `attr` — the `H` of
-/// Algorithm 2 line 2 (before noise is added).
-pub fn histogram(schema: &Schema, inst: &Instance, attr: usize) -> Vec<f64> {
+/// Algorithm 2 line 2 (before noise is added) — together with a count of
+/// out-of-domain categorical codes. A code past the declared domain is an
+/// encoding bug in the caller: folding it silently into the last bin (the
+/// old behaviour) corrupts the released M1 histogram, so callers on
+/// private paths should inspect [`HistogramCounts::clamped`].
+pub fn histogram_with_clamped(schema: &Schema, inst: &Instance, attr: usize) -> HistogramCounts {
     let q = Quantizer::for_attr(schema.attr(attr));
     let mut counts = vec![0.0; q.n_bins()];
+    let mut clamped: u64 = 0;
     match inst.column(attr) {
         Column::Cat(v) => {
             let last = counts.len() - 1;
             for &c in v {
+                if c as usize > last {
+                    clamped = clamped.saturating_add(1);
+                }
                 counts[(c as usize).min(last)] += 1.0;
             }
         }
@@ -24,7 +44,21 @@ pub fn histogram(schema: &Schema, inst: &Instance, attr: usize) -> Vec<f64> {
             }
         }
     }
-    counts
+    HistogramCounts { counts, clamped }
+}
+
+/// [`histogram_with_clamped`] without the clamp diagnostics. Debug builds
+/// assert that no categorical code fell outside the domain — surfacing the
+/// encoding bug at its source instead of corrupting the histogram.
+pub fn histogram(schema: &Schema, inst: &Instance, attr: usize) -> Vec<f64> {
+    let h = histogram_with_clamped(schema, inst, attr);
+    debug_assert_eq!(
+        h.clamped, 0,
+        "attribute {attr}: {} categorical codes outside the declared domain \
+         were folded into the last bin — encoding bug upstream",
+        h.clamped
+    );
+    h.counts
 }
 
 /// Normalizes nonnegative weights into a probability distribution. All-zero
@@ -148,6 +182,35 @@ mod tests {
         )
         .unwrap();
         assert_eq!(histogram(&s, &inst, 0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn histogram_reports_out_of_domain_codes() {
+        let s = Schema::new(vec![Attribute::categorical_indexed("c", 3).unwrap()]).unwrap();
+        // bypass row validation by writing the raw code directly
+        let mut inst =
+            Instance::from_rows(&s, &[vec![Value::Cat(0)], vec![Value::Cat(1)]]).unwrap();
+        inst.set(1, 0, Value::Cat(7)); // out of domain
+        let h = histogram_with_clamped(&s, &inst, 0);
+        assert_eq!(h.clamped, 1);
+        assert_eq!(h.counts, vec![1.0, 0.0, 1.0]);
+        // in-domain data reports zero clamps
+        let clean = Instance::from_rows(&s, &[vec![Value::Cat(2)]]).unwrap();
+        assert_eq!(histogram_with_clamped(&s, &clean, 0).clamped, 0);
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "outside the declared domain")
+    )]
+    fn histogram_asserts_on_out_of_domain_codes() {
+        let s = Schema::new(vec![Attribute::categorical_indexed("c", 3).unwrap()]).unwrap();
+        let mut inst = Instance::from_rows(&s, &[vec![Value::Cat(0)]]).unwrap();
+        inst.set(0, 0, Value::Cat(9));
+        let counts = histogram(&s, &inst, 0);
+        // release builds: still folded (saturating), not lost
+        assert_eq!(counts.iter().sum::<f64>(), 1.0);
     }
 
     #[test]

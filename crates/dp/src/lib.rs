@@ -11,7 +11,10 @@
 //!   RDP→(ε, δ) conversion of the paper's Eqn. (7),
 //! * [`sensitivity`] — L2 sensitivities, including Lemma 1's violation
 //!   matrix bound,
-//! * [`sampling`] — Poisson subsampling shared by DP-SGD and Algorithm 5.
+//! * [`sampling`] — Poisson subsampling shared by DP-SGD and Algorithm 5,
+//! * [`planner`] — the [`BudgetPlanner`]: solves per-mechanism σ's for
+//!   Theorem 1's three-way composition (M1 histogram, M2 DP-SGD, M3
+//!   weights) under one (ε, δ) budget, replacing hand-tuned constants.
 //!
 //! Note on the paper's Lemma 2: as printed, the binomial sum carries
 //! `exp((α²−α)/2σ²)` independent of the summation index, which collapses to
@@ -20,13 +23,18 @@
 
 pub mod mechanisms;
 pub mod normal;
+pub mod planner;
 pub mod rdp;
 pub mod sampling;
 pub mod sensitivity;
 
 pub use mechanisms::{add_gaussian_noise, add_laplace_noise, gaussian_sigma};
 pub use normal::standard_normal;
-pub use rdp::{calibrate_sgm_sigma, gaussian_rdp, sgm_rdp, RdpAccountant};
+pub use planner::{composed_epsilon, BudgetPlan, BudgetPlanner, RunShape};
+pub use rdp::{
+    calibrate_sgm_sigma, conversion_floor, gaussian_rdp, sgm_rdp, try_calibrate_sgm_sigma,
+    CalibrationError, RdpAccountant,
+};
 pub use sampling::poisson_sample;
 pub use sensitivity::violation_matrix_sensitivity;
 

@@ -134,11 +134,64 @@ impl RdpAccountant {
     }
 }
 
+/// The smallest ε the grid's RDP→(ε, δ) conversion can express at `delta`
+/// — `ln(1/δ)/(α_max − 1)` (Eqn. 7 with zero accumulated cost). No amount
+/// of noise pushes a mechanism's converted ε below this, so calibration
+/// targets at or under the floor are infeasible.
+pub fn conversion_floor(delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    (1.0 / delta).ln() / (ALPHA_GRID[ALPHA_GRID.len() - 1] as f64 - 1.0)
+}
+
+/// A calibration target that no noise multiplier can meet (it sits at or
+/// below [`conversion_floor`], or past the search cap).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationError {
+    /// The infeasible (ε, δ) target.
+    pub target_eps: f64,
+    /// δ the target was requested at.
+    pub delta: f64,
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no noise multiplier meets epsilon {} at delta {}: the RDP \
+             conversion floor is {} (Eqn. 7 over the integer alpha grid)",
+            self.target_eps,
+            self.delta,
+            conversion_floor(self.delta)
+        )
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
 /// Binary-searches the smallest noise multiplier σ such that `count` SGM
 /// releases at sampling rate `q` cost at most `target_eps` at `delta`
-/// (`q = 1` calibrates plain Gaussian releases). Used by Algorithm 6 and by
-/// the baselines to fit their budgets.
+/// (`q = 1` calibrates plain Gaussian releases). Used by Algorithm 6, the
+/// [`crate::planner::BudgetPlanner`], and the baselines to fit their
+/// budgets.
+///
+/// Panics when the target is infeasible (below the grid's
+/// [`conversion_floor`]); use [`try_calibrate_sgm_sigma`] to handle that
+/// case gracefully.
 pub fn calibrate_sgm_sigma(target_eps: f64, delta: f64, q: f64, count: u64) -> f64 {
+    match try_calibrate_sgm_sigma(target_eps, delta, q, count) {
+        Ok(sigma) => sigma,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`calibrate_sgm_sigma`]: `Err` when no σ can meet the
+/// target instead of silently returning a non-fitting multiplier.
+pub fn try_calibrate_sgm_sigma(
+    target_eps: f64,
+    delta: f64,
+    q: f64,
+    count: u64,
+) -> Result<f64, CalibrationError> {
     assert!(
         target_eps > 0.0 && target_eps.is_finite(),
         "target epsilon must be positive"
@@ -148,10 +201,24 @@ pub fn calibrate_sgm_sigma(target_eps: f64, delta: f64, q: f64, count: u64) -> f
         acc.add_sgm(sigma, q, count);
         acc.epsilon(delta)
     };
-    let mut lo = 0.3;
+    // Upper bracket: grow until the budget fits. ε(σ) is decreasing in σ
+    // but bounded below by the conversion floor, so a cap that never fits
+    // means the target is infeasible — error out rather than silently
+    // returning a σ that does not meet the budget.
     let mut hi = 2.0;
-    while eps_of(hi) > target_eps && hi < 1e7 {
+    while eps_of(hi) > target_eps {
         hi *= 2.0;
+        if hi > 1e7 {
+            return Err(CalibrationError { target_eps, delta });
+        }
+    }
+    // Lower bracket: shrink until it *overshoots* the target. Pinning
+    // `lo = 0.3` silently over-noised loose budgets whose true σ* < 0.3
+    // (the search would converge to ≈ lo instead of σ*).
+    let mut lo = hi.min(0.3);
+    while lo > 1e-9 && eps_of(lo) <= target_eps {
+        hi = lo;
+        lo *= 0.5;
     }
     for _ in 0..60 {
         let mid = 0.5 * (lo + hi);
@@ -161,7 +228,7 @@ pub fn calibrate_sgm_sigma(target_eps: f64, delta: f64, q: f64, count: u64) -> f
             hi = mid;
         }
     }
-    hi
+    Ok(hi)
 }
 
 #[cfg(test)]
@@ -179,6 +246,53 @@ mod tests {
             acc2.add_sgm(sigma * 0.7, q, count);
             assert!(acc2.epsilon(1e-6) > eps, "calibration is far from tight");
         }
+    }
+
+    #[test]
+    fn loose_budget_calibration_is_tight_not_pinned() {
+        // The old search pinned lo = 0.3: any target loose enough that
+        // σ* < 0.3 silently came back as σ ≈ 0.3, over-noising the release.
+        for &(eps, q, count) in &[(50.0, 1.0, 1u64), (30.0, 1.0, 1), (200.0, 1.0, 8)] {
+            let sigma = calibrate_sgm_sigma(eps, 1e-6, q, count);
+            assert!(
+                sigma < 0.3,
+                "eps {eps}: sigma {sigma} stuck at the old lo bracket"
+            );
+            let mut acc = RdpAccountant::new();
+            acc.add_sgm(sigma, q, count);
+            assert!(
+                acc.epsilon(1e-6) <= eps + 1e-9,
+                "calibrated sigma does not fit"
+            );
+            let mut acc2 = RdpAccountant::new();
+            acc2.add_sgm(sigma * 0.7, q, count);
+            assert!(
+                acc2.epsilon(1e-6) > eps,
+                "eps {eps}: calibration is far from tight"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_target_errors_instead_of_lying() {
+        // Below the conversion floor no σ fits; the old code fell out of
+        // the doubling loop at the 1e7 cap and returned a σ that does NOT
+        // meet the target.
+        let floor = conversion_floor(1e-6);
+        assert!((floor - (1e6f64).ln() / 511.0).abs() < 1e-12);
+        let err = try_calibrate_sgm_sigma(floor * 0.5, 1e-6, 1.0, 1).unwrap_err();
+        assert_eq!(err.target_eps, floor * 0.5);
+        // and just above the floor it still succeeds (with a huge σ)
+        let sigma = calibrate_sgm_sigma(floor * 1.05, 1e-6, 1.0, 1).max(1.0);
+        let mut acc = RdpAccountant::new();
+        acc.add_sgm(sigma, 1.0, 1);
+        assert!(acc.epsilon(1e-6) <= floor * 1.05 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "conversion floor")]
+    fn infeasible_target_panics_in_strict_form() {
+        calibrate_sgm_sigma(1e-4, 1e-6, 1.0, 1);
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! | [`eval`] | nine classifiers, marginal TVD, DC metrics, repair |
 //! | [`datasets`] | seeded generators for the paper's four corpora |
 //!
+//! plus the top-level [`synthesizer`] module — the [`Synthesizer`] session
+//! API: fit once under a planner-derived budget, then stream row batches
+//! (sharded across cores) without further privacy cost.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -55,10 +59,15 @@ pub use kamino_dp as dp;
 pub use kamino_eval as eval;
 pub use kamino_nn as nn;
 
+pub mod synthesizer;
+
+pub use synthesizer::{SynthesisSession, Synthesizer, SynthesizerBuilder};
+
 /// Most-used items in one import.
 pub mod prelude {
+    pub use crate::synthesizer::{SynthesisSession, Synthesizer};
     pub use kamino_constraints::{parse_dc, violation_percentage, DenialConstraint, Hardness};
     pub use kamino_core::{run_kamino, KaminoConfig, KaminoReport};
     pub use kamino_data::{Attribute, Instance, Schema, Value};
-    pub use kamino_dp::Budget;
+    pub use kamino_dp::{Budget, BudgetPlanner, RunShape};
 }
