@@ -1,0 +1,151 @@
+//! Machine-readable throughput baseline: times one fit and the sharded
+//! synthesis engine at several shard counts, reporting rows/sec.
+//!
+//! ```bash
+//! cargo run --release -p kamino-bench --bin bench_report            # table
+//! cargo run --release -p kamino-bench --bin bench_report -- --json  # + BENCH_synthesis.json
+//! cargo run --release -p kamino-bench --bin bench_report -- --json --out path.json
+//! ```
+//!
+//! The `--json` mode writes `BENCH_synthesis.json` (deterministic keys,
+//! stable schema) so future PRs can diff fit latency and synthesis
+//! throughput against this one. `KAMINO_BENCH_FAST=1` shrinks the run
+//! ~10× for CI smoke; `KAMINO_BENCH_N` overrides the row count.
+
+use std::time::Instant;
+
+use kamino_bench::report::Table;
+use kamino_core::{fit_kamino, KaminoConfig};
+use kamino_datasets::Corpus;
+use kamino_dp::Budget;
+use kamino_serve::Json;
+
+/// One timed synthesis run.
+struct SynthSample {
+    shards: usize,
+    rows: usize,
+    seconds: f64,
+}
+
+impl SynthSample {
+    fn rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.seconds.max(1e-9)
+    }
+}
+
+fn main() {
+    let mut json_mode = false;
+    let mut out_path = String::from("BENCH_synthesis.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_mode = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out takes a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("usage: bench_report [--json] [--out PATH] (got `{other}`)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let fast = std::env::var("KAMINO_BENCH_FAST").is_ok_and(|v| v == "1");
+    let corpus = Corpus::Adult;
+    let n: usize = std::env::var("KAMINO_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if fast { 150 } else { 800 });
+    let train_scale = if fast { 0.03 } else { 0.2 };
+    let synth_rows = if fast { 300 } else { 2_000 };
+    let shard_counts = [1usize, 2, 4];
+    let seed = 11;
+
+    let d = corpus.generate(n, 1);
+    let mut cfg = KaminoConfig::new(Budget::new(1.0, 1e-6));
+    cfg.seed = seed;
+    cfg.train_scale = train_scale;
+
+    let t0 = Instant::now();
+    let fitted = fit_kamino(&d.schema, &d.instance, &d.dcs, &cfg);
+    let fit_seconds = t0.elapsed().as_secs_f64();
+
+    // one fit feeds every shard measurement: each round restores the
+    // session from the same snapshot bytes (identical model AND RNG
+    // cursor, so the shard counts sample the same stream position) and
+    // re-tunes only the execution knob
+    let snapshot = kamino_serve::encode_fitted(&fitted);
+    let mut samples = Vec::new();
+    for &shards in &shard_counts {
+        let mut session = kamino_serve::decode_fitted(&snapshot).expect("snapshot round-trip");
+        session.set_shards(shards);
+        // warm-up draw so allocation effects do not dominate small runs
+        let _ = session.sample(synth_rows.min(100));
+        let t0 = Instant::now();
+        let inst = session.sample(synth_rows);
+        let seconds = t0.elapsed().as_secs_f64();
+        assert_eq!(inst.n_rows(), synth_rows);
+        samples.push(SynthSample {
+            shards,
+            rows: synth_rows,
+            seconds,
+        });
+    }
+
+    let mut table = Table::new(
+        "Synthesis throughput baseline (fit once, sample many)",
+        &["Phase", "Shards", "Rows", "Seconds", "Rows/sec"],
+    );
+    table.row(vec![
+        "fit".into(),
+        "-".into(),
+        format!("{n}"),
+        format!("{fit_seconds:.3}"),
+        "-".into(),
+    ]);
+    for s in &samples {
+        table.row(vec![
+            "synthesize".into(),
+            format!("{}", s.shards),
+            format!("{}", s.rows),
+            format!("{:.3}", s.seconds),
+            format!("{:.0}", s.rows_per_sec()),
+        ]);
+    }
+    table.emit("bench_report");
+
+    if json_mode {
+        let body = Json::obj([
+            ("schema_version", Json::Num(1.0)),
+            ("corpus", Json::Str(corpus.name().to_string())),
+            ("fit_rows", Json::Num(n as f64)),
+            ("train_scale", Json::Num(train_scale)),
+            ("seed", Json::Num(seed as f64)),
+            ("fit_seconds", Json::Num(fit_seconds)),
+            (
+                "synthesize",
+                Json::Arr(
+                    samples
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("shards", Json::Num(s.shards as f64)),
+                                ("rows", Json::Num(s.rows as f64)),
+                                ("seconds", Json::Num(s.seconds)),
+                                ("rows_per_sec", Json::Num(s.rows_per_sec())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write(&out_path, format!("{body}\n")).unwrap_or_else(|e| {
+            eprintln!("bench_report: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {out_path}");
+    }
+}

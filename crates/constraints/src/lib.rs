@@ -27,6 +27,7 @@ pub mod engine;
 pub mod incremental;
 pub mod parser;
 pub mod score;
+pub mod snapshot;
 
 pub use ast::{CmpOp, DenialConstraint, Fd, Hardness, Operand, Predicate, StrictOrder, TupleRef};
 pub use engine::{

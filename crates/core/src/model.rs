@@ -119,6 +119,17 @@ impl EmbeddingStore {
         self.dim
     }
 
+    /// The per-attribute embedders (snapshot support). `None` entries mark
+    /// attributes not materialized in a worker clone.
+    pub fn embedders(&self) -> &[Option<AttrEmbedder>] {
+        &self.embedders
+    }
+
+    /// Rebuilds a store from persisted embedders (snapshot support).
+    pub fn from_parts(embedders: Vec<Option<AttrEmbedder>>, dim: usize) -> EmbeddingStore {
+        EmbeddingStore { embedders, dim }
+    }
+
     /// Embeds `v` (a value of attribute `attr`) into `out`.
     pub fn embed(&self, attr: usize, v: Value, out: &mut [f64]) -> EmbedCtx {
         match (self.emb(attr), v) {

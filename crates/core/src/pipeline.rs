@@ -245,6 +245,60 @@ impl FittedKamino {
         self.params.achieved_epsilon
     }
 
+    /// The DC list the session samples under (snapshot support).
+    pub fn dcs(&self) -> &[DenialConstraint] {
+        &self.dcs
+    }
+
+    /// The trained data model `M` (snapshot support).
+    pub fn model(&self) -> &crate::model::DataModel {
+        &self.model
+    }
+
+    /// The pipeline configuration the session was fitted with (snapshot
+    /// support).
+    pub fn config(&self) -> &KaminoConfig {
+        &self.cfg
+    }
+
+    /// The session RNG's cursor — the exact generator state the next
+    /// [`FittedKamino::sample`] call will consume. Persisting it is what
+    /// makes a reloaded session continue the deterministic sample stream
+    /// where the saved one stopped.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Reassembles a session from persisted parts (snapshot support).
+    /// `rng_state` positions the sample stream; everything else matches
+    /// the fields [`fit_kamino`] produces.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        sequence: Vec<usize>,
+        weights: Vec<f64>,
+        params: PrivacyParams,
+        timings: PhaseTimings,
+        schema: Schema,
+        dcs: Vec<DenialConstraint>,
+        model: crate::model::DataModel,
+        cfg: KaminoConfig,
+        n_input: usize,
+        rng_state: [u64; 4],
+    ) -> FittedKamino {
+        FittedKamino {
+            sequence,
+            weights,
+            params,
+            timings,
+            schema,
+            dcs,
+            model,
+            cfg,
+            n_input,
+            rng: StdRng::from_state(rng_state),
+        }
+    }
+
     /// The schema this session synthesizes for.
     pub fn schema(&self) -> &Schema {
         &self.schema
@@ -253,6 +307,15 @@ impl FittedKamino {
     /// Rows in the true instance the session was fitted on.
     pub fn n_input(&self) -> usize {
         self.n_input
+    }
+
+    /// Changes the shard count used by subsequent [`FittedKamino::sample`]
+    /// calls. Sharding is an execution knob, not a model property: the
+    /// trained model and the privacy spend are untouched, so a serving
+    /// layer (or a benchmark) can re-tune it per draw.
+    pub fn set_shards(&mut self, shards: usize) {
+        assert!(shards >= 1, "at least one shard");
+        self.cfg.shards = shards;
     }
 
     /// Synthesizes `n` rows (Algorithm 3, or the Exp. 6 accept–reject

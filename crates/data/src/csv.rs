@@ -12,8 +12,12 @@ use crate::instance::Instance;
 use crate::schema::{AttrKind, Schema};
 use crate::value::Value;
 
-/// Writes `inst` as CSV with a header row of attribute names.
-pub fn write_csv<W: Write>(schema: &Schema, inst: &Instance, out: &mut W) -> Result<(), DataError> {
+/// The CSV header line (newline-terminated), after validating that no
+/// attribute name or categorical label contains a comma — the format has
+/// no quoting, so such schemas cannot be serialized. Shared by
+/// [`write_csv`] and streaming producers (the synthesis server emits the
+/// header once, then [`rows_text`] per batch).
+pub fn header_line(schema: &Schema) -> Result<String, DataError> {
     for a in schema.attrs() {
         if a.name.contains(',') {
             return Err(DataError::Parse(format!(
@@ -28,13 +32,17 @@ pub fn write_csv<W: Write>(schema: &Schema, inst: &Instance, out: &mut W) -> Res
         }
     }
     let header: Vec<&str> = schema.attrs().iter().map(|a| a.name.as_str()).collect();
-    writeln!(out, "{}", header.join(","))?;
-    let mut line = String::new();
+    Ok(format!("{}\n", header.join(",")))
+}
+
+/// Formats `inst` as CSV data rows (no header), one newline-terminated
+/// line per tuple, erroring on out-of-domain categorical codes.
+pub fn rows_text(schema: &Schema, inst: &Instance) -> Result<String, DataError> {
+    let mut out = String::with_capacity(inst.n_rows() * schema.len() * 8);
     for i in 0..inst.n_rows() {
-        line.clear();
         for j in 0..schema.len() {
             if j > 0 {
-                line.push(',');
+                out.push(',');
             }
             match inst.value(i, j) {
                 Value::Cat(c) => {
@@ -45,15 +53,22 @@ pub fn write_csv<W: Write>(schema: &Schema, inst: &Instance, out: &mut W) -> Res
                             attr: schema.attr(j).name.clone(),
                             label: format!("#{c}"),
                         })?;
-                    line.push_str(label);
+                    out.push_str(label);
                 }
                 Value::Num(x) => {
-                    line.push_str(&format!("{x}"));
+                    out.push_str(&format!("{x}"));
                 }
             }
         }
-        writeln!(out, "{line}")?;
+        out.push('\n');
     }
+    Ok(out)
+}
+
+/// Writes `inst` as CSV with a header row of attribute names.
+pub fn write_csv<W: Write>(schema: &Schema, inst: &Instance, out: &mut W) -> Result<(), DataError> {
+    out.write_all(header_line(schema)?.as_bytes())?;
+    out.write_all(rows_text(schema, inst)?.as_bytes())?;
     Ok(())
 }
 

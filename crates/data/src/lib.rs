@@ -4,7 +4,9 @@
 //! [`Schema`]/[`Attribute`] descriptions of a single relation, typed
 //! columnar [`Instance`]s, per-attribute [`Quantizer`]s used to bridge
 //! continuous domains and histogram/marginal machinery, simple statistics
-//! ([`stats`]), and CSV import/export ([`csv`]).
+//! ([`stats`]), CSV import/export ([`csv`]), and the byte-level [`wire`]
+//! rules plus schema/value codecs ([`snapshot`]) that model snapshots are
+//! built from.
 //!
 //! The paper (§2) considers a single relation `R = {A_1, …, A_k}` with `n`
 //! tuples, where each attribute is either categorical (finite label set) or
@@ -19,8 +21,10 @@ pub mod error;
 pub mod instance;
 pub mod quantize;
 pub mod schema;
+pub mod snapshot;
 pub mod stats;
 pub mod value;
+pub mod wire;
 
 pub use encode::MixedEncoder;
 pub use error::DataError;
@@ -28,3 +32,4 @@ pub use instance::{Column, Instance};
 pub use quantize::Quantizer;
 pub use schema::{AttrKind, Attribute, Schema};
 pub use value::Value;
+pub use wire::{ByteReader, ByteWriter, WireError};

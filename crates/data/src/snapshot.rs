@@ -1,0 +1,181 @@
+//! Snapshot codec for the data layer: [`Schema`], [`Value`] and
+//! [`Standardizer`] round-trip through the [`crate::wire`] rules. The
+//! quantizers and encoders the pipeline uses are pure functions of the
+//! schema's declared domains, so persisting the schema persists them too.
+
+use crate::stats::Standardizer;
+use crate::wire::{ByteReader, ByteWriter, WireError};
+use crate::{AttrKind, Attribute, Schema, Value};
+
+const KIND_CATEGORICAL: u8 = 0;
+const KIND_NUMERIC: u8 = 1;
+
+const VALUE_CAT: u8 = 0;
+const VALUE_NUM: u8 = 1;
+
+/// Encodes a schema (attribute order, names, full domains).
+pub fn encode_schema(schema: &Schema, w: &mut ByteWriter) {
+    w.put_u32(schema.len() as u32);
+    for attr in schema.attrs() {
+        w.put_str(&attr.name);
+        match &attr.kind {
+            AttrKind::Categorical { labels } => {
+                w.put_u8(KIND_CATEGORICAL);
+                w.put_u32(labels.len() as u32);
+                for l in labels {
+                    w.put_str(l);
+                }
+            }
+            AttrKind::Numeric {
+                min,
+                max,
+                bins,
+                integer,
+            } => {
+                w.put_u8(KIND_NUMERIC);
+                w.put_f64(*min);
+                w.put_f64(*max);
+                w.put_usize(*bins);
+                w.put_bool(*integer);
+            }
+        }
+    }
+}
+
+/// Decodes a schema written by [`encode_schema`], re-validating domains
+/// through the ordinary [`Schema::new`] constructor.
+pub fn decode_schema(r: &mut ByteReader<'_>) -> Result<Schema, WireError> {
+    let n = r.u32()? as usize;
+    let mut attrs = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        let name = r.string()?;
+        let kind = match r.u8()? {
+            KIND_CATEGORICAL => {
+                let n_labels = r.len_prefix()?;
+                let mut labels = Vec::with_capacity(n_labels.min(1 << 12));
+                for _ in 0..n_labels {
+                    labels.push(r.string()?);
+                }
+                AttrKind::Categorical { labels }
+            }
+            KIND_NUMERIC => AttrKind::Numeric {
+                min: r.f64()?,
+                max: r.f64()?,
+                bins: r.usize()?,
+                integer: r.bool()?,
+            },
+            tag => return Err(WireError::Malformed(format!("unknown attr kind tag {tag}"))),
+        };
+        attrs.push(Attribute { name, kind });
+    }
+    Schema::new(attrs).map_err(|e| WireError::Malformed(format!("invalid schema: {e}")))
+}
+
+/// Encodes a single value (tagged categorical code or numeric).
+pub fn encode_value(v: Value, w: &mut ByteWriter) {
+    match v {
+        Value::Cat(c) => {
+            w.put_u8(VALUE_CAT);
+            w.put_u32(c);
+        }
+        Value::Num(x) => {
+            w.put_u8(VALUE_NUM);
+            w.put_f64(x);
+        }
+    }
+}
+
+/// Decodes a value written by [`encode_value`].
+pub fn decode_value(r: &mut ByteReader<'_>) -> Result<Value, WireError> {
+    match r.u8()? {
+        VALUE_CAT => Ok(Value::Cat(r.u32()?)),
+        VALUE_NUM => Ok(Value::Num(r.f64()?)),
+        tag => Err(WireError::Malformed(format!("unknown value tag {tag}"))),
+    }
+}
+
+/// Encodes a standardizer (two floats).
+pub fn encode_standardizer(s: &Standardizer, w: &mut ByteWriter) {
+    w.put_f64(s.mean);
+    w.put_f64(s.std);
+}
+
+/// Decodes a standardizer written by [`encode_standardizer`].
+pub fn decode_standardizer(r: &mut ByteReader<'_>) -> Result<Standardizer, WireError> {
+    Ok(Standardizer {
+        mean: r.f64()?,
+        std: r.f64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::categorical("edu", vec!["HS".into(), "BS".into(), "MS".into()]).unwrap(),
+            Attribute::integer("age", 17.0, 90.0, 16).unwrap(),
+            Attribute::numeric("gain", 0.0, 10_000.0, 20).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let s = schema();
+        let mut w = ByteWriter::new();
+        encode_schema(&s, &mut w);
+        let bytes = w.into_bytes();
+        let got = decode_schema(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(got, s);
+    }
+
+    #[test]
+    fn value_and_standardizer_roundtrip() {
+        let mut w = ByteWriter::new();
+        encode_value(Value::Cat(7), &mut w);
+        encode_value(Value::Num(-1.5), &mut w);
+        encode_standardizer(
+            &Standardizer {
+                mean: 3.25,
+                std: 0.5,
+            },
+            &mut w,
+        );
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(decode_value(&mut r).unwrap(), Value::Cat(7));
+        assert_eq!(decode_value(&mut r).unwrap(), Value::Num(-1.5));
+        let std = decode_standardizer(&mut r).unwrap();
+        assert_eq!((std.mean, std.std), (3.25, 0.5));
+    }
+
+    #[test]
+    fn corrupt_tag_is_rejected() {
+        let mut w = ByteWriter::new();
+        encode_schema(&schema(), &mut w);
+        let mut bytes = w.into_bytes();
+        // attribute count is fine, but flip the first kind tag to garbage
+        let tag_pos = 4 + 4 + 3 + 1 - 1; // count + name len + "edu" + tag
+        bytes[tag_pos] = 99;
+        assert!(decode_schema(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn duplicate_attr_names_fail_revalidation() {
+        let mut w = ByteWriter::new();
+        // hand-encode two attributes with the same name
+        w.put_u32(2);
+        for _ in 0..2 {
+            w.put_str("dup");
+            w.put_u8(super::KIND_NUMERIC);
+            w.put_f64(0.0);
+            w.put_f64(1.0);
+            w.put_usize(4);
+            w.put_bool(false);
+        }
+        let bytes = w.into_bytes();
+        assert!(decode_schema(&mut ByteReader::new(&bytes)).is_err());
+    }
+}

@@ -27,6 +27,7 @@ pub mod planner;
 pub mod rdp;
 pub mod sampling;
 pub mod sensitivity;
+pub mod snapshot;
 
 pub use mechanisms::{add_gaussian_noise, add_laplace_noise, gaussian_sigma};
 pub use normal::standard_normal;

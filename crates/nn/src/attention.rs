@@ -39,6 +39,17 @@ impl Attention {
         }
     }
 
+    /// Rebuilds attention from persisted score values (snapshot support).
+    pub fn from_values(dim: usize, scores: Vec<f64>) -> Attention {
+        Attention {
+            scores: ParamBlock {
+                grads: vec![0.0; scores.len()],
+                values: scores,
+            },
+            dim,
+        }
+    }
+
     /// Number of context positions.
     pub fn n_context(&self) -> usize {
         self.scores.len()

@@ -25,6 +25,16 @@ impl CategoricalHead {
         }
     }
 
+    /// Rebuilds a head from its persisted linear layer (snapshot support).
+    pub fn from_linear(linear: Linear) -> CategoricalHead {
+        CategoricalHead { linear }
+    }
+
+    /// The underlying logit layer (snapshot support).
+    pub fn linear(&self) -> &Linear {
+        &self.linear
+    }
+
     /// Number of classes.
     pub fn card(&self) -> usize {
         self.linear.n_out()
@@ -75,6 +85,17 @@ impl GaussianHead {
         GaussianHead {
             linear: Linear::new(dim, 2, rng),
         }
+    }
+
+    /// Rebuilds a head from its persisted linear layer (snapshot support).
+    pub fn from_linear(linear: Linear) -> GaussianHead {
+        assert_eq!(linear.n_out(), 2, "Gaussian head needs exactly (μ, ln σ)");
+        GaussianHead { linear }
+    }
+
+    /// The underlying (μ, ln σ) layer (snapshot support).
+    pub fn linear(&self) -> &Linear {
+        &self.linear
     }
 
     /// Predicted (μ, σ) in standardized units.

@@ -28,6 +28,26 @@ impl Linear {
         }
     }
 
+    /// Rebuilds a layer from persisted parameter values (snapshot
+    /// support). Gradient buffers start zeroed, like a freshly
+    /// constructed layer between optimizer steps.
+    pub fn from_values(n_in: usize, n_out: usize, w: Vec<f64>, b: Vec<f64>) -> Linear {
+        assert_eq!(w.len(), n_in * n_out, "weight tensor shape mismatch");
+        assert_eq!(b.len(), n_out, "bias tensor shape mismatch");
+        Linear {
+            w: ParamBlock {
+                grads: vec![0.0; w.len()],
+                values: w,
+            },
+            b: ParamBlock {
+                grads: vec![0.0; b.len()],
+                values: b,
+            },
+            n_in,
+            n_out,
+        }
+    }
+
     /// Input width.
     pub fn n_in(&self) -> usize {
         self.n_in
@@ -78,6 +98,20 @@ impl Embedding {
         let scale = (1.0 / dim as f64).sqrt();
         Embedding {
             table: ParamBlock::uniform(card * dim, scale, rng),
+            card,
+            dim,
+        }
+    }
+
+    /// Rebuilds an embedding table from persisted values (snapshot
+    /// support).
+    pub fn from_values(card: usize, dim: usize, table: Vec<f64>) -> Embedding {
+        assert_eq!(table.len(), card * dim, "embedding table shape mismatch");
+        Embedding {
+            table: ParamBlock {
+                grads: vec![0.0; table.len()],
+                values: table,
+            },
             card,
             dim,
         }
@@ -151,6 +185,31 @@ impl ContinuousEncoder {
             c: ParamBlock::zeros(dim),
             b: xavier(dim, dim, rng),
             d: ParamBlock::zeros(dim),
+            dim,
+        }
+    }
+
+    /// Rebuilds an encoder from persisted values (snapshot support).
+    pub fn from_values(
+        dim: usize,
+        a: Vec<f64>,
+        c: Vec<f64>,
+        b: Vec<f64>,
+        d: Vec<f64>,
+    ) -> ContinuousEncoder {
+        assert_eq!(a.len(), dim, "encoder A shape mismatch");
+        assert_eq!(c.len(), dim, "encoder c shape mismatch");
+        assert_eq!(b.len(), dim * dim, "encoder B shape mismatch");
+        assert_eq!(d.len(), dim, "encoder d shape mismatch");
+        let block = |values: Vec<f64>| ParamBlock {
+            grads: vec![0.0; values.len()],
+            values,
+        };
+        ContinuousEncoder {
+            a: block(a),
+            c: block(c),
+            b: block(b),
+            d: block(d),
             dim,
         }
     }

@@ -32,6 +32,7 @@ pub mod loss;
 pub mod mlp;
 pub mod optim;
 pub mod param;
+pub mod snapshot;
 
 pub use attention::Attention;
 pub use heads::{CategoricalHead, GaussianHead};

@@ -1,0 +1,329 @@
+//! Hand-rolled HTTP/1.1 plumbing: request parsing, response writing and
+//! chunked transfer encoding, on nothing but `std`.
+//!
+//! The parser is deliberately strict and bounded — request line ≤ 8 KiB,
+//! ≤ 64 headers, body ≤ 16 MiB — because the server faces the network.
+//! Anything outside those bounds is a `400`/`413`, not an allocation.
+//! Keep-alive is supported (HTTP/1.1 default); a `Connection: close`
+//! header from either side ends the connection after the in-flight
+//! exchange.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+
+/// Bound on the request line and on any single header line.
+const MAX_LINE: usize = 8 * 1024;
+/// Bound on the number of headers.
+const MAX_HEADERS: usize = 64;
+/// Bound on a request body.
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path, without the query string.
+    pub path: String,
+    /// Query parameters in order-independent form.
+    pub query: BTreeMap<String, String>,
+    /// Lower-cased header names → values.
+    pub headers: BTreeMap<String, String>,
+    /// Request body (empty when none).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Whether the client asked to drop the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.headers
+            .get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// A query parameter parsed to `usize`.
+    pub fn query_usize(&self, key: &str) -> Option<usize> {
+        self.query.get(key).and_then(|v| v.parse().ok())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before a request started — the
+    /// normal end of a keep-alive session.
+    Eof,
+    /// Transport failure mid-request.
+    Io(io::Error),
+    /// The bytes are not valid HTTP within the parser's bounds. The
+    /// payload is the status line to answer with.
+    Bad(&'static str),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> ReadError {
+        ReadError::Io(e)
+    }
+}
+
+fn read_line<R: BufRead>(r: &mut R) -> Result<String, ReadError> {
+    let mut line = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8; 1];
+        let n = r.read(&mut byte).map_err(ReadError::Io)?;
+        if n == 0 {
+            if line.is_empty() {
+                return Err(ReadError::Eof);
+            }
+            return Err(ReadError::Bad("400 Bad Request"));
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line).map_err(|_| ReadError::Bad("400 Bad Request"));
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE {
+            return Err(ReadError::Bad("431 Request Header Fields Too Large"));
+        }
+    }
+}
+
+/// Decodes `%XX` escapes and `+` in a query component.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    let h = std::str::from_utf8(h).ok()?;
+                    u8::from_str_radix(h, 16).ok()
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(q: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for pair in q.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.insert(percent_decode(k), percent_decode(v));
+    }
+    out
+}
+
+/// Reads one request from the stream. `Err(ReadError::Eof)` is the clean
+/// end of a keep-alive connection.
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ReadError> {
+    let request_line = read_line(r)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ReadError::Bad("400 Bad Request"))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or(ReadError::Bad("400 Bad Request"))?;
+    let version = parts.next().ok_or(ReadError::Bad("400 Bad Request"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Bad("505 HTTP Version Not Supported"));
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), BTreeMap::new()),
+    };
+
+    let mut headers = BTreeMap::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ReadError::Bad("431 Request Header Fields Too Large"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ReadError::Bad("400 Bad Request"))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    // chunked request bodies are not implemented; silently treating the
+    // body as empty would desync the keep-alive stream (the chunk bytes
+    // would parse as the next request), so refuse loudly
+    if headers.contains_key("transfer-encoding") {
+        return Err(ReadError::Bad("501 Not Implemented"));
+    }
+
+    let body = match headers.get("content-length") {
+        None => Vec::new(),
+        Some(v) => {
+            let len: usize = v.parse().map_err(|_| ReadError::Bad("400 Bad Request"))?;
+            if len > MAX_BODY {
+                return Err(ReadError::Bad("413 Content Too Large"));
+            }
+            let mut body = vec![0u8; len];
+            r.read_exact(&mut body).map_err(ReadError::Io)?;
+            body
+        }
+    };
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Writes a complete (non-chunked) response.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: &str,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes the header of a chunked response; follow with
+/// [`write_chunk`] calls and one [`finish_chunked`].
+pub fn start_chunked<W: Write>(w: &mut W, status: &str, content_type: &str) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: keep-alive\r\n\r\n"
+    )
+}
+
+/// Writes one chunk (empty input is skipped — an empty chunk would
+/// terminate the stream).
+pub fn write_chunk<W: Write>(w: &mut W, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(w, "{:x}\r\n", data.len())?;
+    w.write_all(data)?;
+    write!(w, "\r\n")
+}
+
+/// Terminates a chunked response.
+pub fn finish_chunked<W: Write>(w: &mut W) -> io::Result<()> {
+    write!(w, "0\r\n\r\n")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn req(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r =
+            req("GET /models/3/synthesize?n=500&batch=50&format=csv HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/models/3/synthesize");
+        assert_eq!(r.query_usize("n"), Some(500));
+        assert_eq!(r.query_usize("batch"), Some(50));
+        assert_eq!(r.query.get("format").map(String::as_str), Some("csv"));
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r =
+            req("POST /fit HTTP/1.1\r\nContent-Length: 11\r\nConnection: close\r\n\r\nhello world")
+                .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"hello world");
+        assert!(r.wants_close());
+    }
+
+    #[test]
+    fn eof_and_garbage_are_distinct() {
+        assert!(matches!(req(""), Err(ReadError::Eof)));
+        assert!(matches!(req("NOT HTTP\r\n\r\n"), Err(ReadError::Bad(_))));
+        assert!(matches!(
+            req("GET / SPDY/99\r\n\r\n"),
+            Err(ReadError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn chunked_request_bodies_are_refused() {
+        let raw = "POST /fit HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n";
+        assert!(matches!(
+            req(raw),
+            Err(ReadError::Bad("501 Not Implemented"))
+        ));
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(req(&raw), Err(ReadError::Bad(_))));
+    }
+
+    #[test]
+    fn percent_decoding() {
+        let r = req("GET /x?name=a%20b+c&pct=%2f HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.query.get("name").map(String::as_str), Some("a b c"));
+        assert_eq!(r.query.get("pct").map(String::as_str), Some("/"));
+    }
+
+    #[test]
+    fn response_and_chunked_writers() {
+        let mut out = Vec::new();
+        write_response(&mut out, "200 OK", "application/json", b"{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        start_chunked(&mut out, "200 OK", "text/csv").unwrap();
+        write_chunk(&mut out, b"a,b\n").unwrap();
+        write_chunk(&mut out, b"").unwrap();
+        write_chunk(&mut out, b"1,2\n").unwrap();
+        finish_chunked(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("transfer-encoding: chunked"));
+        assert!(text.contains("4\r\na,b\n\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+    }
+}

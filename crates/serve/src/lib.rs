@@ -1,0 +1,35 @@
+//! Durable model snapshots and a pure-std synthesis server.
+//!
+//! The Kamino pipeline pays its privacy budget and DP-SGD training cost
+//! once, at fit time; everything after that is post-processing. This
+//! crate gives that split a production shape:
+//!
+//! * [`snapshot`] — the versioned `.kamino` container (magic + section
+//!   table + per-section CRC-32, fixed little-endian layout, no external
+//!   dependencies) persisting a complete fitted session: schema,
+//!   encoders, DC list with learned weights, model tensors, privacy
+//!   parameters, configuration, and the session RNG cursor. A loaded
+//!   session continues its deterministic sample stream exactly where the
+//!   saved one stopped.
+//! * [`server`] — a std-`TcpListener` + scoped-thread-pool HTTP/1.1
+//!   front end (`POST /fit`, `GET /models/{id}`,
+//!   `POST /models/{id}/synthesize`, `/healthz`, `/metrics`) streaming
+//!   chunked CSV or NDJSON rows off fitted models, with [`json`],
+//!   [`http`] and [`metrics`] as its hand-rolled substrate.
+//!
+//! The `kamino-serve` binary wires [`server::Server`] to `--listen`,
+//! `--model-dir` and `--threads` flags; the `kamino` facade re-exports
+//! this crate as `kamino::serve` and adds `save`/`load` methods to its
+//! `Synthesizer` session API.
+
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+pub mod snapshot;
+
+pub use json::Json;
+pub use server::{ServeConfig, Server};
+pub use snapshot::{
+    decode_fitted, encode_fitted, load_fitted, save_fitted, SnapshotError, FORMAT_VERSION,
+};

@@ -1,0 +1,80 @@
+//! The `kamino-serve` binary: fit Kamino models over HTTP and stream
+//! synthetic rows from them.
+//!
+//! ```text
+//! kamino-serve [--listen ADDR] [--model-dir DIR] [--threads N]
+//! ```
+//!
+//! * `--listen` — bind address (default `127.0.0.1:7878`; port `0` picks
+//!   an ephemeral port, printed on boot).
+//! * `--model-dir` — directory of `.kamino` snapshots: existing ones are
+//!   loaded at boot, fit jobs and `POST /models/{id}/snapshot` write new
+//!   ones.
+//! * `--threads` — worker threads serving connections (default 4).
+//!
+//! The process exits 0 after a graceful `POST /shutdown`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use kamino_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!("usage: kamino-serve [--listen ADDR] [--model-dir DIR] [--threads N]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--listen" => cfg.listen = value("--listen"),
+            "--model-dir" => cfg.model_dir = Some(PathBuf::from(value("--model-dir"))),
+            "--threads" => {
+                cfg.threads = value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads takes a positive integer");
+                    usage()
+                });
+                if cfg.threads == 0 {
+                    eprintln!("--threads takes a positive integer");
+                    usage();
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    cfg
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_args();
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("kamino-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("kamino-serve listening on http://{}", server.local_addr());
+    match server.run() {
+        Ok(()) => {
+            println!("kamino-serve: clean shutdown");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("kamino-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

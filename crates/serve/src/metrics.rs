@@ -1,0 +1,132 @@
+//! Serving metrics: lock-free counters plus a short sliding window for
+//! rows/sec, surfaced by `GET /metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Length of the rows/sec sliding window, in seconds.
+const WINDOW_SECS: u64 = 10;
+
+/// Process-wide serving counters. All writers use relaxed ordering —
+/// these are statistics, not synchronization.
+pub struct Metrics {
+    start: Instant,
+    /// Requests accepted (any route, any outcome).
+    pub requests: AtomicU64,
+    /// Requests that ended in a 4xx/5xx.
+    pub errors: AtomicU64,
+    /// Synthetic rows streamed by `/synthesize`.
+    pub rows: AtomicU64,
+    /// Fit jobs started.
+    pub fits_started: AtomicU64,
+    /// Fit jobs completed successfully.
+    pub fits_done: AtomicU64,
+    /// Connections currently being served.
+    pub open_connections: AtomicU64,
+    /// (elapsed-second, row-count) samples for the rows/sec window.
+    window: Mutex<Vec<(u64, u64)>>,
+}
+
+impl Metrics {
+    /// Fresh counters; `start` anchors uptime and the rows/sec window.
+    pub fn new() -> Metrics {
+        Metrics {
+            start: Instant::now(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            fits_started: AtomicU64::new(0),
+            fits_done: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            window: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Milliseconds since the server started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// Records `n` synthesized rows (total + sliding window).
+    pub fn add_rows(&self, n: u64) {
+        self.rows.fetch_add(n, Ordering::Relaxed);
+        let now = self.start.elapsed().as_secs();
+        let mut w = self.window.lock().unwrap();
+        w.retain(|&(t, _)| now - t < WINDOW_SECS);
+        w.push((now, n));
+    }
+
+    /// Rows per second over the last [`WINDOW_SECS`] seconds.
+    pub fn rows_per_sec(&self) -> f64 {
+        let now = self.start.elapsed().as_secs();
+        let w = self.window.lock().unwrap();
+        let total: u64 = w
+            .iter()
+            .filter(|&&(t, _)| now - t < WINDOW_SECS)
+            .map(|&(_, n)| n)
+            .sum();
+        total as f64 / WINDOW_SECS as f64
+    }
+
+    /// The `GET /metrics` body.
+    pub fn to_json(&self, open_models: usize, ready_models: usize) -> Json {
+        Json::obj([
+            ("uptime_ms", Json::Num(self.uptime_ms() as f64)),
+            (
+                "requests_total",
+                Json::Num(self.requests.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "errors_total",
+                Json::Num(self.errors.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "rows_synthesized_total",
+                Json::Num(self.rows.load(Ordering::Relaxed) as f64),
+            ),
+            ("rows_per_sec", Json::Num(self.rows_per_sec())),
+            (
+                "fits_started_total",
+                Json::Num(self.fits_started.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "fits_done_total",
+                Json::Num(self.fits_done.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "open_connections",
+                Json::Num(self.open_connections.load(Ordering::Relaxed) as f64),
+            ),
+            ("open_models", Json::Num(open_models as f64)),
+            ("ready_models", Json::Num(ready_models as f64)),
+        ])
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.add_rows(100);
+        m.add_rows(50);
+        assert_eq!(m.rows.load(Ordering::Relaxed), 150);
+        assert!(m.rows_per_sec() > 0.0);
+        let j = m.to_json(2, 1);
+        assert_eq!(j.get("requests_total").unwrap().as_u64(), Some(3));
+        assert_eq!(j.get("rows_synthesized_total").unwrap().as_u64(), Some(150));
+        assert_eq!(j.get("open_models").unwrap().as_u64(), Some(2));
+    }
+}

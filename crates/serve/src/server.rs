@@ -1,0 +1,863 @@
+//! The synthesis server: a std-`TcpListener` accept loop feeding a scoped
+//! thread pool, serving fitted Kamino models over HTTP/1.1.
+//!
+//! ## Endpoints
+//!
+//! | Method + path | Purpose |
+//! |---|---|
+//! | `POST /fit` | start an async fit job; returns a model id immediately |
+//! | `GET /models` | list models and their states |
+//! | `GET /models/{id}` | fit status, achieved ε, parameters, timings |
+//! | `POST /models/{id}/synthesize?n=..&batch=..&format=csv\|json` | stream rows (chunked) |
+//! | `POST /models/{id}/snapshot` | persist the model to the `--model-dir` |
+//! | `GET /healthz` | liveness |
+//! | `GET /metrics` | counters + rows/sec |
+//! | `POST /shutdown` | graceful stop: drain connections, exit `run` |
+//!
+//! ## Privacy
+//!
+//! The privacy budget is spent exactly once, inside the fit job
+//! ([`kamino_core::fit_kamino`]). Everything `/synthesize` does afterwards
+//! is post-processing of the fitted model: any number of rows, for any
+//! number of concurrent clients, is covered by the ε reported in
+//! `GET /models/{id}` — the server never re-touches the private input.
+//! Concurrent `/synthesize` requests against one model serialize on the
+//! model's mutex per batch (the session RNG advances under the lock), so
+//! clients interleave without data races and without budget re-spend.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use kamino_core::{fit_kamino, FittedKamino, KaminoConfig};
+use kamino_data::{AttrKind, Instance, Schema, Value};
+use kamino_datasets::Corpus;
+use kamino_dp::Budget;
+
+use crate::http::{
+    finish_chunked, read_request, start_chunked, write_chunk, write_response, ReadError, Request,
+};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::snapshot::{load_fitted, save_fitted};
+
+/// How long a worker waits on an idle keep-alive connection before
+/// closing it. Bounds shutdown latency: no connection can hold a worker
+/// longer than this once draining starts.
+const IDLE_READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Caps on `/synthesize` query parameters.
+const MAX_SYNTH_ROWS: usize = 10_000_000;
+const MAX_BATCH: usize = 100_000;
+/// Cap on `/fit` input rows (the corpus generators are in-memory).
+const MAX_FIT_ROWS: usize = 200_000;
+/// Cap on concurrently *training* fit jobs. Connections are bounded by
+/// the worker pool, but each fit spawns its own DP-SGD thread — without
+/// a cap, a burst of `POST /fit` could exhaust CPU and memory and starve
+/// `/synthesize`. Excess requests get `429` and retry.
+const MAX_CONCURRENT_FITS: u64 = 4;
+
+/// Server configuration (mirrors the binary's flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (port 0 picks an ephemeral
+    /// port — see [`Server::local_addr`]).
+    pub listen: String,
+    /// Directory for `.kamino` snapshots: loaded at boot, written by fit
+    /// jobs and `POST /models/{id}/snapshot`.
+    pub model_dir: Option<PathBuf>,
+    /// Worker threads serving connections.
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            listen: "127.0.0.1:7878".into(),
+            model_dir: None,
+            threads: 4,
+        }
+    }
+}
+
+/// One model slot in the registry.
+struct ModelEntry {
+    id: u64,
+    state: Mutex<ModelState>,
+}
+
+enum ModelState {
+    Fitting,
+    Ready(Box<FittedKamino>),
+    Failed(String),
+}
+
+impl ModelState {
+    fn name(&self) -> &'static str {
+        match self {
+            ModelState::Fitting => "fitting",
+            ModelState::Ready(_) => "ready",
+            ModelState::Failed(_) => "failed",
+        }
+    }
+}
+
+struct AppState {
+    models: Mutex<BTreeMap<u64, Arc<ModelEntry>>>,
+    next_id: AtomicU64,
+    metrics: Metrics,
+    model_dir: Option<PathBuf>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    /// Fit jobs currently training (bounded by [`MAX_CONCURRENT_FITS`]).
+    active_fits: AtomicU64,
+}
+
+impl AppState {
+    fn entry(&self, id: u64) -> Option<Arc<ModelEntry>> {
+        self.models.lock().unwrap().get(&id).cloned()
+    }
+}
+
+/// Extracts the id from a server-written snapshot name
+/// (`model-{id}.kamino`).
+fn id_from_snapshot_name(path: &std::path::Path) -> Option<u64> {
+    path.file_stem()?
+        .to_str()?
+        .strip_prefix("model-")?
+        .parse()
+        .ok()
+}
+
+fn insert_loaded(state: &AppState, id: u64, fitted: FittedKamino, path: &std::path::Path) {
+    let entry = Arc::new(ModelEntry {
+        id,
+        state: Mutex::new(ModelState::Ready(Box::new(fitted))),
+    });
+    state.models.lock().unwrap().insert(id, entry);
+    println!("kamino-serve: loaded {} as model {id}", path.display());
+}
+
+/// A bound (but not yet running) synthesis server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    threads: usize,
+}
+
+impl Server {
+    /// Binds the listen address and loads any snapshots found in the
+    /// model directory.
+    pub fn bind(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(AppState {
+            models: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            metrics: Metrics::new(),
+            model_dir: cfg.model_dir.clone(),
+            shutdown: AtomicBool::new(false),
+            addr,
+            active_fits: AtomicU64::new(0),
+        });
+        if let Some(dir) = &cfg.model_dir {
+            std::fs::create_dir_all(dir)?;
+            let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "kamino"))
+                .collect();
+            paths.sort();
+            // snapshots written by this server are named `model-{id}.kamino`;
+            // keep those ids stable across restarts so a later fit's
+            // auto-persist can never collide with (and overwrite) an
+            // existing unrelated snapshot. Foreign names get the next free
+            // id after every recognized one.
+            let mut foreign = Vec::new();
+            for path in paths {
+                match load_fitted(&path) {
+                    Ok(fitted) => match id_from_snapshot_name(&path) {
+                        Some(id) if !state.models.lock().unwrap().contains_key(&id) => {
+                            insert_loaded(&state, id, fitted, &path);
+                        }
+                        _ => foreign.push((path, fitted)),
+                    },
+                    Err(e) => eprintln!("kamino-serve: skipping {}: {e}", path.display()),
+                }
+            }
+            let max_id = state
+                .models
+                .lock()
+                .unwrap()
+                .keys()
+                .next_back()
+                .copied()
+                .unwrap_or(0);
+            state.next_id.store(max_id + 1, Ordering::Relaxed);
+            for (path, fitted) in foreign {
+                let id = state.next_id.fetch_add(1, Ordering::Relaxed);
+                insert_loaded(&state, id, fitted, &path);
+            }
+        }
+        Ok(Server {
+            listener,
+            state,
+            threads: cfg.threads.max(1),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Serves until `POST /shutdown`: the acceptor stops, in-flight
+    /// connections drain (bounded by [`IDLE_READ_TIMEOUT`]), fit jobs
+    /// finish, and `run` returns.
+    pub fn run(self) -> io::Result<()> {
+        let Server {
+            listener,
+            state,
+            threads,
+        } = self;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Mutex::new(rx);
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let rx = &rx;
+                let state = &state;
+                scope.spawn(move || loop {
+                    let next = rx.lock().unwrap().recv();
+                    let Ok(stream) = next else { break };
+                    state
+                        .metrics
+                        .open_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = handle_connection(stream, state, scope);
+                    state
+                        .metrics
+                        .open_connections
+                        .fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+            for conn in listener.incoming() {
+                if state.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    // a send can only fail after every worker exited, which
+                    // cannot happen while we still hold `tx`
+                    let _ = tx.send(stream);
+                }
+            }
+            drop(tx);
+        });
+        Ok(())
+    }
+}
+
+/// Serves one connection's keep-alive loop.
+fn handle_connection<'scope>(
+    stream: TcpStream,
+    state: &'scope Arc<AppState>,
+    scope: &'scope thread::Scope<'scope, '_>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(IDLE_READ_TIMEOUT))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    loop {
+        match read_request(&mut reader) {
+            Err(ReadError::Eof) | Err(ReadError::Io(_)) => return Ok(()),
+            Err(ReadError::Bad(status)) => {
+                state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let body = Json::obj([("error", Json::Str(status.to_string()))]).to_string();
+                write_response(&mut out, status, "application/json", body.as_bytes(), true)?;
+                return Ok(());
+            }
+            Ok(req) => {
+                state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                let close = req.wants_close() || state.shutdown.load(Ordering::Acquire);
+                route(&req, &mut out, state, scope, close)?;
+                // re-check the flag: this very request may have been the
+                // shutdown (whose response promised `connection: close`)
+                if close || state.shutdown.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+fn respond_json<W: Write>(
+    w: &mut W,
+    state: &AppState,
+    status: &str,
+    body: Json,
+    close: bool,
+) -> io::Result<()> {
+    if !status.starts_with('2') {
+        state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    write_response(
+        w,
+        status,
+        "application/json",
+        body.to_string().as_bytes(),
+        close,
+    )
+}
+
+fn err_json(msg: &str) -> Json {
+    Json::obj([("error", Json::Str(msg.to_string()))])
+}
+
+/// Dispatches one request.
+fn route<'scope>(
+    req: &Request,
+    out: &mut TcpStream,
+    state: &'scope Arc<AppState>,
+    scope: &'scope thread::Scope<'scope, '_>,
+    close: bool,
+) -> io::Result<()> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let models = state.models.lock().unwrap().len();
+            let body = Json::obj([
+                ("status", Json::Str("ok".into())),
+                ("models", Json::Num(models as f64)),
+                ("uptime_ms", Json::Num(state.metrics.uptime_ms() as f64)),
+            ]);
+            respond_json(out, state, "200 OK", body, close)
+        }
+        ("GET", ["metrics"]) => {
+            let (open, ready) = {
+                let models = state.models.lock().unwrap();
+                let ready = models
+                    .values()
+                    .filter(|e| matches!(*e.state.lock().unwrap(), ModelState::Ready(_)))
+                    .count();
+                (models.len(), ready)
+            };
+            respond_json(
+                out,
+                state,
+                "200 OK",
+                state.metrics.to_json(open, ready),
+                close,
+            )
+        }
+        ("POST", ["shutdown"]) => {
+            state.shutdown.store(true, Ordering::Release);
+            let body = Json::obj([("status", Json::Str("shutting down".into()))]);
+            respond_json(out, state, "200 OK", body, true)?;
+            // unblock the acceptor so it observes the flag
+            let _ = TcpStream::connect(state.addr);
+            Ok(())
+        }
+        ("POST", ["fit"]) => handle_fit(req, out, state, scope, close),
+        ("GET", ["models"]) => {
+            let models = state.models.lock().unwrap();
+            let list: Vec<Json> = models
+                .values()
+                .map(|e| {
+                    Json::obj([
+                        ("model_id", Json::Num(e.id as f64)),
+                        ("status", Json::Str(e.state.lock().unwrap().name().into())),
+                    ])
+                })
+                .collect();
+            respond_json(out, state, "200 OK", Json::Arr(list), close)
+        }
+        ("GET", ["models", id]) => match id.parse::<u64>().ok().and_then(|id| state.entry(id)) {
+            None => respond_json(
+                out,
+                state,
+                "404 Not Found",
+                err_json("no such model"),
+                close,
+            ),
+            Some(entry) => {
+                let body = model_info(&entry);
+                respond_json(out, state, "200 OK", body, close)
+            }
+        },
+        ("POST", ["models", id, "synthesize"]) => {
+            match id.parse::<u64>().ok().and_then(|id| state.entry(id)) {
+                None => respond_json(
+                    out,
+                    state,
+                    "404 Not Found",
+                    err_json("no such model"),
+                    close,
+                ),
+                Some(entry) => handle_synthesize(req, out, state, &entry, close),
+            }
+        }
+        ("POST", ["models", id, "snapshot"]) => {
+            match id.parse::<u64>().ok().and_then(|id| state.entry(id)) {
+                None => respond_json(
+                    out,
+                    state,
+                    "404 Not Found",
+                    err_json("no such model"),
+                    close,
+                ),
+                Some(entry) => handle_snapshot(out, state, &entry, close),
+            }
+        }
+        (_, ["healthz" | "metrics" | "shutdown" | "fit" | "models", ..]) => respond_json(
+            out,
+            state,
+            "405 Method Not Allowed",
+            err_json("method not allowed on this path"),
+            close,
+        ),
+        _ => respond_json(out, state, "404 Not Found", err_json("unknown path"), close),
+    }
+}
+
+/// The request surface of `POST /fit`.
+struct FitSpec {
+    corpus: Corpus,
+    rows: usize,
+    data_seed: u64,
+    cfg: KaminoConfig,
+    persist: bool,
+}
+
+fn parse_fit_spec(body: &Json, model_dir_set: bool) -> Result<FitSpec, String> {
+    let corpus = match body.get("corpus").and_then(Json::as_str).unwrap_or("adult") {
+        "adult" => Corpus::Adult,
+        "br2000" => Corpus::Br2000,
+        "tax" => Corpus::Tax,
+        "tpch" => Corpus::TpcH,
+        other => return Err(format!("unknown corpus `{other}`")),
+    };
+    let rows = body
+        .get("rows")
+        .map(|v| v.as_u64().ok_or("`rows` must be a non-negative integer"))
+        .transpose()?
+        .unwrap_or(200) as usize;
+    if rows == 0 || rows > MAX_FIT_ROWS {
+        return Err(format!("`rows` must be in [1, {MAX_FIT_ROWS}]"));
+    }
+    let non_private = body
+        .get("non_private")
+        .and_then(Json::as_bool)
+        .unwrap_or(false)
+        || body.get("epsilon").and_then(Json::as_str) == Some("inf");
+    let budget = if non_private {
+        Budget::non_private()
+    } else {
+        let epsilon = body.get("epsilon").and_then(Json::as_f64).unwrap_or(1.0);
+        let delta = body.get("delta").and_then(Json::as_f64).unwrap_or(1e-6);
+        if epsilon <= 0.0 {
+            return Err("`epsilon` must be positive".into());
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err("`delta` must be in (0, 1)".into());
+        }
+        Budget::new(epsilon, delta)
+    };
+    let mut cfg = KaminoConfig::new(budget);
+    if let Some(seed) = body.get("seed").and_then(Json::as_u64) {
+        cfg.seed = seed;
+    }
+    if let Some(shards) = body.get("shards").and_then(Json::as_u64) {
+        if shards == 0 || shards > 64 {
+            return Err("`shards` must be in [1, 64]".into());
+        }
+        cfg.shards = shards as usize;
+    }
+    if let Some(scale) = body.get("train_scale").and_then(Json::as_f64) {
+        if !(scale > 0.0 && scale <= 1.0) {
+            return Err("`train_scale` must be in (0, 1]".into());
+        }
+        cfg.train_scale = scale;
+    }
+    if let Some(ratio) = body.get("mcmc_ratio").and_then(Json::as_f64) {
+        if !(0.0..=1.0).contains(&ratio) {
+            return Err("`mcmc_ratio` must be in [0, 1]".into());
+        }
+        cfg.mcmc_ratio = ratio;
+    }
+    let persist = body
+        .get("persist")
+        .and_then(Json::as_bool)
+        .unwrap_or(model_dir_set);
+    Ok(FitSpec {
+        corpus,
+        rows,
+        data_seed: body.get("data_seed").and_then(Json::as_u64).unwrap_or(1),
+        cfg,
+        persist,
+    })
+}
+
+fn handle_fit<'scope>(
+    req: &Request,
+    out: &mut TcpStream,
+    state: &'scope Arc<AppState>,
+    scope: &'scope thread::Scope<'scope, '_>,
+    close: bool,
+) -> io::Result<()> {
+    let text = String::from_utf8_lossy(&req.body);
+    let body = if req.body.is_empty() {
+        Json::obj([])
+    } else {
+        match Json::parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                return respond_json(
+                    out,
+                    state,
+                    "400 Bad Request",
+                    err_json(&format!("invalid JSON body: {e}")),
+                    close,
+                )
+            }
+        }
+    };
+    let spec = match parse_fit_spec(&body, state.model_dir.is_some()) {
+        Ok(s) => s,
+        Err(e) => return respond_json(out, state, "400 Bad Request", err_json(&e), close),
+    };
+
+    // admission control: claim a training slot or turn the burst away
+    let claimed = state
+        .active_fits
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+            (n < MAX_CONCURRENT_FITS).then_some(n + 1)
+        })
+        .is_ok();
+    if !claimed {
+        return respond_json(
+            out,
+            state,
+            "429 Too Many Requests",
+            err_json(&format!(
+                "{MAX_CONCURRENT_FITS} fit jobs already training; retry shortly"
+            )),
+            close,
+        );
+    }
+
+    let id = state.next_id.fetch_add(1, Ordering::Relaxed);
+    let entry = Arc::new(ModelEntry {
+        id,
+        state: Mutex::new(ModelState::Fitting),
+    });
+    state.models.lock().unwrap().insert(id, entry.clone());
+    state.metrics.fits_started.fetch_add(1, Ordering::Relaxed);
+
+    let job_state = Arc::clone(state);
+    scope.spawn(move || fit_job(job_state, entry, spec));
+
+    let body = Json::obj([
+        ("model_id", Json::Num(id as f64)),
+        ("status", Json::Str("fitting".into())),
+        ("poll", Json::Str(format!("/models/{id}"))),
+    ]);
+    respond_json(out, state, "202 Accepted", body, close)
+}
+
+/// The async fit job: the only code path that touches private data. A
+/// panic inside the pipeline (e.g. an infeasible budget) marks the model
+/// `failed` instead of taking a worker down.
+fn fit_job(state: Arc<AppState>, entry: Arc<ModelEntry>, spec: FitSpec) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let d = spec.corpus.generate(spec.rows, spec.data_seed);
+        fit_kamino(&d.schema, &d.instance, &d.dcs, &spec.cfg)
+    }));
+    let new_state = match result {
+        Ok(fitted) => {
+            if spec.persist {
+                if let Some(dir) = &state.model_dir {
+                    let path = dir.join(format!("model-{}.kamino", entry.id));
+                    if let Err(e) = save_fitted(&fitted, &path) {
+                        eprintln!("kamino-serve: snapshot of model {} failed: {e}", entry.id);
+                    }
+                }
+            }
+            state.metrics.fits_done.fetch_add(1, Ordering::Relaxed);
+            ModelState::Ready(Box::new(fitted))
+        }
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "fit panicked".into());
+            ModelState::Failed(msg)
+        }
+    };
+    *entry.state.lock().unwrap() = new_state;
+    state.active_fits.fetch_sub(1, Ordering::AcqRel);
+}
+
+fn duration_ms(d: std::time::Duration) -> Json {
+    Json::Num(d.as_secs_f64() * 1e3)
+}
+
+fn epsilon_json(eps: f64) -> Json {
+    if eps.is_finite() {
+        Json::Num(eps)
+    } else {
+        Json::Str("inf".into())
+    }
+}
+
+fn model_info(entry: &ModelEntry) -> Json {
+    let guard = entry.state.lock().unwrap();
+    let mut fields = vec![
+        ("model_id", Json::Num(entry.id as f64)),
+        ("status", Json::Str(guard.name().into())),
+    ];
+    match &*guard {
+        ModelState::Fitting => {}
+        ModelState::Failed(msg) => fields.push(("error", Json::Str(msg.clone()))),
+        ModelState::Ready(f) => {
+            fields.push(("achieved_epsilon", epsilon_json(f.achieved_epsilon())));
+            fields.push(("delta", Json::Num(f.config().budget.delta)));
+            fields.push(("n_input", Json::Num(f.n_input() as f64)));
+            fields.push(("attributes", Json::Num(f.schema().len() as f64)));
+            fields.push(("dcs", Json::Num(f.dcs().len() as f64)));
+            fields.push(("shards", Json::Num(f.config().shards as f64)));
+            fields.push((
+                "sequence",
+                Json::Arr(f.sequence.iter().map(|&i| Json::Num(i as f64)).collect()),
+            ));
+            fields.push((
+                "params",
+                Json::obj([
+                    ("sigma_g", Json::Num(f.params.sigma_g)),
+                    ("sigma_d", Json::Num(f.params.sigma_d)),
+                    ("sigma_w", Json::Num(f.params.sigma_w)),
+                    ("iterations", Json::Num(f.params.t as f64)),
+                    ("batch", Json::Num(f.params.b as f64)),
+                    ("clip", Json::Num(f.params.clip)),
+                ]),
+            ));
+            fields.push((
+                "timings_ms",
+                Json::obj([
+                    ("sequencing", duration_ms(f.timings.sequencing)),
+                    ("training", duration_ms(f.timings.training)),
+                    ("dc_weights", duration_ms(f.timings.dc_weights)),
+                ]),
+            ));
+        }
+    }
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Formats a batch as NDJSON: one object per row per line.
+fn ndjson_rows(schema: &Schema, inst: &Instance) -> String {
+    let mut out = String::with_capacity(inst.n_rows() * schema.len() * 16);
+    for i in 0..inst.n_rows() {
+        let obj = Json::Obj(
+            (0..schema.len())
+                .map(|j| {
+                    let attr = schema.attr(j);
+                    let v = match (inst.value(i, j), &attr.kind) {
+                        (Value::Cat(c), AttrKind::Categorical { .. }) => {
+                            Json::Str(attr.label(c).unwrap_or("?").to_string())
+                        }
+                        (Value::Num(x), _) => Json::Num(x),
+                        (Value::Cat(c), _) => Json::Num(c as f64),
+                    };
+                    (attr.name.clone(), v)
+                })
+                .collect(),
+        );
+        out.push_str(&obj.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn handle_synthesize(
+    req: &Request,
+    out: &mut TcpStream,
+    state: &Arc<AppState>,
+    entry: &ModelEntry,
+    close: bool,
+) -> io::Result<()> {
+    let n = req.query_usize("n").unwrap_or(100);
+    if n == 0 || n > MAX_SYNTH_ROWS {
+        return respond_json(
+            out,
+            state,
+            "400 Bad Request",
+            err_json(&format!("`n` must be in [1, {MAX_SYNTH_ROWS}]")),
+            close,
+        );
+    }
+    let batch = req
+        .query_usize("batch")
+        .unwrap_or(1_000)
+        .clamp(1, MAX_BATCH);
+    let format = req.query.get("format").map(String::as_str).unwrap_or("csv");
+    if format != "csv" && format != "json" {
+        return respond_json(
+            out,
+            state,
+            "400 Bad Request",
+            err_json("`format` must be `csv` or `json`"),
+            close,
+        );
+    }
+
+    // refuse early (without holding the lock across the stream) if the
+    // model is not ready; the schema is cloned for header formatting
+    let schema = {
+        let guard = entry.state.lock().unwrap();
+        match &*guard {
+            ModelState::Ready(f) => f.schema().clone(),
+            ModelState::Fitting => {
+                return respond_json(
+                    out,
+                    state,
+                    "409 Conflict",
+                    err_json("model is still fitting"),
+                    close,
+                )
+            }
+            ModelState::Failed(msg) => {
+                return respond_json(
+                    out,
+                    state,
+                    "409 Conflict",
+                    err_json(&format!("model failed to fit: {msg}")),
+                    close,
+                )
+            }
+        }
+    };
+
+    // CSV formatting is kamino_data::csv's — one implementation, same
+    // validation (comma-free labels) as the exporter path
+    let header = if format == "csv" {
+        match kamino_data::csv::header_line(&schema) {
+            Ok(h) => Some(h),
+            Err(e) => {
+                return respond_json(
+                    out,
+                    state,
+                    "500 Internal Server Error",
+                    err_json(&format!("schema is not CSV-serializable: {e}")),
+                    close,
+                )
+            }
+        }
+    } else {
+        None
+    };
+    let content_type = if format == "csv" {
+        "text/csv"
+    } else {
+        "application/x-ndjson"
+    };
+    start_chunked(out, "200 OK", content_type)?;
+    if let Some(header) = header {
+        write_chunk(out, header.as_bytes())?;
+    }
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = remaining.min(batch);
+        // sample under the model lock (the RNG stream advances), format
+        // and write outside it so concurrent clients interleave batches
+        let inst = {
+            let mut guard = entry.state.lock().unwrap();
+            match &mut *guard {
+                ModelState::Ready(f) => f.sample(take),
+                // a model cannot leave `Ready` today, but stay defensive
+                _ => break,
+            }
+        };
+        state.metrics.add_rows(inst.n_rows() as u64);
+        let text = if format == "csv" {
+            match kamino_data::csv::rows_text(&schema, &inst) {
+                Ok(t) => t,
+                // unreachable for rows a fitted model sampled from its own
+                // schema; truncate the stream rather than emit garbage
+                Err(e) => {
+                    eprintln!("kamino-serve: CSV formatting failed mid-stream: {e}");
+                    break;
+                }
+            }
+        } else {
+            ndjson_rows(&schema, &inst)
+        };
+        write_chunk(out, text.as_bytes())?;
+        remaining -= take;
+    }
+    finish_chunked(out)
+}
+
+fn handle_snapshot(
+    out: &mut TcpStream,
+    state: &Arc<AppState>,
+    entry: &ModelEntry,
+    close: bool,
+) -> io::Result<()> {
+    let Some(dir) = &state.model_dir else {
+        return respond_json(
+            out,
+            state,
+            "409 Conflict",
+            err_json("server started without --model-dir"),
+            close,
+        );
+    };
+    let path = dir.join(format!("model-{}.kamino", entry.id));
+    // encode under the model lock (memory only), write to disk outside
+    // it — concurrent /synthesize batches stall for the serialization,
+    // not for the disk
+    let bytes = {
+        let guard = entry.state.lock().unwrap();
+        match &*guard {
+            ModelState::Ready(f) => crate::snapshot::encode_fitted(f),
+            _ => {
+                drop(guard);
+                return respond_json(
+                    out,
+                    state,
+                    "409 Conflict",
+                    err_json("model not ready"),
+                    close,
+                );
+            }
+        }
+    };
+    match crate::snapshot::write_snapshot_bytes(&bytes, &path) {
+        Ok(()) => {
+            let body = Json::obj([
+                ("status", Json::Str("saved".into())),
+                ("path", Json::Str(path.display().to_string())),
+            ]);
+            respond_json(out, state, "200 OK", body, close)
+        }
+        Err(e) => respond_json(
+            out,
+            state,
+            "500 Internal Server Error",
+            err_json(&format!("snapshot failed: {e}")),
+            close,
+        ),
+    }
+}

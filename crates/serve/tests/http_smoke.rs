@@ -1,0 +1,258 @@
+//! End-to-end server smoke: boot on an ephemeral port, drive
+//! `/fit` → `/models/{id}` → `/synthesize` → `/healthz` → `/shutdown`
+//! with a tiny std client, including ≥ 4 concurrent `/synthesize`
+//! clients against one model — no data races, no ε re-spend — and a
+//! persistence round-trip through `--model-dir`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use kamino_serve::{Json, ServeConfig, Server};
+
+/// One HTTP exchange over a fresh connection (`Connection: close`),
+/// returning (status line, body). Chunked bodies are de-chunked.
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: test\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in {text:?}"));
+    let status = head.lines().next().unwrap_or("").to_string();
+    let body = if head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        dechunk(payload)
+    } else {
+        payload.to_string()
+    };
+    (status, body)
+}
+
+fn dechunk(payload: &str) -> String {
+    let mut out = String::new();
+    let mut rest = payload;
+    while let Some((size_line, after)) = rest.split_once("\r\n") {
+        let size = usize::from_str_radix(size_line.trim(), 16).unwrap_or(0);
+        if size == 0 {
+            break;
+        }
+        out.push_str(&after[..size]);
+        rest = after[size..].strip_prefix("\r\n").unwrap_or(&after[size..]);
+    }
+    out
+}
+
+fn json(body: &str) -> Json {
+    Json::parse(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"))
+}
+
+/// Polls `GET /models/{id}` until the fit finishes (panics on `failed`).
+fn wait_ready(addr: SocketAddr, id: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/models/{id}"), None);
+        assert!(status.contains("200"), "{status}: {body}");
+        let info = json(&body);
+        match info.get("status").and_then(Json::as_str) {
+            Some("ready") => return info,
+            Some("failed") => panic!("fit failed: {body}"),
+            _ => {
+                assert!(Instant::now() < deadline, "fit did not finish in time");
+                thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+fn boot(model_dir: Option<std::path::PathBuf>) -> (SocketAddr, thread::JoinHandle<()>) {
+    let server = Server::bind(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        model_dir,
+        threads: 6,
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn shutdown(addr: SocketAddr, handle: thread::JoinHandle<()>) {
+    let (status, _) = request(addr, "POST", "/shutdown", None);
+    assert!(status.contains("200"), "{status}");
+    handle.join().expect("server thread panicked");
+}
+
+#[test]
+fn fit_synthesize_concurrent_clients_and_clean_shutdown() {
+    let (addr, handle) = boot(None);
+
+    // liveness before any model exists
+    let (status, body) = request(addr, "GET", "/healthz", None);
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(json(&body).get("status").and_then(Json::as_str), Some("ok"));
+
+    // unknown model and unknown route fail cleanly
+    let (status, _) = request(addr, "GET", "/models/99", None);
+    assert!(status.contains("404"), "{status}");
+    let (status, _) = request(addr, "GET", "/nope", None);
+    assert!(status.contains("404"), "{status}");
+
+    // async fit
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/fit",
+        Some(r#"{"corpus":"adult","rows":120,"epsilon":1.0,"seed":7,"train_scale":0.05}"#),
+    );
+    assert!(status.contains("202"), "{status}: {body}");
+    let id = json(&body).get("model_id").and_then(Json::as_u64).unwrap();
+
+    let info = wait_ready(addr, id);
+    let eps = info.get("achieved_epsilon").and_then(Json::as_f64).unwrap();
+    assert!(eps > 0.0 && eps <= 1.0, "achieved ε {eps} out of budget");
+
+    // a single synthesize stream, CSV with one header line
+    let (status, body) = request(
+        addr,
+        "POST",
+        &format!("/models/{id}/synthesize?n=50&batch=20&format=csv"),
+        None,
+    );
+    assert!(status.contains("200"), "{status}: {body}");
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 51, "header + 50 rows, got {}", lines.len());
+    assert!(lines[0].contains(','), "header row missing: {:?}", lines[0]);
+
+    // NDJSON format
+    let (status, body) = request(
+        addr,
+        "POST",
+        &format!("/models/{id}/synthesize?n=10&batch=4&format=json"),
+        None,
+    );
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body.lines().count(), 10);
+    for line in body.lines() {
+        assert!(matches!(json(line), Json::Obj(_)));
+    }
+
+    // ≥ 4 concurrent clients against the same loaded model
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            thread::spawn(move || {
+                let (status, body) = request(
+                    addr,
+                    "POST",
+                    &format!("/models/{id}/synthesize?n=40&batch=10&format=csv"),
+                    None,
+                );
+                assert!(status.contains("200"), "{status}");
+                assert_eq!(body.lines().count(), 41, "header + 40 rows");
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread panicked");
+    }
+
+    // ε unchanged after 220 synthesized rows: sampling re-spends nothing
+    let (_, body) = request(addr, "GET", &format!("/models/{id}"), None);
+    let eps_after = json(&body)
+        .get("achieved_epsilon")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(eps_after, eps);
+
+    // metrics saw the traffic
+    let (status, body) = request(addr, "GET", "/metrics", None);
+    assert!(status.contains("200"), "{status}");
+    let m = json(&body);
+    assert!(
+        m.get("rows_synthesized_total")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 220
+    );
+    assert_eq!(m.get("ready_models").and_then(Json::as_u64), Some(1));
+
+    // bad requests answer 400, not a dropped connection
+    let (status, _) = request(addr, "POST", &format!("/models/{id}/synthesize?n=0"), None);
+    assert!(status.contains("400"), "{status}");
+    let (status, _) = request(addr, "POST", "/fit", Some("{not json"));
+    assert!(status.contains("400"), "{status}");
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn model_dir_persists_models_across_restarts() {
+    let dir = std::env::temp_dir().join(format!(
+        "kamino-serve-smoke-{}-{}",
+        std::process::id(),
+        "persist"
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // first server: fit (auto-persists when --model-dir is set)
+    let (addr, handle) = boot(Some(dir.clone()));
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/fit",
+        Some(r#"{"corpus":"adult","rows":100,"epsilon":1.0,"seed":3,"train_scale":0.03}"#),
+    );
+    assert!(status.contains("202"), "{status}: {body}");
+    let id = json(&body).get("model_id").and_then(Json::as_u64).unwrap();
+    let info = wait_ready(addr, id);
+    let eps = info.get("achieved_epsilon").and_then(Json::as_f64).unwrap();
+    shutdown(addr, handle);
+    assert!(dir.join(format!("model-{id}.kamino")).is_file());
+
+    // second server: the snapshot is loaded at boot and serves rows at
+    // the original ε without re-fitting
+    let (addr, handle) = boot(Some(dir.clone()));
+    let (status, body) = request(addr, "GET", "/models/1", None);
+    assert!(status.contains("200"), "{status}: {body}");
+    let info = json(&body);
+    assert_eq!(info.get("status").and_then(Json::as_str), Some("ready"));
+    assert_eq!(
+        info.get("achieved_epsilon").and_then(Json::as_f64),
+        Some(eps)
+    );
+    let (status, body) = request(addr, "POST", "/models/1/synthesize?n=25&batch=25", None);
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body.lines().count(), 26);
+
+    // ids stay stable across restarts: a new fit must take the next free
+    // id, never re-using (and overwriting the snapshot of) model 1
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/fit",
+        Some(r#"{"corpus":"br2000","rows":80,"epsilon":1.0,"seed":5,"train_scale":0.03}"#),
+    );
+    assert!(status.contains("202"), "{status}: {body}");
+    let id2 = json(&body).get("model_id").and_then(Json::as_u64).unwrap();
+    assert_eq!(id2, 2, "restarted server must not renumber model 1");
+    wait_ready(addr, id2);
+    shutdown(addr, handle);
+    assert!(dir.join("model-1.kamino").is_file());
+    assert!(dir.join("model-2.kamino").is_file());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -20,10 +20,13 @@
 //! | [`baselines`] | PrivBayes, NIST-PGM, DP-VAE, PATE-GAN, independent |
 //! | [`eval`] | nine classifiers, marginal TVD, DC metrics, repair |
 //! | [`datasets`] | seeded generators for the paper's four corpora |
+//! | [`serve`] | `.kamino` model snapshots + the pure-std HTTP synthesis server |
 //!
 //! plus the top-level [`synthesizer`] module — the [`Synthesizer`] session
 //! API: fit once under a planner-derived budget, then stream row batches
-//! (sharded across cores) without further privacy cost.
+//! (sharded across cores) without further privacy cost. Sessions can be
+//! saved to a `.kamino` snapshot and loaded later (or on another host) —
+//! a loaded session resumes the exact deterministic sample stream.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +61,7 @@ pub use kamino_datasets as datasets;
 pub use kamino_dp as dp;
 pub use kamino_eval as eval;
 pub use kamino_nn as nn;
+pub use kamino_serve as serve;
 
 pub mod synthesizer;
 
@@ -70,4 +74,5 @@ pub mod prelude {
     pub use kamino_core::{run_kamino, KaminoConfig, KaminoReport};
     pub use kamino_data::{Attribute, Instance, Schema, Value};
     pub use kamino_dp::{Budget, BudgetPlanner, RunShape};
+    pub use kamino_serve::{ServeConfig, Server, SnapshotError};
 }

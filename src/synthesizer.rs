@@ -33,11 +33,20 @@
 //! [`SynthesisSession::achieved_epsilon`] is that converted value, and
 //! sampling (including every batch) is pure post-processing that spends
 //! nothing further.
+//!
+//! Sessions are durable: [`SynthesisSession::save`] writes a versioned
+//! `.kamino` snapshot (see `kamino::serve::snapshot`) and
+//! [`Synthesizer::load`] brings it back — on this host or another —
+//! resuming the deterministic sample stream bit-exactly where the saved
+//! session stopped, with no additional privacy cost.
+
+use std::path::Path;
 
 use kamino_constraints::DenialConstraint;
 use kamino_core::{fit_kamino, FittedKamino, KaminoConfig, PrivacyParams};
 use kamino_data::{Instance, Schema};
 use kamino_dp::Budget;
+use kamino_serve::SnapshotError;
 
 /// Builder for a [`Synthesizer`]. Obtained from [`Synthesizer::builder`];
 /// every knob has a sensible default except the budget (which defaults to
@@ -171,6 +180,16 @@ impl Synthesizer {
             fitted: fit_kamino(schema, instance, dcs, &self.cfg),
         }
     }
+
+    /// Loads a session saved by [`SynthesisSession::save`]. The loaded
+    /// session continues the deterministic sample stream exactly where
+    /// the saved one stopped, at the ε it originally spent — loading
+    /// costs no privacy budget.
+    pub fn load(path: impl AsRef<Path>) -> Result<SynthesisSession, SnapshotError> {
+        Ok(SynthesisSession {
+            fitted: kamino_serve::load_fitted(path.as_ref())?,
+        })
+    }
 }
 
 /// A fitted synthesis session: holds the trained model and an advancing
@@ -205,6 +224,14 @@ impl SynthesisSession {
     /// Synthesizes `n` rows in one go.
     pub fn synthesize(&mut self, n: usize) -> Instance {
         self.fitted.sample(n)
+    }
+
+    /// Saves the complete session — model tensors, schema, DC list and
+    /// weights, privacy parameters, configuration and the RNG cursor —
+    /// as a versioned `.kamino` snapshot. [`Synthesizer::load`] resumes
+    /// the sample stream bit-exactly where this session stopped.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        kamino_serve::save_fitted(&self.fitted, path.as_ref())
     }
 
     /// Streams `total` rows as instances of at most `batch_size` rows —

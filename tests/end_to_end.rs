@@ -1,7 +1,7 @@
 //! Cross-crate integration: the full Kamino pipeline on every corpus.
 
 use kamino::constraints::{violation_percentage, Hardness};
-use kamino::core::{run_kamino, KaminoConfig};
+use kamino::core::{run_kamino, KaminoConfig, FD_CYCLE_TOLERANCE_PCT};
 use kamino::datasets::Corpus;
 use kamino::dp::Budget;
 
@@ -62,13 +62,14 @@ fn hard_dcs_hold_on_hard_corpora() {
                 continue;
             }
             let pct = violation_percentage(dc, &report.instance);
-            // Tolerance 2%: an FD whose dependent precedes its determinant
-            // (phi_t2's state before areacode) keeps a small residual at
-            // harness scale even though the mechanism is correct — see
-            // EXPERIMENTS.md "FD-cycle residuals". All other DCs hit 0.
+            // An FD whose dependent precedes its determinant (phi_t2's
+            // state before areacode) keeps a small residual at harness
+            // scale even though the mechanism is correct — the documented
+            // ceiling lives in one place, FD_CYCLE_TOLERANCE_PCT (see its
+            // doc comment in kamino_core::sampler). All other DCs hit 0.
             assert!(
-                pct < 2.0,
-                "{}: hard DC {} violated at {pct}%",
+                pct < FD_CYCLE_TOLERANCE_PCT,
+                "{}: hard DC {} violated at {pct}% (tolerance {FD_CYCLE_TOLERANCE_PCT}%)",
                 corpus.name(),
                 dc.name
             );
@@ -120,12 +121,17 @@ fn output_size_decoupled_from_input() {
     // FDs must hold in the *larger* output too. phi_h3 (custkey→nation)
     // is the one FD whose dependent precedes its determinant in the
     // synthesis sequence, which leaves a small residual at harness scale
-    // (same mechanism and 2% tolerance as hard_dcs_hold_on_hard_corpora);
-    // every other DC must be exactly clean.
+    // (same mechanism and FD_CYCLE_TOLERANCE_PCT ceiling as
+    // hard_dcs_hold_on_hard_corpora); every other DC must be exactly
+    // clean.
     for dc in &d.dcs {
         let pct = violation_percentage(dc, &report.instance);
         if dc.name == "phi_h3" {
-            assert!(pct < 2.0, "{} violated at {pct}%", dc.name);
+            assert!(
+                pct < FD_CYCLE_TOLERANCE_PCT,
+                "{} violated at {pct}% (tolerance {FD_CYCLE_TOLERANCE_PCT}%)",
+                dc.name
+            );
         } else {
             assert_eq!(pct, 0.0, "{} violated at {pct}%", dc.name);
         }
