@@ -16,17 +16,31 @@ pub struct Discretized {
     /// Per-attribute cardinalities (label count or bin count).
     pub cards: Vec<usize>,
     quantizers: Vec<Quantizer>,
+    clamped: u64,
 }
 
 impl Discretized {
-    /// Quantizes `inst` against `schema`.
+    /// Quantizes `inst` against `schema`. Out-of-domain categorical codes
+    /// fold into the last bin and are tallied in
+    /// [`Discretized::clamped`] — the same
+    /// `kamino_data::stats::histogram_with_clamped` semantics the eval
+    /// crate's marginal tables use, so a malformed synthetic cell is
+    /// counted identically everywhere instead of panicking here and
+    /// clamping silently there.
     pub fn from_instance(schema: &Schema, inst: &Instance) -> Discretized {
         let quantizers: Vec<Quantizer> = schema.attrs().iter().map(Quantizer::for_attr).collect();
         let cards: Vec<usize> = quantizers.iter().map(Quantizer::n_bins).collect();
+        let mut clamped: u64 = 0;
         let codes = (0..inst.n_rows())
             .map(|i| {
                 (0..schema.len())
-                    .map(|j| quantizers[j].bin(inst.value(i, j)) as u32)
+                    .map(|j| {
+                        let (bin, out_of_domain) = quantizers[j].bin_checked(inst.value(i, j));
+                        if out_of_domain {
+                            clamped = clamped.saturating_add(1);
+                        }
+                        bin as u32
+                    })
                     .collect()
             })
             .collect();
@@ -34,7 +48,16 @@ impl Discretized {
             codes,
             cards,
             quantizers,
+            clamped,
         }
+    }
+
+    /// How many cells carried categorical codes outside the declared
+    /// domain (folded into the last bin). Nonzero means the instance was
+    /// produced by buggy encoding upstream; count-based synthesizers can
+    /// still proceed on the folded view.
+    pub fn clamped(&self) -> u64 {
+        self.clamped
     }
 
     /// Number of rows.

@@ -1,6 +1,7 @@
 //! Figure 8 / Experiment 8: scalability with the number of DCs. Input DC
 //! sets of size 2..128 are produced by approximate-DC discovery on the
-//! Adult-like instance (standing in for the paper's use of [70]), treated
+//! Adult-like instance (standing in for the paper's use of citation \[70\]),
+//! treated
 //! as soft constraints.
 //!
 //! Paper shape: task quality degrades only slightly (≈0.04 at 128 DCs)

@@ -1,0 +1,124 @@
+//! `kamino-repro` — the paper-reproduction harness (see `bench::repro`).
+//!
+//! ```bash
+//! # full matrix (offline default): 4 corpora × 4 ε × 6 synthesizers
+//! cargo run --release -p kamino-bench --bin kamino-repro
+//!
+//! # CI-sized: Adult + Tax × {0.4, 1.0} × {Kamino, PrivBayes, Independent}
+//! cargo run --release -p kamino-bench --bin kamino-repro -- --fast --seed 17
+//! ```
+//!
+//! Emits `BENCH_repro.json` (machine-readable, diffable — byte-identical
+//! across re-runs of the same config) and `REPRODUCTION.md` (paper-style
+//! tables with deltas vs. paper-reported numbers). Fitted Kamino models
+//! are cached as `.kamino` snapshots under `--cache-dir`; a re-run skips
+//! every DP-SGD fit whose `(dataset, ε, seed, config)` key is already
+//! cached and reports the hit count on stdout.
+
+use std::path::PathBuf;
+
+use kamino_bench::repro::{render_markdown, run_matrix, to_json, ReproConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kamino-repro [--fast] [--seed N] [--rows N] [--threads N]\n\
+         \x20                  [--cache-dir PATH] [--out-json PATH] [--out-md PATH]\n\
+         \x20                  [--timings]\n\
+         \n\
+         --fast        CI-sized matrix (Adult+Tax, 2-point ε grid, 3 synthesizers)\n\
+         --seed N      master seed (default 11)\n\
+         --rows N      rows per corpus (default: 240 fast / 800 full; env KAMINO_REPRO_N)\n\
+         --threads N   worker threads (default: available parallelism)\n\
+         --cache-dir   snapshot cache directory (default target/repro-cache)\n\
+         --out-json    output path (default BENCH_repro.json)\n\
+         --out-md      output path (default REPRODUCTION.md)\n\
+         --timings     include wall-clock in the artifacts (breaks diffability)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut fast = false;
+    let mut seed: u64 = 11;
+    let mut rows: Option<usize> = std::env::var("KAMINO_REPRO_N")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mut threads: Option<usize> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut out_json = String::from("BENCH_repro.json");
+    let mut out_md = String::from("REPRODUCTION.md");
+    let mut timings = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} takes a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--timings" => timings = true,
+            "--seed" => seed = take("--seed").parse().unwrap_or_else(|_| usage()),
+            "--rows" => rows = Some(take("--rows").parse().unwrap_or_else(|_| usage())),
+            "--threads" => threads = Some(take("--threads").parse().unwrap_or_else(|_| usage())),
+            "--cache-dir" => cache_dir = Some(PathBuf::from(take("--cache-dir"))),
+            "--out-json" => out_json = take("--out-json"),
+            "--out-md" => out_md = take("--out-md"),
+            _ => usage(),
+        }
+    }
+
+    let mut cfg = if fast {
+        ReproConfig::fast(seed)
+    } else {
+        ReproConfig::full(seed)
+    };
+    if let Some(n) = rows {
+        cfg.rows = n;
+    }
+    if let Some(t) = threads {
+        cfg.threads = t.max(1);
+    }
+    if let Some(dir) = cache_dir {
+        cfg.cache_dir = dir;
+    }
+    cfg.timings = timings;
+
+    eprintln!(
+        "kamino-repro: {} matrix — {} datasets × {} ε × {} synthesizers = {} cells, \
+         {} rows/corpus, seed {seed}, {} threads",
+        cfg.mode,
+        cfg.datasets.len(),
+        cfg.epsilons.len(),
+        cfg.methods.len(),
+        cfg.datasets.len() * cfg.epsilons.len() * cfg.methods.len(),
+        cfg.rows,
+        cfg.threads,
+    );
+
+    let report = run_matrix(&cfg);
+
+    std::fs::write(&out_json, format!("{}\n", to_json(&report, &cfg))).unwrap_or_else(|e| {
+        eprintln!("kamino-repro: cannot write {out_json}: {e}");
+        std::process::exit(1);
+    });
+    std::fs::write(&out_md, render_markdown(&report, &cfg)).unwrap_or_else(|e| {
+        eprintln!("kamino-repro: cannot write {out_md}: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "snapshot cache: {} hits, {} misses across {} kamino cells (dir: {})",
+        report.cache_hits,
+        report.cache_misses,
+        report.kamino_cells,
+        cfg.cache_dir.display()
+    );
+    println!(
+        "wrote {out_json} and {out_md} ({} cells in {:.1}s)",
+        report.cells.len(),
+        report.total_seconds
+    );
+}

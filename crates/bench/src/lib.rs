@@ -18,6 +18,8 @@ use kamino_data::Instance;
 use kamino_datasets::Dataset;
 use kamino_dp::Budget;
 
+pub mod repro;
+
 /// Harness sizing knobs (environment-driven).
 pub mod config {
     use kamino_datasets::Corpus;

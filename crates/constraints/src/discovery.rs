@@ -1,7 +1,7 @@
 //! Approximate denial-constraint discovery.
 //!
 //! Experiment 8 of the paper varies the number of input DCs from 2 to 128
-//! by "discovering approximate DCs [70] to simulate the knowledge from the
+//! by "discovering approximate DCs \[70\] to simulate the knowledge from the
 //! domain expert". This module provides that generator: it enumerates
 //! two-attribute candidate DCs (FD-shaped for every ordered attribute pair,
 //! order-shaped for every numeric pair), measures each candidate's

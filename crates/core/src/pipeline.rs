@@ -85,6 +85,34 @@ impl KaminoConfig {
             shards: shards_from_env(),
         }
     }
+
+    /// A stable 64-bit fingerprint of every knob that can change the
+    /// fitted model or its deterministic sample stream: FNV-1a over the
+    /// config's snapshot encoding (the fields
+    /// [`crate::snapshot::encode_config`] persists), with the two
+    /// execution-only switches normalized out first — `shards` (a
+    /// post-fit engine knob; [`FittedKamino::set_shards`] retunes it on
+    /// any loaded session) and `parallel_substrate` (bit-identical to
+    /// serial by construction). Snapshot caches (the `kamino-repro`
+    /// harness) key on this, so equal hashes mean a cached fit is
+    /// interchangeable with a fresh one no matter the host's
+    /// `KAMINO_SHARDS` or core count. Note the corpus itself is an input
+    /// to the fit, not a config field — cache keys must add it (rows,
+    /// generator seed) alongside this hash.
+    pub fn stable_hash(&self) -> u64 {
+        let mut normalized = self.clone();
+        normalized.shards = 1;
+        normalized.parallel_substrate = true;
+        let mut w = kamino_data::wire::ByteWriter::new();
+        crate::snapshot::encode_config(&normalized, &mut w);
+        // FNV-1a, 64-bit: tiny, dependency-free, stable across platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in w.into_bytes().iter() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        h
+    }
 }
 
 /// The `KAMINO_SHARDS` default: lets CI (and operators) force every
@@ -497,6 +525,37 @@ mod tests {
         let a = run_kamino(&d.schema, &d.instance, &d.dcs, &cfg);
         let b = run_kamino(&d.schema, &d.instance, &d.dcs, &cfg);
         assert_eq!(a.instance, b.instance);
+    }
+
+    #[test]
+    fn stable_hash_tracks_model_affecting_knobs() {
+        let a = fast_cfg(Budget::new(1.0, 1e-6), 2);
+        let b = fast_cfg(Budget::new(1.0, 1e-6), 2);
+        assert_eq!(a.stable_hash(), b.stable_hash(), "equal configs must agree");
+        let mut c = fast_cfg(Budget::new(1.0, 1e-6), 3);
+        assert_ne!(
+            a.stable_hash(),
+            c.stable_hash(),
+            "seed must change the hash"
+        );
+        c.seed = 2;
+        assert_eq!(a.stable_hash(), c.stable_hash());
+        c.budget = Budget::new(0.5, 1e-6);
+        assert_ne!(
+            a.stable_hash(),
+            c.stable_hash(),
+            "budget must change the hash"
+        );
+        // execution-only knobs are normalized out: a cached fit is
+        // interchangeable regardless of shard count or substrate switch
+        c.budget = Budget::new(1.0, 1e-6);
+        c.shards = 8;
+        c.parallel_substrate = false;
+        assert_eq!(
+            a.stable_hash(),
+            c.stable_hash(),
+            "shards/substrate must not change the hash"
+        );
     }
 
     #[test]

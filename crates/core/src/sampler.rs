@@ -61,6 +61,8 @@
 //! `shards: 1` takes the original sequential code path untouched — its
 //! output is bit-for-bit identical to the pre-sharding sampler for any
 //! fixed seed.
+//!
+//! [`DcCounter`]: kamino_constraints::DcCounter
 
 use kamino_constraints::{CandidateRow, CellContext, DenialConstraint, ScoreSet};
 use kamino_data::stats::sample_weighted;

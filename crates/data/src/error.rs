@@ -8,14 +8,26 @@ pub enum DataError {
     /// An attribute name was not found in the schema.
     UnknownAttribute(String),
     /// A categorical label was not part of an attribute's domain.
-    UnknownLabel { attr: String, label: String },
+    UnknownLabel {
+        /// Attribute whose domain was violated.
+        attr: String,
+        /// The offending label.
+        label: String,
+    },
     /// A value's type did not match the attribute's kind.
     TypeMismatch {
+        /// Attribute whose kind was violated.
         attr: String,
+        /// The value kind the attribute expects (`"categorical"`/`"numeric"`).
         expected: &'static str,
     },
     /// A row had the wrong number of cells for the schema.
-    ArityMismatch { expected: usize, got: usize },
+    ArityMismatch {
+        /// Number of attributes the schema declares.
+        expected: usize,
+        /// Number of cells the row actually carried.
+        got: usize,
+    },
     /// An attribute was declared with an empty or invalid domain.
     InvalidDomain(String),
     /// CSV input could not be parsed.

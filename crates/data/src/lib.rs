@@ -15,6 +15,8 @@
 //! tuples, and constraint indexes are per-attribute, so columnar layout keeps
 //! the hot loops contiguous.
 
+#![warn(missing_docs)]
+
 pub mod csv;
 pub mod encode;
 pub mod error;

@@ -71,15 +71,35 @@ impl Quantizer {
     /// out-of-range synthetic values.
     #[inline]
     pub fn bin(&self, v: Value) -> usize {
+        self.bin_checked(v).0
+    }
+
+    /// [`Quantizer::bin`] plus an out-of-domain flag. The flag is `true`
+    /// exactly when a *categorical* code lies past the declared domain —
+    /// an encoding bug in whatever produced the value, which this method
+    /// folds into the last bin (never panics, never drops the count).
+    /// Numeric values outside `[min, max]` clamp into the boundary bins
+    /// with the flag `false`: that is expected behaviour for noisy or
+    /// synthetic continuous values, not a domain violation.
+    ///
+    /// This is the single primitive behind
+    /// `stats::histogram_with_clamped`, the baselines' `Discretized`
+    /// view, and the eval crate's marginal tables, so every consumer
+    /// treats an out-of-domain cell identically: fold, count, carry on.
+    #[inline]
+    pub fn bin_checked(&self, v: Value) -> (usize, bool) {
         match (&self.kind, v) {
-            (QKind::Cat { card }, Value::Cat(c)) => (c as usize).min(card - 1),
+            (QKind::Cat { card }, Value::Cat(c)) => {
+                let c = c as usize;
+                (c.min(card - 1), c >= *card)
+            }
             (QKind::Num { min, max, bins, .. }, Value::Num(x)) => {
                 if !x.is_finite() {
-                    return 0;
+                    return (0, false);
                 }
                 let t = (x - min) / (max - min);
                 let b = (t * *bins as f64).floor() as isize;
-                b.clamp(0, *bins as isize - 1) as usize
+                (b.clamp(0, *bins as isize - 1) as usize, false)
             }
             _ => panic!("value kind does not match quantizer kind"),
         }
@@ -214,6 +234,19 @@ mod tests {
         assert_eq!(q.representative(2), Value::Cat(2));
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(q.sample_in_bin(3, &mut rng), Value::Cat(3));
+    }
+
+    #[test]
+    fn bin_checked_flags_only_categorical_overflow() {
+        let qc = Quantizer::for_attr(&Attribute::categorical_indexed("c", 3).unwrap());
+        assert_eq!(qc.bin_checked(Value::Cat(2)), (2, false));
+        // out-of-domain code: folded into the last bin, flagged
+        assert_eq!(qc.bin_checked(Value::Cat(9)), (2, true));
+        // numeric out-of-range clamps without flagging — expected behaviour
+        let qn = num_q();
+        assert_eq!(qn.bin_checked(Value::Num(42.0)), (4, false));
+        assert_eq!(qn.bin_checked(Value::Num(-1.0)), (0, false));
+        assert_eq!(qn.bin_checked(Value::Num(f64::NAN)), (0, false));
     }
 
     #[test]

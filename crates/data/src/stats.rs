@@ -30,12 +30,12 @@ pub fn histogram_with_clamped(schema: &Schema, inst: &Instance, attr: usize) -> 
     let mut clamped: u64 = 0;
     match inst.column(attr) {
         Column::Cat(v) => {
-            let last = counts.len() - 1;
             for &c in v {
-                if c as usize > last {
+                let (bin, out_of_domain) = q.bin_checked(crate::Value::Cat(c));
+                if out_of_domain {
                     clamped = clamped.saturating_add(1);
                 }
-                counts[(c as usize).min(last)] += 1.0;
+                counts[bin] += 1.0;
             }
         }
         Column::Num(v) => {

@@ -99,6 +99,19 @@ impl Corpus {
             Corpus::TpcH => "TPC-H",
         }
     }
+
+    /// The lowercase identifier the generator writes into
+    /// [`Dataset::name`] — the key machine-readable output (cache files,
+    /// result cells) is indexed by. [`Corpus::generate`] is tested to
+    /// agree with this.
+    pub fn id(self) -> &'static str {
+        match self {
+            Corpus::Adult => "adult",
+            Corpus::Br2000 => "br2000",
+            Corpus::Tax => "tax",
+            Corpus::TpcH => "tpch",
+        }
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +131,7 @@ mod tests {
             let d = c.generate(50, 1);
             assert_eq!(d.instance.n_rows(), 50);
             assert!(!d.dcs.is_empty());
+            assert_eq!(d.name, c.id(), "generator name must match Corpus::id");
         }
     }
 }

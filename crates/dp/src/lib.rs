@@ -21,6 +21,8 @@
 //! the unsampled Gaussian cost and ignores privacy amplification — a typo.
 //! We implement the standard bound with `exp(k(k−1)/2σ²)` inside the sum.
 
+#![warn(missing_docs)]
+
 pub mod mechanisms;
 pub mod normal;
 pub mod planner;

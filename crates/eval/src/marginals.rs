@@ -10,7 +10,11 @@ use std::collections::HashMap;
 use kamino_data::{Instance, Quantizer, Schema};
 
 /// Normalized marginal over an attribute set, keyed by the mixed-radix
-/// code of the quantized cell.
+/// code of the quantized cell. Out-of-domain categorical codes fold into
+/// the last bin via [`Quantizer::bin_checked`] — the shared
+/// `histogram_with_clamped` semantics, so a malformed synthetic cell
+/// scores the same here as in the baselines' `Discretized` view instead
+/// of panicking in debug builds.
 fn marginal(schema: &Schema, inst: &Instance, attrs: &[usize]) -> HashMap<u64, f64> {
     assert!(!attrs.is_empty(), "marginal needs at least one attribute");
     let quantizers: Vec<Quantizer> = attrs
@@ -25,7 +29,8 @@ fn marginal(schema: &Schema, inst: &Instance, attrs: &[usize]) -> HashMap<u64, f
     for i in 0..n {
         let mut key = 0u64;
         for (q, &a) in quantizers.iter().zip(attrs) {
-            key = key * q.n_bins() as u64 + q.bin(inst.value(i, a)) as u64;
+            let (bin, _out_of_domain) = q.bin_checked(inst.value(i, a));
+            key = key * q.n_bins() as u64 + bin as u64;
         }
         *counts.entry(key).or_insert(0.0) += 1.0;
     }

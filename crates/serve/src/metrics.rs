@@ -59,7 +59,7 @@ impl Metrics {
         w.push((now, n));
     }
 
-    /// Rows per second over the last [`WINDOW_SECS`] seconds.
+    /// Rows per second over the last `WINDOW_SECS` (10) seconds.
     pub fn rows_per_sec(&self) -> f64 {
         let now = self.start.elapsed().as_secs();
         let w = self.window.lock().unwrap();

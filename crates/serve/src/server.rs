@@ -218,7 +218,7 @@ impl Server {
     }
 
     /// Serves until `POST /shutdown`: the acceptor stops, in-flight
-    /// connections drain (bounded by [`IDLE_READ_TIMEOUT`]), fit jobs
+    /// connections drain (bounded by `IDLE_READ_TIMEOUT`), fit jobs
     /// finish, and `run` returns.
     pub fn run(self) -> io::Result<()> {
         let Server {

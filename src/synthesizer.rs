@@ -150,6 +150,30 @@ impl SynthesizerBuilder {
 /// A configured synthesis engine. [`Synthesizer::fit`] spends the privacy
 /// budget (trains the model privately) and returns a
 /// [`SynthesisSession`] that samples without further cost.
+///
+/// # Examples
+///
+/// Build → fit → stream batches:
+///
+/// ```
+/// use kamino::Synthesizer;
+/// use kamino::datasets::adult_like;
+///
+/// let data = adult_like(120, 3);
+/// let mut session = Synthesizer::builder()
+///     .epsilon(1.0)
+///     .seed(5)
+///     .train_scale(0.02) // doc-test speed; use 1.0 for real runs
+///     .build()
+///     .fit(&data.schema, &data.instance, &data.dcs);
+///
+/// assert!(session.achieved_epsilon() <= 1.0);
+/// let rows: usize = session
+///     .synthesize_batches(130, 50) // 50 + 50 + 30
+///     .map(|batch| batch.n_rows())
+///     .sum();
+/// assert_eq!(rows, 130);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Synthesizer {
     cfg: KaminoConfig,
@@ -185,6 +209,28 @@ impl Synthesizer {
     /// session continues the deterministic sample stream exactly where
     /// the saved one stopped, at the ε it originally spent — loading
     /// costs no privacy budget.
+    ///
+    /// # Examples
+    ///
+    /// See [`SynthesisSession::save`] for the save half; loading resumes
+    /// the stream bit-exactly:
+    ///
+    /// ```
+    /// # use kamino::Synthesizer;
+    /// # use kamino::datasets::adult_like;
+    /// # let data = adult_like(100, 7);
+    /// # let mut session = Synthesizer::builder()
+    /// #     .epsilon(1.0).seed(9).train_scale(0.02).build()
+    /// #     .fit(&data.schema, &data.instance, &data.dcs);
+    /// let path = std::env::temp_dir()
+    ///     .join(format!("kamino-doc-load-{}.kamino", std::process::id()));
+    /// session.save(&path)?;
+    /// let mut restored = Synthesizer::load(&path)?;
+    /// // both sessions now produce the same next rows
+    /// assert_eq!(session.synthesize(20), restored.synthesize(20));
+    /// # std::fs::remove_file(&path).ok();
+    /// # Ok::<(), kamino::serve::SnapshotError>(())
+    /// ```
     pub fn load(path: impl AsRef<Path>) -> Result<SynthesisSession, SnapshotError> {
         Ok(SynthesisSession {
             fitted: kamino_serve::load_fitted(path.as_ref())?,
@@ -230,6 +276,26 @@ impl SynthesisSession {
     /// weights, privacy parameters, configuration and the RNG cursor —
     /// as a versioned `.kamino` snapshot. [`Synthesizer::load`] resumes
     /// the sample stream bit-exactly where this session stopped.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use kamino::Synthesizer;
+    /// # use kamino::datasets::adult_like;
+    /// # let data = adult_like(100, 11);
+    /// # let mut session = Synthesizer::builder()
+    /// #     .epsilon(1.0).seed(13).train_scale(0.02).build()
+    /// #     .fit(&data.schema, &data.instance, &data.dcs);
+    /// let path = std::env::temp_dir()
+    ///     .join(format!("kamino-doc-save-{}.kamino", std::process::id()));
+    /// session.save(&path)?;
+    /// assert!(path.exists());
+    /// // ε was spent at fit time; the snapshot can be queried forever
+    /// let restored = Synthesizer::load(&path)?;
+    /// assert_eq!(restored.achieved_epsilon(), session.achieved_epsilon());
+    /// # std::fs::remove_file(&path).ok();
+    /// # Ok::<(), kamino::serve::SnapshotError>(())
+    /// ```
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
         kamino_serve::save_fitted(&self.fitted, path.as_ref())
     }

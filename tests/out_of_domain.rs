@@ -1,0 +1,93 @@
+//! Regression test: out-of-domain categorical codes in a *synthetic*
+//! instance must flow through every metric path with one shared semantic
+//! — fold into the last bin and count it (`histogram_with_clamped`) —
+//! instead of eval clamping silently while the baselines' discretized
+//! view panicked in debug builds.
+
+use kamino::baselines::discretize::Discretized;
+use kamino::constraints::{parse_dc, Hardness};
+use kamino::data::stats::histogram_with_clamped;
+use kamino::data::{Attribute, Instance, Schema, Value};
+use kamino::eval::violations::violation_table;
+use kamino::eval::{marginal_tvd, tvd_all_pairs, tvd_all_singles};
+
+/// Two categorical attributes plus a numeric one; the synthetic copy gets
+/// one categorical cell poked past the declared domain (an encoding bug a
+/// buggy synthesizer could produce — bypasses row validation).
+fn corpus_with_out_of_domain_cell() -> (Schema, Instance, Instance) {
+    let schema = Schema::new(vec![
+        Attribute::categorical_indexed("a", 3).unwrap(),
+        Attribute::categorical_indexed("b", 2).unwrap(),
+        Attribute::numeric("x", 0.0, 10.0, 5).unwrap(),
+    ])
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..20)
+        .map(|i| {
+            vec![
+                Value::Cat((i % 3) as u32),
+                Value::Cat((i % 2) as u32),
+                Value::Num((i % 10) as f64),
+            ]
+        })
+        .collect();
+    let truth = Instance::from_rows(&schema, &rows).unwrap();
+    let mut synth = truth.clone();
+    synth.set(4, 0, Value::Cat(7)); // out of domain: card is 3
+    (schema, truth, synth)
+}
+
+#[test]
+fn histogram_and_discretized_agree_on_out_of_domain_codes() {
+    let (schema, _, synth) = corpus_with_out_of_domain_cell();
+
+    // the reference semantics: fold into the last bin, count one clamp
+    let h = histogram_with_clamped(&schema, &synth, 0);
+    assert_eq!(h.clamped, 1);
+    assert_eq!(h.counts.iter().sum::<f64>(), 20.0, "no row dropped");
+
+    // the baselines' discretized view reports the same clamp count and
+    // produces the same folded marginal — no debug panic
+    let disc = Discretized::from_instance(&schema, &synth);
+    assert_eq!(disc.clamped(), 1);
+    assert_eq!(disc.marginal(0), h.counts);
+
+    // a clean instance reports zero clamps through both paths
+    let disc_clean = Discretized::from_instance(
+        &schema,
+        &Instance::from_rows(
+            &schema,
+            &[vec![Value::Cat(2), Value::Cat(0), Value::Num(1.0)]],
+        )
+        .unwrap(),
+    );
+    assert_eq!(disc_clean.clamped(), 0);
+}
+
+#[test]
+fn eval_metrics_fold_out_of_domain_codes_without_panicking() {
+    let (schema, truth, synth) = corpus_with_out_of_domain_cell();
+
+    // Metric III: marginals fold the bad cell into the last bin. Exactly
+    // one of 20 rows moved between bins of attribute 0, so the 1-way TVD
+    // is 1/20 — the folded (not dropped, not panicked) semantics.
+    let tvd = marginal_tvd(&schema, &truth, &synth, &[0]);
+    assert!(
+        (tvd - 0.05).abs() < 1e-12,
+        "expected folded TVD 0.05, got {tvd}"
+    );
+    assert_eq!(tvd_all_singles(&schema, &truth, &synth).len(), 3);
+    assert_eq!(tvd_all_pairs(&schema, &truth, &synth).len(), 3);
+
+    // Metric I: the violation engine compares codes as opaque values, so
+    // the table still computes over the malformed instance
+    let dc = parse_dc(
+        &schema,
+        "fd",
+        "!(t1.a == t2.a & t1.b != t2.b)",
+        Hardness::Soft,
+    )
+    .unwrap();
+    let table = violation_table(&[dc], &synth);
+    assert_eq!(table.len(), 1);
+    assert!(table[0].1.is_finite());
+}

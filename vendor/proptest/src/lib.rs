@@ -167,7 +167,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::TestRng;
 
-    /// Admissible length specifications for [`vec`].
+    /// Admissible length specifications for [`vec()`].
     pub trait SizeRange {
         fn pick(&self, rng: &mut TestRng) -> usize;
     }
