@@ -1,20 +1,32 @@
 //! Microbenchmarks for the hot substrate kernels: violation counting
 //! (FD fast path, order fast path, naive scan), incremental counters, the
 //! RDP accountant, batch candidate scoring (serial vs. the rayon-backed
-//! parallel substrate), and DP-SGD steps (serial vs. microbatch-parallel).
+//! parallel substrate, and the compact scan table vs. its row-map
+//! reference), DP-SGD steps (serial vs. microbatch-parallel and fused vs.
+//! reference clip-accumulate), and the tiled matvec against its naive
+//! reference.
 //!
 //! The `*_serial` / `*_parallel` pairs share one setup and produce
 //! identical outputs; only wall-clock should differ. Run with
-//! `RAYON_NUM_THREADS=<k>` to fix the worker count (the parallel entries
+//! `RAYON_NUM_THREADS=<k>` to fix the worker count — the parallel entries
 //! degenerate to the serial path when only one worker is available, so
-//! measure on ≥4 threads to see the speedup). The
-//! `synthesize_{serial,sharded4}` pair compares the sequential Algorithm 3
-//! against the sharded engine (different outputs by design — see
-//! `kamino_core::sampler` — but both hard-DC clean, asserted in setup).
+//! those pairs only show a speedup on a multi-core host (the bench prints
+//! the detected core count at startup so single-core results are not
+//! misread as regressions). The `matvec_{tiled,ref}` and
+//! `scan_count_{compact,rowmap_ref}` pairs are single-thread algorithmic
+//! comparisons and should show movement on any host. The
+//! `dpsgd_step_{fused,reference}` pair documents that the fused
+//! clip-accumulate is at worst cost-neutral on a dense single-block model
+//! (the traversal it eliminates is a memset; the win grows with block
+//! count) while staying bit-identical. The `synthesize_{serial,sharded4}`
+//! pair compares the sequential Algorithm 3 against the sharded engine
+//! (different outputs by design — see `kamino_core::sampler` — but both
+//! hard-DC clean, asserted in setup).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use kamino_constraints::{
-    count_violating_pairs, parse_dc, CandidateRow, CellContext, DcCounter, Hardness, ScoreSet,
+    count_violating_pairs, parse_dc, CandidateRow, CellContext, DcCounter, Hardness, ScanIndexRef,
+    ScoreSet,
 };
 use kamino_data::Value;
 use kamino_datasets::adult_like;
@@ -67,6 +79,12 @@ impl PerExampleModel<Vec<f64>> for DenseModel {
 }
 
 fn bench(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "micro_substrates: {cores} core(s) available — \
+         *_parallel entries need >1 to beat their *_serial twin"
+    );
+
     let d = adult_like(2_000, 1);
     let fd = &d.dcs[0];
     let ord = &d.dcs[1];
@@ -128,6 +146,78 @@ fn bench(c: &mut Criterion) {
         g.bench_function("score_candidates_parallel_n2000_d64", |b| {
             b.iter(|| black_box(set.score_candidates(cell, &values, &weights, true)))
         });
+
+        // Compact contiguous scan table vs. its row-map reference twin
+        // (per-row heap allocations behind a hash map — the layout the
+        // compact index replaced): identical per-candidate counts
+        // (asserted in setup), single-thread, so the pair isolates what
+        // the layout change buys the scoring scan on any host.
+        let mut compact = DcCounter::build(&naive_ord);
+        let mut rowmap = ScanIndexRef::new(&naive_ord);
+        for i in 0..d.instance.n_rows() {
+            let cand = CandidateRow::committed(&d.instance, i, gain);
+            compact.insert(&cand);
+            rowmap.insert(&cand);
+        }
+        for &v in &values {
+            let cand = cell.with(v);
+            assert_eq!(
+                compact.count_new(&cand),
+                rowmap.count_new(&cand),
+                "compact scan diverged from the row-map reference"
+            );
+        }
+        g.bench_function("scan_count_rowmap_ref_n2000_d64", |b| {
+            b.iter(|| {
+                let mut total = 0;
+                for &v in &values {
+                    total += rowmap.count_new(&cell.with(v));
+                }
+                black_box(total)
+            })
+        });
+        g.bench_function("scan_count_compact_n2000_d64", |b| {
+            b.iter(|| {
+                let mut total = 0;
+                for &v in &values {
+                    total += compact.count_new(&cell.with(v));
+                }
+                black_box(total)
+            })
+        });
+    }
+
+    // Tiled (register-blocked) matvec vs. the naive reference on a
+    // 256×256 weight: a single-thread algorithmic pair — the tiled kernel
+    // is bit-identical (asserted in setup) and should win on any host.
+    {
+        use kamino_nn::linalg::{matvec, matvec_ref};
+        let dim = 256;
+        let mut rng = StdRng::seed_from_u64(5);
+        let w: Vec<f64> = (0..dim * dim).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let x: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let mut y_t = vec![0.0; dim];
+        let mut y_r = vec![0.0; dim];
+        matvec(&w, &x, &mut y_t);
+        matvec_ref(&w, &x, &mut y_r);
+        assert!(
+            y_t.iter()
+                .zip(&y_r)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "tiled matvec must be bit-identical to the reference"
+        );
+        g.bench_function("matvec_ref_256x256", |b| {
+            b.iter(|| {
+                matvec_ref(black_box(&w), black_box(&x), &mut y_r);
+                black_box(&y_r);
+            })
+        });
+        g.bench_function("matvec_tiled_256x256", |b| {
+            b.iter(|| {
+                matvec(black_box(&w), black_box(&x), &mut y_t);
+                black_box(&y_t);
+            })
+        });
     }
 
     // One DP-SGD step on a dense 64×64 model over a 256-example batch:
@@ -156,6 +246,19 @@ fn bench(c: &mut Criterion) {
                 let proto = model.clone();
                 black_box(opt.step_parallel(&mut model, &batch, &mut rng, || proto.clone()))
             })
+        });
+        // Fused clip-and-accumulate vs. the two-pass reference kernel:
+        // single-thread, same gradients to the bit (pinned by a test in
+        // kamino_nn::optim), fewer traversals of every gradient buffer.
+        g.bench_function("dpsgd_step_reference_b256_d64x64", |b| {
+            let mut model = DenseModel::new(dim);
+            let mut rng = StdRng::seed_from_u64(8);
+            b.iter(|| black_box(opt.step_reference(&mut model, &batch, &mut rng)))
+        });
+        g.bench_function("dpsgd_step_fused_b256_d64x64", |b| {
+            let mut model = DenseModel::new(dim);
+            let mut rng = StdRng::seed_from_u64(8);
+            b.iter(|| black_box(opt.step(&mut model, &batch, &mut rng)))
         });
     }
 

@@ -11,6 +11,12 @@
 //! stable schema) so future PRs can diff fit latency and synthesis
 //! throughput against this one. `KAMINO_BENCH_FAST=1` shrinks the run
 //! ~10× for CI smoke; `KAMINO_BENCH_N` overrides the row count.
+//!
+//! `--dump-rows PATH` additionally writes the synthesized rows (CSV with
+//! header) from a fresh snapshot restore. The fit, the snapshot, and the
+//! restored RNG cursor are all seed-determined, so two runs with the same
+//! configuration must produce byte-identical dumps — CI diffs them as a
+//! determinism guard over the whole fit→snapshot→synthesize path.
 
 use std::time::Instant;
 
@@ -36,6 +42,7 @@ impl SynthSample {
 fn main() {
     let mut json_mode = false;
     let mut out_path = String::from("BENCH_synthesis.json");
+    let mut dump_rows: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -46,8 +53,16 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--dump-rows" => {
+                dump_rows = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--dump-rows takes a path");
+                    std::process::exit(2);
+                }))
+            }
             other => {
-                eprintln!("usage: bench_report [--json] [--out PATH] (got `{other}`)");
+                eprintln!(
+                    "usage: bench_report [--json] [--out PATH] [--dump-rows PATH] (got `{other}`)"
+                );
                 std::process::exit(2);
             }
         }
@@ -116,6 +131,21 @@ fn main() {
         ]);
     }
     table.emit("bench_report");
+
+    if let Some(path) = &dump_rows {
+        // Fresh restore: identical model and RNG cursor every run, so the
+        // dump is a byte-exact function of corpus/seed/row-count alone.
+        let mut session = kamino_serve::decode_fitted(&snapshot).expect("snapshot round-trip");
+        session.set_shards(*shard_counts.last().expect("non-empty shard list"));
+        let inst = session.sample(synth_rows);
+        let header = kamino_data::csv::header_line(session.schema()).expect("csv header");
+        let rows = kamino_data::csv::rows_text(session.schema(), &inst).expect("csv rows");
+        std::fs::write(path, format!("{header}{rows}")).unwrap_or_else(|e| {
+            eprintln!("bench_report: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
 
     if json_mode {
         let body = Json::obj([

@@ -134,59 +134,191 @@ impl<'a> CellContext<'a> {
     }
 }
 
+/// One determinant group of an [`FdIndex`].
+///
+/// The dependent-value tally is a small linear-searched vector rather than
+/// a hash map: groups almost always carry a handful of distinct dependents
+/// (exactly one, for clean data), so a contiguous scan beats hashing and
+/// keeps batch scoring walking adjacent memory. Every query over `by_rhs`
+/// is iteration-order independent (sums, a `len == 1` check, and a
+/// totally tie-broken max), so the `swap_remove` used on removal cannot
+/// change any answer.
 #[derive(Default)]
 struct FdGroup {
     total: u64,
-    /// dependent value key → (count, a representative `Value`)
-    by_rhs: HashMap<u64, (u64, Value)>,
+    /// (dependent value key, count, a representative `Value`)
+    by_rhs: Vec<(u64, u64, Value)>,
 }
 
-/// Immutable-at-scoring-time prefix index for an FD `X → B`: a hash index
-/// on the determinant. Every method takes `&self`; mutation goes through
-/// the owning [`DcCounter`].
+impl FdGroup {
+    fn count_of(&self, rhs_key: u64) -> u64 {
+        self.by_rhs
+            .iter()
+            .find(|e| e.0 == rhs_key)
+            .map_or(0, |e| e.1)
+    }
+
+    fn bump(&mut self, rhs_key: u64, repr: Value, by: u64) {
+        match self.by_rhs.iter_mut().find(|e| e.0 == rhs_key) {
+            Some(e) => e.1 += by,
+            None => self.by_rhs.push((rhs_key, by, repr)),
+        }
+    }
+
+    fn decr(&mut self, rhs_key: u64) {
+        let i = self
+            .by_rhs
+            .iter()
+            .position(|e| e.0 == rhs_key)
+            .expect("removing an uninserted dependent");
+        self.by_rhs[i].1 -= 1;
+        if self.by_rhs[i].1 == 0 {
+            self.by_rhs.swap_remove(i);
+        }
+    }
+
+    fn absorb(&mut self, other: FdGroup) {
+        self.total += other.total;
+        for (rhs_key, count, repr) in other.by_rhs {
+            self.bump(rhs_key, repr, count);
+        }
+    }
+}
+
+/// Determinant keys below this bound use the dense slot table.
+/// Single-attribute categorical determinants produce their category code
+/// as the key, so any realistic domain fits; numeric determinants produce
+/// `f64` bit patterns and fall through to the map on first insert.
+const DENSE_KEY_LIMIT: u64 = 4096;
+
+/// Widest determinant probed with a stack key buffer; wider (never seen in
+/// practice) falls back to a heap key.
+const MAX_INLINE_LHS: usize = 8;
+
+/// Group storage of an [`FdIndex`].
+enum GroupTable {
+    /// Dense fast path: single-attribute determinant with small value
+    /// keys — groups live in a flat slot vector indexed directly by key,
+    /// so a probe is one bounds check and one pointer chase.
+    Dense(Vec<Option<FdGroup>>),
+    /// General case: hash map keyed by the full determinant tuple.
+    /// Probes borrow the key as `&[u64]` (stack buffer), so the read path
+    /// never allocates.
+    Map(HashMap<Vec<u64>, FdGroup>),
+}
+
+/// Runs `f` on the determinant key of `cand`, built in a stack buffer for
+/// realistic determinant widths.
+fn with_fd_key<R>(fd: &Fd, cand: &CandidateRow<'_>, f: impl FnOnce(&[u64]) -> R) -> R {
+    if fd.lhs.len() <= MAX_INLINE_LHS {
+        let mut buf = [0u64; MAX_INLINE_LHS];
+        for (b, &a) in buf.iter_mut().zip(&fd.lhs) {
+            *b = value_key(cand.get(a));
+        }
+        f(&buf[..fd.lhs.len()])
+    } else {
+        let key: Vec<u64> = fd.lhs.iter().map(|&a| value_key(cand.get(a))).collect();
+        f(&key)
+    }
+}
+
+/// Immutable-at-scoring-time prefix index for an FD `X → B`: a dense slot
+/// table for small single-attribute determinants (the common case — one
+/// array index per probe), falling back to a hash index keyed on the full
+/// determinant tuple for wide domains. Every method takes `&self`;
+/// mutation goes through the owning [`DcCounter`].
 pub struct FdIndex {
     fd: Fd,
-    groups: HashMap<Vec<u64>, FdGroup>,
+    table: GroupTable,
     n_rows: usize,
 }
 
 impl FdIndex {
     fn new(fd: Fd) -> FdIndex {
+        let table = if fd.lhs.len() == 1 {
+            GroupTable::Dense(Vec::new())
+        } else {
+            GroupTable::Map(HashMap::new())
+        };
         FdIndex {
             fd,
-            groups: HashMap::new(),
+            table,
             n_rows: 0,
         }
     }
 
-    fn key(&self, cand: &CandidateRow<'_>) -> Vec<u64> {
-        self.fd
+    /// The candidate's determinant group, if any. Allocation-free.
+    fn group(&self, cand: &CandidateRow<'_>) -> Option<&FdGroup> {
+        match &self.table {
+            GroupTable::Dense(slots) => {
+                let k = value_key(cand.get(self.fd.lhs[0]));
+                usize::try_from(k)
+                    .ok()
+                    .and_then(|i| slots.get(i))
+                    .and_then(|s| s.as_ref())
+            }
+            GroupTable::Map(map) => with_fd_key(&self.fd, cand, |key| map.get(key)),
+        }
+    }
+
+    /// Moves every dense slot into the fallback map (triggered by the
+    /// first determinant key at or above [`DENSE_KEY_LIMIT`]).
+    fn migrate_to_map(&mut self) {
+        if let GroupTable::Dense(slots) = &mut self.table {
+            let slots = std::mem::take(slots);
+            let mut map = HashMap::new();
+            for (i, slot) in slots.into_iter().enumerate() {
+                if let Some(g) = slot {
+                    map.insert(vec![i as u64], g);
+                }
+            }
+            self.table = GroupTable::Map(map);
+        }
+    }
+
+    /// The candidate's determinant group, created if absent.
+    fn group_entry(&mut self, cand: &CandidateRow<'_>) -> &mut FdGroup {
+        if matches!(self.table, GroupTable::Dense(_)) {
+            let k = value_key(cand.get(self.fd.lhs[0]));
+            if k < DENSE_KEY_LIMIT {
+                let GroupTable::Dense(slots) = &mut self.table else {
+                    unreachable!()
+                };
+                let i = k as usize;
+                if slots.len() <= i {
+                    slots.resize_with(i + 1, || None);
+                }
+                return slots[i].get_or_insert_with(FdGroup::default);
+            }
+            self.migrate_to_map();
+        }
+        let GroupTable::Map(map) = &mut self.table else {
+            unreachable!()
+        };
+        let key: Vec<u64> = self
+            .fd
             .lhs
             .iter()
             .map(|&a| value_key(cand.get(a)))
-            .collect()
+            .collect();
+        map.entry(key).or_default()
     }
 
     /// New violations the candidate would introduce against the prefix.
     pub fn count_new(&self, cand: &CandidateRow<'_>) -> u64 {
-        let key = self.key(cand);
-        let Some(group) = self.groups.get(&key) else {
+        let Some(group) = self.group(cand) else {
             return 0;
         };
-        let same = group
-            .by_rhs
-            .get(&value_key(cand.get(self.fd.rhs)))
-            .map_or(0, |&(c, _)| c);
-        group.total - same
+        group.total - group.count_of(value_key(cand.get(self.fd.rhs)))
     }
 
     /// The dependent value every member of the candidate's determinant
     /// group carries, if the group exists and is internally consistent
     /// (§7.3.6 hard-FD lookup).
     pub fn required_value(&self, cand: &CandidateRow<'_>) -> Option<Value> {
-        let group = self.groups.get(&self.key(cand))?;
+        let group = self.group(cand)?;
         if group.by_rhs.len() == 1 {
-            group.by_rhs.values().next().map(|&(_, v)| v)
+            Some(group.by_rhs[0].2)
         } else {
             None
         }
@@ -196,15 +328,15 @@ impl FdIndex {
     /// group, if the group exists. Unlike [`FdIndex::required_value`] this
     /// also answers for *inconsistent* groups — the sharded repair pass
     /// uses it to steer conflicting rows toward the majority side. Ties
-    /// break on the value key so the answer never depends on hash-map
-    /// iteration order.
+    /// break on the value key so the answer never depends on storage
+    /// order.
     pub fn majority_value(&self, cand: &CandidateRow<'_>) -> Option<Value> {
-        let group = self.groups.get(&self.key(cand))?;
+        let group = self.group(cand)?;
         group
             .by_rhs
             .iter()
-            .max_by(|(ka, (ca, _)), (kb, (cb, _))| ca.cmp(cb).then(ka.cmp(kb)))
-            .map(|(_, &(_, v))| v)
+            .max_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+            .map(|&(_, _, v)| v)
     }
 
     /// The FD's dependent (right-hand-side) attribute.
@@ -213,45 +345,88 @@ impl FdIndex {
     }
 
     fn insert(&mut self, cand: &CandidateRow<'_>) {
-        let key = self.key(cand);
         let rhs = cand.get(self.fd.rhs);
-        let group = self.groups.entry(key).or_default();
+        let rhs_key = value_key(rhs);
+        let group = self.group_entry(cand);
         group.total += 1;
-        group.by_rhs.entry(value_key(rhs)).or_insert((0, rhs)).0 += 1;
+        group.bump(rhs_key, rhs, 1);
         self.n_rows += 1;
     }
 
     fn remove(&mut self, cand: &CandidateRow<'_>) {
-        let key = self.key(cand);
         let rhs_key = value_key(cand.get(self.fd.rhs));
-        let Some(group) = self.groups.get_mut(&key) else {
-            panic!("removing a row that was never inserted (unknown determinant group)")
-        };
-        let entry = group
-            .by_rhs
-            .get_mut(&rhs_key)
-            .expect("removing an uninserted dependent");
-        entry.0 -= 1;
-        if entry.0 == 0 {
-            group.by_rhs.remove(&rhs_key);
-        }
-        group.total -= 1;
-        if group.total == 0 {
-            self.groups.remove(&key);
+        match &mut self.table {
+            GroupTable::Dense(slots) => {
+                let k = value_key(cand.get(self.fd.lhs[0]));
+                let slot = usize::try_from(k)
+                    .ok()
+                    .and_then(|i| slots.get_mut(i))
+                    .unwrap_or_else(|| {
+                        panic!("removing a row that was never inserted (unknown determinant group)")
+                    });
+                let Some(group) = slot.as_mut() else {
+                    panic!("removing a row that was never inserted (unknown determinant group)")
+                };
+                group.decr(rhs_key);
+                group.total -= 1;
+                if group.total == 0 {
+                    *slot = None;
+                }
+            }
+            GroupTable::Map(map) => with_fd_key(&self.fd, cand, |key| {
+                let Some(group) = map.get_mut(key) else {
+                    panic!("removing a row that was never inserted (unknown determinant group)")
+                };
+                group.decr(rhs_key);
+                group.total -= 1;
+                if group.total == 0 {
+                    map.remove(key);
+                }
+            }),
         }
         self.n_rows -= 1;
+    }
+
+    /// Folds `group` (keyed by `key`) into this index, keeping the dense
+    /// layout when the key still fits.
+    fn absorb_group(&mut self, key: &[u64], group: FdGroup) {
+        if let GroupTable::Dense(slots) = &mut self.table {
+            debug_assert_eq!(key.len(), 1);
+            if key[0] < DENSE_KEY_LIMIT {
+                let i = key[0] as usize;
+                if slots.len() <= i {
+                    slots.resize_with(i + 1, || None);
+                }
+                slots[i].get_or_insert_with(FdGroup::default).absorb(group);
+                return;
+            }
+            self.migrate_to_map();
+        }
+        let GroupTable::Map(map) = &mut self.table else {
+            unreachable!()
+        };
+        map.entry(key.to_vec()).or_default().absorb(group);
     }
 
     /// Absorbs another index over the *same* FD: determinant groups are
     /// summed entry-wise. Counts are additive, so the merged index answers
     /// exactly as if every row of both indexes had been inserted into one.
+    /// Either side may have independently migrated to the fallback map;
+    /// group keys are canonical across both layouts.
     fn merge(&mut self, other: FdIndex) {
         debug_assert_eq!(self.fd, other.fd, "merging indexes of different FDs");
-        for (key, group) in other.groups {
-            let dst = self.groups.entry(key).or_default();
-            dst.total += group.total;
-            for (rhs_key, (count, repr)) in group.by_rhs {
-                dst.by_rhs.entry(rhs_key).or_insert((0, repr)).0 += count;
+        match other.table {
+            GroupTable::Dense(slots) => {
+                for (i, slot) in slots.into_iter().enumerate() {
+                    if let Some(g) = slot {
+                        self.absorb_group(&[i as u64], g);
+                    }
+                }
+            }
+            GroupTable::Map(map) => {
+                for (key, g) in map {
+                    self.absorb_group(&key, g);
+                }
             }
         }
         self.n_rows += other.n_rows;
@@ -276,41 +451,72 @@ fn recognize_order(dc: &DenialConstraint) -> Option<OrderInfo> {
 }
 
 /// Immutable-at-scoring-time prefix index for general binary DCs: stores
-/// each inserted row restricted to `A_φ` and scores by exact scan. Every
-/// method takes `&self`; mutation goes through the owning [`DcCounter`].
+/// each inserted row restricted to `A_φ` in one contiguous row-major
+/// table (stride = `|A_φ|`) and scores by exact scan over it — batch
+/// `score_candidates` walks adjacent memory instead of chasing hash-map
+/// buckets. Every method takes `&self`; mutation goes through the owning
+/// [`DcCounter`].
+///
+/// Removal is swap-remove (a `row id → slot` side map keeps lookups O(1)),
+/// so physical row order is arbitrary; every query here is a fold that is
+/// independent of iteration order (violation counts sum, feasible bounds
+/// are min/max), so the layout cannot change any answer.
 pub struct ScanIndex {
     dc: DenialConstraint,
     attrs: Vec<usize>,
-    /// row id → values aligned with `attrs`
-    rows: HashMap<usize, Vec<Value>>,
+    /// Attribute id → position in `attrs`, pre-resolved so the per-pair
+    /// scan loop does a direct index instead of a linear search on every
+    /// operand access (`usize::MAX` marks attributes outside `A_φ`).
+    pos_of: Vec<usize>,
+    /// Row-major values aligned with `attrs`; slot `s` occupies
+    /// `data[s * attrs.len() .. (s + 1) * attrs.len()]`.
+    data: Vec<Value>,
+    /// Slot → row id, parallel to the rows of `data`.
+    row_ids: Vec<usize>,
+    /// Row id → slot, maintained across swap-removes.
+    slot_of: HashMap<usize, usize>,
     order: Option<OrderInfo>,
 }
 
 impl ScanIndex {
     fn new(dc: DenialConstraint) -> ScanIndex {
         let attrs: Vec<usize> = dc.attrs().into_iter().collect();
+        let mut pos_of = vec![usize::MAX; attrs.iter().max().map_or(0, |&a| a + 1)];
+        for (p, &a) in attrs.iter().enumerate() {
+            pos_of[a] = p;
+        }
         let order = recognize_order(&dc);
         ScanIndex {
             dc,
             attrs,
-            rows: HashMap::new(),
+            pos_of,
+            data: Vec::new(),
+            row_ids: Vec::new(),
+            slot_of: HashMap::new(),
             order,
         }
     }
 
     #[inline]
     fn pos(&self, attr: usize) -> usize {
-        // A_φ is tiny (≤ 4 attributes in practice); linear search beats a map.
-        self.attrs
+        let p = self.pos_of.get(attr).copied().unwrap_or(usize::MAX);
+        assert_ne!(p, usize::MAX, "attribute not in A_phi");
+        p
+    }
+
+    /// Stored rows as `(row id, values aligned with attrs)` pairs.
+    #[inline]
+    fn stored_rows(&self) -> impl Iterator<Item = (usize, &[Value])> {
+        self.row_ids
             .iter()
-            .position(|&a| a == attr)
-            .expect("attribute not in A_phi")
+            .copied()
+            .zip(self.data.chunks_exact(self.attrs.len().max(1)))
     }
 
     /// New violations the candidate would introduce against the prefix.
     pub fn count_new(&self, cand: &CandidateRow<'_>) -> u64 {
         let mut count = 0;
-        for (&row_id, stored) in &self.rows {
+        for (row_id, stored) in self.stored_rows() {
             if row_id == cand.row() {
                 continue;
             }
@@ -326,24 +532,38 @@ impl ScanIndex {
     /// work estimate batch schedulers use to decide whether parallelism
     /// pays for itself.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.row_ids.len()
     }
 
     /// Whether no rows are stored.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.row_ids.is_empty()
     }
 
     fn insert(&mut self, cand: &CandidateRow<'_>) {
-        let values: Vec<Value> = self.attrs.iter().map(|&a| cand.get(a)).collect();
-        let prev = self.rows.insert(cand.row(), values);
+        let prev = self.slot_of.insert(cand.row(), self.row_ids.len());
         assert!(prev.is_none(), "row {} inserted twice", cand.row());
+        self.row_ids.push(cand.row());
+        self.data.extend(self.attrs.iter().map(|&a| cand.get(a)));
     }
 
     fn remove(&mut self, cand: &CandidateRow<'_>) {
-        self.rows
+        let slot = self
+            .slot_of
             .remove(&cand.row())
             .expect("removing a row that was never inserted");
+        let stride = self.attrs.len();
+        let last = self.row_ids.len() - 1;
+        if slot != last {
+            // move the tail row into the vacated slot
+            let moved_id = self.row_ids[last];
+            self.row_ids[slot] = moved_id;
+            self.slot_of.insert(moved_id, slot);
+            let (head, tail) = self.data.split_at_mut(last * stride);
+            head[slot * stride..(slot + 1) * stride].copy_from_slice(tail);
+        }
+        self.row_ids.pop();
+        self.data.truncate(last * stride);
     }
 
     /// Absorbs another index over the same DC. Row ids must be disjoint —
@@ -351,10 +571,12 @@ impl ScanIndex {
     /// merged overlapping shards.
     fn merge(&mut self, other: ScanIndex) {
         debug_assert_eq!(self.dc.name, other.dc.name, "merging different DCs");
-        for (row_id, values) in other.rows {
-            let prev = self.rows.insert(row_id, values);
+        for row_id in &other.row_ids {
+            let prev = self.slot_of.insert(*row_id, self.row_ids.len());
             assert!(prev.is_none(), "row {row_id} present in both shards");
+            self.row_ids.push(*row_id);
         }
+        self.data.extend_from_slice(&other.data);
     }
 
     /// Feasible interval for the `target` attribute of `cand` under a
@@ -376,7 +598,7 @@ impl ScanIndex {
         let o_cand = cand.get(o_attr);
         let mut lo = f64::NEG_INFINITY;
         let mut hi = f64::INFINITY;
-        for (&row_id, stored) in &self.rows {
+        for (row_id, stored) in self.stored_rows() {
             if row_id == cand.row() {
                 continue;
             }
@@ -414,6 +636,73 @@ impl ScanIndex {
         } else {
             None // the prefix itself is inconsistent for this context
         }
+    }
+}
+
+/// The row-map reference twin of [`ScanIndex`]: stored rows live in
+/// per-row heap allocations behind a hash map keyed by row id — the layout
+/// the compact contiguous table replaced. `count_new` asks the exact same
+/// question with the exact same per-pair predicate evaluation, so it must
+/// return identical counts (parity-tested below); only memory layout — and
+/// therefore scan speed — differs. Kept and exported so parity tests and
+/// the `micro_substrates` candidate-scoring pair can pin the compact
+/// layout against it.
+pub struct ScanIndexRef {
+    dc: DenialConstraint,
+    attrs: Vec<usize>,
+    rows: HashMap<usize, Vec<Value>>,
+}
+
+impl ScanIndexRef {
+    /// Builds an empty reference index for `dc` (any binary shape).
+    pub fn new(dc: &DenialConstraint) -> ScanIndexRef {
+        ScanIndexRef {
+            attrs: dc.attrs().into_iter().collect(),
+            dc: dc.clone(),
+            rows: HashMap::new(),
+        }
+    }
+
+    /// Commits the candidate row (restricted to `A_φ`).
+    pub fn insert(&mut self, cand: &CandidateRow<'_>) {
+        let prev = self.rows.insert(
+            cand.row(),
+            self.attrs.iter().map(|&a| cand.get(a)).collect(),
+        );
+        assert!(prev.is_none(), "row {} inserted twice", cand.row());
+    }
+
+    /// New violations the candidate would introduce against the prefix.
+    /// Hash-map iteration order is arbitrary, but the count is a sum, so
+    /// the answer matches [`ScanIndex::count_new`] exactly.
+    pub fn count_new(&self, cand: &CandidateRow<'_>) -> u64 {
+        let mut count = 0;
+        for (&row_id, stored) in &self.rows {
+            if row_id == cand.row() {
+                continue;
+            }
+            let stored_get = |a: usize| {
+                stored[self
+                    .attrs
+                    .iter()
+                    .position(|&b| b == a)
+                    .expect("attribute not in A_phi")]
+            };
+            if self.dc.violated_by_pair(&stored_get, &|a| cand.get(a)) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Number of stored rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
     }
 }
 
@@ -610,7 +899,7 @@ impl DcCounter {
         match self {
             DcCounter::Unary(_) => 0,
             DcCounter::Fd(ix) => ix.n_rows,
-            DcCounter::Scan(ix) => ix.rows.len(),
+            DcCounter::Scan(ix) => ix.len(),
         }
     }
 
@@ -698,6 +987,39 @@ mod tests {
             ],
         );
         check_chain_rule(&fd_dc(&s), &d, 1);
+    }
+
+    #[test]
+    fn compact_scan_matches_rowmap_reference() {
+        // The contiguous-table ScanIndex and its row-map reference twin
+        // must answer every candidate count identically over the same
+        // committed prefix (layout may never change an answer).
+        let s = schema();
+        let dc = ord_dc(&s);
+        let rows: Vec<(u32, f64, f64, f64)> = (0..80)
+            .map(|i| {
+                let i = i as f64;
+                (0, 0.0, (i * 13.0) % 97.0, (i * 7.0) % 53.0)
+            })
+            .collect();
+        let d = inst(&s, &rows);
+        let mut compact = DcCounter::build(&dc);
+        let mut reference = ScanIndexRef::new(&dc);
+        for i in 0..d.n_rows() - 1 {
+            let cand = CandidateRow::committed(&d, i, 3);
+            compact.insert(&cand);
+            reference.insert(&cand);
+        }
+        let cell = CellContext::new(&d, d.n_rows() - 1, 3);
+        for k in 0..40 {
+            let cand = cell.with(Value::Num(k as f64 * 2.5));
+            assert_eq!(
+                compact.count_new(&cand),
+                reference.count_new(&cand),
+                "candidate {k} diverged from the row-map reference"
+            );
+        }
+        assert_eq!(compact.len(), reference.len());
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub use ast::{CmpOp, DenialConstraint, Fd, Hardness, Operand, Predicate, StrictO
 pub use engine::{
     count_unary_violations, count_violating_pairs, per_tuple_violations, violation_percentage,
 };
-pub use incremental::{CandidateRow, CellContext, DcCounter, DcScorer};
+pub use incremental::{CandidateRow, CellContext, DcCounter, DcScorer, ScanIndexRef};
 pub use parser::parse_dc;
 pub use score::ScoreSet;

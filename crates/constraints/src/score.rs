@@ -122,22 +122,41 @@ impl ScoreSet {
         weights: &[f64],
         parallel: bool,
     ) -> Vec<f64> {
+        let mut out = Vec::with_capacity(values.len());
+        self.score_candidates_into(cell, values, weights, parallel, &mut out);
+        out
+    }
+
+    /// [`ScoreSet::score_candidates`] writing into a caller-provided buffer
+    /// (cleared first), so a hot sampling loop can reuse one allocation
+    /// across cells. Penalties are identical to the allocating form.
+    pub fn score_candidates_into(
+        &self,
+        cell: CellContext<'_>,
+        values: &[Value],
+        weights: &[f64],
+        parallel: bool,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
         let scorers = self.scorers();
         #[cfg(feature = "parallel")]
         {
             let per_candidate: usize = scorers.iter().map(|(_, s)| s.scan_cost()).sum();
             let work = values.len().saturating_mul(per_candidate.max(1));
             if parallel && work >= MIN_PARALLEL_WORK && rayon::current_num_threads() > 1 {
-                return rayon::par_map_indexed(values.len(), |i| {
+                out.extend(rayon::par_map_indexed(values.len(), |i| {
                     penalty_with(&scorers, &cell.with(values[i]), weights)
-                });
+                }));
+                return;
             }
         }
         let _ = parallel;
-        values
-            .iter()
-            .map(|&v| penalty_with(&scorers, &cell.with(v), weights))
-            .collect()
+        out.extend(
+            values
+                .iter()
+                .map(|&v| penalty_with(&scorers, &cell.with(v), weights)),
+        );
     }
 
     fn scorers(&self) -> Vec<(usize, DcScorer<'_>)> {

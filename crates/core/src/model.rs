@@ -14,14 +14,36 @@
 //! and the privacy accounting in [`crate::params`] charges it as an extra
 //! full-rate Gaussian release.
 
+use std::cell::RefCell;
+
 use kamino_data::stats::Standardizer;
 use kamino_data::{AttrKind, Schema, Value};
 use kamino_nn::layers::EncoderCache;
 use kamino_nn::{
     Attention, CategoricalHead, ContinuousEncoder, Embedding, GaussianHead, ParamBlock,
-    PerExampleModel,
+    PerExampleModel, Scratch,
 };
 use rand::Rng;
+
+/// Per-thread buffer pool for the sub-model hot paths (training
+/// forward/backward and sampling-time prediction). Buffers are re-zeroed
+/// or fully overwritten before every use, so pooling changes no numeric
+/// result — it only removes the per-example/per-cell allocations. Thread
+/// locality keeps the microbatch-parallel DP-SGD workers and the sampler's
+/// shard threads from contending on a shared pool.
+#[derive(Default)]
+struct TrainScratch {
+    nn: Scratch,
+    embs: Vec<Vec<f64>>,
+    ctxs: Vec<EmbedCtx>,
+    d_embs: Vec<Vec<f64>>,
+    v: Vec<f64>,
+    dv: Vec<f64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<TrainScratch> = RefCell::new(TrainScratch::default());
+}
 
 /// Embeds one attribute's values into `R^dim`.
 #[derive(Clone)]
@@ -132,13 +154,26 @@ impl EmbeddingStore {
 
     /// Embeds `v` (a value of attribute `attr`) into `out`.
     pub fn embed(&self, attr: usize, v: Value, out: &mut [f64]) -> EmbedCtx {
+        self.embed_pooled(attr, v, out, &mut Scratch::new())
+    }
+
+    /// [`EmbeddingStore::embed`] with the numeric encoder's hidden buffer
+    /// drawn from `scratch`; retire the returned `EmbedCtx::Num` cache via
+    /// [`EncoderCache::recycle`] once backward is done with it.
+    pub fn embed_pooled(
+        &self,
+        attr: usize,
+        v: Value,
+        out: &mut [f64],
+        scratch: &mut Scratch,
+    ) -> EmbedCtx {
         match (self.emb(attr), v) {
             (AttrEmbedder::Cat(e), Value::Cat(code)) => {
                 out.copy_from_slice(e.forward(code));
                 EmbedCtx::Cat(code)
             }
             (AttrEmbedder::Num { enc, std }, Value::Num(x)) => {
-                EmbedCtx::Num(enc.forward(std.forward(x), out))
+                EmbedCtx::Num(enc.forward_pooled(std.forward(x), out, scratch))
             }
             _ => panic!("value kind does not match attribute {attr}'s embedder"),
         }
@@ -146,9 +181,22 @@ impl EmbeddingStore {
 
     /// Backpropagates `dz` through the embedder used in [`Self::embed`].
     pub fn backward(&mut self, attr: usize, ctx: &EmbedCtx, dz: &[f64]) {
+        self.backward_pooled(attr, ctx, dz, &mut Scratch::new())
+    }
+
+    /// [`EmbeddingStore::backward`] with intermediates pooled in `scratch`.
+    pub fn backward_pooled(
+        &mut self,
+        attr: usize,
+        ctx: &EmbedCtx,
+        dz: &[f64],
+        scratch: &mut Scratch,
+    ) {
         match (self.emb_mut(attr), ctx) {
             (AttrEmbedder::Cat(e), EmbedCtx::Cat(code)) => e.backward(*code, dz),
-            (AttrEmbedder::Num { enc, .. }, EmbedCtx::Num(cache)) => enc.backward(cache, dz),
+            (AttrEmbedder::Num { enc, .. }, EmbedCtx::Num(cache)) => {
+                enc.backward_pooled(cache, dz, scratch)
+            }
             _ => panic!("embed context does not match attribute {attr}'s embedder"),
         }
     }
@@ -223,20 +271,27 @@ impl SubModel {
             "context arity mismatch"
         );
         let dim = store.dim();
-        let embs: Vec<Vec<f64>> = self
-            .context
-            .iter()
-            .zip(ctx_values)
-            .map(|(&attr, &v)| {
-                let mut e = vec![0.0; dim];
-                store.embed(attr, v, &mut e);
-                e
-            })
-            .collect();
-        let refs: Vec<&[f64]> = embs.iter().map(Vec::as_slice).collect();
-        let mut v = vec![0.0; dim];
-        attention.forward(&refs, &mut v);
-        v
+        let m = self.context.len();
+        // Sampling calls this once per candidate-scored cell; the pooled
+        // buffers keep the prediction path allocation-free apart from the
+        // returned vector.
+        SCRATCH.with(|cell| {
+            let sc = &mut *cell.borrow_mut();
+            let TrainScratch { nn, embs, .. } = sc;
+            embs.resize_with(m, Vec::new);
+            for ((&attr, &val), e) in self.context.iter().zip(ctx_values).zip(embs.iter_mut()) {
+                e.clear();
+                e.resize(dim, 0.0);
+                if let EmbedCtx::Num(cache) = store.embed_pooled(attr, val, e, nn) {
+                    cache.recycle(nn);
+                }
+            }
+            let refs: Vec<&[f64]> = embs.iter().map(Vec::as_slice).collect();
+            let mut v = vec![0.0; dim];
+            let cache = attention.forward_pooled(&refs, &mut v, nn);
+            nn.put(cache.alpha);
+            v
+        })
     }
 
     /// Class probabilities for a categorical target given context values
@@ -333,34 +388,69 @@ impl PerExampleModel<TrainRow> for SubModelTrainer<'_> {
             panic!("training a noisy-marginal sub-model")
         };
         let dim = self.store.dim();
-        // embed contexts (owned copies so the store can be mutated later)
-        let mut embs: Vec<Vec<f64>> = Vec::with_capacity(self.sm.context.len());
-        let mut ctxs: Vec<EmbedCtx> = Vec::with_capacity(self.sm.context.len());
-        for (&attr, &v) in self.sm.context.iter().zip(&row.context) {
-            let mut e = vec![0.0; dim];
-            ctxs.push(self.store.embed(attr, v, &mut e));
-            embs.push(e);
-        }
-        let refs: Vec<&[f64]> = embs.iter().map(Vec::as_slice).collect();
-        let mut v = vec![0.0; dim];
-        let att_cache = attention.forward(&refs, &mut v);
-        // head loss + gradient at the context vector
-        let mut dv = vec![0.0; dim];
-        let loss = match head {
-            Head::Cat(h) => h.loss_backward(&v, row.target.cat(), &mut dv),
-            Head::Num(h) => {
-                let std = self.store.standardizer(self.sm.target);
-                h.loss_backward(&v, std.forward(row.target.num()), &mut dv)
+        let m = self.sm.context.len();
+        // All intermediates come from the per-thread pool; every buffer is
+        // zeroed/overwritten before use, so the arithmetic is identical to
+        // the allocating formulation — just without the ~4·|context| heap
+        // allocations per example.
+        SCRATCH.with(|cell| {
+            let sc = &mut *cell.borrow_mut();
+            let TrainScratch {
+                nn,
+                embs,
+                ctxs,
+                d_embs,
+                v,
+                dv,
+            } = sc;
+            // embed contexts (owned copies so the store can be mutated later)
+            embs.resize_with(m, Vec::new);
+            ctxs.clear();
+            for ((&attr, &val), e) in self
+                .sm
+                .context
+                .iter()
+                .zip(&row.context)
+                .zip(embs.iter_mut())
+            {
+                e.clear();
+                e.resize(dim, 0.0);
+                ctxs.push(self.store.embed_pooled(attr, val, e, nn));
             }
-        };
-        // attention backward → per-context embedding grads
-        let mut d_embs = vec![vec![0.0; dim]; embs.len()];
-        attention.backward(&refs, &att_cache, &dv, &mut d_embs);
-        drop(refs);
-        for ((&attr, ctx), de) in self.sm.context.iter().zip(&ctxs).zip(&d_embs) {
-            self.store.backward(attr, ctx, de);
-        }
-        loss
+            let refs: Vec<&[f64]> = embs.iter().map(Vec::as_slice).collect();
+            v.clear();
+            v.resize(dim, 0.0);
+            let att_cache = attention.forward_pooled(&refs, v, nn);
+            // head loss + gradient at the context vector
+            dv.clear();
+            dv.resize(dim, 0.0);
+            let loss = match head {
+                Head::Cat(h) => h.loss_backward_pooled(v, row.target.cat(), dv, nn),
+                Head::Num(h) => {
+                    let std = self.store.standardizer(self.sm.target);
+                    h.loss_backward(v, std.forward(row.target.num()), dv)
+                }
+            };
+            // attention backward → per-context embedding grads
+            d_embs.resize_with(m, Vec::new);
+            for de in d_embs.iter_mut() {
+                de.clear();
+                de.resize(dim, 0.0);
+            }
+            attention.backward_pooled(&refs, &att_cache, dv, d_embs, nn);
+            drop(refs);
+            nn.put(att_cache.alpha);
+            for ((&attr, ctx), de) in self.sm.context.iter().zip(ctxs.iter()).zip(d_embs.iter()) {
+                self.store.backward_pooled(attr, ctx, de, nn);
+            }
+            // retire the numeric encoder caches back into the pool
+            for ctx in ctxs.drain(..) {
+                if let EmbedCtx::Num(cache) = ctx {
+                    cache.recycle(nn);
+                }
+            }
+            loss
+        })
     }
 
     fn visit_blocks(&mut self, f: &mut dyn FnMut(&mut ParamBlock)) {

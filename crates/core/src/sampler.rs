@@ -137,6 +137,30 @@ impl SampleConfig {
     }
 }
 
+/// Reusable buffers for one sampling engine's cell loop (a bump-style
+/// arena: every buffer is cleared and refilled per cell, never freed), so
+/// the `n × k` inner loop is allocation-free in steady state. One arena
+/// per sequential run and one per shard thread — arenas are never shared,
+/// so no synchronization is involved. Purely a memory-reuse vehicle: no
+/// RNG draws, value computations, or iteration orders change, which keeps
+/// the sampled output bit-identical to the allocating implementation.
+#[derive(Default)]
+struct CellArena {
+    /// Candidate set `(value, model probability)` for the current cell.
+    candidates: Vec<(Value, f64)>,
+    /// Candidate values split out for the batch scorer.
+    values: Vec<Value>,
+    /// Weighted violation penalties, aligned with `values`.
+    penalties: Vec<f64>,
+    /// Final sampling weights `p · exp(−penalty)` (also reused for the
+    /// plain model probabilities on the constraint-unaware path).
+    scored: Vec<f64>,
+    /// Context-attribute values for the sub-model predictors.
+    ctx: Vec<Value>,
+    /// Scratch for top-k candidate selection over categorical domains.
+    idx_buf: Vec<(usize, f64)>,
+}
+
 /// Synthesizes an instance from the trained model (Algorithm 3).
 ///
 /// `weights` is aligned with `dcs`; hard DCs carry
@@ -158,6 +182,7 @@ pub fn synthesize<R: Rng + ?Sized>(
     let k = model.sequence.len();
     let mut inst = Instance::zeroed(schema, n);
     let active = active_dcs_by_position(&model.sequence, dcs);
+    let mut arena = CellArena::default();
 
     for (j, active_j) in active.iter().enumerate().take(k) {
         let target = model.sequence[j];
@@ -165,7 +190,7 @@ pub fn synthesize<R: Rng + ?Sized>(
 
         for i in 0..n {
             let value = sample_cell(
-                schema, model, j, &inst, i, &scores, weights, cfg, false, rng,
+                schema, model, j, &inst, i, &scores, weights, cfg, false, &mut arena, rng,
             );
             inst.set(i, target, value);
             scores.insert(&CandidateRow::committed(&inst, i, target));
@@ -176,7 +201,17 @@ pub fn synthesize<R: Rng + ?Sized>(
         // candidate draws share one interleaved RNG stream, and every
         // site is re-scored through the same batch substrate as the main
         // pass.
-        mcmc_pass(schema, model, j, &mut inst, &mut scores, weights, cfg, rng);
+        mcmc_pass(
+            schema,
+            model,
+            j,
+            &mut inst,
+            &mut scores,
+            weights,
+            cfg,
+            &mut arena,
+            rng,
+        );
     }
     inst
 }
@@ -194,13 +229,16 @@ fn mcmc_pass<R: Rng + ?Sized>(
     scores: &mut ScoreSet,
     weights: &[f64],
     cfg: &SampleConfig,
+    arena: &mut CellArena,
     rng: &mut R,
 ) {
     let target = model.sequence[j];
     for _ in 0..cfg.mcmc_resamples {
         let r = rng.gen_range(0..cfg.n);
         scores.remove(&CandidateRow::committed(inst, r, target));
-        let value = sample_cell(schema, model, j, inst, r, scores, weights, cfg, false, rng);
+        let value = sample_cell(
+            schema, model, j, inst, r, scores, weights, cfg, false, arena, rng,
+        );
         inst.set(r, target, value);
         scores.insert(&CandidateRow::committed(inst, r, target));
     }
@@ -238,6 +276,9 @@ fn synthesize_sharded<R: Rng + ?Sized>(
     let active = active_dcs_by_position(&model.sequence, dcs);
     let bounds = shard_bounds(n, s_count);
     let any_hard = weights.iter().any(|w| w.is_infinite());
+    // Arena for the main thread's repair/MCMC re-samples; shard threads
+    // build their own (arenas are thread-confined by construction).
+    let mut arena = CellArena::default();
 
     for (j, active_j) in active.iter().enumerate().take(k) {
         let target = model.sequence[j];
@@ -261,6 +302,7 @@ fn synthesize_sharded<R: Rng + ?Sized>(
                     scope.spawn(move || {
                         let mut shard_rng = StdRng::seed_from_u64(seed);
                         let mut scores = ScoreSet::build(active_j, dcs);
+                        let mut shard_arena = CellArena::default();
                         let mut values = Vec::with_capacity(hi - lo);
                         for i in lo..hi {
                             let v = sample_cell(
@@ -273,6 +315,7 @@ fn synthesize_sharded<R: Rng + ?Sized>(
                                 weights,
                                 cfg,
                                 false,
+                                &mut shard_arena,
                                 &mut shard_rng,
                             );
                             scores.insert(&CandidateRow::new(inst_ref, i, target, v));
@@ -328,8 +371,9 @@ fn synthesize_sharded<R: Rng + ?Sized>(
                     scores.remove(&CandidateRow::committed(&inst, r, target));
                 }
                 for &r in &conflicted {
-                    let v =
-                        sample_cell(schema, model, j, &inst, r, &scores, weights, cfg, true, rng);
+                    let v = sample_cell(
+                        schema, model, j, &inst, r, &scores, weights, cfg, true, &mut arena, rng,
+                    );
                     inst.set(r, target, v);
                     scores.insert(&CandidateRow::committed(&inst, r, target));
                 }
@@ -338,7 +382,17 @@ fn synthesize_sharded<R: Rng + ?Sized>(
 
         // Constrained MCMC (Algorithm 3 line 12), against the merged
         // scorer — the exact helper the sequential path runs.
-        mcmc_pass(schema, model, j, &mut inst, &mut scores, weights, cfg, rng);
+        mcmc_pass(
+            schema,
+            model,
+            j,
+            &mut inst,
+            &mut scores,
+            weights,
+            cfg,
+            &mut arena,
+            rng,
+        );
     }
     inst
 }
@@ -362,6 +416,7 @@ fn sample_cell<R: Rng + ?Sized>(
     weights: &[f64],
     cfg: &SampleConfig,
     repair_majority: bool,
+    arena: &mut CellArena,
     rng: &mut R,
 ) -> Value {
     let target = model.sequence[j];
@@ -381,10 +436,18 @@ fn sample_cell<R: Rng + ?Sized>(
         }
     }
 
-    let mut candidates = candidate_values(schema, model, j, inst, row, cfg, rng);
+    candidate_values(schema, model, j, inst, row, cfg, arena, rng);
+    let CellArena {
+        candidates,
+        values,
+        penalties,
+        scored,
+        ..
+    } = arena;
     if !cfg.constraint_aware || scores.is_empty() {
-        let probs: Vec<f64> = candidates.iter().map(|&(_, p)| p).collect();
-        return candidates[sample_weighted(&probs, rng)].0;
+        scored.clear();
+        scored.extend(candidates.iter().map(|&(_, p)| p));
+        return candidates[sample_weighted(scored, rng)].0;
     }
 
     // For hard FDs whose dependent is the attribute being sampled, the
@@ -441,7 +504,7 @@ fn sample_cell<R: Rng + ?Sized>(
                 schema.attr(target).kind,
                 AttrKind::Numeric { integer: true, .. }
             );
-            for (v, _) in &mut candidates {
+            for (v, _) in candidates.iter_mut() {
                 let clamped = v.num().clamp(lo, hi);
                 let adjusted = if integer {
                     let r = clamped.round();
@@ -463,11 +526,12 @@ fn sample_cell<R: Rng + ?Sized>(
     // counters' prefix indexes are immutable for the duration, so the
     // penalties can be (and by default are) evaluated concurrently.
     let cell = CellContext::new(inst, row, target);
-    let values: Vec<Value> = candidates.iter().map(|&(v, _)| v).collect();
-    let penalties = scores.score_candidates(cell, &values, weights, cfg.parallel);
-    let mut scored = Vec::with_capacity(candidates.len());
+    values.clear();
+    values.extend(candidates.iter().map(|&(v, _)| v));
+    scores.score_candidates_into(cell, values, weights, cfg.parallel, penalties);
+    scored.clear();
     let mut best_fallback = (f64::INFINITY, f64::NEG_INFINITY, 0usize); // (penalty, p, idx)
-    for (idx, (&(_, p), &penalty)) in candidates.iter().zip(&penalties).enumerate() {
+    for (idx, (&(_, p), &penalty)) in candidates.iter().zip(penalties.iter()).enumerate() {
         scored.push(p * (-penalty).exp());
         if penalty < best_fallback.0 || (penalty == best_fallback.0 && p > best_fallback.1) {
             best_fallback = (penalty, p, idx);
@@ -475,7 +539,7 @@ fn sample_cell<R: Rng + ?Sized>(
     }
     let total: f64 = scored.iter().sum();
     if total > 0.0 && total.is_finite() {
-        candidates[sample_weighted(&scored, rng)].0
+        candidates[sample_weighted(scored, rng)].0
     } else {
         // every candidate violates a hard DC: take the least-violating one
         candidates[best_fallback.2].0
@@ -491,7 +555,12 @@ fn placeholder_value(schema: &Schema, attr: usize) -> Value {
     }
 }
 
-/// Builds the candidate set `D(S[j])` with model probabilities.
+/// Builds the candidate set `D(S[j])` with model probabilities into
+/// `arena.candidates` (cleared first; `arena.ctx`/`arena.idx_buf` serve as
+/// scratch). Identical values and probabilities, in identical order, to
+/// the old allocating form — candidate construction drives the RNG, so
+/// order *is* part of the determinism contract.
+#[allow(clippy::too_many_arguments)]
 fn candidate_values<R: Rng + ?Sized>(
     schema: &Schema,
     model: &DataModel,
@@ -499,70 +568,78 @@ fn candidate_values<R: Rng + ?Sized>(
     inst: &Instance,
     row: usize,
     cfg: &SampleConfig,
+    arena: &mut CellArena,
     rng: &mut R,
-) -> Vec<(Value, f64)> {
+) {
     let target = model.sequence[j];
     let attr = schema.attr(target);
     let q = Quantizer::for_attr(attr);
+    let out = &mut arena.candidates;
+    out.clear();
 
     // Position 0 draws from the released first-attribute distribution.
     if j == 0 {
-        return (0..model.first_dist.len())
-            .map(|b| (q.sample_in_bin(b, rng), model.first_dist[b]))
-            .collect();
+        out.extend(
+            (0..model.first_dist.len()).map(|b| (q.sample_in_bin(b, rng), model.first_dist[b])),
+        );
+        return;
     }
 
     let sm: &SubModel = model.submodel_at(j);
-    let ctx: Vec<Value> = model.sequence[..j]
-        .iter()
-        .map(|&a| inst.value(row, a))
-        .collect();
+    let ctx = &mut arena.ctx;
+    ctx.clear();
+    ctx.extend(model.sequence[..j].iter().map(|&a| inst.value(row, a)));
 
     match (&sm.kind, &attr.kind) {
         (SubModelKind::NoisyMarginal { dist }, AttrKind::Categorical { .. }) => {
-            top_k_candidates(dist, cfg.max_cat_candidates)
-                .into_iter()
-                .map(|(code, p)| (Value::Cat(code as u32), p))
-                .collect()
+            top_k_into(dist, cfg.max_cat_candidates, &mut arena.idx_buf);
+            out.extend(
+                arena
+                    .idx_buf
+                    .iter()
+                    .map(|&(code, p)| (Value::Cat(code as u32), p)),
+            );
         }
-        (SubModelKind::NoisyMarginal { dist }, AttrKind::Numeric { .. }) => (0..cfg.d_candidates)
-            .map(|_| {
+        (SubModelKind::NoisyMarginal { dist }, AttrKind::Numeric { .. }) => {
+            out.extend((0..cfg.d_candidates).map(|_| {
                 let b = sample_weighted(dist, rng);
                 (q.sample_in_bin(b, rng), dist[b])
-            })
-            .collect(),
+            }));
+        }
         (SubModelKind::Discriminative { .. }, AttrKind::Categorical { .. }) => {
-            let p = sm.predict_cat(&model.store, &ctx);
-            top_k_candidates(&p, cfg.max_cat_candidates)
-                .into_iter()
-                .map(|(code, p)| (Value::Cat(code as u32), p))
-                .collect()
+            let p = sm.predict_cat(&model.store, ctx);
+            top_k_into(&p, cfg.max_cat_candidates, &mut arena.idx_buf);
+            out.extend(
+                arena
+                    .idx_buf
+                    .iter()
+                    .map(|&(code, p)| (Value::Cat(code as u32), p)),
+            );
         }
         (SubModelKind::Discriminative { .. }, AttrKind::Numeric { .. }) => {
-            let (mu, sigma) = sm.predict_num(&model.store, &ctx);
-            (0..cfg.d_candidates)
-                .map(|_| {
-                    let raw = kamino_dp::normal::normal(rng, mu, sigma.max(1e-9));
-                    let v = q.clamp(Value::Num(raw));
-                    // weight ∝ model density at the (clamped) candidate
-                    let z = (v.num() - mu) / sigma.max(1e-9);
-                    (v, (-0.5 * z * z).exp().max(1e-300))
-                })
-                .collect()
+            let (mu, sigma) = sm.predict_num(&model.store, ctx);
+            out.extend((0..cfg.d_candidates).map(|_| {
+                let raw = kamino_dp::normal::normal(rng, mu, sigma.max(1e-9));
+                let v = q.clamp(Value::Num(raw));
+                // weight ∝ model density at the (clamped) candidate
+                let z = (v.num() - mu) / sigma.max(1e-9);
+                (v, (-0.5 * z * z).exp().max(1e-300))
+            }));
         }
     }
 }
 
-/// The `k` most probable codes with their probabilities (all codes when the
-/// domain is small).
-fn top_k_candidates(dist: &[f64], k: usize) -> Vec<(usize, f64)> {
-    if dist.len() <= k {
-        return dist.iter().copied().enumerate().collect();
+/// The `k` most probable codes with their probabilities (all codes when
+/// the domain is small), written into a reused buffer (cleared first).
+/// The sort is stable and keyed only on the input, so buffer reuse cannot
+/// change the selection.
+fn top_k_into(dist: &[f64], k: usize, out: &mut Vec<(usize, f64)>) {
+    out.clear();
+    out.extend(dist.iter().copied().enumerate());
+    if out.len() > k {
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
+        out.truncate(k);
     }
-    let mut indexed: Vec<(usize, f64)> = dist.iter().copied().enumerate().collect();
-    indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
-    indexed.truncate(k);
-    indexed
 }
 
 #[cfg(test)]
@@ -766,11 +843,14 @@ mod tests {
     #[test]
     fn top_k_candidates_selects_mass() {
         let dist = vec![0.05, 0.4, 0.05, 0.3, 0.2];
-        let top = top_k_candidates(&dist, 3);
+        let mut top = Vec::new();
+        top_k_into(&dist, 3, &mut top);
         let idxs: Vec<usize> = top.iter().map(|&(i, _)| i).collect();
         assert_eq!(idxs, vec![1, 3, 4]);
-        // small domains pass through untouched, in order
-        let all = top_k_candidates(&dist, 10);
+        // small domains pass through untouched, in order — reusing the
+        // dirty buffer must not leak previous contents
+        let mut all = top;
+        top_k_into(&dist, 10, &mut all);
         assert_eq!(all.len(), 5);
         assert_eq!(all[0], (0, 0.05));
     }

@@ -13,6 +13,7 @@
 
 use crate::linalg::{axpy, dot, softmax_in_place};
 use crate::param::ParamBlock;
+use crate::scratch::Scratch;
 
 /// Softmax attention with one learnable score per context attribute.
 #[derive(Debug, Clone)]
@@ -70,13 +71,27 @@ impl Attention {
     /// Combines context embeddings into the context vector
     /// `v = Σ α_i e_i`, `α = softmax(scores)`.
     pub fn forward(&self, embeddings: &[&[f64]], v: &mut [f64]) -> AttentionCache {
+        let mut scratch = Scratch::new();
+        self.forward_pooled(embeddings, v, &mut scratch)
+    }
+
+    /// [`Attention::forward`] with the cache's `α` buffer drawn from
+    /// `scratch`; retire it with `scratch.put(cache.alpha)` after backward.
+    pub fn forward_pooled(
+        &self,
+        embeddings: &[&[f64]],
+        v: &mut [f64],
+        scratch: &mut Scratch,
+    ) -> AttentionCache {
         assert_eq!(
             embeddings.len(),
             self.scores.len(),
             "context arity mismatch"
         );
         assert_eq!(v.len(), self.dim);
-        let alpha = self.weights();
+        let mut alpha = scratch.take(self.scores.len());
+        alpha.copy_from_slice(&self.scores.values);
+        softmax_in_place(&mut alpha);
         v.iter_mut().for_each(|x| *x = 0.0);
         for (a, e) in alpha.iter().zip(embeddings) {
             axpy(*a, e, v);
@@ -96,15 +111,33 @@ impl Attention {
         dv: &[f64],
         d_embeddings: &mut [Vec<f64>],
     ) {
+        let mut scratch = Scratch::new();
+        self.backward_pooled(embeddings, cache, dv, d_embeddings, &mut scratch);
+    }
+
+    /// [`Attention::backward`] with the `g_i = e_i · dv` intermediate drawn
+    /// from (and returned to) `scratch`.
+    pub fn backward_pooled(
+        &mut self,
+        embeddings: &[&[f64]],
+        cache: &AttentionCache,
+        dv: &[f64],
+        d_embeddings: &mut [Vec<f64>],
+        scratch: &mut Scratch,
+    ) {
         let m = embeddings.len();
         assert_eq!(d_embeddings.len(), m);
-        let g: Vec<f64> = embeddings.iter().map(|e| dot(e, dv)).collect();
+        let mut g = scratch.take(m);
+        for (gi, e) in g.iter_mut().zip(embeddings) {
+            *gi = dot(e, dv);
+        }
         let mean: f64 = cache.alpha.iter().zip(&g).map(|(a, gi)| a * gi).sum();
         for i in 0..m {
             self.scores.grads[i] += cache.alpha[i] * (g[i] - mean);
             d_embeddings[i].iter_mut().for_each(|x| *x = 0.0);
             axpy(cache.alpha[i], dv, &mut d_embeddings[i]);
         }
+        scratch.put(g);
     }
 
     /// Applies `f` to the score block.

@@ -9,6 +9,7 @@ use crate::layers::Linear;
 use crate::linalg::softmax_in_place;
 use crate::loss::{gaussian_nll, softmax_cross_entropy};
 use crate::param::ParamBlock;
+use crate::scratch::Scratch;
 
 /// Categorical head: `logits = W·v + b`, softmax prediction, cross-entropy
 /// training loss.
@@ -51,12 +52,27 @@ impl CategoricalHead {
     /// Training step piece: computes the cross-entropy loss for `target`
     /// and accumulates parameter gradients; writes `∂L/∂v` into `dv`.
     pub fn loss_backward(&mut self, v: &[f64], target: u32, dv: &mut [f64]) -> f64 {
-        let mut logits = vec![0.0; self.card()];
+        let mut scratch = Scratch::new();
+        self.loss_backward_pooled(v, target, dv, &mut scratch)
+    }
+
+    /// [`CategoricalHead::loss_backward`] with the logit buffers drawn
+    /// from (and returned to) `scratch`.
+    pub fn loss_backward_pooled(
+        &mut self,
+        v: &[f64],
+        target: u32,
+        dv: &mut [f64],
+        scratch: &mut Scratch,
+    ) -> f64 {
+        let mut logits = scratch.take(self.card());
         self.linear.forward(v, &mut logits);
-        let mut dlogits = vec![0.0; self.card()];
+        let mut dlogits = scratch.take(self.card());
         let loss = softmax_cross_entropy(&logits, target as usize, &mut dlogits);
         dv.iter_mut().for_each(|x| *x = 0.0);
         self.linear.backward(v, &dlogits, Some(dv));
+        scratch.put(logits);
+        scratch.put(dlogits);
         loss
     }
 

@@ -5,6 +5,7 @@ use rand::Rng;
 use crate::init::xavier;
 use crate::linalg::{axpy, matvec, matvec_t_acc, outer_acc};
 use crate::param::ParamBlock;
+use crate::scratch::Scratch;
 
 /// A dense layer `y = W·x + b`.
 #[derive(Debug, Clone)]
@@ -177,6 +178,14 @@ pub struct EncoderCache {
     hidden: Vec<f64>, // post-ReLU
 }
 
+impl EncoderCache {
+    /// Retires the cache's hidden buffer back into `scratch` once backward
+    /// no longer needs it (pairs with [`ContinuousEncoder::forward_pooled`]).
+    pub fn recycle(self, scratch: &mut Scratch) {
+        scratch.put(self.hidden);
+    }
+}
+
 impl ContinuousEncoder {
     /// A new encoder producing `dim`-dimensional embeddings.
     pub fn new<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> ContinuousEncoder {
@@ -221,7 +230,18 @@ impl ContinuousEncoder {
 
     /// Computes `z = B·relu(A·x + c) + d`, returning the cache for backward.
     pub fn forward(&self, x: f64, z: &mut [f64]) -> EncoderCache {
-        let mut hidden = vec![0.0; self.dim];
+        self.forward_with_hidden(x, z, vec![0.0; self.dim])
+    }
+
+    /// Like [`ContinuousEncoder::forward`], but the cache's hidden buffer
+    /// comes from `scratch`; retire the cache with
+    /// [`EncoderCache::recycle`] when backward is done with it.
+    pub fn forward_pooled(&self, x: f64, z: &mut [f64], scratch: &mut Scratch) -> EncoderCache {
+        self.forward_with_hidden(x, z, scratch.take(self.dim))
+    }
+
+    fn forward_with_hidden(&self, x: f64, z: &mut [f64], mut hidden: Vec<f64>) -> EncoderCache {
+        debug_assert_eq!(hidden.len(), self.dim);
         for ((h, &a), &c) in hidden.iter_mut().zip(&self.a.values).zip(&self.c.values) {
             *h = (a * x + c).max(0.0);
         }
@@ -232,10 +252,17 @@ impl ContinuousEncoder {
 
     /// Accumulates parameter gradients given the output gradient `dz`.
     pub fn backward(&mut self, cache: &EncoderCache, dz: &[f64]) {
+        let mut scratch = Scratch::new();
+        self.backward_pooled(cache, dz, &mut scratch);
+    }
+
+    /// [`ContinuousEncoder::backward`] with the intermediate `dh` buffer
+    /// drawn from (and returned to) `scratch`.
+    pub fn backward_pooled(&mut self, cache: &EncoderCache, dz: &[f64], scratch: &mut Scratch) {
         // z = B·h + d
         outer_acc(&mut self.b.grads, dz, &cache.hidden);
         axpy(1.0, dz, &mut self.d.grads);
-        let mut dh = vec![0.0; self.dim];
+        let mut dh = scratch.take(self.dim);
         matvec_t_acc(&self.b.values, dz, &mut dh);
         // h = relu(a·x + c)
         for ((&dhi, &h), (ga, gc)) in dh
@@ -248,6 +275,7 @@ impl ContinuousEncoder {
                 *gc += dhi;
             }
         }
+        scratch.put(dh);
     }
 
     /// Applies `f` to all four parameter blocks.

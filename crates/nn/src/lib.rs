@@ -21,7 +21,9 @@
 //! * [`optim`] — DP-SGD (per-example clip → sum → Gaussian noise →
 //!   average, Algorithm 2 lines 13–16); plain SGD is the
 //!   `noise = 0, clip = ∞` special case so private and non-private runs
-//!   share one code path.
+//!   share one code path,
+//! * [`scratch`] — a recycling buffer pool backing the `*_pooled` layer
+//!   variants so the per-example hot loops stay allocation-free.
 
 pub mod attention;
 pub mod heads;
@@ -32,6 +34,7 @@ pub mod loss;
 pub mod mlp;
 pub mod optim;
 pub mod param;
+pub mod scratch;
 pub mod snapshot;
 
 pub use attention::Attention;
@@ -40,6 +43,7 @@ pub use layers::{ContinuousEncoder, Embedding, Linear};
 pub use mlp::Mlp;
 pub use optim::{microbatch_parallel_worthwhile, DpSgd, PerExampleModel, MICROBATCH};
 pub use param::ParamBlock;
+pub use scratch::Scratch;
 
 // Public so downstream crates can gradient-check their composite models
 // (kamino-core's sub-models run the same harness in their tests).

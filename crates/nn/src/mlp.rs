@@ -6,8 +6,9 @@
 
 use rand::Rng;
 
-use crate::layers::{relu, relu_backward, Linear};
+use crate::layers::Linear;
 use crate::param::ParamBlock;
+use crate::scratch::Scratch;
 
 /// A feed-forward network `linear → relu → … → linear`.
 #[derive(Debug, Clone)]
@@ -50,22 +51,30 @@ impl Mlp {
 
     /// Runs the network, filling `cache` for a later [`Mlp::backward`].
     /// Returns the output activation.
+    ///
+    /// Reusing the same `cache` across calls also reuses its activation
+    /// buffers, so steady-state forward passes only allocate the returned
+    /// output vector.
     pub fn forward(&self, x: &[f64], cache: &mut MlpCache) -> Vec<f64> {
-        cache.acts.clear();
-        cache.acts.push(x.to_vec());
-        let last = self.layers.len() - 1;
+        let n = self.layers.len();
+        cache.acts.resize_with(n + 1, Vec::new);
+        cache.acts[0].clear();
+        cache.acts[0].extend_from_slice(x);
+        let last = n - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            let mut out = vec![0.0; layer.n_out()];
-            layer.forward(cache.acts.last().unwrap(), &mut out);
+            let (prev, rest) = cache.acts.split_at_mut(i + 1);
+            let out = &mut rest[0];
+            out.clear();
+            out.resize(layer.n_out(), 0.0);
+            layer.forward(&prev[i], out);
             if i != last {
-                let mut act = vec![0.0; out.len()];
-                relu(&out, &mut act);
-                cache.acts.push(act);
-            } else {
-                cache.acts.push(out);
+                // ReLU in place: the cache stores the post-activation value
+                for v in out.iter_mut() {
+                    *v = v.max(0.0);
+                }
             }
         }
-        cache.acts.last().unwrap().clone()
+        cache.acts[n].clone()
     }
 
     /// Inference-only forward (no cache retained).
@@ -77,23 +86,38 @@ impl Mlp {
     /// Backpropagates `dout` (gradient at the network output), accumulating
     /// parameter gradients, and returns the gradient at the input.
     pub fn backward(&mut self, cache: &MlpCache, dout: &[f64]) -> Vec<f64> {
+        let mut scratch = Scratch::new();
+        self.backward_pooled(cache, dout, &mut scratch)
+    }
+
+    /// [`Mlp::backward`] with all intermediate gradient buffers drawn from
+    /// `scratch`; the returned input gradient can be retired back into the
+    /// pool by the caller.
+    pub fn backward_pooled(
+        &mut self,
+        cache: &MlpCache,
+        dout: &[f64],
+        scratch: &mut Scratch,
+    ) -> Vec<f64> {
         assert_eq!(
             cache.acts.len(),
             self.layers.len() + 1,
             "cache does not match forward"
         );
-        let mut grad = dout.to_vec();
+        let mut grad = scratch.take(dout.len());
+        grad.copy_from_slice(dout);
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter_mut().enumerate().rev() {
             // ReLU backward for hidden layers (the cached act is post-ReLU)
             if i != last {
                 let act = &cache.acts[i + 1];
-                let mut masked = vec![0.0; grad.len()];
-                relu_backward(act, &grad, &mut masked);
-                grad = masked;
+                for (g, &a) in grad.iter_mut().zip(act) {
+                    *g = if a > 0.0 { *g } else { 0.0 };
+                }
             }
-            let mut dx = vec![0.0; layer.n_in()];
+            let mut dx = scratch.take(layer.n_in());
             layer.backward(&cache.acts[i], &grad, Some(&mut dx));
+            scratch.put(grad);
             grad = dx;
         }
         grad

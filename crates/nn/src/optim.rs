@@ -64,7 +64,55 @@ pub fn microbatch_parallel_worthwhile(batch_len: usize) -> bool {
 
 /// Accumulates the clipped per-example gradient sums and total loss for
 /// `batch` (one microbatch) into fresh buffers shaped like `sizes`.
+///
+/// This is the **fused** clip-and-accumulate kernel: after each example's
+/// backward pass, one traversal computes the global L2 norm and a second
+/// fused traversal scales, accumulates into `sums`, *and re-zeroes* the
+/// gradient buffers for the next example — two passes over the gradients
+/// instead of the reference's three (norm, scale-add, zero). The per-sum
+/// arithmetic (`s += scale · g` in block/index order) is exactly that of
+/// [`accumulate_clipped_reference`], so the result is bit-identical; the
+/// parity is property-tested in `tests/proptest_kernels.rs` and pinned by
+/// the `fused_step_matches_reference_step` test below.
 fn accumulate_clipped<E, M>(
+    model: &mut M,
+    batch: &[E],
+    clip: f64,
+    sizes: &[usize],
+) -> (Vec<Vec<f64>>, f64)
+where
+    M: PerExampleModel<E>,
+{
+    let mut sums: Vec<Vec<f64>> = sizes.iter().map(|&n| vec![0.0; n]).collect();
+    let mut total_loss = 0.0;
+    // The fused pass below leaves every gradient buffer zeroed after each
+    // example, so clearing any caller-left state once up front preserves
+    // the trait's "the optimizer zeroes them first" contract.
+    model.visit_blocks(&mut |b| b.zero_grad());
+    for example in batch {
+        total_loss += model.forward_backward(example);
+        // Global L2 norm across all blocks, then clip scale.
+        let mut sq = 0.0;
+        model.visit_blocks(&mut |b| sq += b.grad_sq_norm());
+        let norm = sq.sqrt();
+        let scale = if norm > clip { clip / norm } else { 1.0 };
+        let mut idx = 0;
+        model.visit_blocks(&mut |b| {
+            for (s, g) in sums[idx].iter_mut().zip(b.grads.iter_mut()) {
+                *s += scale * *g;
+                *g = 0.0;
+            }
+            idx += 1;
+        });
+    }
+    (sums, total_loss)
+}
+
+/// The unfused serial-reference twin of [`accumulate_clipped`]: zero the
+/// gradients, backward, norm pass, then a separate scale-and-add pass —
+/// three traversals per example. Kept public so parity tests and the
+/// microbenchmarks can pin the fused kernel against it.
+pub fn accumulate_clipped_reference<E, M>(
     model: &mut M,
     batch: &[E],
     clip: f64,
@@ -78,7 +126,6 @@ where
     for example in batch {
         model.visit_blocks(&mut |b| b.zero_grad());
         total_loss += model.forward_backward(example);
-        // Global L2 norm across all blocks, then clip scale.
         let mut sq = 0.0;
         model.visit_blocks(&mut |b| sq += b.grad_sq_norm());
         let norm = sq.sqrt();
@@ -162,6 +209,37 @@ impl DpSgd {
         let mut total_loss = 0.0;
         for micro in batch.chunks(MICROBATCH) {
             let (part, loss) = accumulate_clipped(model, micro, self.clip, &sizes);
+            for (s, p) in sums.iter_mut().zip(&part) {
+                for (a, b) in s.iter_mut().zip(p) {
+                    *a += b;
+                }
+            }
+            total_loss += loss;
+        }
+        self.apply::<E, _, _>(model, &sums, rng);
+        if batch.is_empty() {
+            0.0
+        } else {
+            total_loss / batch.len() as f64
+        }
+    }
+
+    /// [`DpSgd::step`] built on [`accumulate_clipped_reference`] — the
+    /// unfused three-traversal kernel. Produces bit-identical parameters
+    /// and loss to [`DpSgd::step`]; retained as the serial-reference twin
+    /// for the parity suite and the `micro_substrates` fused-vs-reference
+    /// pair.
+    pub fn step_reference<E, M, R>(&self, model: &mut M, batch: &[E], rng: &mut R) -> f64
+    where
+        M: PerExampleModel<E>,
+        R: Rng + ?Sized,
+    {
+        self.check();
+        let sizes = self.block_sizes::<E, _>(model);
+        let mut sums: Vec<Vec<f64>> = sizes.iter().map(|&n| vec![0.0; n]).collect();
+        let mut total_loss = 0.0;
+        for micro in batch.chunks(MICROBATCH) {
+            let (part, loss) = accumulate_clipped_reference(model, micro, self.clip, &sizes);
             for (s, p) in sums.iter_mut().zip(&part) {
                 for (a, b) in s.iter_mut().zip(p) {
                     *a += b;
@@ -425,6 +503,51 @@ mod tests {
             assert_eq!(serial.w.values[0].to_bits(), parallel.w.values[0].to_bits());
             assert_eq!(losses.0, losses.1);
         }
+    }
+
+    #[test]
+    fn fused_step_matches_reference_step() {
+        // The fused clip-accumulate (norm pass + scale-add-rezero pass)
+        // must reproduce the unfused three-pass reference bit for bit,
+        // including with noise on (identical rng consumption).
+        let data: Vec<f64> = (0..40).map(|i| (i % 9) as f64 - 4.0).collect();
+        for noise in [0.0, 1.1] {
+            let cfg = DpSgd {
+                clip: 1.0,
+                noise_multiplier: noise,
+                lr: 0.1,
+                expected_batch: 32.0,
+            };
+            let mut fused = Quad {
+                w: ParamBlock::zeros(1),
+            };
+            let mut rng_f = StdRng::seed_from_u64(17);
+            let mut reference = Quad {
+                w: ParamBlock::zeros(1),
+            };
+            let mut rng_r = StdRng::seed_from_u64(17);
+            for _ in 0..20 {
+                let lf = cfg.step(&mut fused, &data, &mut rng_f);
+                let lr = cfg.step_reference(&mut reference, &data, &mut rng_r);
+                assert_eq!(lf.to_bits(), lr.to_bits());
+            }
+            assert_eq!(fused.w.values[0].to_bits(), reference.w.values[0].to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_step_clears_stale_gradients() {
+        // forward_backward accumulates, so any caller-left gradient state
+        // must be cleared before the first example — the fused kernel does
+        // it once at entry instead of per example.
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut model = Quad {
+            w: ParamBlock::zeros(1),
+        };
+        model.w.grads[0] = 1e9; // stale garbage
+        let cfg = DpSgd::non_private(0.5, 1.0);
+        cfg.step(&mut model, &[0.0], &mut rng);
+        assert_eq!(model.w.values[0], 0.0, "stale gradient leaked into step");
     }
 
     #[test]
