@@ -151,6 +151,7 @@ impl Synthesizer for DpVae {
         n_out: usize,
         seed: u64,
     ) -> Instance {
+        // kamino-lint: allow(raw_rng) -- baseline stream derived from the caller-provided session seed; privacy accounted by the planner
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD7AE);
         let enc = MixedEncoder::new(schema);
         let n = instance.n_rows();

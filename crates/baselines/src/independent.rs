@@ -32,6 +32,7 @@ impl Synthesizer for Independent {
         n_out: usize,
         seed: u64,
     ) -> Instance {
+        // kamino-lint: allow(raw_rng) -- baseline stream derived from the caller-provided session seed; privacy accounted by the planner
         let mut rng = StdRng::seed_from_u64(seed ^ 0x1D9);
         let disc = Discretized::from_instance(schema, instance);
         let k = schema.len();

@@ -22,6 +22,9 @@
 //! All of them assume i.i.d. tuples — which is exactly why they violate
 //! inter-tuple denial constraints (Table 2) and why Kamino exists.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod discretize;
 pub mod dpvae;
 pub mod independent;

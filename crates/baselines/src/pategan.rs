@@ -85,6 +85,7 @@ impl Synthesizer for PateGan {
         n_out: usize,
         seed: u64,
     ) -> Instance {
+        // kamino-lint: allow(raw_rng) -- baseline stream derived from the caller-provided session seed; privacy accounted by the planner
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9A7E);
         let enc = MixedEncoder::new(schema);
         let dim = enc.dim();

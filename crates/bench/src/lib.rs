@@ -12,6 +12,9 @@
 //! * [`report`] — mean±std aggregation and table printing, mirrored to
 //!   `target/experiments/<name>.txt`.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 use kamino_baselines::{DpVae, Independent, NistPgm, PateGan, PrivBayes, Synthesizer};
 use kamino_core::{run_kamino, KaminoConfig, KaminoReport};
 use kamino_data::Instance;

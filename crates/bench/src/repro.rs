@@ -373,6 +373,7 @@ fn run_kamino_cell(
 /// [`run_matrix`] (it is O(n²) per DC and identical for every cell of
 /// the dataset).
 fn run_cell(d: &Dataset, truth_psi: &[(String, f64)], cfg: &ReproConfig, cell: Cell) -> CellResult {
+    // kamino-lint: allow(wall_clock) -- wall seconds are reported for context and excluded from the repro hash comparison
     let t0 = Instant::now();
     let (synth, achieved, cache) = match cell.method.baseline() {
         None => run_kamino_cell(d, cfg, cell.epsilon),
@@ -400,6 +401,7 @@ fn run_cell(d: &Dataset, truth_psi: &[(String, f64)], cfg: &ReproConfig, cell: C
     let tvd1 = tvd_all_singles(&d.schema, &d.instance, &synth);
     let tvd2 = tvd_all_pairs(&d.schema, &d.instance, &synth);
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    // kamino-lint: allow(float_fold) -- max accumulator: 0.0 is the identity for max over non-negative values, not a sum seed
     let max = |xs: &[f64]| xs.iter().copied().fold(0.0f64, f64::max);
 
     let tasks = evaluate_classification_with(&d.schema, &d.instance, &synth, cfg.seed, || {
@@ -426,6 +428,7 @@ fn run_cell(d: &Dataset, truth_psi: &[(String, f64)], cfg: &ReproConfig, cell: C
 /// cell list with a scoped-thread worker pool. Results land in matrix
 /// order regardless of which worker finishes first.
 pub fn run_matrix(cfg: &ReproConfig) -> MatrixReport {
+    // kamino-lint: allow(wall_clock) -- wall seconds are reported for context and excluded from the repro hash comparison
     let t0 = Instant::now();
     std::fs::create_dir_all(&cfg.cache_dir).ok();
     let datasets: Vec<Dataset> = cfg
@@ -495,6 +498,7 @@ pub fn run_matrix(cfg: &ReproConfig) -> MatrixReport {
 pub mod paper_ref {
     /// Reference point for one `(dataset, method)` at ε = 1.
     #[derive(Debug, Clone, Copy)]
+    // kamino-lint: allow(twin_drift) -- transcribed paper reference table, not a runtime parity twin
     pub struct PaperRef {
         /// Total Ψ violation percentage across the dataset's DCs.
         pub psi_total: f64,

@@ -21,6 +21,9 @@
 //!   once, in parallel when the `parallel` feature (default) is enabled,
 //! * approximate-DC [`discovery`] used by Experiment 8 to scale `|Φ|`.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod discovery;
 pub mod engine;

@@ -471,6 +471,7 @@ fn sample_cell<R: Rng + ?Sized>(
                     .iter()
                     .any(|&(cv, _)| cv.compare(v) == std::cmp::Ordering::Equal)
                 {
+                    // kamino-lint: allow(float_fold) -- max accumulator: 0.0 is the identity for max over non-negative values, not a sum seed
                     let p = candidates.iter().map(|&(_, p)| p).fold(0.0, f64::max);
                     candidates.push((v, p.max(1e-12)));
                 }

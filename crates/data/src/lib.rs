@@ -16,6 +16,7 @@
 //! the hot loops contiguous.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod csv;
 pub mod encode;

@@ -159,6 +159,7 @@ fn sigmoid(x: f64) -> f64 {
 /// Generates an Adult-like instance of `n` rows.
 pub fn adult_like(n: usize, seed: u64) -> Dataset {
     let schema = adult_schema();
+    // kamino-lint: allow(raw_rng) -- seeded corpus generator runs upstream of any DP mechanism
     let mut rng = StdRng::seed_from_u64(seed ^ 0xAD01);
     let mut inst = Instance::empty(&schema);
 
@@ -313,7 +314,7 @@ mod tests {
         let d = adult_like(400, 5);
         let edu = d.schema.index_of("education").unwrap();
         let edu_num = d.schema.index_of("education_num").unwrap();
-        let mut seen = std::collections::HashMap::new();
+        let mut seen = std::collections::BTreeMap::new();
         for i in 0..d.instance.n_rows() {
             let e = d.instance.cat(i, edu);
             let en = d.instance.num(i, edu_num);

@@ -75,6 +75,7 @@ fn ordinal(u: f64, noise: f64, card: usize, rng: &mut StdRng) -> f64 {
 /// Generates a BR2000-like instance of `n` rows.
 pub fn br2000_like(n: usize, seed: u64) -> Dataset {
     let schema = br2000_schema();
+    // kamino-lint: allow(raw_rng) -- seeded corpus generator runs upstream of any DP mechanism
     let mut rng = StdRng::seed_from_u64(seed ^ 0xB2000);
     let mut inst = Instance::empty(&schema);
     let mut row: Vec<Value> = Vec::with_capacity(schema.len());

@@ -11,6 +11,9 @@
 //!
 //! All generators are deterministic given `(n, seed)`.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod adult;
 pub mod br2000;
 pub mod tax;

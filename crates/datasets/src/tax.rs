@@ -113,6 +113,7 @@ pub fn tax_like(n: usize, seed: u64) -> Dataset {
 /// Generates a Tax-like instance with `n_zips` zip codes.
 pub fn tax_like_scaled(n: usize, seed: u64, n_zips: usize) -> Dataset {
     let schema = tax_schema(n_zips);
+    // kamino-lint: allow(raw_rng) -- seeded corpus generator runs upstream of any DP mechanism
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7A50);
     let mut inst = Instance::empty(&schema);
     // Zipf-ish popularity over zips so FD groups have realistic skew.

@@ -84,6 +84,7 @@ fn region_of_nation(nation: usize) -> usize {
 pub fn tpch_like(n: usize, seed: u64) -> Dataset {
     let n_customers = (n / 10).max(40);
     let schema = tpch_schema(n_customers);
+    // kamino-lint: allow(raw_rng) -- seeded corpus generator runs upstream of any DP mechanism
     let mut rng = StdRng::seed_from_u64(seed ^ 0x79C8);
 
     // customer master table: custkey → (nation, segment)
@@ -172,7 +173,7 @@ mod tests {
         // skew actually produces repeated customers.
         let d = tpch_like(500, 3);
         let ck = d.schema.index_of("c_custkey").unwrap();
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for i in 0..d.instance.n_rows() {
             *counts.entry(d.instance.cat(i, ck)).or_insert(0usize) += 1;
         }

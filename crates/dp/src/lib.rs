@@ -22,6 +22,7 @@
 //! We implement the standard bound with `exp(k(k−1)/2σ²)` inside the sum.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod mechanisms;
 pub mod normal;

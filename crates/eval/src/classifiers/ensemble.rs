@@ -58,6 +58,7 @@ impl Classifier for RandomForest {
         let mut params = self.params;
         params.feature_subsample = Some(((d as f64).sqrt().ceil() as usize).max(1));
         let target: Vec<f64> = y.iter().map(|&b| f64::from(b)).collect();
+        // kamino-lint: allow(raw_rng) -- fixed-seed evaluation model; post-processing of already-released data
         let mut rng = StdRng::seed_from_u64(seed ^ 0xF05E57);
         for t in 0..self.n_trees {
             let idx = bootstrap(x.len(), &mut rng);
@@ -115,6 +116,7 @@ impl Classifier for Bagging {
         self.fallback = majority(y);
         self.trees.clear();
         let target: Vec<f64> = y.iter().map(|&b| f64::from(b)).collect();
+        // kamino-lint: allow(raw_rng) -- fixed-seed evaluation model; post-processing of already-released data
         let mut rng = StdRng::seed_from_u64(seed ^ 0xBA66);
         for t in 0..self.n_trees {
             let idx = bootstrap(x.len(), &mut rng);

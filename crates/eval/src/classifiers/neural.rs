@@ -43,6 +43,7 @@ impl Classifier for MlpClassifier {
     fn fit(&mut self, x: &[Vec<f64>], y: &[bool], seed: u64) {
         self.fallback = majority(y);
         let d = x.first().map_or(1, Vec::len);
+        // kamino-lint: allow(raw_rng) -- fixed-seed evaluation model; post-processing of already-released data
         let mut rng = StdRng::seed_from_u64(seed ^ 0x3177);
         let mut net = Mlp::new(&[d, self.hidden, 1], &mut rng);
         let n = x.len();

@@ -72,6 +72,7 @@ impl RegressionTree {
         assert_eq!(x.len(), weight.len());
         assert!(!x.is_empty(), "cannot fit a tree on no data");
         let idx: Vec<usize> = (0..x.len()).collect();
+        // kamino-lint: allow(raw_rng) -- fixed-seed evaluation model; post-processing of already-released data
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7EEE);
         let root = grow(x, target, weight, &idx, params, 0, &mut rng, leaf_value);
         RegressionTree { root }

@@ -17,7 +17,7 @@
 //! FD- or order-shaped).
 
 use std::cmp::Ordering;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use kamino_constraints::{CmpOp, DenialConstraint};
 use kamino_data::{Instance, Schema, Value};
@@ -51,14 +51,14 @@ fn key_of(inst: &Instance, row: usize, attrs: &[usize]) -> Vec<u64> {
 fn repair_fd(inst: &mut Instance, lhs: &[usize], rhs: usize) {
     let n = inst.n_rows();
     // group → dependent value key → (count, representative value)
-    let mut groups: HashMap<Vec<u64>, HashMap<u64, (usize, Value)>> = HashMap::new();
+    let mut groups: BTreeMap<Vec<u64>, BTreeMap<u64, (usize, Value)>> = BTreeMap::new();
     for i in 0..n {
         let key = key_of(inst, i, lhs);
         let v = inst.value(i, rhs);
         let vk = key_of(inst, i, &[rhs])[0];
         groups.entry(key).or_default().entry(vk).or_insert((0, v)).0 += 1;
     }
-    let majority: HashMap<Vec<u64>, Value> = groups
+    let majority: BTreeMap<Vec<u64>, Value> = groups
         .into_iter()
         .map(|(k, by_v)| {
             let (_, &(_, v)) = by_v
@@ -94,7 +94,7 @@ fn repair_order(
         _ => unreachable!("as_strict_order only admits strict ops"),
     };
     let n = inst.n_rows();
-    let mut groups: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+    let mut groups: BTreeMap<Vec<u64>, Vec<usize>> = BTreeMap::new();
     for i in 0..n {
         groups.entry(key_of(inst, i, eq_attrs)).or_default().push(i);
     }

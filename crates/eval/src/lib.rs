@@ -14,6 +14,9 @@
 //! "cleaned" arm — the demonstration that post-hoc repair restores
 //! consistency at the cost of utility.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod classifiers;
 pub mod clean;
 pub mod marginals;

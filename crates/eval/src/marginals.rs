@@ -5,7 +5,7 @@
 //! paper reports `max_{a ∈ D(A)} |h(D')[a] − h(D*)[a]|` per attribute set
 //! and box-plots the distribution over sets.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use kamino_data::{Instance, Quantizer, Schema};
 
@@ -15,13 +15,13 @@ use kamino_data::{Instance, Quantizer, Schema};
 /// `histogram_with_clamped` semantics, so a malformed synthetic cell
 /// scores the same here as in the baselines' `Discretized` view instead
 /// of panicking in debug builds.
-fn marginal(schema: &Schema, inst: &Instance, attrs: &[usize]) -> HashMap<u64, f64> {
+fn marginal(schema: &Schema, inst: &Instance, attrs: &[usize]) -> BTreeMap<u64, f64> {
     assert!(!attrs.is_empty(), "marginal needs at least one attribute");
     let quantizers: Vec<Quantizer> = attrs
         .iter()
         .map(|&a| Quantizer::for_attr(schema.attr(a)))
         .collect();
-    let mut counts: HashMap<u64, f64> = HashMap::new();
+    let mut counts: BTreeMap<u64, f64> = BTreeMap::new();
     let n = inst.n_rows();
     if n == 0 {
         return counts;

@@ -1,0 +1,187 @@
+//! Walks a source tree, runs every rule, applies suppression pragmas,
+//! and returns findings in a deterministic order.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{check_file, twin_drift, RawFinding};
+use crate::source::FileCtx;
+
+/// A fully attributed finding, after pragma resolution.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id.
+    pub rule: String,
+    /// Path relative to the scan root, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+    /// `Some(reason)` when an `allow` pragma suppressed the finding.
+    pub suppressed: Option<String>,
+}
+
+/// Result of linting a tree.
+pub struct Report {
+    /// Unsuppressed findings, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Pragma-suppressed findings with their reasons, same order.
+    pub suppressed: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Per-rule counts of unsuppressed findings (deterministic order).
+    pub fn rule_counts(&self) -> BTreeMap<&str, usize> {
+        let mut counts = BTreeMap::new();
+        for f in &self.findings {
+            *counts.entry(f.rule.as_str()).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+/// Directories never scanned: build output, vendored shims (external
+/// idiom, not under the workspace contracts), VCS metadata, and the
+/// lint's own fixture corpus of seeded violations.
+fn skip_dir(rel: &str) -> bool {
+    rel == "target"
+        || rel == "vendor"
+        || rel.starts_with("target/")
+        || rel.starts_with("vendor/")
+        || rel.starts_with(".")
+        || rel == "crates/lint/tests/fixtures"
+        || rel.starts_with("crates/lint/tests/fixtures/")
+}
+
+/// Collect every `.rs` file under `root` (sorted, so every downstream
+/// artifact is deterministic), skipping [`skip_dir`] trees.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let rel = rel_path(root, &path);
+            if path.is_dir() {
+                if !skip_dir(&rel) {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lint every `.rs` file under `root`.
+pub fn lint_tree(root: &Path) -> io::Result<Report> {
+    let files = collect_files(root)?;
+    let mut ctxs = Vec::with_capacity(files.len());
+    for path in &files {
+        let src = fs::read_to_string(path)?;
+        ctxs.push(FileCtx::new(rel_path(root, path), src));
+    }
+    Ok(lint_contexts(ctxs))
+}
+
+/// Lint pre-built contexts (the test harness path).
+pub fn lint_contexts(ctxs: Vec<FileCtx>) -> Report {
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressed: Vec<Finding> = Vec::new();
+
+    fn place(
+        findings: &mut Vec<Finding>,
+        suppressed: &mut Vec<Finding>,
+        ctx: &FileCtx,
+        raw: RawFinding,
+    ) {
+        let reason = ctx
+            .pragmas
+            .iter()
+            .find(|p| p.applies_to_line == raw.line && p.rules.iter().any(|r| r == raw.rule))
+            .map(|p| p.reason.clone());
+        let finding = Finding {
+            rule: raw.rule.to_string(),
+            file: ctx.rel_path.clone(),
+            line: raw.line,
+            col: raw.col,
+            message: raw.message,
+            hint: raw.hint,
+            suppressed: reason,
+        };
+        if finding.suppressed.is_some() {
+            suppressed.push(finding);
+        } else {
+            findings.push(finding);
+        }
+    }
+
+    for ctx in &ctxs {
+        for raw in check_file(ctx) {
+            place(&mut findings, &mut suppressed, ctx, raw);
+        }
+        // malformed pragmas are findings themselves, never suppressible
+        for bp in &ctx.bad_pragmas {
+            findings.push(Finding {
+                rule: "bad_pragma".into(),
+                file: ctx.rel_path.clone(),
+                line: bp.line,
+                col: bp.col,
+                message: bp.message.clone(),
+                hint: "write `// kamino-lint: allow(rule_id) -- reason` with a real reason".into(),
+                suppressed: None,
+            });
+        }
+    }
+    for (fi, raw) in twin_drift(&ctxs) {
+        place(&mut findings, &mut suppressed, &ctxs[fi], raw);
+    }
+
+    let key = |f: &Finding| (f.file.clone(), f.line, f.col, f.rule.clone());
+    findings.sort_by_key(key);
+    suppressed.sort_by_key(key);
+    Report {
+        findings,
+        suppressed,
+        files_scanned: ctxs.len(),
+    }
+}
+
+/// Find the workspace root by walking up from `start` until a directory
+/// holding a `Cargo.toml` that declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,535 @@
+//! A token-level Rust lexer.
+//!
+//! Just enough of the language to walk real source reliably: nested block
+//! comments, all the string flavors (`"…"`, `b"…"`, `c"…"`, raw strings
+//! with any `#` count), char literals vs. lifetimes, raw identifiers,
+//! numeric literals with suffixes, and `::` as a single token. Everything
+//! the rules match on is a token — a `HashMap` inside a string or comment
+//! never fires a rule.
+//!
+//! The lexer never fails: bytes it cannot classify become one-character
+//! [`TokKind::Punct`] tokens, so a pathological file degrades to noisy
+//! tokens rather than a crash.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers like `r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A character or byte-character literal: `'x'`, `b'\n'`.
+    Char,
+    /// Any string literal: plain, byte, C, or raw with `#` fences.
+    Str,
+    /// A numeric literal, including suffixes: `0.0f64`, `0x1f`, `1e-9`.
+    Num,
+    /// Punctuation. Multi-character `::` is one token; everything else is
+    /// a single character.
+    Punct,
+    /// A `// …` comment (doc comments included), text without newline.
+    LineComment,
+    /// A `/* … */` comment, nesting respected.
+    BlockComment,
+}
+
+/// One lexed token: kind plus source span and 1-based position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in characters) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text, sliced out of the source it was lexed from.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lex `src` into tokens. Comments are kept in the stream (the pragma
+/// scanner needs them); whitespace is dropped.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Lexer<'s> {
+        Lexer {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advance one character (not byte), keeping line/col honest.
+    fn bump(&mut self) {
+        let b = self.bytes[self.pos];
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.pos += 1;
+        } else {
+            // skip the whole UTF-8 sequence as one column
+            let mut n = 1;
+            while self.pos + n < self.bytes.len() && (self.bytes[self.pos + n] & 0xC0) == 0x80 {
+                n += 1;
+            }
+            self.col += 1;
+            self.pos += n;
+        }
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.bump();
+                    }
+                    self.emit(TokKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.block_comment();
+                    self.emit(TokKind::BlockComment, start, line, col);
+                }
+                b'"' => {
+                    self.string_body();
+                    self.emit(TokKind::Str, start, line, col);
+                }
+                b'\'' => {
+                    let kind = self.char_or_lifetime();
+                    self.emit(kind, start, line, col);
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    self.emit(TokKind::Num, start, line, col);
+                }
+                _ if is_ident_start(b) || b >= 0x80 => {
+                    // might be a string prefix (r"", br#""#, b'', c"") —
+                    // check before committing to an identifier
+                    if let Some(kind) = self.try_prefixed_literal() {
+                        self.emit(kind, start, line, col);
+                    } else {
+                        self.ident();
+                        self.emit(TokKind::Ident, start, line, col);
+                    }
+                }
+                b':' if self.peek(1) == b':' => {
+                    self.bump();
+                    self.bump();
+                    self.emit(TokKind::Punct, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.emit(TokKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `/* … */` with nesting; leaves pos past the final `*/` (or at EOF
+    /// for an unterminated comment).
+    fn block_comment(&mut self) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Body of a `"…"` string starting at the opening quote.
+    fn string_body(&mut self) {
+        self.bump(); // opening '"'
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Raw string starting at `r`/`br`/`cr`; the caller verified shape.
+    fn raw_string(&mut self, prefix_len: usize) {
+        for _ in 0..prefix_len {
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening '"'
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                // need `hashes` following '#'s to close
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                self.bump();
+                if ok {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// At a `'`: decide char literal vs lifetime.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        // a char literal closes with ' after one (possibly escaped or
+        // multi-byte) character; a lifetime never closes
+        let next = self.peek(1);
+        if next == b'\\' {
+            // escaped char literal: '\n', '\u{…}', '\''
+            self.bump(); // '
+            self.bump(); // backslash
+            if self.pos < self.bytes.len() {
+                self.bump(); // escape head (covers 'u' of \u{…})
+            }
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                self.bump();
+            }
+            if self.pos < self.bytes.len() {
+                self.bump(); // closing '
+            }
+            return TokKind::Char;
+        }
+        if is_ident_start(next) {
+            // 'a' is a char only if a ' immediately follows one ident
+            // char; otherwise it's a lifetime ('a, 'static, '_)
+            if self.peek(2) == b'\'' {
+                self.bump();
+                self.bump();
+                self.bump();
+                return TokKind::Char;
+            }
+            self.bump(); // '
+            while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                self.bump();
+            }
+            return TokKind::Lifetime;
+        }
+        // non-identifier char: ' ', '0'..'9' handled here too ('3'), plus
+        // any multi-byte character ('é')
+        self.bump(); // '
+        if self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+            self.bump(); // the character
+        }
+        if self.pos < self.bytes.len() && self.bytes[self.pos] == b'\'' {
+            self.bump();
+        }
+        TokKind::Char
+    }
+
+    /// Numeric literal: int/float, radix prefixes, `_` separators,
+    /// exponents, type suffixes. `1..5` stops before the range; `1.max()`
+    /// stops before the method call.
+    fn number(&mut self) {
+        if self.bytes[self.pos] == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.bump();
+            self.bump();
+            while self.pos < self.bytes.len()
+                && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+            {
+                self.bump();
+            }
+            return;
+        }
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_digit() || self.bytes[self.pos] == b'_')
+        {
+            self.bump();
+        }
+        // fractional part: a '.' not followed by another '.' (range) or an
+        // identifier start (method call / field access)
+        if self.pos < self.bytes.len()
+            && self.bytes[self.pos] == b'.'
+            && self.peek(1) != b'.'
+            && !is_ident_start(self.peek(1))
+        {
+            self.bump();
+            while self.pos < self.bytes.len()
+                && (self.bytes[self.pos].is_ascii_digit() || self.bytes[self.pos] == b'_')
+            {
+                self.bump();
+            }
+        }
+        // exponent
+        if self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'e' | b'E')
+            && (self.peek(1).is_ascii_digit()
+                || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+        {
+            self.bump();
+            if matches!(self.bytes[self.pos], b'+' | b'-') {
+                self.bump();
+            }
+            while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+                self.bump();
+            }
+        }
+        // type suffix (f64, u32, usize, …)
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.bump();
+        }
+    }
+
+    /// If the cursor sits on a string/char prefix (`r"`, `r#"`, `br"`,
+    /// `b"`, `c"`, `cr"`, `b'`), lex the whole literal and report its
+    /// kind; otherwise leave the cursor alone.
+    fn try_prefixed_literal(&mut self) -> Option<TokKind> {
+        let rest = &self.bytes[self.pos..];
+        let prefix_len = match rest {
+            [b'b', b'r', ..] | [b'c', b'r', ..] => 2,
+            [b'r', ..] | [b'b', ..] | [b'c', ..] => 1,
+            _ => return None,
+        };
+        let has_r = rest[prefix_len - 1] == b'r';
+        let mut i = prefix_len;
+        if has_r {
+            while i < rest.len() && rest[i] == b'#' {
+                i += 1;
+            }
+            if i < rest.len() && rest[i] == b'"' {
+                self.raw_string(prefix_len);
+                return Some(TokKind::Str);
+            }
+            // `r#ident` raw identifier: only for bare `r`
+            if prefix_len == 1 && i == 1 + 1 && i < rest.len() && is_ident_start(rest[i]) {
+                self.bump(); // r
+                self.bump(); // #
+                self.ident();
+                return Some(TokKind::Ident);
+            }
+            return None;
+        }
+        // b"…" / c"…" / b'…'
+        if rest.get(prefix_len) == Some(&b'"') {
+            self.bump(); // prefix
+            self.string_body();
+            return Some(TokKind::Str);
+        }
+        if rest[0] == b'b' && rest.get(prefix_len) == Some(&b'\'') {
+            self.bump(); // b
+            self.char_or_lifetime();
+            return Some(TokKind::Char);
+        }
+        None
+    }
+
+    fn ident(&mut self) {
+        while self.pos < self.bytes.len()
+            && (is_ident_continue(self.bytes[self.pos]) || self.bytes[self.pos] >= 0x80)
+        {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// True when a numeric literal token spells floating-point zero without a
+/// sign: `0.0`, `0.`, `0.00f64`, `0f64`, `0_f32`, `0e0`. Integer zero
+/// (`0`, `0usize`) is not a float and does not count.
+pub fn is_zero_float_literal(text: &str) -> bool {
+    let mut mantissa = text;
+    // strip a type suffix if present
+    let floaty_suffix = if let Some(p) = text.find(['f', 'F']) {
+        mantissa = text[..p].trim_end_matches('_');
+        text[p..].eq_ignore_ascii_case("f32") || text[p..].eq_ignore_ascii_case("f64")
+    } else {
+        false
+    };
+    // drop an exponent — it cannot change zero-ness, but its presence
+    // makes the literal a float even without a dot (`0e0`)
+    let mut had_exponent = false;
+    if let Some(p) = mantissa.find(['e', 'E']) {
+        mantissa = &mantissa[..p];
+        had_exponent = true;
+    }
+    let has_dot = mantissa.contains('.');
+    if !has_dot && !floaty_suffix && !had_exponent {
+        return false;
+    }
+    !mantissa.is_empty() && mantissa.chars().all(|c| c == '0' || c == '.' || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let k = kinds("fn main() {}");
+        assert_eq!(k[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(k[1], (TokKind::Ident, "main".into()));
+        assert_eq!(k[2].0, TokKind::Punct);
+    }
+
+    #[test]
+    fn path_sep_is_one_token() {
+        let k = kinds("std::time::Instant");
+        assert_eq!(
+            k.iter().map(|(_, t)| t.as_str()).collect::<Vec<_>>(),
+            vec!["std", "::", "time", "::", "Instant"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let k = kinds("/* a /* b */ c */ x");
+        assert_eq!(k.len(), 2);
+        assert_eq!(k[0].0, TokKind::BlockComment);
+        assert_eq!(k[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let k = kinds(r####"let s = r#"has "quotes" and // HashMap"#;"####);
+        let strs: Vec<_> = k.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("HashMap"));
+        // and HashMap never surfaced as an identifier
+        assert!(!k
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "HashMap"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let k = kinds("let c: char = 'a'; fn f<'a>(x: &'a str) {} let n = '\\n';");
+        let chars = k.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        let lifetimes: Vec<_> = k
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Lifetime && t == "'a")
+            .collect();
+        assert_eq!(chars, 2);
+        assert_eq!(lifetimes.len(), 2);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let k = kinds("0..10 0.5 0.0f64 1e-9 0x1f 1.max(2)");
+        let nums: Vec<_> = k
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            nums,
+            vec!["0", "10", "0.5", "0.0f64", "1e-9", "0x1f", "1", "2"]
+        );
+    }
+
+    #[test]
+    fn zero_float_detection() {
+        for yes in ["0.0", "0.", "0.00", "0.0f64", "0f64", "0_f32", "0.0e0"] {
+            assert!(is_zero_float_literal(yes), "{yes}");
+        }
+        for no in ["0", "0usize", "1.0", "0.1", "0x0", "10.0"] {
+            assert!(!is_zero_float_literal(no), "{no}");
+        }
+    }
+
+    #[test]
+    fn line_and_col_positions() {
+        let src = "ab\n  cd";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let k = kinds(r##"b"bytes" c"cstr" b'\n' br"raw""##);
+        let strs = k.iter().filter(|(kk, _)| *kk == TokKind::Str).count();
+        assert_eq!(strs, 3);
+        assert_eq!(k.iter().filter(|(kk, _)| *kk == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn raw_ident() {
+        let k = kinds("let r#match = 1;");
+        assert!(k
+            .iter()
+            .any(|(kk, t)| *kk == TokKind::Ident && t == "r#match"));
+    }
+}

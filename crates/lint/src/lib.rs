@@ -1,0 +1,31 @@
+//! `kamino-lint` — the workspace contract checker.
+//!
+//! Kamino's correctness story rests on two contracts that unit tests can
+//! only probe point-wise: **bit-identical determinism** (fixed seed ⇒
+//! identical artifacts — the basis of snapshot resume, the repro cache,
+//! and every parity twin) and **privacy discipline** (all randomness
+//! flows through planner-accounted mechanisms). This crate enforces the
+//! hazard classes statically, at review time: a token-level Rust lexer
+//! ([`lex`]) feeds a rule engine ([`rules`], [`engine`]) that walks every
+//! workspace `.rs` file and reports findings with `file:line:col`, a rule
+//! id, and a fix hint.
+//!
+//! Justified sites are suppressed per-site with a documented reason:
+//!
+//! ```text
+//! // kamino-lint: allow(rule_id) -- why this site is exempt
+//! ```
+//!
+//! See ARCHITECTURE.md "Static analysis & contract enforcement" for the
+//! rule table and the rule ↔ contract mapping.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lex;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use engine::{lint_tree, Finding, Report};

@@ -1,0 +1,90 @@
+//! The `kamino-lint` binary.
+//!
+//! ```text
+//! kamino-lint [--json] [--root PATH] [--quiet]
+//! ```
+//!
+//! Walks the workspace (auto-detected from the current directory unless
+//! `--root` is given), runs every contract rule, and prints findings —
+//! human-readable by default, byte-deterministic JSON under `--json`.
+//! Exits 0 when clean, 1 on any unsuppressed finding, 2 on usage or I/O
+//! errors.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use kamino_lint::engine::{find_workspace_root, lint_tree};
+use kamino_lint::report::{render_human, render_json};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut quiet = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("kamino-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: kamino-lint [--json] [--root PATH] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("kamino-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("kamino-lint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "kamino-lint: no workspace root found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match lint_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("kamino-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", render_json(&report));
+    } else if !quiet {
+        print!("{}", render_human(&report));
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,401 @@
+//! Per-file context the rules run against: crate attribution, target
+//! kind, `#[cfg(test)]`/`#[test]` region map, and suppression pragmas.
+//!
+//! # Pragma syntax
+//!
+//! ```text
+//! // kamino-lint: allow(rule_id) -- reason the site is exempt
+//! // kamino-lint: allow(rule_a, rule_b) -- one reason for both
+//! ```
+//!
+//! The reason is mandatory — a pragma without `-- reason` is itself
+//! reported (rule id `bad_pragma`), as is one naming an unknown rule. A
+//! pragma suppresses matching findings on its own line; when the comment
+//! stands alone on its line, it suppresses the following line instead.
+
+use crate::lex::{lex, TokKind, Token};
+use crate::rules::RULE_IDS;
+
+/// Which kind of target a file belongs to, by path convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source (`src/**`, excluding `src/bin`).
+    Lib,
+    /// Binary source (`src/bin/**`, `src/main.rs`).
+    Bin,
+    /// Integration tests (`tests/**`).
+    TestDir,
+    /// Benchmarks (`benches/**`).
+    Bench,
+    /// Examples (`examples/**`).
+    Example,
+}
+
+/// A parsed suppression pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Rules the pragma suppresses.
+    pub rules: Vec<String>,
+    /// The mandatory justification after `--`.
+    pub reason: String,
+    /// Line the suppression applies to (the pragma's own line, or the
+    /// next line for a stand-alone comment).
+    pub applies_to_line: u32,
+    /// Line the pragma itself sits on.
+    pub line: u32,
+    /// Column of the comment token.
+    pub col: u32,
+}
+
+/// A malformed pragma (missing reason, unknown rule, bad syntax).
+#[derive(Debug, Clone)]
+pub struct BadPragma {
+    /// What is wrong with it.
+    pub message: String,
+    /// Line of the comment token.
+    pub line: u32,
+    /// Column of the comment token.
+    pub col: u32,
+}
+
+/// Everything a rule needs to know about one source file.
+pub struct FileCtx {
+    /// Path relative to the scan root, with forward slashes.
+    pub rel_path: String,
+    /// Crate the file belongs to (`eval`, `serve`, …; the facade and its
+    /// root-level tests/examples are `kamino`).
+    pub crate_name: String,
+    /// Target kind by path convention.
+    pub kind: FileKind,
+    /// Full source text.
+    pub src: String,
+    /// Lexed tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Indexes into `tokens` of non-comment tokens, in order. Rules match
+    /// against this view so comments never split a pattern.
+    pub code: Vec<usize>,
+    /// `in_test[i]` is true when `tokens[i]` sits inside a
+    /// `#[cfg(test)]` item or `#[test]` function.
+    pub in_test: Vec<bool>,
+    /// Well-formed suppression pragmas.
+    pub pragmas: Vec<Pragma>,
+    /// Malformed pragmas, reported as findings by the engine.
+    pub bad_pragmas: Vec<BadPragma>,
+}
+
+impl FileCtx {
+    /// Lex and classify one file.
+    pub fn new(rel_path: String, src: String) -> FileCtx {
+        let crate_name = crate_of(&rel_path);
+        let kind = kind_of(&rel_path);
+        let tokens = lex(&src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let in_test = test_regions(&tokens, &code, &src);
+        let (pragmas, bad_pragmas) = scan_pragmas(&tokens, &src);
+        FileCtx {
+            rel_path,
+            crate_name,
+            kind,
+            src,
+            tokens,
+            code,
+            in_test,
+            pragmas,
+            bad_pragmas,
+        }
+    }
+
+    /// Text of the `i`-th token.
+    pub fn text(&self, tok: &Token) -> &str {
+        tok.text(&self.src)
+    }
+
+    /// True when the `code`-view position `ci` is inside test code (or
+    /// the whole file is a test/bench target).
+    pub fn is_test_code(&self, ci: usize) -> bool {
+        matches!(self.kind, FileKind::TestDir) || self.in_test[self.code[ci]]
+    }
+}
+
+/// Crate a path belongs to. `crates/<name>/…` → `<name>`; everything at
+/// the repository root (facade `src/`, `tests/`, `examples/`) → `kamino`.
+fn crate_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("kamino").to_string(),
+        _ => "kamino".to_string(),
+    }
+}
+
+fn kind_of(rel_path: &str) -> FileKind {
+    let p = rel_path;
+    if p.contains("/tests/") || p.starts_with("tests/") {
+        FileKind::TestDir
+    } else if p.contains("/benches/") || p.starts_with("benches/") {
+        FileKind::Bench
+    } else if p.contains("/examples/") || p.starts_with("examples/") {
+        FileKind::Example
+    } else if p.contains("/src/bin/") || p.ends_with("/main.rs") || p == "src/main.rs" {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Mark tokens covered by `#[cfg(test)]` items and `#[test]`/
+/// `#[bench]`-attributed functions. Works on the comment-free view, then
+/// paints the full token range of each region.
+fn test_regions(tokens: &[Token], code: &[usize], src: &str) -> Vec<bool> {
+    let mut marked = vec![false; tokens.len()];
+    let n = code.len();
+    let txt = |ci: usize| tokens[code[ci]].text(src);
+    let mut ci = 0;
+    while ci < n {
+        if txt(ci) == "#" && ci + 1 < n && txt(ci + 1) == "[" {
+            // parse the attribute content up to the matching ']'
+            let mut depth = 0usize;
+            let mut j = ci + 1;
+            let mut is_test_attr = false;
+            let mut saw_cfg = false;
+            while j < n {
+                match txt(j) {
+                    "[" | "(" => depth += 1,
+                    "]" | ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "cfg" if depth == 1 => saw_cfg = true,
+                    // `#[test]` directly, or `test` anywhere inside a
+                    // `cfg(…)` condition (covers all(test, …))
+                    "test" if depth == 1 || saw_cfg => is_test_attr = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_test_attr && j < n {
+                // skip any further attributes, then paint the item: up to
+                // the close of its first brace block, or the first `;` at
+                // depth 0 (e.g. `#[cfg(test)] use …;`)
+                let region_start = code[ci];
+                let mut k = j + 1;
+                while k + 1 < n && txt(k) == "#" && txt(k + 1) == "[" {
+                    let mut d = 0usize;
+                    k += 1;
+                    while k < n {
+                        match txt(k) {
+                            "[" | "(" => d += 1,
+                            "]" | ")" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                let mut brace_depth = 0usize;
+                let mut entered = false;
+                while k < n {
+                    match txt(k) {
+                        "{" => {
+                            brace_depth += 1;
+                            entered = true;
+                        }
+                        "}" => {
+                            brace_depth = brace_depth.saturating_sub(1);
+                            if entered && brace_depth == 0 {
+                                break;
+                            }
+                        }
+                        ";" if !entered => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let region_end = if k < n { code[k] } else { tokens.len() - 1 };
+                for slot in marked.iter_mut().take(region_end + 1).skip(region_start) {
+                    *slot = true;
+                }
+                ci = k + 1;
+                continue;
+            }
+            ci = j + 1;
+            continue;
+        }
+        ci += 1;
+    }
+    marked
+}
+
+/// Pull `kamino-lint:` pragmas out of the comment tokens.
+fn scan_pragmas(tokens: &[Token], src: &str) -> (Vec<Pragma>, Vec<BadPragma>) {
+    let mut good = Vec::new();
+    let mut bad = Vec::new();
+    for tok in tokens {
+        if tok.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = tok.text(src).trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("kamino-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(inner) = rest.strip_prefix("allow") else {
+            bad.push(BadPragma {
+                message: format!("unrecognized kamino-lint pragma `{rest}` (expected `allow(rule, …) -- reason`)"),
+                line: tok.line,
+                col: tok.col,
+            });
+            continue;
+        };
+        let inner = inner.trim_start();
+        let (list, tail) = match inner.strip_prefix('(').and_then(|s| s.split_once(')')) {
+            Some(pair) => pair,
+            None => {
+                bad.push(BadPragma {
+                    message: "malformed allow pragma: expected `allow(rule, …)`".into(),
+                    line: tok.line,
+                    col: tok.col,
+                });
+                continue;
+            }
+        };
+        let reason = match tail.trim().strip_prefix("--") {
+            Some(r) if !r.trim().is_empty() => r.trim().to_string(),
+            _ => {
+                bad.push(BadPragma {
+                    message:
+                        "allow pragma is missing its reason: append `-- why this site is exempt`"
+                            .into(),
+                    line: tok.line,
+                    col: tok.col,
+                });
+                continue;
+            }
+        };
+        let rules: Vec<String> = list
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            bad.push(BadPragma {
+                message: "allow pragma names no rules".into(),
+                line: tok.line,
+                col: tok.col,
+            });
+            continue;
+        }
+        let mut ok = true;
+        for r in &rules {
+            if !RULE_IDS.contains(&r.as_str()) {
+                bad.push(BadPragma {
+                    message: format!("allow pragma names unknown rule `{r}`"),
+                    line: tok.line,
+                    col: tok.col,
+                });
+                ok = false;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // a stand-alone comment guards the next line; a trailing comment
+        // guards its own line
+        let stands_alone = src[..tok.start]
+            .rfind('\n')
+            .map(|nl| src[nl + 1..tok.start].trim().is_empty())
+            .unwrap_or_else(|| src[..tok.start].trim().is_empty());
+        let applies_to_line = if stands_alone { tok.line + 1 } else { tok.line };
+        good.push(Pragma {
+            rules,
+            reason,
+            applies_to_line,
+            line: tok.line,
+            col: tok.col,
+        });
+    }
+    (good, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_attribution() {
+        assert_eq!(crate_of("crates/eval/src/marginals.rs"), "eval");
+        assert_eq!(crate_of("src/lib.rs"), "kamino");
+        assert_eq!(crate_of("tests/smoke.rs"), "kamino");
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert_eq!(kind_of("crates/serve/src/http.rs"), FileKind::Lib);
+        assert_eq!(kind_of("crates/serve/src/main.rs"), FileKind::Bin);
+        assert_eq!(kind_of("crates/bench/src/bin/repro.rs"), FileKind::Bin);
+        assert_eq!(kind_of("crates/nn/tests/kernels.rs"), FileKind::TestDir);
+        assert_eq!(kind_of("crates/bench/benches/micro.rs"), FileKind::Bench);
+        assert_eq!(kind_of("examples/serve_and_query.rs"), FileKind::Example);
+    }
+
+    #[test]
+    fn test_region_covers_cfg_test_module() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() {}\n}\nfn after() {}\n";
+        let ctx = FileCtx::new("crates/x/src/lib.rs".into(), src.into());
+        let at = |name: &str| {
+            let ci = (0..ctx.code.len())
+                .find(|&c| ctx.text(&ctx.tokens[ctx.code[c]]) == name)
+                .unwrap();
+            ctx.is_test_code(ci)
+        };
+        assert!(!at("live"));
+        assert!(at("inner"));
+        assert!(!at("after"));
+    }
+
+    #[test]
+    fn test_attribute_on_fn() {
+        let src = "#[test]\nfn check() { body(); }\nfn live() {}\n";
+        let ctx = FileCtx::new("crates/x/src/lib.rs".into(), src.into());
+        let at = |name: &str| {
+            let ci = (0..ctx.code.len())
+                .find(|&c| ctx.text(&ctx.tokens[ctx.code[c]]) == name)
+                .unwrap();
+            ctx.is_test_code(ci)
+        };
+        assert!(at("body"));
+        assert!(!at("live"));
+    }
+
+    #[test]
+    fn pragma_parse_and_placement() {
+        let src = "\
+// kamino-lint: allow(hash_order) -- stand-alone guards next line
+let a = 1;
+let b = 2; // kamino-lint: allow(wall_clock, raw_rng) -- trailing guards its line
+// kamino-lint: allow(hash_order)
+// kamino-lint: allow(nope) -- unknown rule
+";
+        let ctx = FileCtx::new("crates/x/src/lib.rs".into(), src.into());
+        assert_eq!(ctx.pragmas.len(), 2);
+        assert_eq!(ctx.pragmas[0].rules, vec!["hash_order"]);
+        assert_eq!(ctx.pragmas[0].applies_to_line, 2);
+        assert_eq!(
+            ctx.pragmas[1].rules,
+            vec!["wall_clock".to_string(), "raw_rng".to_string()]
+        );
+        assert_eq!(ctx.pragmas[1].applies_to_line, 3);
+        assert_eq!(ctx.bad_pragmas.len(), 2, "missing reason + unknown rule");
+    }
+}

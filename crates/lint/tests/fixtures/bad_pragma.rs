@@ -1,0 +1,4 @@
+// kamino-lint: allow(hash_order)
+// kamino-lint: allow(no_such_rule) -- reason here
+// kamino-lint: deny(hash_order) -- not a verb we support
+pub fn noop() {}

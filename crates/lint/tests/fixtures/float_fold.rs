@@ -1,0 +1,16 @@
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |acc, x| acc + x)
+}
+
+pub fn total_ok(xs: &[f64]) -> f64 {
+    xs.iter().fold(-0.0, |acc, x| acc + x)
+}
+
+pub fn peak(xs: &[f64]) -> f64 {
+    // kamino-lint: allow(float_fold) -- max accumulator, not a sum seed
+    xs.iter().copied().fold(0.0f64, f64::max)
+}
+
+pub fn count(xs: &[u64]) -> u64 {
+    xs.iter().fold(0, |acc, _| acc + 1)
+}

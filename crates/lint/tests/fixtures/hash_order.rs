@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+// kamino-lint: allow(hash_order) -- scratch map drained via a sorted Vec
+fn scratch(m: HashMap<u32, u32>) -> usize {
+    m.len()
+}
+
+fn fresh() -> HashSet<u64> {
+    HashSet::new()
+}

@@ -1,0 +1,6 @@
+//! A crate root carrying both mandatory lint headers.
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Documented, as the header demands.
+pub fn noop() {}

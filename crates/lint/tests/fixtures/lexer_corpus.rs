@@ -1,0 +1,22 @@
+// a line comment with 'quotes', "strings", and a HashMap marker
+/* block /* nested /* deeper */ */ still comment */
+const RAW: &str = r#"raw "quoted" body with // comment and /* block */"#;
+const RAW2: &str = r##"outer "# inner hash fence"##;
+const BYTES: &[u8] = b"byte string \x00 \" escaped";
+const CSTR: &str = c"c string";
+const BRAW: &[u8] = br"byte raw";
+const LIFE: &'static str = "plain with \"escape\"";
+const CH: char = '\'';
+const NL: char = '\n';
+const UNI: char = '\u{1F600}';
+const TICK: char = 'x';
+const NUM: f64 = 1_000.5e-3;
+const ZERO: f64 = 0.0f64;
+const HEX: u64 = 0xFF_u64;
+const OCT: u64 = 0o77;
+const BIN: u64 = 0b1010_1010;
+const RANGE_END: u64 = 10;
+fn range_sum() -> u64 { (0..RANGE_END).sum() }
+fn method_on_int() -> u64 { 1.max(2) }
+fn r#match(r#type: u32) -> u32 { r#type }
+struct Generic<'a, T: 'a>(&'a T);

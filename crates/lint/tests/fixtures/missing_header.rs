@@ -1,0 +1,3 @@
+//! A crate root without the mandatory lint headers.
+
+pub fn noop() {}

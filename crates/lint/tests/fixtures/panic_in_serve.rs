@@ -1,0 +1,30 @@
+pub fn handle(input: Option<u32>) -> u32 {
+    input.unwrap()
+}
+
+pub fn message(input: Option<u32>) -> u32 {
+    input.expect("missing field")
+}
+
+pub fn fail() {
+    panic!("boom");
+}
+
+pub fn poison(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn own_expect(p: &mut Parser) -> u8 {
+    p.expect(b'[')
+}
+
+// kamino-lint: allow(panic_in_serve) -- startup-only path, before the listener binds
+pub fn startup(cfg: Option<u32>) -> u32 { cfg.unwrap() }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,12 @@
+pub fn entropy() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn seeded() -> u64 {
+    let mut rng = StdRng::seed_from_u64(17);
+    rng.next_u64()
+}
+
+// kamino-lint: allow(raw_rng) -- harness stream pinned to the session seed
+pub fn annotated() -> u64 { Pcg64::from_seed([0u8; 32]).next() }

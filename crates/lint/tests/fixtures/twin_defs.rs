@@ -1,0 +1,17 @@
+pub fn matmul(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+pub fn matmul_ref(a: &[f64]) -> f64 {
+    a.iter().copied().sum()
+}
+
+pub fn decay_reference(a: &[f64]) -> f64 {
+    a.first().copied().unwrap_or(-0.0)
+}
+
+// kamino-lint: allow(twin_drift) -- transcribed constant table, not a runtime parity twin
+pub struct TableRef {
+    /// Row index.
+    pub row: usize,
+}

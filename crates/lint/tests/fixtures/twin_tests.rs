@@ -1,0 +1,4 @@
+#[test]
+fn matmul_matches_reference() {
+    assert_eq!(matmul_ref(&[1.0]), 1.0);
+}

@@ -1,0 +1,18 @@
+use std::sync::Mutex;
+
+pub fn gather(out: &Mutex<Vec<u64>>, v: u64) {
+    out.lock().unwrap().push(v);
+}
+
+pub fn merge(out: &Mutex<Vec<u64>>, vs: &[u64]) {
+    out.lock().expect("poisoned").extend(vs.iter().copied());
+}
+
+pub fn keyed(out: &Mutex<std::collections::BTreeMap<u64, u64>>, k: u64, v: u64) {
+    out.lock().unwrap().insert(k, v);
+}
+
+pub fn slotted(out: &Mutex<Vec<u64>>, v: u64) {
+    // kamino-lint: allow(unordered_reduce) -- demo slot write, merged in fixed order downstream
+    out.lock().unwrap().push(v);
+}

@@ -1,0 +1,142 @@
+//! Lexer test over a corpus of gnarly-but-real Rust syntax: nested block
+//! comments, raw strings with hash fences, byte/C strings, char vs.
+//! lifetime, radix and separator-heavy numbers, raw identifiers.
+
+use kamino_lint::lex::{lex, TokKind};
+
+fn corpus() -> String {
+    let path = format!(
+        "{}/tests/fixtures/lexer_corpus.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn every_non_whitespace_byte_is_covered_exactly_once() {
+    let src = corpus();
+    let toks = lex(&src);
+    let mut covered = vec![0u8; src.len()];
+    let mut prev_end = 0;
+    for t in &toks {
+        assert!(t.start >= prev_end, "tokens out of order or overlapping");
+        assert!(t.end > t.start, "empty token");
+        prev_end = t.end;
+        for c in covered.iter_mut().take(t.end).skip(t.start) {
+            *c += 1;
+        }
+    }
+    // whitespace may sit inside a comment/string token or between tokens;
+    // every other byte must belong to exactly one token
+    for (i, (&c, b)) in covered.iter().zip(src.bytes()).enumerate() {
+        if !b.is_ascii_whitespace() {
+            assert_eq!(c, 1, "byte {i} ({:?}) covered {c} times", b as char);
+        }
+    }
+}
+
+#[test]
+fn comments_do_not_leak_and_do_not_multiply() {
+    let src = corpus();
+    let toks = lex(&src);
+    let line_comments: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::LineComment)
+        .collect();
+    let block_comments: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::BlockComment)
+        .collect();
+    // the `// comment` and `/* block */` inside the raw string on line 3
+    // must not lex as comments
+    assert_eq!(line_comments.len(), 1);
+    assert_eq!(line_comments[0].line, 1);
+    assert_eq!(block_comments.len(), 1);
+    assert_eq!(block_comments[0].line, 2);
+    assert!(block_comments[0].text(&src).ends_with("still comment */"));
+    // content of comments and strings never surfaces as identifiers
+    for t in toks.iter().filter(|t| t.kind == TokKind::Ident) {
+        let txt = t.text(&src);
+        assert_ne!(txt, "HashMap", "comment content leaked into idents");
+        assert_ne!(txt, "quoted", "raw-string content leaked into idents");
+        assert_ne!(txt, "nested", "block-comment content leaked into idents");
+    }
+}
+
+#[test]
+fn string_flavors_lex_as_single_tokens() {
+    let src = corpus();
+    let toks = lex(&src);
+    let strs: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .map(|t| t.text(&src))
+        .collect();
+    assert_eq!(
+        strs,
+        vec![
+            r####"r#"raw "quoted" body with // comment and /* block */"#"####,
+            r####"r##"outer "# inner hash fence"##"####,
+            r#"b"byte string \x00 \" escaped""#,
+            r#"c"c string""#,
+            r#"br"byte raw""#,
+            r#""plain with \"escape\"""#,
+        ]
+    );
+}
+
+#[test]
+fn chars_vs_lifetimes() {
+    let src = corpus();
+    let toks = lex(&src);
+    let chars: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .map(|t| t.text(&src))
+        .collect();
+    assert_eq!(chars, vec![r"'\''", r"'\n'", r"'\u{1F600}'", "'x'"]);
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text(&src))
+        .collect();
+    // 'static on the LIFE line, then 'a three times in `Generic<'a, T: 'a>(&'a T)`
+    assert_eq!(lifetimes, vec!["'static", "'a", "'a", "'a"]);
+}
+
+#[test]
+fn numbers_with_separators_radixes_and_method_calls() {
+    let src = corpus();
+    let toks = lex(&src);
+    let nums: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Num)
+        .map(|t| t.text(&src))
+        .collect();
+    assert_eq!(
+        nums,
+        vec![
+            "1_000.5e-3",
+            "0.0f64",
+            "0xFF_u64",
+            "0o77",
+            "0b1010_1010",
+            "10",
+            "0", // `(0..RANGE_END)` — the range must not eat the dots
+            "1", // `1.max(2)` — the method call must not become a float
+            "2",
+        ]
+    );
+}
+
+#[test]
+fn raw_identifiers_stay_whole() {
+    let src = corpus();
+    let toks = lex(&src);
+    let raw_idents: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && t.text(&src).starts_with("r#"))
+        .map(|t| t.text(&src))
+        .collect();
+    assert_eq!(raw_idents, vec!["r#match", "r#type", "r#type"]);
+}

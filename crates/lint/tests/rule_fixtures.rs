@@ -1,0 +1,227 @@
+//! Per-rule fixture tests: each fixture under `tests/fixtures/` seeds
+//! known violations (and pragma-suppressed sites), and every test asserts
+//! the exact `(rule, line, col)` set the engine must report. The fixture
+//! directory itself is excluded from workspace scans by the engine.
+
+use std::path::Path;
+
+use kamino_lint::engine::{find_workspace_root, lint_contexts, lint_tree, Finding, Report};
+use kamino_lint::report::render_json;
+use kamino_lint::source::FileCtx;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Lint one fixture as if it lived at `virtual_path` in the workspace.
+fn lint_one(virtual_path: &str, name: &str) -> Report {
+    lint_contexts(vec![FileCtx::new(virtual_path.into(), fixture(name))])
+}
+
+fn triples(findings: &[Finding]) -> Vec<(&str, u32, u32)> {
+    findings
+        .iter()
+        .map(|f| (f.rule.as_str(), f.line, f.col))
+        .collect()
+}
+
+#[test]
+fn hash_order_flags_maps_in_output_crates_and_honors_pragma() {
+    let r = lint_one("crates/eval/src/hash_order_fixture.rs", "hash_order.rs");
+    assert_eq!(
+        triples(&r.findings),
+        vec![
+            ("hash_order", 1, 23),
+            ("hash_order", 2, 23),
+            ("hash_order", 9, 15),
+            ("hash_order", 10, 5),
+        ]
+    );
+    assert_eq!(triples(&r.suppressed), vec![("hash_order", 5, 15)]);
+    assert_eq!(
+        r.suppressed[0].suppressed.as_deref(),
+        Some("scratch map drained via a sorted Vec")
+    );
+}
+
+#[test]
+fn hash_order_is_silent_outside_output_crates() {
+    let r = lint_one("crates/nn/src/hash_order_fixture.rs", "hash_order.rs");
+    assert!(triples(&r.findings).is_empty());
+}
+
+#[test]
+fn wall_clock_skips_tests_and_honors_trailing_pragma() {
+    let r = lint_one("crates/core/src/wall_clock_fixture.rs", "wall_clock.rs");
+    assert_eq!(triples(&r.findings), vec![("wall_clock", 4, 14)]);
+    assert_eq!(triples(&r.suppressed), vec![("wall_clock", 9, 26)]);
+}
+
+#[test]
+fn wall_clock_is_silent_in_bench_targets() {
+    let r = lint_one("crates/core/benches/wall_clock_fixture.rs", "wall_clock.rs");
+    assert!(triples(&r.findings).is_empty());
+}
+
+#[test]
+fn raw_rng_flags_entropy_everywhere_and_seeding_outside_rng_crates() {
+    let r = lint_one("crates/eval/src/raw_rng_fixture.rs", "raw_rng.rs");
+    assert_eq!(
+        triples(&r.findings),
+        vec![("raw_rng", 2, 19), ("raw_rng", 7, 27)]
+    );
+    assert_eq!(triples(&r.suppressed), vec![("raw_rng", 12, 36)]);
+}
+
+#[test]
+fn raw_rng_allows_seeded_streams_in_rng_crates_but_never_entropy() {
+    let r = lint_one("crates/core/src/raw_rng_fixture.rs", "raw_rng.rs");
+    // thread_rng stays flagged even in kamino-core; seed_from_u64 and
+    // from_seed are that crate's prerogative
+    assert_eq!(triples(&r.findings), vec![("raw_rng", 2, 19)]);
+    assert!(r.suppressed.is_empty());
+}
+
+#[test]
+fn float_fold_flags_positive_zero_seed_only() {
+    let r = lint_one("crates/nn/src/float_fold_fixture.rs", "float_fold.rs");
+    // -0.0 (line 6) and integer 0 (line 15) are fine; the pragma covers
+    // the max-fold on line 11
+    assert_eq!(triples(&r.findings), vec![("float_fold", 2, 20)]);
+    assert_eq!(triples(&r.suppressed), vec![("float_fold", 11, 29)]);
+}
+
+#[test]
+fn unordered_reduce_flags_locked_appends_not_keyed_inserts() {
+    let r = lint_one(
+        "crates/core/src/unordered_fixture.rs",
+        "unordered_reduce.rs",
+    );
+    assert_eq!(
+        triples(&r.findings),
+        vec![("unordered_reduce", 4, 25), ("unordered_reduce", 8, 35)]
+    );
+    assert_eq!(triples(&r.suppressed), vec![("unordered_reduce", 17, 25)]);
+}
+
+#[test]
+fn panic_in_serve_exempts_lock_poison_tests_and_non_string_expect() {
+    let r = lint_one("crates/serve/src/panic_fixture.rs", "panic_in_serve.rs");
+    assert_eq!(
+        triples(&r.findings),
+        vec![
+            ("panic_in_serve", 2, 11),
+            ("panic_in_serve", 6, 11),
+            ("panic_in_serve", 10, 5),
+        ]
+    );
+    assert_eq!(triples(&r.suppressed), vec![("panic_in_serve", 22, 47)]);
+}
+
+#[test]
+fn panic_in_serve_only_applies_to_the_serve_crate() {
+    let r = lint_one("crates/eval/src/panic_fixture.rs", "panic_in_serve.rs");
+    assert!(triples(&r.findings)
+        .iter()
+        .all(|(rule, _, _)| *rule != "panic_in_serve"));
+}
+
+#[test]
+fn twin_drift_requires_a_test_or_bench_reference() {
+    let defs = FileCtx::new(
+        "crates/nn/src/twin_fixture.rs".into(),
+        fixture("twin_defs.rs"),
+    );
+    let tests = FileCtx::new(
+        "crates/nn/tests/twin_parity.rs".into(),
+        fixture("twin_tests.rs"),
+    );
+    let r = lint_contexts(vec![defs, tests]);
+    // matmul_ref is exercised by the test file; decay_reference is not;
+    // TableRef carries a pragma
+    assert_eq!(triples(&r.findings), vec![("twin_drift", 9, 8)]);
+    assert!(r.findings[0].message.contains("decay_reference"));
+    assert_eq!(triples(&r.suppressed), vec![("twin_drift", 14, 12)]);
+}
+
+#[test]
+fn twin_drift_fires_without_the_test_file() {
+    let defs = FileCtx::new(
+        "crates/nn/src/twin_fixture.rs".into(),
+        fixture("twin_defs.rs"),
+    );
+    let r = lint_contexts(vec![defs]);
+    assert_eq!(
+        triples(&r.findings),
+        vec![("twin_drift", 5, 8), ("twin_drift", 9, 8)]
+    );
+}
+
+#[test]
+fn missing_lint_header_fires_on_bare_crate_roots_only() {
+    let r = lint_one("crates/newcrate/src/lib.rs", "missing_header.rs");
+    assert_eq!(
+        triples(&r.findings),
+        vec![("missing_lint_header", 1, 1), ("missing_lint_header", 1, 1)]
+    );
+    assert!(r.findings[0].message.contains("missing_docs"));
+    assert!(r.findings[1].message.contains("unsafe_code"));
+
+    // same content in a non-root module: no finding
+    let r = lint_one("crates/newcrate/src/module.rs", "missing_header.rs");
+    assert!(r.findings.is_empty());
+
+    // a root with both headers: no finding
+    let r = lint_one("crates/newcrate/src/lib.rs", "header_ok.rs");
+    assert!(r.findings.is_empty());
+    assert!(r.suppressed.is_empty());
+}
+
+#[test]
+fn malformed_pragmas_are_findings_and_never_suppress() {
+    let r = lint_one("crates/core/src/bad_pragma_fixture.rs", "bad_pragma.rs");
+    assert_eq!(
+        triples(&r.findings),
+        vec![
+            ("bad_pragma", 1, 1),
+            ("bad_pragma", 2, 1),
+            ("bad_pragma", 3, 1),
+        ]
+    );
+    assert!(r.findings[0].message.contains("missing its reason"));
+    assert!(r.findings[1].message.contains("no_such_rule"));
+    assert!(r.findings[2].message.contains("unrecognized"));
+}
+
+#[test]
+fn workspace_has_zero_unsuppressed_findings() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the lint crate");
+    let report = lint_tree(&root).expect("scan workspace");
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}:{} [{}] {}", f.file, f.line, f.col, f.rule, f.message))
+        .collect();
+    assert!(
+        report.findings.is_empty(),
+        "workspace contract violations:\n{}",
+        rendered.join("\n")
+    );
+    // every suppression carries its mandatory reason
+    assert!(report
+        .suppressed
+        .iter()
+        .all(|f| f.suppressed.as_deref().is_some_and(|r| !r.is_empty())));
+}
+
+#[test]
+fn json_report_is_byte_identical_across_runs() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the lint crate");
+    let a = render_json(&lint_tree(&root).expect("first scan"));
+    let b = render_json(&lint_tree(&root).expect("second scan"));
+    assert_eq!(a, b);
+    assert!(a.contains("\"version\": 1"));
+}

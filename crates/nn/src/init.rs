@@ -22,7 +22,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let small = xavier(4, 4, &mut rng);
         let large = xavier(400, 400, &mut rng);
+        // kamino-lint: allow(float_fold) -- max accumulator: 0.0 is the identity for max over non-negative values, not a sum seed
         let max_small = small.values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        // kamino-lint: allow(float_fold) -- max accumulator: 0.0 is the identity for max over non-negative values, not a sum seed
         let max_large = large.values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         assert!(max_small <= (6.0f64 / 8.0).sqrt() + 1e-12);
         assert!(max_large <= (6.0f64 / 800.0).sqrt() + 1e-12);

@@ -25,6 +25,9 @@
 //! * [`scratch`] — a recycling buffer pool backing the `*_pooled` layer
 //!   variants so the per-example hot loops stay allocation-free.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod attention;
 pub mod heads;
 pub mod init;

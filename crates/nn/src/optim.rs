@@ -367,6 +367,25 @@ mod tests {
     }
 
     #[test]
+    fn fused_accumulate_matches_reference_twin() {
+        // direct twin pairing: the fused two-pass accumulate must agree
+        // bit-for-bit with the three-pass reference on the same batch
+        let data = [1.0, -3.0, 250.0, 0.25];
+        let mut fused_model = Quad {
+            w: ParamBlock::zeros(1),
+        };
+        let mut ref_model = Quad {
+            w: ParamBlock::zeros(1),
+        };
+        let sizes = vec![1usize];
+        let (fused, fused_loss) = accumulate_clipped(&mut fused_model, &data, 1.0, &sizes);
+        let (reference, ref_loss) =
+            accumulate_clipped_reference(&mut ref_model, &data, 1.0, &sizes);
+        assert_eq!(fused, reference);
+        assert_eq!(fused_loss.to_bits(), ref_loss.to_bits());
+    }
+
+    #[test]
     fn clipping_is_global_across_blocks() {
         struct TwoBlock {
             a: ParamBlock,

@@ -2,6 +2,9 @@
 
 use crate::param::ParamBlock;
 
+/// Visitor that enumerates a model's parameter blocks in a stable order.
+pub type BlockVisit<M> = dyn FnMut(&mut M, &mut dyn FnMut(&mut ParamBlock));
+
 /// Verifies analytic gradients against central finite differences.
 ///
 /// * `loss_fn` computes the scalar loss without touching gradients.
@@ -11,9 +14,6 @@ use crate::param::ParamBlock;
 ///
 /// A strided subset of parameters per block is checked (up to ~24) to keep
 /// tests fast while still covering every block.
-/// Visitor that enumerates a model's parameter blocks in a stable order.
-pub type BlockVisit<M> = dyn FnMut(&mut M, &mut dyn FnMut(&mut ParamBlock));
-
 pub fn finite_diff_check<M>(
     loss_fn: &mut dyn FnMut(&mut M) -> f64,
     backward_fn: &mut dyn FnMut(&mut M),

@@ -22,6 +22,9 @@
 //! this crate as `kamino::serve` and adds `save`/`load` methods to its
 //! `Synthesizer` session API.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod http;
 pub mod json;
 pub mod metrics;

@@ -23,6 +23,7 @@ fn main() {
 
     // Fit spends the (ε, δ) budget exactly once. The BudgetPlanner solves
     // the per-mechanism σ's of Theorem 1 so the composed RDP cost fits.
+    // kamino-lint: allow(wall_clock) -- example prints elapsed time for the demo; not a pipeline artifact
     let t0 = Instant::now();
     let mut session = Synthesizer::builder()
         .epsilon(1.0)
@@ -41,6 +42,7 @@ fn main() {
     );
 
     // Serve traffic: every batch is post-processing — no further budget.
+    // kamino-lint: allow(wall_clock) -- example prints elapsed time for the demo; not a pipeline artifact
     let t0 = Instant::now();
     let mut served = 0usize;
     for (i, batch) in session.synthesize_batches(1_500, 500).enumerate() {
@@ -50,6 +52,7 @@ fn main() {
             .iter()
             .filter(|dc| dc.hardness == Hardness::Hard)
             .map(|dc| violation_percentage(dc, &batch))
+            // kamino-lint: allow(float_fold) -- max accumulator: 0.0 is the identity for max over non-negative values, not a sum seed
             .fold(0.0, f64::max);
         println!(
             "batch {i}: {} rows, worst hard-DC violation {worst:.2}%",

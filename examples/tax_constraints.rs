@@ -25,6 +25,7 @@ fn main() {
 
     for lookup in [false, true] {
         cfg.hard_fd_lookup = lookup;
+        // kamino-lint: allow(wall_clock) -- example prints elapsed time for the demo; not a pipeline artifact
         let start = Instant::now();
         let report = run_kamino(&data.schema, &data.instance, &data.dcs, &cfg);
         let elapsed = start.elapsed();

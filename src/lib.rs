@@ -53,6 +53,9 @@
 //! }
 //! ```
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub use kamino_baselines as baselines;
 pub use kamino_constraints as constraints;
 pub use kamino_core as core;
