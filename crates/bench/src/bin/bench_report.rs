@@ -18,12 +18,11 @@
 //! configuration must produce byte-identical dumps — CI diffs them as a
 //! determinism guard over the whole fit→snapshot→synthesize path.
 
-use std::time::Instant;
-
 use kamino_bench::report::Table;
 use kamino_core::{fit_kamino, KaminoConfig};
 use kamino_datasets::Corpus;
 use kamino_dp::Budget;
+use kamino_obs::{clock, ObsHandle};
 use kamino_serve::Json;
 
 /// One timed synthesis run.
@@ -43,6 +42,7 @@ fn main() {
     let mut json_mode = false;
     let mut out_path = String::from("BENCH_synthesis.json");
     let mut dump_rows: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -59,9 +59,15 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
+            "--trace-out" => {
+                trace_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out takes a path");
+                    std::process::exit(2);
+                }))
+            }
             other => {
                 eprintln!(
-                    "usage: bench_report [--json] [--out PATH] [--dump-rows PATH] (got `{other}`)"
+                    "usage: bench_report [--json] [--out PATH] [--dump-rows PATH] [--trace-out PATH] (got `{other}`)"
                 );
                 std::process::exit(2);
             }
@@ -83,11 +89,18 @@ fn main() {
     let mut cfg = KaminoConfig::new(Budget::new(1.0, 1e-6));
     cfg.seed = seed;
     cfg.train_scale = train_scale;
+    // phase spans and the DP budget ledger only when a trace was asked
+    // for; the measured numbers and the JSON artifact are unaffected
+    let obs = if trace_out.is_some() {
+        ObsHandle::enabled()
+    } else {
+        ObsHandle::disabled()
+    };
+    cfg.obs = obs.clone();
 
-    // kamino-lint: allow(wall_clock) -- bench harness: the wall-clock measurement is the product being reported
-    let t0 = Instant::now();
+    let t0 = clock::now_nanos();
     let fitted = fit_kamino(&d.schema, &d.instance, &d.dcs, &cfg);
-    let fit_seconds = t0.elapsed().as_secs_f64();
+    let fit_seconds = clock::secs_since(t0);
 
     // one fit feeds every shard measurement: each round restores the
     // session from the same snapshot bytes (identical model AND RNG
@@ -100,10 +113,9 @@ fn main() {
         session.set_shards(shards);
         // warm-up draw so allocation effects do not dominate small runs
         let _ = session.sample(synth_rows.min(100));
-        // kamino-lint: allow(wall_clock) -- bench harness: the wall-clock measurement is the product being reported
-        let t0 = Instant::now();
+        let t0 = clock::now_nanos();
         let inst = session.sample(synth_rows);
-        let seconds = t0.elapsed().as_secs_f64();
+        let seconds = clock::secs_since(t0);
         assert_eq!(inst.n_rows(), synth_rows);
         samples.push(SynthSample {
             shards,
@@ -133,6 +145,14 @@ fn main() {
         ]);
     }
     table.emit("bench_report");
+
+    if let Some(path) = &trace_out {
+        std::fs::write(path, obs.chrome_trace_json()).unwrap_or_else(|e| {
+            eprintln!("bench_report: cannot write trace {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
 
     if let Some(path) = &dump_rows {
         // Fresh restore: identical model and RNG cursor every run, so the

@@ -9,14 +9,13 @@
 //!     the two-pass reference — single-thread algorithmic wins whose
 //!     outputs are bit-identical (asserted before timing).
 
-use std::time::Instant;
-
 use kamino_bench::{classifier_roster, config, report, KaminoVariant, Method};
 use kamino_constraints::violation_percentage;
 use kamino_datasets::{tpch_like, Corpus};
 use kamino_eval::tasks::evaluate_classification_with;
 use kamino_nn::linalg::{matvec, matvec_ref};
 use kamino_nn::{DpSgd, ParamBlock, PerExampleModel};
+use kamino_obs::clock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -65,8 +64,7 @@ fn main() {
             hard_fd_lookup: lookup,
             ..Default::default()
         };
-        // kamino-lint: allow(wall_clock) -- bench harness: the wall-clock measurement is the product being reported
-        let start = Instant::now();
+        let start = clock::now_nanos();
         let (inst, rep) = Method::Kamino(variant).run(&d, budget, seed);
         let _ = start;
         let rep = rep.unwrap();
@@ -106,20 +104,18 @@ fn main() {
                 .all(|(a, b)| a.to_bits() == b.to_bits()),
             "tiled matvec drifted from the reference"
         );
-        // kamino-lint: allow(wall_clock) -- bench harness: the wall-clock measurement is the product being reported
-        let t0 = Instant::now();
+        let t0 = clock::now_nanos();
         for _ in 0..reps {
             matvec_ref(&w, &x, &mut y_r);
             std::hint::black_box(&y_r);
         }
-        let ref_s = t0.elapsed().as_secs_f64();
-        // kamino-lint: allow(wall_clock) -- bench harness: the wall-clock measurement is the product being reported
-        let t0 = Instant::now();
+        let ref_s = clock::secs_since(t0);
+        let t0 = clock::now_nanos();
         for _ in 0..reps {
             matvec(&w, &x, &mut y_t);
             std::hint::black_box(&y_t);
         }
-        let opt_s = t0.elapsed().as_secs_f64();
+        let opt_s = clock::secs_since(t0);
         tc.row(vec![
             format!("matvec {dim}x{dim} ({reps} reps)"),
             format!("{ref_s:.3}"),
@@ -147,18 +143,16 @@ fn main() {
         let mut r1 = StdRng::seed_from_u64(8);
         // kamino-lint: allow(raw_rng) -- bench harness stream with a pinned seed; measures kernels and releases nothing
         let mut r2 = StdRng::seed_from_u64(8);
-        // kamino-lint: allow(wall_clock) -- bench harness: the wall-clock measurement is the product being reported
-        let t0 = Instant::now();
+        let t0 = clock::now_nanos();
         for _ in 0..steps {
             std::hint::black_box(opt.step_reference(&mut m_ref, &batch, &mut r1));
         }
-        let ref_s = t0.elapsed().as_secs_f64();
-        // kamino-lint: allow(wall_clock) -- bench harness: the wall-clock measurement is the product being reported
-        let t0 = Instant::now();
+        let ref_s = clock::secs_since(t0);
+        let t0 = clock::now_nanos();
         for _ in 0..steps {
             std::hint::black_box(opt.step(&mut m_fused, &batch, &mut r2));
         }
-        let fused_s = t0.elapsed().as_secs_f64();
+        let fused_s = clock::secs_since(t0);
         assert!(
             m_ref
                 .w

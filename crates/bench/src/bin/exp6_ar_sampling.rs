@@ -5,11 +5,10 @@
 //! run: 0.4% on φ₁ᵃ and 37.2% on φ₂ᵃ) and is slower per accepted value;
 //! on BR2000 (soft DCs) AR performs comparably and converges faster.
 
-use std::time::Instant;
-
 use kamino_bench::{config, report, KaminoVariant, Method};
 use kamino_constraints::violation_percentage;
 use kamino_datasets::Corpus;
+use kamino_obs::clock;
 
 fn main() {
     let budget = config::default_budget();
@@ -26,10 +25,9 @@ fn main() {
                 ar_sampling: ar,
                 ..Default::default()
             };
-            // kamino-lint: allow(wall_clock) -- bench harness: the wall-clock measurement is the product being reported
-            let start = Instant::now();
+            let start = clock::now_nanos();
             let (inst, _) = Method::Kamino(variant).run(&d, budget, seed);
-            let elapsed = start.elapsed().as_secs_f64();
+            let elapsed = clock::secs_since(start);
             for dc in &d.dcs {
                 t.row(vec![
                     corpus.name().to_string(),

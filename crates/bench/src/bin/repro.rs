@@ -23,7 +23,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: kamino-repro [--fast] [--seed N] [--rows N] [--threads N]\n\
          \x20                  [--cache-dir PATH] [--out-json PATH] [--out-md PATH]\n\
-         \x20                  [--timings]\n\
+         \x20                  [--timings] [--trace-out PATH]\n\
          \n\
          --fast        CI-sized matrix (Adult+Tax, 2-point ε grid, 3 synthesizers)\n\
          --seed N      master seed (default 11)\n\
@@ -32,7 +32,9 @@ fn usage() -> ! {
          --cache-dir   snapshot cache directory (default target/repro-cache)\n\
          --out-json    output path (default BENCH_repro.json)\n\
          --out-md      output path (default REPRODUCTION.md)\n\
-         --timings     include wall-clock in the artifacts (breaks diffability)"
+         --timings     include wall-clock in the artifacts (breaks diffability)\n\
+         --trace-out   write a chrome://tracing JSON of the run (cells, fit\n\
+         \x20             phases, DP budget ledger); artifacts stay byte-identical"
     );
     std::process::exit(2);
 }
@@ -48,6 +50,7 @@ fn main() {
     let mut out_json = String::from("BENCH_repro.json");
     let mut out_md = String::from("REPRODUCTION.md");
     let mut timings = false;
+    let mut trace_out: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -66,6 +69,7 @@ fn main() {
             "--cache-dir" => cache_dir = Some(PathBuf::from(take("--cache-dir"))),
             "--out-json" => out_json = take("--out-json"),
             "--out-md" => out_md = take("--out-md"),
+            "--trace-out" => trace_out = Some(PathBuf::from(take("--trace-out"))),
             _ => usage(),
         }
     }
@@ -85,6 +89,11 @@ fn main() {
         cfg.cache_dir = dir;
     }
     cfg.timings = timings;
+    if trace_out.is_some() {
+        // tracing is strictly off the determinism contract: the emitted
+        // artifacts are byte-identical with or without it (CI re-asserts)
+        cfg.obs = kamino_obs::ObsHandle::enabled();
+    }
 
     eprintln!(
         "kamino-repro: {} matrix — {} datasets × {} ε × {} synthesizers = {} cells, \
@@ -99,6 +108,13 @@ fn main() {
     );
 
     let report = run_matrix(&cfg);
+
+    if let Some(path) = &trace_out {
+        match std::fs::write(path, cfg.obs.chrome_trace_json()) {
+            Ok(()) => eprintln!("kamino-repro: trace written to {}", path.display()),
+            Err(e) => eprintln!("kamino-repro: cannot write trace {}: {e}", path.display()),
+        }
+    }
 
     std::fs::write(&out_json, format!("{}\n", to_json(&report, &cfg))).unwrap_or_else(|e| {
         eprintln!("kamino-repro: cannot write {out_json}: {e}");

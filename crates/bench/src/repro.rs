@@ -36,7 +36,6 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 use kamino_baselines::{DpVae, Independent, NistPgm, PateGan, PrivBayes, Synthesizer};
 use kamino_core::{fit_kamino, KaminoConfig};
@@ -45,6 +44,7 @@ use kamino_dp::Budget;
 use kamino_eval::classifiers::Classifier;
 use kamino_eval::tasks::evaluate_classification_with;
 use kamino_eval::{tvd_all_pairs, tvd_all_singles, violation_table};
+use kamino_obs::{clock, ObsHandle};
 use kamino_serve::Json;
 
 /// The δ every cell runs at (the paper's default).
@@ -137,6 +137,11 @@ pub struct ReproConfig {
     /// Include wall-clock fields in the artifacts. Off by default: the
     /// artifacts are byte-for-byte diffable only without timings.
     pub timings: bool,
+    /// Observability sink shared by every cell (spans, fit phases, the
+    /// DP budget ledger). Disabled by default; enabling it must not —
+    /// and does not — change a single artifact byte (`--trace-out`
+    /// exercises this, and CI re-asserts it).
+    pub obs: ObsHandle,
 }
 
 fn default_threads() -> usize {
@@ -164,6 +169,7 @@ impl ReproConfig {
             cache_dir: PathBuf::from("target/repro-cache"),
             train_scale: 0.05,
             timings: false,
+            obs: ObsHandle::disabled(),
         }
     }
 
@@ -188,6 +194,7 @@ impl ReproConfig {
             cache_dir: PathBuf::from("target/repro-cache"),
             train_scale: 0.4,
             timings: false,
+            obs: ObsHandle::disabled(),
         }
     }
 
@@ -203,6 +210,7 @@ impl ReproConfig {
         cfg.embed_dim = 12;
         cfg.lr = 0.25;
         cfg.shards = 1;
+        cfg.obs = self.obs.clone();
         cfg
     }
 
@@ -373,8 +381,13 @@ fn run_kamino_cell(
 /// [`run_matrix`] (it is O(n²) per DC and identical for every cell of
 /// the dataset).
 fn run_cell(d: &Dataset, truth_psi: &[(String, f64)], cfg: &ReproConfig, cell: Cell) -> CellResult {
-    // kamino-lint: allow(wall_clock) -- wall seconds are reported for context and excluded from the repro hash comparison
-    let t0 = Instant::now();
+    let t0 = clock::now_nanos();
+    let mut span = cfg.obs.span("repro.cell");
+    if span.is_active() {
+        span.arg("dataset", d.name.clone());
+        span.arg("method", cell.method.name().to_string());
+        span.arg("epsilon", cell.epsilon.to_string());
+    }
     let (synth, achieved, cache) = match cell.method.baseline() {
         None => run_kamino_cell(d, cfg, cell.epsilon),
         Some(b) => (
@@ -420,7 +433,7 @@ fn run_cell(d: &Dataset, truth_psi: &[(String, f64)], cfg: &ReproConfig, cell: C
         accuracy: tasks.mean_accuracy(),
         f1: tasks.mean_f1(),
         cache,
-        seconds: t0.elapsed().as_secs_f64(),
+        seconds: clock::secs_since(t0),
     }
 }
 
@@ -428,8 +441,7 @@ fn run_cell(d: &Dataset, truth_psi: &[(String, f64)], cfg: &ReproConfig, cell: C
 /// cell list with a scoped-thread worker pool. Results land in matrix
 /// order regardless of which worker finishes first.
 pub fn run_matrix(cfg: &ReproConfig) -> MatrixReport {
-    // kamino-lint: allow(wall_clock) -- wall seconds are reported for context and excluded from the repro hash comparison
-    let t0 = Instant::now();
+    let t0 = clock::now_nanos();
     std::fs::create_dir_all(&cfg.cache_dir).ok();
     let datasets: Vec<Dataset> = cfg
         .datasets
@@ -482,7 +494,7 @@ pub fn run_matrix(cfg: &ReproConfig) -> MatrixReport {
         cache_hits,
         cache_misses,
         kamino_cells,
-        total_seconds: t0.elapsed().as_secs_f64(),
+        total_seconds: clock::secs_since(t0),
     }
 }
 

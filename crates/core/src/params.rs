@@ -88,6 +88,18 @@ const L_W: usize = 100;
 /// quality-greedy maximum and backing off while the planned `σ_d` exceeds
 /// the paper's cap.
 pub fn search_params(budget: Budget, shape: SearchShape) -> PrivacyParams {
+    search_params_with_obs(budget, shape, &kamino_obs::ObsHandle::disabled())
+}
+
+/// [`search_params`], recording the accepted plan's σ calibrations and
+/// composed ε/δ spend on `obs`' budget ledger. Back-off iterations the
+/// search discards are not recorded — the ledger reflects what the run
+/// actually spends. The returned Ψ is byte-identical to [`search_params`].
+pub fn search_params_with_obs(
+    budget: Budget,
+    shape: SearchShape,
+    obs: &kamino_obs::ObsHandle,
+) -> PrivacyParams {
     let scale = shape.train_scale.max(1e-6);
     let b = 32usize;
     let b_min = 16usize;
@@ -128,6 +140,11 @@ pub fn search_params(budget: Budget, shape: SearchShape) -> PrivacyParams {
     while plan.sigma_d > SIGMA_D_CAP && t > t_min {
         t = ((t as f64 * 0.7) as usize).max(t_min);
         plan = planner.plan(&run_shape(t));
+    }
+    if obs.is_enabled() {
+        // replay the accepted plan with the ledger attached; planning is
+        // deterministic, so this changes nothing but records everything
+        plan = planner.plan_with_obs(&run_shape(t), obs);
     }
 
     PrivacyParams {

@@ -1,16 +1,18 @@
 //! The end-to-end Kamino pipeline (Algorithm 1).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use kamino_constraints::{DenialConstraint, Hardness};
 use kamino_data::{Instance, Schema};
 use kamino_dp::Budget;
+use kamino_obs::events::Event;
+use kamino_obs::{clock, ObsHandle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::ar_sampler::{synthesize_ar, ArSampleConfig};
-use crate::params::{search_params, PrivacyParams, SearchShape};
-use crate::sampler::{synthesize, SampleConfig};
+use crate::params::{search_params_with_obs, PrivacyParams, SearchShape};
+use crate::sampler::{synthesize_timed, SampleConfig, SampleTimings};
 use crate::sequence::{random_sequence, sequence_attrs};
 use crate::train::{count_marginal_releases, count_sgd_models, train_model, TrainConfig};
 use crate::weights::{learn_weights, WeightConfig, HARD_WEIGHT};
@@ -61,6 +63,11 @@ pub struct KaminoConfig {
     /// `KAMINO_SHARDS` environment variable when set (the CI matrix uses
     /// it to run the whole suite through the sharded engine), else `1`.
     pub shards: usize,
+    /// Observability handle: spans, metrics and the DP budget ledger.
+    /// Disabled by default, and strictly off the determinism contract —
+    /// never encoded into snapshots or [`KaminoConfig::stable_hash`], and
+    /// enabling it changes no RNG stream or output byte.
+    pub obs: ObsHandle,
 }
 
 impl KaminoConfig {
@@ -83,6 +90,7 @@ impl KaminoConfig {
             output_n: None,
             large_domain_threshold: 256,
             shards: shards_from_env(),
+            obs: ObsHandle::disabled(),
         }
     }
 
@@ -125,7 +133,13 @@ fn shards_from_env() -> usize {
         .unwrap_or(1)
 }
 
-/// Wall-clock time per pipeline phase — the series of Figure 7.
+/// Wall-clock time per pipeline phase — the series of Figure 7, extended
+/// with the sample-side breakdown of Algorithm 3 (fill / cross-shard
+/// repair / constrained MCMC). The fit-side fields are measured on every
+/// run; the sample-side breakdown accumulates across
+/// [`FittedKamino::sample`] calls when the session's
+/// [`KaminoConfig::obs`] handle is enabled (with it disabled the sampler
+/// performs no clock reads at all).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseTimings {
     /// Algorithm 4 (+ Algorithm 6 parameter search).
@@ -134,12 +148,19 @@ pub struct PhaseTimings {
     pub training: Duration,
     /// Violation matrix + Algorithm 5 (zero when all DCs are hard).
     pub dc_weights: Duration,
-    /// Algorithm 3 / accept–reject sampling.
+    /// Algorithm 3 / accept–reject sampling, end to end.
     pub sampling: Duration,
+    /// Sample-side: per-column fill passes (Algorithm 3 lines 4–11).
+    pub sample_fill: Duration,
+    /// Sample-side: cross-shard repair sweeps (zero on 1-shard runs).
+    pub sample_repair: Duration,
+    /// Sample-side: constrained MCMC (Algorithm 3 line 12).
+    pub sample_mcmc: Duration,
 }
 
 impl PhaseTimings {
-    /// Total end-to-end time.
+    /// Total end-to-end time. The sample-side fields are a breakdown of
+    /// `sampling`, not an addition to it.
     pub fn total(&self) -> Duration {
         self.sequencing + self.training + self.dc_weights + self.sampling
     }
@@ -198,11 +219,16 @@ pub fn fit_kamino(
     assert!(n > 0, "cannot synthesize from an empty instance");
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4A31);
     let mut timings = PhaseTimings::default();
+    let obs = &cfg.obs;
+    let _fit_span = obs.span("fit");
 
     // Line 2: sequencing (Algorithm 4), line 3: parameter search
-    // (Algorithm 6). Both are data-independent.
-    // kamino-lint: allow(wall_clock) -- phase timing surfaced only under --timings; never part of a deterministic artifact
-    let t0 = Instant::now();
+    // (Algorithm 6). Both are data-independent. Phase timing routes
+    // through the obs::clock choke point and is surfaced only under
+    // --timings / the obs exporters — never part of a deterministic
+    // artifact.
+    let phase_span = obs.span("fit.sequencing");
+    let t0 = clock::now_nanos();
     let sequence = if cfg.constraint_aware_sequencing {
         sequence_attrs(schema, dcs)
     } else {
@@ -217,12 +243,17 @@ pub fn fit_kamino(
         weights_unknown,
         train_scale: cfg.train_scale,
     };
-    let params = search_params(cfg.budget, shape);
-    timings.sequencing = t0.elapsed();
+    let params = search_params_with_obs(cfg.budget, shape, obs);
+    timings.sequencing = Duration::from_nanos(clock::now_nanos().saturating_sub(t0));
+    drop(phase_span);
+    obs.event(Event::Phase {
+        name: "fit.sequencing",
+        dur_ns: timings.sequencing.as_nanos() as u64,
+    });
 
     // Line 4: TrainModel (Algorithm 2).
-    // kamino-lint: allow(wall_clock) -- phase timing surfaced only under --timings; never part of a deterministic artifact
-    let t0 = Instant::now();
+    let phase_span = obs.span("fit.training");
+    let t0 = clock::now_nanos();
     let train_cfg = TrainConfig {
         embed_dim: cfg.embed_dim,
         lr: cfg.lr,
@@ -237,11 +268,16 @@ pub fn fit_kamino(
         seed: cfg.seed,
     };
     let model = train_model(schema, instance, &sequence, &train_cfg);
-    timings.training = t0.elapsed();
+    timings.training = Duration::from_nanos(clock::now_nanos().saturating_sub(t0));
+    drop(phase_span);
+    obs.event(Event::Phase {
+        name: "fit.training",
+        dur_ns: timings.training.as_nanos() as u64,
+    });
 
     // Line 5: LearnWeight (Algorithm 5).
-    // kamino-lint: allow(wall_clock) -- phase timing surfaced only under --timings; never part of a deterministic artifact
-    let t0 = Instant::now();
+    let phase_span = obs.span("fit.dc_weights");
+    let t0 = clock::now_nanos();
     let weights = if weights_unknown {
         let wcfg = WeightConfig {
             l_w: params.l_w,
@@ -254,7 +290,12 @@ pub fn fit_kamino(
     } else {
         vec![HARD_WEIGHT; dcs.len()]
     };
-    timings.dc_weights = t0.elapsed();
+    timings.dc_weights = Duration::from_nanos(clock::now_nanos().saturating_sub(t0));
+    drop(phase_span);
+    obs.event(Event::Phase {
+        name: "fit.dc_weights",
+        dur_ns: timings.dc_weights.as_nanos() as u64,
+    });
 
     FittedKamino {
         sequence,
@@ -353,15 +394,24 @@ impl FittedKamino {
     /// variant when the config asks for it), advancing the session's RNG
     /// stream. Pure post-processing: spends no additional budget.
     pub fn sample(&mut self, n: usize) -> Instance {
-        if self.cfg.ar_sampling {
-            synthesize_ar(
+        let obs = self.cfg.obs.clone();
+        let enabled = obs.is_enabled();
+        let t0 = if enabled { clock::now_nanos() } else { 0 };
+        let mut span = obs.span("sample");
+        if span.is_active() {
+            span.arg("n", n.to_string());
+            span.arg("shards", self.cfg.shards.to_string());
+        }
+        let (inst, breakdown) = if self.cfg.ar_sampling {
+            let inst = synthesize_ar(
                 &self.schema,
                 &self.model,
                 &self.dcs,
                 &self.weights,
                 &ArSampleConfig::new(n),
                 &mut self.rng,
-            )
+            );
+            (inst, SampleTimings::default())
         } else {
             let sample_cfg = SampleConfig {
                 n,
@@ -374,15 +424,24 @@ impl FittedKamino {
                 shards: self.cfg.shards,
                 repair_sweeps: 4,
             };
-            synthesize(
+            synthesize_timed(
                 &self.schema,
                 &self.model,
                 &self.dcs,
                 &self.weights,
                 &sample_cfg,
                 &mut self.rng,
+                &obs,
             )
+        };
+        drop(span);
+        if enabled {
+            self.timings.sample_fill += breakdown.fill;
+            self.timings.sample_repair += breakdown.repair;
+            self.timings.sample_mcmc += breakdown.mcmc;
+            self.timings.sampling += Duration::from_nanos(clock::now_nanos().saturating_sub(t0));
         }
+        inst
     }
 }
 
@@ -396,13 +455,14 @@ pub fn run_kamino(
 ) -> KaminoReport {
     let mut fitted = fit_kamino(schema, instance, dcs, cfg);
 
-    // Line 6: Synthesize.
-    // kamino-lint: allow(wall_clock) -- phase timing surfaced only under --timings; never part of a deterministic artifact
-    let t0 = Instant::now();
+    // Line 6: Synthesize. Timed through the obs::clock choke point;
+    // surfaced only under --timings, never part of a deterministic
+    // artifact.
+    let t0 = clock::now_nanos();
     let out_n = cfg.output_n.unwrap_or(fitted.n_input);
     let instance_out = fitted.sample(out_n);
     let mut timings = fitted.timings;
-    timings.sampling = t0.elapsed();
+    timings.sampling = Duration::from_nanos(clock::now_nanos().saturating_sub(t0));
 
     KaminoReport {
         instance: instance_out,

@@ -64,14 +64,53 @@
 //!
 //! [`DcCounter`]: kamino_constraints::DcCounter
 
+use std::time::Duration;
+
 use kamino_constraints::{CandidateRow, CellContext, DenialConstraint, ScoreSet};
 use kamino_data::stats::sample_weighted;
 use kamino_data::{AttrKind, Instance, Quantizer, Schema, Value};
+use kamino_obs::{clock, ObsHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::model::{DataModel, SubModel, SubModelKind};
 use crate::sequence::active_dcs_by_position;
+
+/// Wall-clock breakdown of one synthesis run's per-column phases,
+/// accumulated across columns. Only populated when the `obs` handle
+/// passed to [`synthesize_timed`] is enabled — with it disabled the
+/// sampler performs no clock reads at all, and every field stays zero.
+/// Strictly diagnostic: timing never influences the sample stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SampleTimings {
+    /// Per-column fill passes (Algorithm 3 lines 4–11).
+    pub fill: Duration,
+    /// Cross-shard repair sweeps (zero on 1-shard runs).
+    pub repair: Duration,
+    /// Constrained MCMC (Algorithm 3 line 12).
+    pub mcmc: Duration,
+}
+
+/// Runs `f`, timing it into `acc` under a named span when `obs` is
+/// enabled; with `obs` disabled this is exactly `f()` — no clock read,
+/// no span, no allocation.
+fn timed_phase<T>(
+    obs: &ObsHandle,
+    name: &'static str,
+    column: usize,
+    acc: &mut Duration,
+    f: impl FnOnce() -> T,
+) -> T {
+    if !obs.is_enabled() {
+        return f();
+    }
+    let mut span = obs.span(name);
+    span.arg("column", column.to_string());
+    let t0 = clock::now_nanos();
+    let out = f();
+    *acc += Duration::from_nanos(clock::now_nanos().saturating_sub(t0));
+    out
+}
 
 /// Documented ceiling (in percent of tuple pairs) for the *FD-cycle
 /// residual*: when a hard FD's dependent precedes its determinant in the
@@ -173,10 +212,38 @@ pub fn synthesize<R: Rng + ?Sized>(
     cfg: &SampleConfig,
     rng: &mut R,
 ) -> Instance {
+    synthesize_timed(
+        schema,
+        model,
+        dcs,
+        weights,
+        cfg,
+        rng,
+        &ObsHandle::disabled(),
+    )
+    .0
+}
+
+/// [`synthesize`], with per-column fill/repair/MCMC spans and a
+/// [`SampleTimings`] breakdown recorded through `obs`. The instance is
+/// byte-identical whether or not `obs` is enabled (timing never touches
+/// the RNG stream); with `obs` disabled the breakdown stays zero and no
+/// clock is read.
+pub fn synthesize_timed<R: Rng + ?Sized>(
+    schema: &Schema,
+    model: &DataModel,
+    dcs: &[DenialConstraint],
+    weights: &[f64],
+    cfg: &SampleConfig,
+    rng: &mut R,
+    obs: &ObsHandle,
+) -> (Instance, SampleTimings) {
     assert_eq!(dcs.len(), weights.len(), "one weight per DC");
     assert!(cfg.n > 0, "cannot synthesize an empty instance");
+    let mut timings = SampleTimings::default();
     if cfg.shards > 1 {
-        return synthesize_sharded(schema, model, dcs, weights, cfg, rng);
+        let inst = synthesize_sharded(schema, model, dcs, weights, cfg, rng, obs, &mut timings);
+        return (inst, timings);
     }
     let n = cfg.n;
     let k = model.sequence.len();
@@ -188,32 +255,36 @@ pub fn synthesize<R: Rng + ?Sized>(
         let target = model.sequence[j];
         let mut scores = ScoreSet::build(active_j, dcs);
 
-        for i in 0..n {
-            let value = sample_cell(
-                schema, model, j, &inst, i, &scores, weights, cfg, false, &mut arena, rng,
-            );
-            inst.set(i, target, value);
-            scores.insert(&CandidateRow::committed(&inst, i, target));
-        }
+        timed_phase(obs, "sample.fill", j, &mut timings.fill, || {
+            for i in 0..n {
+                let value = sample_cell(
+                    schema, model, j, &inst, i, &scores, weights, cfg, false, &mut arena, rng,
+                );
+                inst.set(i, target, value);
+                scores.insert(&CandidateRow::committed(&inst, i, target));
+            }
+        });
 
         // Constrained MCMC (line 12): re-sample m random cells of this
         // column conditioned on everything else. Each site draw and its
         // candidate draws share one interleaved RNG stream, and every
         // site is re-scored through the same batch substrate as the main
         // pass.
-        mcmc_pass(
-            schema,
-            model,
-            j,
-            &mut inst,
-            &mut scores,
-            weights,
-            cfg,
-            &mut arena,
-            rng,
-        );
+        timed_phase(obs, "sample.mcmc", j, &mut timings.mcmc, || {
+            mcmc_pass(
+                schema,
+                model,
+                j,
+                &mut inst,
+                &mut scores,
+                weights,
+                cfg,
+                &mut arena,
+                rng,
+            );
+        });
     }
-    inst
+    (inst, timings)
 }
 
 /// The constrained MCMC step (Algorithm 3 line 12): `mcmc_resamples`
@@ -261,6 +332,7 @@ fn shard_bounds(n: usize, s: usize) -> Vec<(usize, usize)> {
 
 /// Sharded column passes with cross-shard repair (see the module docs).
 /// Only reached when `cfg.shards > 1`.
+#[allow(clippy::too_many_arguments)]
 fn synthesize_sharded<R: Rng + ?Sized>(
     schema: &Schema,
     model: &DataModel,
@@ -268,6 +340,8 @@ fn synthesize_sharded<R: Rng + ?Sized>(
     weights: &[f64],
     cfg: &SampleConfig,
     rng: &mut R,
+    obs: &ObsHandle,
+    timings: &mut SampleTimings,
 ) -> Instance {
     let n = cfg.n;
     let s_count = cfg.shards.min(n);
@@ -292,55 +366,58 @@ fn synthesize_sharded<R: Rng + ?Sized>(
         // (earlier columns of their own rows); the current column lives in
         // a shard-local buffer plus the shard's own ScoreSet prefix
         // indexes, so no cell written this pass is ever read across
-        // shards.
-        let inst_ref = &inst;
-        let shard_outputs: Vec<(Vec<Value>, ScoreSet)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = bounds
-                .iter()
-                .zip(&seeds)
-                .map(|(&(lo, hi), &seed)| {
-                    scope.spawn(move || {
-                        let mut shard_rng = StdRng::seed_from_u64(seed);
-                        let mut scores = ScoreSet::build(active_j, dcs);
-                        let mut shard_arena = CellArena::default();
-                        let mut values = Vec::with_capacity(hi - lo);
-                        for i in lo..hi {
-                            let v = sample_cell(
-                                schema,
-                                model,
-                                j,
-                                inst_ref,
-                                i,
-                                &scores,
-                                weights,
-                                cfg,
-                                false,
-                                &mut shard_arena,
-                                &mut shard_rng,
-                            );
-                            scores.insert(&CandidateRow::new(inst_ref, i, target, v));
-                            values.push(v);
-                        }
-                        (values, scores)
+        // shards. The fill phase (threads + shard-order commit/merge) is
+        // timed as one unit.
+        let mut scores = timed_phase(obs, "sample.fill", j, &mut timings.fill, || {
+            let inst_ref = &inst;
+            let shard_outputs: Vec<(Vec<Value>, ScoreSet)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = bounds
+                    .iter()
+                    .zip(&seeds)
+                    .map(|(&(lo, hi), &seed)| {
+                        scope.spawn(move || {
+                            let mut shard_rng = StdRng::seed_from_u64(seed);
+                            let mut scores = ScoreSet::build(active_j, dcs);
+                            let mut shard_arena = CellArena::default();
+                            let mut values = Vec::with_capacity(hi - lo);
+                            for i in lo..hi {
+                                let v = sample_cell(
+                                    schema,
+                                    model,
+                                    j,
+                                    inst_ref,
+                                    i,
+                                    &scores,
+                                    weights,
+                                    cfg,
+                                    false,
+                                    &mut shard_arena,
+                                    &mut shard_rng,
+                                );
+                                scores.insert(&CandidateRow::new(inst_ref, i, target, v));
+                                values.push(v);
+                            }
+                            (values, scores)
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
 
-        // Commit shard buffers and fold the prefix indexes, both in shard
-        // order.
-        let mut merged: Option<ScoreSet> = None;
-        for (&(lo, _), (values, shard_scores)) in bounds.iter().zip(shard_outputs) {
-            for (off, v) in values.into_iter().enumerate() {
-                inst.set(lo + off, target, v);
+            // Commit shard buffers and fold the prefix indexes, both in
+            // shard order.
+            let mut merged: Option<ScoreSet> = None;
+            for (&(lo, _), (values, shard_scores)) in bounds.iter().zip(shard_outputs) {
+                for (off, v) in values.into_iter().enumerate() {
+                    inst.set(lo + off, target, v);
+                }
+                match merged.as_mut() {
+                    Some(m) => m.merge(shard_scores),
+                    None => merged = Some(shard_scores),
+                }
             }
-            match merged.as_mut() {
-                Some(m) => m.merge(shard_scores),
-                None => merged = Some(shard_scores),
-            }
-        }
-        let mut scores = merged.expect("at least one shard");
+            merged.expect("at least one shard")
+        });
 
         // Cross-shard repair: each shard is internally consistent, but
         // hard DCs can be violated by cross-shard pairs. Detect every row
@@ -355,44 +432,49 @@ fn synthesize_sharded<R: Rng + ?Sized>(
         // exists. One pass normally suffices; the loop re-checks in case
         // a general scan-DC fallback left residue.
         if cfg.constraint_aware && any_hard && !scores.is_empty() {
-            for _ in 0..cfg.repair_sweeps {
-                let conflicted: Vec<usize> = (0..n)
-                    .filter(|&r| {
-                        let probe = CandidateRow::committed(&inst, r, target);
-                        scores
-                            .iter()
-                            .any(|(l, c)| weights[l].is_infinite() && c.count_new(&probe) > 0)
-                    })
-                    .collect();
-                if conflicted.is_empty() {
-                    break;
+            timed_phase(obs, "sample.repair", j, &mut timings.repair, || {
+                for _ in 0..cfg.repair_sweeps {
+                    let conflicted: Vec<usize> = (0..n)
+                        .filter(|&r| {
+                            let probe = CandidateRow::committed(&inst, r, target);
+                            scores
+                                .iter()
+                                .any(|(l, c)| weights[l].is_infinite() && c.count_new(&probe) > 0)
+                        })
+                        .collect();
+                    if conflicted.is_empty() {
+                        break;
+                    }
+                    for &r in &conflicted {
+                        scores.remove(&CandidateRow::committed(&inst, r, target));
+                    }
+                    for &r in &conflicted {
+                        let v = sample_cell(
+                            schema, model, j, &inst, r, &scores, weights, cfg, true, &mut arena,
+                            rng,
+                        );
+                        inst.set(r, target, v);
+                        scores.insert(&CandidateRow::committed(&inst, r, target));
+                    }
                 }
-                for &r in &conflicted {
-                    scores.remove(&CandidateRow::committed(&inst, r, target));
-                }
-                for &r in &conflicted {
-                    let v = sample_cell(
-                        schema, model, j, &inst, r, &scores, weights, cfg, true, &mut arena, rng,
-                    );
-                    inst.set(r, target, v);
-                    scores.insert(&CandidateRow::committed(&inst, r, target));
-                }
-            }
+            });
         }
 
         // Constrained MCMC (Algorithm 3 line 12), against the merged
         // scorer — the exact helper the sequential path runs.
-        mcmc_pass(
-            schema,
-            model,
-            j,
-            &mut inst,
-            &mut scores,
-            weights,
-            cfg,
-            &mut arena,
-            rng,
-        );
+        timed_phase(obs, "sample.mcmc", j, &mut timings.mcmc, || {
+            mcmc_pass(
+                schema,
+                model,
+                j,
+                &mut inst,
+                &mut scores,
+                weights,
+                cfg,
+                &mut arena,
+                rng,
+            );
+        });
     }
     inst
 }

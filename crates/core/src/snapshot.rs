@@ -271,21 +271,47 @@ pub fn decode_config(r: &mut ByteReader<'_>) -> Result<KaminoConfig, WireError> 
     Ok(cfg)
 }
 
-/// Encodes fit-phase timings as nanosecond counts.
+/// Encodes fit-phase timings as nanosecond counts. The wire layout is
+/// frozen at the original four fields so old readers and old snapshots
+/// stay compatible; the sample-side breakdown travels separately via
+/// [`encode_sample_timings`] (containers put it in an optional section).
 pub fn encode_timings(t: &PhaseTimings, w: &mut ByteWriter) {
     for d in [t.sequencing, t.training, t.dc_weights, t.sampling] {
         w.put_u64(d.as_nanos().min(u128::from(u64::MAX)) as u64);
     }
 }
 
-/// Decodes timings written by [`encode_timings`].
+/// Decodes timings written by [`encode_timings`]; the sample-side
+/// breakdown stays zero unless [`decode_sample_timings`] fills it in.
 pub fn decode_timings(r: &mut ByteReader<'_>) -> Result<PhaseTimings, WireError> {
     Ok(PhaseTimings {
         sequencing: Duration::from_nanos(r.u64()?),
         training: Duration::from_nanos(r.u64()?),
         dc_weights: Duration::from_nanos(r.u64()?),
         sampling: Duration::from_nanos(r.u64()?),
+        ..PhaseTimings::default()
     })
+}
+
+/// Encodes the sample-side phase breakdown (fill/repair/MCMC) as
+/// nanosecond counts — the payload of the container's optional
+/// sample-timings section.
+pub fn encode_sample_timings(t: &PhaseTimings, w: &mut ByteWriter) {
+    for d in [t.sample_fill, t.sample_repair, t.sample_mcmc] {
+        w.put_u64(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+}
+
+/// Decodes a breakdown written by [`encode_sample_timings`] into an
+/// already-decoded [`PhaseTimings`].
+pub fn decode_sample_timings(
+    r: &mut ByteReader<'_>,
+    t: &mut PhaseTimings,
+) -> Result<(), WireError> {
+    t.sample_fill = Duration::from_nanos(r.u64()?);
+    t.sample_repair = Duration::from_nanos(r.u64()?);
+    t.sample_mcmc = Duration::from_nanos(r.u64()?);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -325,6 +351,7 @@ mod tests {
                 training: Duration::from_millis(300),
                 dc_weights: Duration::ZERO,
                 sampling: Duration::ZERO,
+                ..PhaseTimings::default()
             },
             &mut w,
         );

@@ -25,8 +25,24 @@
 //! [`conversion_floor`]; budgets at or under the floor (plus the fixed
 //! `σ_w` cost) are rejected loudly.
 
+use kamino_obs::events::Event;
+use kamino_obs::ObsHandle;
+
 use crate::rdp::{conversion_floor, try_calibrate_sgm_sigma, RdpAccountant};
 use crate::Budget;
+
+/// Mechanism ids used across the budget-ledger event stream and the
+/// `kamino_dp_*` metric labels.
+pub mod mechanism {
+    /// `M1`: full-rate Gaussian histogram releases.
+    pub const M1: &str = "m1_histogram";
+    /// `M2`: DP-SGD (Sampled Gaussian Mechanism per step).
+    pub const M2: &str = "m2_dpsgd";
+    /// `M3`: the single violation-matrix release.
+    pub const M3: &str = "m3_weights";
+    /// The composed three-way total.
+    pub const COMPOSED: &str = "composed";
+}
 
 /// The shape of one end-to-end run — everything the accountant needs to
 /// know about Theorem 1's composition besides the σ's.
@@ -147,6 +163,53 @@ impl BudgetPlanner {
     /// or below the grid's conversion floor (plus the fixed `M3` cost) —
     /// since silently returning a non-fitting plan would fake a guarantee.
     pub fn plan(&self, shape: &RunShape) -> BudgetPlan {
+        self.plan_with_obs(shape, &ObsHandle::disabled())
+    }
+
+    /// [`Self::plan`], with every σ calibration and the composed ε/δ
+    /// spend recorded on `obs`' budget ledger (events plus
+    /// `kamino_dp_sigma`/`kamino_dp_epsilon` gauges and a
+    /// `kamino_dp_plans_total` counter). Planning itself is byte-identical
+    /// whether or not `obs` is enabled.
+    pub fn plan_with_obs(&self, shape: &RunShape, obs: &ObsHandle) -> BudgetPlan {
+        let plan = self.plan_inner(shape, obs);
+        if obs.is_enabled() {
+            let delta = self.budget.delta;
+            for (mech, sigma) in [
+                (mechanism::M1, plan.sigma_g),
+                (mechanism::M2, plan.sigma_d),
+                (mechanism::M3, plan.sigma_w),
+            ] {
+                if sigma > 0.0 {
+                    obs.event(Event::BudgetSpend {
+                        mechanism: mech,
+                        sigma,
+                        composed_epsilon: plan.achieved_epsilon,
+                        delta,
+                    });
+                    obs.counter("kamino_dp_spends_total", &[("mechanism", mech)])
+                        .inc();
+                    obs.gauge("kamino_dp_sigma", &[("mechanism", mech)])
+                        .set(sigma);
+                }
+            }
+            obs.event(Event::BudgetSpend {
+                mechanism: mechanism::COMPOSED,
+                sigma: 0.0,
+                composed_epsilon: plan.achieved_epsilon,
+                delta,
+            });
+            obs.gauge("kamino_dp_epsilon", &[("kind", "achieved")])
+                .set(plan.achieved_epsilon);
+            obs.gauge("kamino_dp_epsilon", &[("kind", "budget")])
+                .set(self.budget.epsilon);
+            obs.gauge("kamino_dp_delta", &[]).set(delta);
+            obs.counter("kamino_dp_plans_total", &[]).inc();
+        }
+        plan
+    }
+
+    fn plan_inner(&self, shape: &RunShape, obs: &ObsHandle) -> BudgetPlan {
         assert!(shape.n > 0, "run shape needs at least one tuple");
         if self.budget.is_non_private() {
             return BudgetPlan {
@@ -169,8 +232,14 @@ impl BudgetPlanner {
         // absorbs that cost when fitting M1/M2.
         let sigma_w = if shape.weight_sample > 0 {
             let target = (self.weight_share * eps).max(1.05 * floor);
-            try_calibrate_sgm_sigma(target, delta, shape.weight_rate(), 1)
-                .expect("relaxed M3 target is above the floor by construction")
+            let sigma = try_calibrate_sgm_sigma(target, delta, shape.weight_rate(), 1)
+                .expect("relaxed M3 target is above the floor by construction");
+            obs.event(Event::BudgetCalibration {
+                mechanism: mechanism::M3,
+                sigma,
+                epsilon_share: target,
+            });
+            sigma
         } else {
             0.0
         };
@@ -189,12 +258,24 @@ impl BudgetPlanner {
                 .expect("relaxed seed target is above the floor by construction")
         };
         let sigma_g_hat = if shape.histogram_releases > 0 {
-            seed_sigma(g_share, 1.0, shape.histogram_releases)
+            let sigma = seed_sigma(g_share, 1.0, shape.histogram_releases);
+            obs.event(Event::BudgetCalibration {
+                mechanism: mechanism::M1,
+                sigma,
+                epsilon_share: g_share * eps,
+            });
+            sigma
         } else {
             0.0
         };
         let sigma_d_hat = if shape.sgd_steps > 0 {
-            seed_sigma(d_share, shape.sgd_rate(), shape.sgd_steps)
+            let sigma = seed_sigma(d_share, shape.sgd_rate(), shape.sgd_steps);
+            obs.event(Event::BudgetCalibration {
+                mechanism: mechanism::M2,
+                sigma,
+                epsilon_share: d_share * eps,
+            });
+            sigma
         } else {
             0.0
         };
@@ -349,5 +430,55 @@ mod tests {
     #[should_panic(expected = "conversion floor")]
     fn sub_floor_budget_panics() {
         BudgetPlanner::new(Budget::new(0.01, 1e-6)).plan(&shape());
+    }
+
+    #[test]
+    fn ledger_records_every_mechanism_and_matches_silent_plan() {
+        let planner = BudgetPlanner::new(Budget::new(1.0, 1e-6));
+        let obs = ObsHandle::enabled();
+        let plan = planner.plan_with_obs(&shape(), &obs);
+        // the ledger must not perturb the plan itself
+        assert_eq!(plan, planner.plan(&shape()));
+
+        let events = obs.events();
+        let calibrated: Vec<&str> = events
+            .iter()
+            .filter_map(|r| match &r.event {
+                Event::BudgetCalibration { mechanism, .. } => Some(*mechanism),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            calibrated,
+            vec![mechanism::M3, mechanism::M1, mechanism::M2]
+        );
+        let spends: Vec<&str> = events
+            .iter()
+            .filter_map(|r| match &r.event {
+                Event::BudgetSpend { mechanism, .. } => Some(*mechanism),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            spends,
+            vec![
+                mechanism::M1,
+                mechanism::M2,
+                mechanism::M3,
+                mechanism::COMPOSED
+            ]
+        );
+        for r in &events {
+            if let Event::BudgetSpend {
+                composed_epsilon, ..
+            } = r.event
+            {
+                assert!((composed_epsilon - plan.achieved_epsilon).abs() < 1e-12);
+            }
+        }
+        let prom = obs.render_prometheus();
+        assert!(prom.contains("kamino_dp_plans_total 1"));
+        assert!(prom.contains("kamino_dp_sigma{mechanism=\"m2_dpsgd\"}"));
+        assert!(prom.contains("kamino_dp_epsilon{kind=\"achieved\"}"));
     }
 }

@@ -63,7 +63,7 @@ fn skip_dir(rel: &str) -> bool {
 }
 
 /// Collect every `.rs` file under `root` (sorted, so every downstream
-/// artifact is deterministic), skipping [`skip_dir`] trees.
+/// artifact is deterministic), skipping `skip_dir` trees.
 pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];

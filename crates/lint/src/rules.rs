@@ -14,6 +14,7 @@ use crate::source::{FileCtx, FileKind};
 /// validator. Sorted; used to validate pragmas and `--json` rule counts.
 pub const RULE_IDS: &[&str] = &[
     "bad_pragma",
+    "bare_instant",
     "float_fold",
     "hash_order",
     "missing_lint_header",
@@ -53,6 +54,7 @@ pub fn check_file(ctx: &FileCtx) -> Vec<RawFinding> {
     let mut out = Vec::new();
     hash_order(ctx, &mut out);
     wall_clock(ctx, &mut out);
+    bare_instant(ctx, &mut out);
     raw_rng(ctx, &mut out);
     float_fold(ctx, &mut out);
     unordered_reduce(ctx, &mut out);
@@ -119,6 +121,39 @@ fn wall_clock(ctx: &FileCtx, out: &mut Vec<RawFinding>) {
                 col,
                 message: "wall-clock read in deterministic-contract code: timestamps leaking into artifacts break byte-identical re-runs".into(),
                 hint: "keep timing behind a --timings gate and out of default artifacts; annotate gated sites with a reason".into(),
+            });
+        }
+    }
+}
+
+/// `bare_instant`: any `Instant::now()` / `SystemTime` read outside
+/// tests and benches, in *every* crate. Distinct from [`wall_clock`]
+/// (which is about timestamps reaching artifacts): this rule funnels all
+/// timing through `kamino_obs::clock`, the workspace's single choke
+/// point, so "does observability read the clock?" stays auditable at one
+/// site. Both rules fire on a raw read; `kamino_obs::clock` itself
+/// carries the one dual pragma.
+fn bare_instant(ctx: &FileCtx, out: &mut Vec<RawFinding>) {
+    if matches!(ctx.kind, FileKind::TestDir | FileKind::Bench) {
+        return;
+    }
+    let n = ctx.code.len();
+    for ci in 0..n {
+        if ctx.is_test_code(ci) {
+            continue;
+        }
+        let txt = t(ctx, ci);
+        let hit =
+            (txt == "Instant" && ci + 2 < n && t(ctx, ci + 1) == "::" && t(ctx, ci + 2) == "now")
+                || txt == "SystemTime";
+        if hit {
+            let (line, col) = pos(ctx, ci);
+            out.push(RawFinding {
+                rule: "bare_instant",
+                line,
+                col,
+                message: "raw clock read bypasses the kamino_obs::clock choke point, making observability's clock usage unauditable".into(),
+                hint: "call kamino_obs::clock::now_nanos()/secs_since() instead; the choke point itself holds the single allow pragma".into(),
             });
         }
     }

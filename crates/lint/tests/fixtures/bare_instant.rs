@@ -1,0 +1,19 @@
+use std::time::Instant;
+
+pub fn timed() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn gated() -> bool {
+    let now = std::time::SystemTime::now(); // kamino-lint: allow(bare_instant, wall_clock) -- fixture for the dual choke-point pragma
+    now.elapsed().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

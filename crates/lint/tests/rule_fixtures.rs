@@ -54,13 +54,52 @@ fn hash_order_is_silent_outside_output_crates() {
 #[test]
 fn wall_clock_skips_tests_and_honors_trailing_pragma() {
     let r = lint_one("crates/core/src/wall_clock_fixture.rs", "wall_clock.rs");
-    assert_eq!(triples(&r.findings), vec![("wall_clock", 4, 14)]);
+    // both clock rules fire on a raw read; the line-9 pragma names only
+    // wall_clock, so bare_instant still surfaces there
+    assert_eq!(
+        triples(&r.findings),
+        vec![
+            ("bare_instant", 4, 14),
+            ("wall_clock", 4, 14),
+            ("bare_instant", 9, 26),
+        ]
+    );
     assert_eq!(triples(&r.suppressed), vec![("wall_clock", 9, 26)]);
 }
 
 #[test]
 fn wall_clock_is_silent_in_bench_targets() {
     let r = lint_one("crates/core/benches/wall_clock_fixture.rs", "wall_clock.rs");
+    assert!(triples(&r.findings).is_empty());
+}
+
+#[test]
+fn bare_instant_fires_in_any_crate_and_dual_pragma_covers_both_rules() {
+    // kamino-eval is not an "output crate", but the clock choke point
+    // applies everywhere: bare_instant has no crate exemption
+    let r = lint_one("crates/eval/src/bare_instant_fixture.rs", "bare_instant.rs");
+    assert_eq!(
+        triples(&r.findings),
+        vec![("bare_instant", 4, 14), ("wall_clock", 4, 14)]
+    );
+    assert_eq!(
+        triples(&r.suppressed),
+        vec![("bare_instant", 9, 26), ("wall_clock", 9, 26)]
+    );
+    assert!(r.findings[0].hint.contains("kamino_obs::clock"));
+}
+
+#[test]
+fn bare_instant_is_silent_in_test_dirs_and_bench_targets() {
+    let r = lint_one(
+        "crates/eval/tests/bare_instant_fixture.rs",
+        "bare_instant.rs",
+    );
+    assert!(triples(&r.findings).is_empty());
+    let r = lint_one(
+        "crates/eval/benches/bare_instant_fixture.rs",
+        "bare_instant.rs",
+    );
     assert!(triples(&r.findings).is_empty());
 }
 

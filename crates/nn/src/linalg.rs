@@ -37,7 +37,7 @@ pub fn matvec_ref(w: &[f64], x: &[f64], y: &mut [f64]) {
     }
 }
 
-/// `y = W·x` for row-major `W (out × in)`, blocked over [`ROW_BLOCK`]
+/// `y = W·x` for row-major `W (out × in)`, blocked over `ROW_BLOCK`
 /// output rows. Bit-identical to [`matvec_ref`] (each `y[o]` is the same
 /// left-to-right dot product; see the module docs).
 #[inline]
@@ -91,7 +91,7 @@ pub fn matvec_t_acc_ref(w: &[f64], dy: &[f64], x_grad: &mut [f64]) {
 }
 
 /// `x_grad += Wᵀ·dy` for row-major `W (out × in)`, blocked over
-/// [`ROW_BLOCK`] rows of `W` so each pass over `x_grad` retires four `dy`
+/// `ROW_BLOCK` rows of `W` so each pass over `x_grad` retires four `dy`
 /// terms. Bit-identical to [`matvec_t_acc_ref`]: per element `x_grad[j]`
 /// the `d·w` terms are added in the same ascending-`o` order, and a term
 /// is skipped exactly when `d == 0.0` (the skip is semantic, not an
@@ -160,7 +160,7 @@ pub fn outer_acc_ref(w_grad: &mut [f64], dy: &[f64], x: &[f64]) {
     }
 }
 
-/// `W_grad += dy ⊗ x`, blocked over [`ROW_BLOCK`] gradient rows so one
+/// `W_grad += dy ⊗ x`, blocked over `ROW_BLOCK` gradient rows so one
 /// pass over `x` feeds four rows. Every `w_grad[o][j]` is touched at most
 /// once (the update is element-wise independent), so the blocking is
 /// trivially bit-identical to [`outer_acc_ref`]; the `d == 0.0` skip is

@@ -108,7 +108,7 @@ where
     (sums, total_loss)
 }
 
-/// The unfused serial-reference twin of [`accumulate_clipped`]: zero the
+/// The unfused serial-reference twin of `accumulate_clipped`: zero the
 /// gradients, backward, norm pass, then a separate scale-and-add pass —
 /// three traversals per example. Kept public so parity tests and the
 /// microbenchmarks can pin the fused kernel against it.

@@ -2,7 +2,7 @@
 //! synthetic rows from them.
 //!
 //! ```text
-//! kamino-serve [--listen ADDR] [--model-dir DIR] [--threads N]
+//! kamino-serve [--listen ADDR] [--model-dir DIR] [--threads N] [--trace-out FILE]
 //! ```
 //!
 //! * `--listen` — bind address (default `127.0.0.1:7878`; port `0` picks
@@ -11,6 +11,10 @@
 //!   loaded at boot, fit jobs and `POST /models/{id}/snapshot` write new
 //!   ones.
 //! * `--threads` — worker threads serving connections (default 4).
+//! * `--trace-out` — on shutdown, write everything the server recorded
+//!   (request spans, fit phases, the DP budget ledger) as a
+//!   chrome://tracing JSON file. The same document is available live via
+//!   `POST /debug/trace`.
 //!
 //! The process exits 0 after a graceful `POST /shutdown`.
 
@@ -20,12 +24,15 @@ use std::process::ExitCode;
 use kamino_serve::{ServeConfig, Server};
 
 fn usage() -> ! {
-    eprintln!("usage: kamino-serve [--listen ADDR] [--model-dir DIR] [--threads N]");
+    eprintln!(
+        "usage: kamino-serve [--listen ADDR] [--model-dir DIR] [--threads N] [--trace-out FILE]"
+    );
     std::process::exit(2);
 }
 
-fn parse_args() -> ServeConfig {
+fn parse_args() -> (ServeConfig, Option<PathBuf>) {
     let mut cfg = ServeConfig::default();
+    let mut trace_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -37,6 +44,7 @@ fn parse_args() -> ServeConfig {
         match arg.as_str() {
             "--listen" => cfg.listen = value("--listen"),
             "--model-dir" => cfg.model_dir = Some(PathBuf::from(value("--model-dir"))),
+            "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out"))),
             "--threads" => {
                 cfg.threads = value("--threads").parse().unwrap_or_else(|_| {
                     eprintln!("--threads takes a positive integer");
@@ -54,11 +62,14 @@ fn parse_args() -> ServeConfig {
             }
         }
     }
-    cfg
+    (cfg, trace_out)
 }
 
 fn main() -> ExitCode {
-    let cfg = parse_args();
+    let (cfg, trace_out) = parse_args();
+    // the handle is clone-cheap and shares the server's sinks, so the
+    // trace written at exit contains everything the server recorded
+    let obs = cfg.obs.clone();
     let server = match Server::bind(cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -67,7 +78,17 @@ fn main() -> ExitCode {
         }
     };
     println!("kamino-serve listening on http://{}", server.local_addr());
-    match server.run() {
+    let outcome = server.run();
+    if let Some(path) = &trace_out {
+        match std::fs::write(path, obs.chrome_trace_json()) {
+            Ok(()) => println!("kamino-serve: trace written to {}", path.display()),
+            Err(e) => eprintln!(
+                "kamino-serve: writing trace to {} failed: {e}",
+                path.display()
+            ),
+        }
+    }
+    match outcome {
         Ok(()) => {
             println!("kamino-serve: clean shutdown");
             ExitCode::SUCCESS

@@ -1,19 +1,34 @@
-//! Serving metrics: lock-free counters plus a short sliding window for
-//! rows/sec, surfaced by `GET /metrics`.
+//! Serving metrics: lock-free counters plus a fixed ring of per-second
+//! buckets for rows/sec, surfaced by `GET /metrics` as Prometheus text
+//! exposition (merged with the server's `kamino-obs` registry).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
 
-use crate::json::Json;
+use kamino_obs::clock;
+use kamino_obs::ObsHandle;
 
-/// Length of the rows/sec sliding window, in seconds.
+/// Length of the rows/sec sliding window, in seconds (also the ring
+/// size: one bucket per second).
 const WINDOW_SECS: u64 = 10;
 
+/// Stamp marking a ring bucket that has never been written.
+const EMPTY: u64 = u64::MAX;
+
+/// One per-second bucket of the rows/sec ring.
+struct Bucket {
+    /// Elapsed-second stamp the bucket currently belongs to.
+    sec: AtomicU64,
+    /// Rows recorded during that second.
+    rows: AtomicU64,
+}
+
 /// Process-wide serving counters. All writers use relaxed ordering —
-/// these are statistics, not synchronization.
+/// these are statistics, not synchronization. The rows/sec window is a
+/// fixed ring of `WINDOW_SECS` per-second buckets: `add_rows` is two
+/// atomic ops on the bucket owned by the current second (no lock, no
+/// unbounded growth, no linear scan under burst traffic).
 pub struct Metrics {
-    start: Instant,
+    start_ns: u64,
     /// Requests accepted (any route, any outcome).
     pub requests: AtomicU64,
     /// Requests that ended in a 4xx/5xx.
@@ -26,84 +41,138 @@ pub struct Metrics {
     pub fits_done: AtomicU64,
     /// Connections currently being served.
     pub open_connections: AtomicU64,
-    /// (elapsed-second, row-count) samples for the rows/sec window.
-    window: Mutex<Vec<(u64, u64)>>,
+    /// Per-second buckets, indexed by `elapsed_sec % WINDOW_SECS`.
+    ring: Vec<Bucket>,
 }
 
 impl Metrics {
-    /// Fresh counters; `start` anchors uptime and the rows/sec window.
+    /// Fresh counters; the obs clock anchors uptime and the rows/sec ring.
     pub fn new() -> Metrics {
         Metrics {
-            // kamino-lint: allow(wall_clock) -- serving latency metrics are wall-clock by definition and feed no artifacts
-            start: Instant::now(),
+            start_ns: clock::now_nanos(),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             rows: AtomicU64::new(0),
             fits_started: AtomicU64::new(0),
             fits_done: AtomicU64::new(0),
             open_connections: AtomicU64::new(0),
-            window: Mutex::new(Vec::new()),
+            ring: (0..WINDOW_SECS)
+                .map(|_| Bucket {
+                    sec: AtomicU64::new(EMPTY),
+                    rows: AtomicU64::new(0),
+                })
+                .collect(),
         }
+    }
+
+    fn elapsed_secs(&self) -> u64 {
+        clock::now_nanos().saturating_sub(self.start_ns) / 1_000_000_000
+    }
+
+    /// Seconds since the server started.
+    pub fn uptime_secs(&self) -> f64 {
+        clock::now_nanos().saturating_sub(self.start_ns) as f64 / 1e9
     }
 
     /// Milliseconds since the server started.
     pub fn uptime_ms(&self) -> u64 {
-        self.start.elapsed().as_millis() as u64
+        clock::now_nanos().saturating_sub(self.start_ns) / 1_000_000
     }
 
-    /// Records `n` synthesized rows (total + sliding window).
+    /// Records `n` synthesized rows (total + the per-second ring).
+    ///
+    /// The bucket reset below is deliberately approximate: two threads
+    /// crossing a second boundary together can each store the new stamp
+    /// and clobber at most one concurrent `fetch_add` — an acceptable
+    /// error for a rate statistic, in exchange for staying lock-free.
     pub fn add_rows(&self, n: u64) {
         self.rows.fetch_add(n, Ordering::Relaxed);
-        let now = self.start.elapsed().as_secs();
-        let mut w = self.window.lock().unwrap();
-        w.retain(|&(t, _)| now - t < WINDOW_SECS);
-        w.push((now, n));
+        let now = self.elapsed_secs();
+        let bucket = &self.ring[(now % WINDOW_SECS) as usize];
+        if bucket.sec.load(Ordering::Relaxed) != now {
+            bucket.sec.store(now, Ordering::Relaxed);
+            bucket.rows.store(0, Ordering::Relaxed);
+        }
+        bucket.rows.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Rows per second over the last `WINDOW_SECS` (10) seconds.
     pub fn rows_per_sec(&self) -> f64 {
-        let now = self.start.elapsed().as_secs();
-        let w = self.window.lock().unwrap();
-        let total: u64 = w
+        let now = self.elapsed_secs();
+        let total: u64 = self
+            .ring
             .iter()
-            .filter(|&&(t, _)| now - t < WINDOW_SECS)
-            .map(|&(_, n)| n)
+            .filter(|b| {
+                let sec = b.sec.load(Ordering::Relaxed);
+                sec != EMPTY && now.saturating_sub(sec) < WINDOW_SECS
+            })
+            .map(|b| b.rows.load(Ordering::Relaxed))
             .sum();
         total as f64 / WINDOW_SECS as f64
     }
 
-    /// The `GET /metrics` body.
-    pub fn to_json(&self, open_models: usize, ready_models: usize) -> Json {
-        Json::obj([
-            ("uptime_ms", Json::Num(self.uptime_ms() as f64)),
-            (
-                "requests_total",
-                Json::Num(self.requests.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "errors_total",
-                Json::Num(self.errors.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "rows_synthesized_total",
-                Json::Num(self.rows.load(Ordering::Relaxed) as f64),
-            ),
-            ("rows_per_sec", Json::Num(self.rows_per_sec())),
-            (
-                "fits_started_total",
-                Json::Num(self.fits_started.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "fits_done_total",
-                Json::Num(self.fits_done.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "open_connections",
-                Json::Num(self.open_connections.load(Ordering::Relaxed) as f64),
-            ),
-            ("open_models", Json::Num(open_models as f64)),
-            ("ready_models", Json::Num(ready_models as f64)),
-        ])
+    /// Errors as a fraction of all requests (0 when nothing served yet).
+    pub fn error_rate(&self) -> f64 {
+        let requests = self.requests.load(Ordering::Relaxed);
+        if requests == 0 {
+            return 0.0;
+        }
+        self.errors.load(Ordering::Relaxed) as f64 / requests as f64
+    }
+
+    /// The `GET /metrics` body: the server counters rendered as
+    /// Prometheus text exposition, followed by everything in the obs
+    /// registry (request-latency histograms, the DP budget ledger).
+    pub fn render_prometheus(
+        &self,
+        obs: &ObsHandle,
+        open_models: usize,
+        ready_models: usize,
+    ) -> String {
+        let mut out = String::with_capacity(2048);
+        let counter = |out: &mut String, name: &str, v: u64| {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        };
+        let gauge = |out: &mut String, name: &str, v: f64| {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        };
+        gauge(&mut out, "kamino_uptime_seconds", self.uptime_secs());
+        counter(
+            &mut out,
+            "kamino_http_requests_total",
+            self.requests.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "kamino_http_errors_total",
+            self.errors.load(Ordering::Relaxed),
+        );
+        gauge(&mut out, "kamino_http_error_rate", self.error_rate());
+        counter(
+            &mut out,
+            "kamino_rows_synthesized_total",
+            self.rows.load(Ordering::Relaxed),
+        );
+        gauge(&mut out, "kamino_rows_per_sec", self.rows_per_sec());
+        counter(
+            &mut out,
+            "kamino_fits_started_total",
+            self.fits_started.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "kamino_fits_done_total",
+            self.fits_done.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "kamino_open_connections",
+            self.open_connections.load(Ordering::Relaxed) as f64,
+        );
+        gauge(&mut out, "kamino_open_models", open_models as f64);
+        gauge(&mut out, "kamino_ready_models", ready_models as f64);
+        out.push_str(&obs.render_prometheus());
+        out
     }
 }
 
@@ -118,16 +187,58 @@ mod tests {
     use super::*;
 
     #[test]
-    fn counters_accumulate() {
+    fn counters_accumulate_and_render() {
         let m = Metrics::new();
-        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.requests.fetch_add(4, Ordering::Relaxed);
+        m.errors.fetch_add(1, Ordering::Relaxed);
         m.add_rows(100);
         m.add_rows(50);
         assert_eq!(m.rows.load(Ordering::Relaxed), 150);
         assert!(m.rows_per_sec() > 0.0);
-        let j = m.to_json(2, 1);
-        assert_eq!(j.get("requests_total").unwrap().as_u64(), Some(3));
-        assert_eq!(j.get("rows_synthesized_total").unwrap().as_u64(), Some(150));
-        assert_eq!(j.get("open_models").unwrap().as_u64(), Some(2));
+        assert!((m.error_rate() - 0.25).abs() < 1e-12);
+        let body = m.render_prometheus(&ObsHandle::disabled(), 2, 1);
+        assert!(body.contains("# TYPE kamino_http_requests_total counter"));
+        assert!(body.contains("kamino_http_requests_total 4\n"));
+        assert!(body.contains("kamino_rows_synthesized_total 150\n"));
+        assert!(body.contains("kamino_http_error_rate 0.25\n"));
+        assert!(body.contains("kamino_open_models 2\n"));
+        assert!(body.contains("kamino_ready_models 1\n"));
+    }
+
+    #[test]
+    fn ring_stays_fixed_size_under_bursts() {
+        let m = Metrics::new();
+        // a burst far larger than the old Vec-based window would hold
+        for _ in 0..10_000 {
+            m.add_rows(7);
+        }
+        assert_eq!(m.ring.len(), WINDOW_SECS as usize);
+        assert_eq!(m.rows.load(Ordering::Relaxed), 70_000);
+        // the whole burst lands inside the window
+        assert!((m.rows_per_sec() - 7_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_buckets_age_out_of_the_rate() {
+        let m = Metrics::new();
+        // simulate a bucket written WINDOW_SECS+5 seconds "ago" by
+        // stamping it directly
+        m.ring[0].sec.store(0, Ordering::Relaxed);
+        m.ring[0].rows.store(500, Ordering::Relaxed);
+        // now == 0 for a fresh metrics instance, so the bucket is live
+        assert!(m.rows_per_sec() >= 50.0);
+        // re-stamp as EMPTY: contributes nothing
+        m.ring[0].sec.store(EMPTY, Ordering::Relaxed);
+        assert_eq!(m.rows_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn prometheus_merges_the_obs_registry() {
+        let m = Metrics::new();
+        let obs = ObsHandle::enabled();
+        obs.counter("kamino_dp_plans_total", &[]).inc();
+        let body = m.render_prometheus(&obs, 0, 0);
+        assert!(body.contains("# TYPE kamino_dp_plans_total counter"));
+        assert!(body.contains("kamino_dp_plans_total 1\n"));
     }
 }

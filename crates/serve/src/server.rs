@@ -11,7 +11,8 @@
 //! | `POST /models/{id}/synthesize?n=..&batch=..&format=csv\|json` | stream rows (chunked) |
 //! | `POST /models/{id}/snapshot` | persist the model to the `--model-dir` |
 //! | `GET /healthz` | liveness |
-//! | `GET /metrics` | counters + rows/sec |
+//! | `GET /metrics` | Prometheus text exposition: counters, rows/sec, latency histograms, DP budget ledger |
+//! | `POST /debug/trace` | chrome://tracing JSON of recorded spans and events |
 //! | `POST /shutdown` | graceful stop: drain connections, exit `run` |
 //!
 //! ## Privacy
@@ -39,6 +40,7 @@ use kamino_core::{fit_kamino, FittedKamino, KaminoConfig};
 use kamino_data::{AttrKind, Instance, Schema, Value};
 use kamino_datasets::Corpus;
 use kamino_dp::Budget;
+use kamino_obs::{clock, metrics::LATENCY_BUCKETS_S, ObsHandle};
 
 use crate::http::{
     finish_chunked, read_request, start_chunked, write_chunk, write_response, ReadError, Request,
@@ -74,6 +76,11 @@ pub struct ServeConfig {
     pub model_dir: Option<PathBuf>,
     /// Worker threads serving connections.
     pub threads: usize,
+    /// Observability handle shared by every request, fit job and model.
+    /// Enabled by default — the server is the intended consumer of
+    /// `/metrics` and `/debug/trace` — and strictly off the determinism
+    /// contract: synthesized bytes are identical either way.
+    pub obs: ObsHandle,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +89,7 @@ impl Default for ServeConfig {
             listen: "127.0.0.1:7878".into(),
             model_dir: None,
             threads: 4,
+            obs: ObsHandle::enabled(),
         }
     }
 }
@@ -117,6 +125,7 @@ struct AppState {
     addr: SocketAddr,
     /// Fit jobs currently training (bounded by [`MAX_CONCURRENT_FITS`]).
     active_fits: AtomicU64,
+    obs: ObsHandle,
 }
 
 impl AppState {
@@ -165,6 +174,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             addr,
             active_fits: AtomicU64::new(0),
+            obs: cfg.obs.clone(),
         });
         if let Some(dir) = &cfg.model_dir {
             std::fs::create_dir_all(dir)?;
@@ -278,6 +288,7 @@ fn handle_connection<'scope>(
             Err(ReadError::Bad(status)) => {
                 state.metrics.requests.fetch_add(1, Ordering::Relaxed);
                 state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                observe_request(state, "unparsed", "-", status, 0);
                 let body = Json::obj([("error", Json::Str(status.to_string()))]).to_string();
                 write_response(&mut out, status, "application/json", body.as_bytes(), true)?;
                 return Ok(());
@@ -285,7 +296,23 @@ fn handle_connection<'scope>(
             Ok(req) => {
                 state.metrics.requests.fetch_add(1, Ordering::Relaxed);
                 let close = req.wants_close() || state.shutdown.load(Ordering::Acquire);
-                route(&req, &mut out, state, scope, close)?;
+                let label = route_label(&req);
+                let enabled = state.obs.is_enabled();
+                let t0 = if enabled { clock::now_nanos() } else { 0 };
+                let mut span = state.obs.span("serve.request");
+                if span.is_active() {
+                    span.arg("route", label.to_string());
+                    span.arg("method", req.method.clone());
+                }
+                let status = route(&req, &mut out, state, scope, close)?;
+                if span.is_active() {
+                    span.arg("status", status.to_string());
+                }
+                drop(span);
+                if enabled {
+                    let dur_ns = clock::now_nanos().saturating_sub(t0);
+                    observe_request(state, label, &req.method, status, dur_ns);
+                }
                 // re-check the flag: this very request may have been the
                 // shutdown (whose response promised `connection: close`)
                 if close || state.shutdown.load(Ordering::Acquire) {
@@ -296,13 +323,15 @@ fn handle_connection<'scope>(
     }
 }
 
+/// Writes a JSON response and echoes the status line back so the
+/// dispatcher can label the request-latency histogram with it.
 fn respond_json<W: Write>(
     w: &mut W,
     state: &AppState,
-    status: &str,
+    status: &'static str,
     body: Json,
     close: bool,
-) -> io::Result<()> {
+) -> io::Result<&'static str> {
     if !status.starts_with('2') {
         state.metrics.errors.fetch_add(1, Ordering::Relaxed);
     }
@@ -312,21 +341,57 @@ fn respond_json<W: Write>(
         "application/json",
         body.to_string().as_bytes(),
         close,
-    )
+    )?;
+    Ok(status)
 }
 
 fn err_json(msg: &str) -> Json {
     Json::obj([("error", Json::Str(msg.to_string()))])
 }
 
-/// Dispatches one request.
+/// Normalized route label for metrics and spans: model ids collapse to
+/// `{id}` so the label set stays bounded no matter how many models the
+/// server has fitted.
+fn route_label(req: &Request) -> &'static str {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["healthz"] => "/healthz",
+        ["metrics"] => "/metrics",
+        ["shutdown"] => "/shutdown",
+        ["fit"] => "/fit",
+        ["models"] => "/models",
+        ["models", _] => "/models/{id}",
+        ["models", _, "synthesize"] => "/models/{id}/synthesize",
+        ["models", _, "snapshot"] => "/models/{id}/snapshot",
+        ["debug", "trace"] => "/debug/trace",
+        _ => "other",
+    }
+}
+
+/// Feeds one finished request into `kamino_http_request_duration_seconds`.
+fn observe_request(state: &AppState, route: &str, method: &str, status: &str, dur_ns: u64) {
+    if !state.obs.is_enabled() {
+        return;
+    }
+    let code = status.split(' ').next().unwrap_or(status);
+    state
+        .obs
+        .histogram(
+            "kamino_http_request_duration_seconds",
+            &[("method", method), ("route", route), ("status", code)],
+            LATENCY_BUCKETS_S,
+        )
+        .observe(dur_ns as f64 / 1e9);
+}
+
+/// Dispatches one request; returns the status line it served.
 fn route<'scope>(
     req: &Request,
     out: &mut TcpStream,
     state: &'scope Arc<AppState>,
     scope: &'scope thread::Scope<'scope, '_>,
     close: bool,
-) -> io::Result<()> {
+) -> io::Result<&'static str> {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
@@ -347,13 +412,20 @@ fn route<'scope>(
                     .count();
                 (models.len(), ready)
             };
-            respond_json(
+            let body = state.metrics.render_prometheus(&state.obs, open, ready);
+            write_response(
                 out,
-                state,
                 "200 OK",
-                state.metrics.to_json(open, ready),
+                "text/plain; version=0.0.4",
+                body.as_bytes(),
                 close,
-            )
+            )?;
+            Ok("200 OK")
+        }
+        ("POST", ["debug", "trace"]) => {
+            let body = state.obs.chrome_trace_json();
+            write_response(out, "200 OK", "application/json", body.as_bytes(), close)?;
+            Ok("200 OK")
         }
         ("POST", ["shutdown"]) => {
             state.shutdown.store(true, Ordering::Release);
@@ -361,7 +433,7 @@ fn route<'scope>(
             respond_json(out, state, "200 OK", body, true)?;
             // unblock the acceptor so it observes the flag
             let _ = TcpStream::connect(state.addr);
-            Ok(())
+            Ok("200 OK")
         }
         ("POST", ["fit"]) => handle_fit(req, out, state, scope, close),
         ("GET", ["models"]) => {
@@ -414,7 +486,7 @@ fn route<'scope>(
                 Some(entry) => handle_snapshot(out, state, &entry, close),
             }
         }
-        (_, ["healthz" | "metrics" | "shutdown" | "fit" | "models", ..]) => respond_json(
+        (_, ["healthz" | "metrics" | "shutdown" | "fit" | "models" | "debug", ..]) => respond_json(
             out,
             state,
             "405 Method Not Allowed",
@@ -509,7 +581,7 @@ fn handle_fit<'scope>(
     state: &'scope Arc<AppState>,
     scope: &'scope thread::Scope<'scope, '_>,
     close: bool,
-) -> io::Result<()> {
+) -> io::Result<&'static str> {
     let text = String::from_utf8_lossy(&req.body);
     let body = if req.body.is_empty() {
         Json::obj([])
@@ -527,10 +599,13 @@ fn handle_fit<'scope>(
             }
         }
     };
-    let spec = match parse_fit_spec(&body, state.model_dir.is_some()) {
+    let mut spec = match parse_fit_spec(&body, state.model_dir.is_some()) {
         Ok(s) => s,
         Err(e) => return respond_json(out, state, "400 Bad Request", err_json(&e), close),
     };
+    // fit phases, per-column sample spans and the DP budget ledger all
+    // land in the server's shared obs sinks
+    spec.cfg.obs = state.obs.clone();
 
     // admission control: claim a training slot or turn the burst away
     let claimed = state
@@ -653,6 +728,10 @@ fn model_info(entry: &ModelEntry) -> Json {
                     ("sequencing", duration_ms(f.timings.sequencing)),
                     ("training", duration_ms(f.timings.training)),
                     ("dc_weights", duration_ms(f.timings.dc_weights)),
+                    ("sampling", duration_ms(f.timings.sampling)),
+                    ("sample_fill", duration_ms(f.timings.sample_fill)),
+                    ("sample_repair", duration_ms(f.timings.sample_repair)),
+                    ("sample_mcmc", duration_ms(f.timings.sample_mcmc)),
                 ]),
             ));
         }
@@ -696,7 +775,7 @@ fn handle_synthesize(
     state: &Arc<AppState>,
     entry: &ModelEntry,
     close: bool,
-) -> io::Result<()> {
+) -> io::Result<&'static str> {
     let n = req.query_usize("n").unwrap_or(100);
     if n == 0 || n > MAX_SYNTH_ROWS {
         return respond_json(
@@ -806,7 +885,8 @@ fn handle_synthesize(
         write_chunk(out, text.as_bytes())?;
         remaining -= take;
     }
-    finish_chunked(out)
+    finish_chunked(out)?;
+    Ok("200 OK")
 }
 
 fn handle_snapshot(
@@ -814,7 +894,7 @@ fn handle_snapshot(
     state: &Arc<AppState>,
     entry: &ModelEntry,
     close: bool,
-) -> io::Result<()> {
+) -> io::Result<&'static str> {
     let Some(dir) = &state.model_dir else {
         return respond_json(
             out,

@@ -55,6 +55,11 @@ mod section {
     pub const CONFIG: u32 = 5;
     pub const SESSION: u32 = 6;
     pub const RNG: u32 = 7;
+    /// Sample-phase timing breakdown (fill/repair/MCMC), added after v1
+    /// shipped. Optional on load: files written before it existed decode
+    /// with zeroed sample timings, and readers predating it skip it as an
+    /// unknown extra section.
+    pub const SAMPLE_TIMINGS: u32 = 8;
 }
 
 fn section_name(id: u32) -> &'static str {
@@ -66,6 +71,7 @@ fn section_name(id: u32) -> &'static str {
         section::CONFIG => "config",
         section::SESSION => "session",
         section::RNG => "rng",
+        section::SAMPLE_TIMINGS => "sample_timings",
         _ => "unknown",
     }
 }
@@ -145,7 +151,7 @@ impl From<WireError> for SnapshotError {
 
 /// Serializes a fitted session to the container format in memory.
 pub fn encode_fitted(fitted: &FittedKamino) -> Vec<u8> {
-    let mut sections: Vec<(u32, Vec<u8>)> = Vec::with_capacity(7);
+    let mut sections: Vec<(u32, Vec<u8>)> = Vec::with_capacity(8);
 
     let mut w = ByteWriter::new();
     kamino_data::snapshot::encode_schema(fitted.schema(), &mut w);
@@ -179,6 +185,10 @@ pub fn encode_fitted(fitted: &FittedKamino) -> Vec<u8> {
         w.put_u64(s);
     }
     sections.push((section::RNG, w.into_bytes()));
+
+    let mut w = ByteWriter::new();
+    core_codec::encode_sample_timings(&fitted.timings, &mut w);
+    sections.push((section::SAMPLE_TIMINGS, w.into_bytes()));
 
     let mut header = ByteWriter::new();
     header.put_raw(&MAGIC);
@@ -288,7 +298,11 @@ pub fn decode_fitted(bytes: &[u8]) -> Result<FittedKamino, SnapshotError> {
     let sequence = r.usizes()?;
     let weights = r.f64s()?;
     let n_input = r.usize()?;
-    let timings = core_codec::decode_timings(&mut r)?;
+    let mut timings = core_codec::decode_timings(&mut r)?;
+    // optional: absent from snapshots written before the section existed
+    if let Ok(mut r) = find(&sections, section::SAMPLE_TIMINGS) {
+        core_codec::decode_sample_timings(&mut r, &mut timings)?;
+    }
     if weights.len() != dcs.len() {
         return Err(SnapshotError::Wire(WireError::Malformed(format!(
             "{} weights for {} DCs",
@@ -621,6 +635,48 @@ mod tests {
         );
         let bytes = encode_fitted(&diverged);
         assert!(matches!(decode_fitted(&bytes), Err(SnapshotError::Wire(_))));
+    }
+
+    /// Rebuilds a container keeping only sections whose id passes the
+    /// filter — a stand-in for files written by older builds.
+    fn rebuild_without(bytes: &[u8], drop_id: u32) -> Vec<u8> {
+        let sections = parse_sections(bytes).unwrap();
+        let kept: Vec<(u32, Vec<u8>)> = sections
+            .iter()
+            .filter(|s| s.id != drop_id)
+            .map(|s| (s.id, s.bytes.to_vec()))
+            .collect();
+        let mut header = kamino_data::wire::ByteWriter::new();
+        header.put_raw(&MAGIC);
+        header.put_u32(FORMAT_VERSION);
+        header.put_u32(kept.len() as u32);
+        let mut offset = 0u64;
+        for (id, b) in &kept {
+            header.put_u32(*id);
+            header.put_u64(offset);
+            header.put_u64(b.len() as u64);
+            header.put_u32(crc32(b));
+            offset += b.len() as u64;
+        }
+        let mut out = header.into_bytes();
+        for (_, b) in &kept {
+            out.extend_from_slice(b);
+        }
+        out
+    }
+
+    #[test]
+    fn old_snapshots_without_sample_timings_still_load() {
+        let mut live = tiny_fitted(8);
+        let _ = live.sample(10);
+        let old_format = rebuild_without(&encode_fitted(&live), section::SAMPLE_TIMINGS);
+        let mut loaded = decode_fitted(&old_format).unwrap();
+        // sample timings default to zero; everything else round-trips,
+        // including the exact RNG stream
+        assert_eq!(loaded.timings.sample_fill, std::time::Duration::ZERO);
+        assert_eq!(loaded.timings.sample_repair, std::time::Duration::ZERO);
+        assert_eq!(loaded.timings.sample_mcmc, std::time::Duration::ZERO);
+        assert_eq!(live.sample(24), loaded.sample(24));
     }
 
     #[test]

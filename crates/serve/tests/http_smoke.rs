@@ -84,6 +84,7 @@ fn boot(model_dir: Option<std::path::PathBuf>) -> (SocketAddr, thread::JoinHandl
         listen: "127.0.0.1:0".into(),
         model_dir,
         threads: 6,
+        ..ServeConfig::default()
     })
     .expect("bind");
     let addr = server.local_addr();
@@ -178,17 +179,37 @@ fn fit_synthesize_concurrent_clients_and_clean_shutdown() {
         .unwrap();
     assert_eq!(eps_after, eps);
 
-    // metrics saw the traffic
+    // metrics saw the traffic (Prometheus text exposition)
     let (status, body) = request(addr, "GET", "/metrics", None);
     assert!(status.contains("200"), "{status}");
-    let m = json(&body);
+    assert!(body.contains("# TYPE kamino_rows_synthesized_total counter"));
+    let rows: u64 = body
+        .lines()
+        .find_map(|l| l.strip_prefix("kamino_rows_synthesized_total "))
+        .expect("rows counter missing")
+        .parse()
+        .expect("rows counter not an integer");
+    assert!(rows >= 220, "only {rows} rows counted");
+    assert!(body.contains("kamino_ready_models 1\n"), "{body}");
+    // the obs registry is merged in: request-latency histograms and the
+    // DP budget ledger from the fit above
     assert!(
-        m.get("rows_synthesized_total")
-            .and_then(Json::as_u64)
-            .unwrap()
-            >= 220
+        body.contains("kamino_http_request_duration_seconds_bucket"),
+        "latency histogram missing"
     );
-    assert_eq!(m.get("ready_models").and_then(Json::as_u64), Some(1));
+    assert!(
+        body.contains("kamino_dp_plans_total 1"),
+        "budget ledger missing"
+    );
+    assert!(body.contains("kamino_dp_sigma{mechanism=\"m2_dpsgd\"}"));
+
+    // the chrome trace is valid JSON and contains the request spans
+    let (status, body) = request(addr, "POST", "/debug/trace", None);
+    assert!(status.contains("200"), "{status}");
+    let trace = json(&body);
+    assert!(matches!(trace.get("traceEvents"), Some(Json::Arr(_))));
+    assert!(body.contains("serve.request"));
+    assert!(body.contains("fit.training"));
 
     // bad requests answer 400, not a dropped connection
     let (status, _) = request(addr, "POST", &format!("/models/{id}/synthesize?n=0"), None);

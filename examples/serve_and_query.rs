@@ -56,6 +56,7 @@ fn main() {
         listen: "127.0.0.1:0".into(),
         model_dir: None,
         threads: 4,
+        ..ServeConfig::default()
     })
     .expect("bind");
     let addr = server.local_addr();
@@ -102,9 +103,14 @@ fn main() {
     ));
     println!("\n10 synthetic Adult rows:\n{csv}");
 
-    // 5. metrics, then a graceful shutdown
+    // 5. Prometheus metrics (request-latency histograms, rows/sec, the DP
+    //    budget ledger), then a graceful shutdown
     let metrics = body_of(&request(addr, "GET", "/metrics", ""));
-    println!("metrics: {metrics}");
+    let rows_line = metrics
+        .lines()
+        .find(|l| l.starts_with("kamino_rows_synthesized_total"))
+        .expect("rows counter");
+    println!("metrics sample: {rows_line}");
     let _ = request(addr, "POST", "/shutdown", "");
     handle.join().expect("server thread");
     println!("server shut down cleanly");

@@ -5,10 +5,9 @@
 //! cargo run --release --example sharded_service
 //! ```
 
-use std::time::Instant;
-
 use kamino::constraints::{violation_percentage, Hardness};
 use kamino::datasets::adult_like;
+use kamino::obs::clock;
 use kamino::Synthesizer;
 
 fn main() {
@@ -23,8 +22,7 @@ fn main() {
 
     // Fit spends the (ε, δ) budget exactly once. The BudgetPlanner solves
     // the per-mechanism σ's of Theorem 1 so the composed RDP cost fits.
-    // kamino-lint: allow(wall_clock) -- example prints elapsed time for the demo; not a pipeline artifact
-    let t0 = Instant::now();
+    let t0 = clock::now_nanos();
     let mut session = Synthesizer::builder()
         .epsilon(1.0)
         .delta(1e-6)
@@ -34,16 +32,15 @@ fn main() {
         .build()
         .fit(&data.schema, &data.instance, &data.dcs);
     println!(
-        "fitted in {:.1?}: epsilon spent {:.3} of 1.0 (sigma_g {:.2}, sigma_d {:.2})",
-        t0.elapsed(),
+        "fitted in {:.1}s: epsilon spent {:.3} of 1.0 (sigma_g {:.2}, sigma_d {:.2})",
+        clock::secs_since(t0),
         session.achieved_epsilon(),
         session.params().sigma_g,
         session.params().sigma_d,
     );
 
     // Serve traffic: every batch is post-processing — no further budget.
-    // kamino-lint: allow(wall_clock) -- example prints elapsed time for the demo; not a pipeline artifact
-    let t0 = Instant::now();
+    let t0 = clock::now_nanos();
     let mut served = 0usize;
     for (i, batch) in session.synthesize_batches(1_500, 500).enumerate() {
         served += batch.n_rows();
@@ -60,7 +57,7 @@ fn main() {
         );
     }
     println!(
-        "served {served} rows in {:.1?} (budget unchanged)",
-        t0.elapsed()
+        "served {served} rows in {:.1}s (budget unchanged)",
+        clock::secs_since(t0)
     );
 }

@@ -8,12 +8,11 @@
 //! cargo run --release --example tax_constraints
 //! ```
 
-use std::time::Instant;
-
 use kamino::constraints::violation_percentage;
 use kamino::core::{run_kamino, KaminoConfig};
 use kamino::datasets::tax_like;
 use kamino::dp::Budget;
+use kamino::obs::clock;
 
 fn main() {
     let data = tax_like(800, 3);
@@ -25,14 +24,12 @@ fn main() {
 
     for lookup in [false, true] {
         cfg.hard_fd_lookup = lookup;
-        // kamino-lint: allow(wall_clock) -- example prints elapsed time for the demo; not a pipeline artifact
-        let start = Instant::now();
+        let start = clock::now_nanos();
         let report = run_kamino(&data.schema, &data.instance, &data.dcs, &cfg);
-        let elapsed = start.elapsed();
+        let elapsed = clock::secs_since(start);
         println!(
-            "hard_fd_lookup = {lookup}: sampled in {:.2}s (total {:.2}s)",
+            "hard_fd_lookup = {lookup}: sampled in {:.2}s (total {elapsed:.2}s)",
             report.timings.sampling.as_secs_f64(),
-            elapsed.as_secs_f64()
         );
         for dc in &data.dcs {
             println!(

@@ -21,6 +21,7 @@
 //! | [`eval`] | nine classifiers, marginal TVD, DC metrics, repair |
 //! | [`datasets`] | seeded generators for the paper's four corpora |
 //! | [`serve`] | `.kamino` model snapshots + the pure-std HTTP synthesis server |
+//! | [`obs`] | spans, metric registry, DP budget ledger, Prometheus/chrome-trace export |
 //!
 //! plus the top-level [`synthesizer`] module — the [`Synthesizer`] session
 //! API: fit once under a planner-derived budget, then stream row batches
@@ -64,6 +65,7 @@ pub use kamino_datasets as datasets;
 pub use kamino_dp as dp;
 pub use kamino_eval as eval;
 pub use kamino_nn as nn;
+pub use kamino_obs as obs;
 pub use kamino_serve as serve;
 
 pub mod synthesizer;

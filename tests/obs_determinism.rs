@@ -1,0 +1,81 @@
+//! Determinism guard: observability is strictly off the contract.
+//!
+//! Fitting and sampling with tracing enabled must produce artifacts —
+//! the `.kamino` snapshot bytes and the synthesized rows — that are
+//! byte-identical to a run with tracing disabled. Spans, metrics, and
+//! the DP budget ledger may read the wall clock, but nothing they do is
+//! allowed to perturb the sample stream or leak a timestamp into an
+//! artifact.
+
+use kamino::core::{fit_kamino, KaminoConfig};
+use kamino::datasets::adult_like;
+use kamino::dp::Budget;
+use kamino::obs::{Event, ObsHandle};
+use kamino::serve::{decode_fitted, encode_fitted};
+
+/// Fit, snapshot, restore, and sample under the given handle.
+///
+/// Phase timings are zeroed before encoding: they are the one
+/// deliberately wall-clock-dependent snapshot section (surfaced by
+/// `GET /models/{id}` and `--timings`), so they vary run to run with or
+/// without tracing. Everything else — model weights, RNG cursor,
+/// schema, DC weights — must be bit-stable.
+fn artifacts(obs: ObsHandle) -> (Vec<u8>, String) {
+    let data = adult_like(120, 5);
+    let mut cfg = KaminoConfig::new(Budget::new(1.0, 1e-6));
+    cfg.seed = 23;
+    cfg.train_scale = 0.05;
+    cfg.obs = obs;
+    let mut fitted = fit_kamino(&data.schema, &data.instance, &data.dcs, &cfg);
+    fitted.timings = Default::default();
+    let snapshot = encode_fitted(&fitted);
+    let mut session = decode_fitted(&snapshot).expect("snapshot round-trip");
+    let inst = session.sample(60);
+    let header = kamino::data::csv::header_line(session.schema()).expect("csv header");
+    let rows = kamino::data::csv::rows_text(session.schema(), &inst).expect("csv rows");
+    (snapshot, format!("{header}{rows}"))
+}
+
+#[test]
+fn tracing_enabled_and_disabled_yield_byte_identical_artifacts() {
+    let (snap_off, csv_off) = artifacts(ObsHandle::disabled());
+    let (snap_on, csv_on) = artifacts(ObsHandle::enabled());
+    assert_eq!(
+        snap_off, snap_on,
+        ".kamino snapshot bytes must not depend on tracing"
+    );
+    assert_eq!(csv_off, csv_on, "sampled rows must not depend on tracing");
+}
+
+#[test]
+fn the_enabled_run_recorded_spans_and_the_budget_ledger() {
+    let obs = ObsHandle::enabled();
+    let _ = artifacts(obs.clone());
+
+    let spans = obs.spans();
+    for name in ["fit", "fit.sequencing", "fit.training", "fit.dc_weights"] {
+        assert!(
+            spans.iter().any(|s| s.name == name),
+            "missing span {name:?} in {:?}",
+            spans.iter().map(|s| s.name.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    let events = obs.events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.event, Event::BudgetCalibration { .. })),
+        "planner calibration never hit the ledger"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.event, Event::BudgetSpend { .. })),
+        "no budget spend recorded"
+    );
+
+    // the exporters agree the data is there
+    assert!(obs.render_prometheus().contains("kamino_dp_plans_total"));
+    assert!(obs.chrome_trace_json().contains("fit.training"));
+}
