@@ -1,0 +1,594 @@
+//! `kamino-loadgen` — production-traffic load generator for the serving
+//! stack, reporting sustained `/synthesize` throughput and latency
+//! quantiles as `BENCH_serve.json`.
+//!
+//! ```text
+//! kamino-loadgen [--fast] [--out FILE]
+//! ```
+//!
+//! The workload is "fetch N synthetic rows per request" on keep-alive
+//! connections, measured across serving architectures:
+//!
+//! * `threaded_baseline` — a faithful reconstruction of the pre-pool
+//!   server: blocking accept loop, one thread per connection, each
+//!   request sampled inline as a single `sample(n)` draw (the old
+//!   server drew whole request batches). Built from the same public
+//!   parser/model APIs, so the comparison is architecture-for-
+//!   architecture on identical hardware and an identically-specced
+//!   model.
+//! * `direct` — the epoll event loop with pooling disabled
+//!   (`--pool-batches 0`), same single-draw-per-request semantics.
+//! * `pooled_hot` — the event loop with the speculation ring warm;
+//!   clients stream the same N rows as aligned `--pool-rows` chunks the
+//!   ring pre-sampled. Pooling fixes the draw granularity at the ring's
+//!   batch size, which sidesteps the superlinear per-draw cost of the
+//!   constraint-repair pass on large draws — that, plus taking sampling
+//!   off the request critical path, is where the speedup comes from.
+//! * `pooled_c2` / `pooled_c4` — the pooled path under 2 and 4
+//!   concurrent clients (scaling behavior of the single event loop).
+//!
+//! Timing comes from `kamino-obs` instrumentation: every server feeds
+//! the `kamino_http_request_duration_seconds` histogram (p50/p99), and
+//! the monotonic obs clock frames the sustained-RPS window. All
+//! wall-clock-dependent values live under `"timing"` keys so CI can
+//! assert the rest of the document byte-identical across runs.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use kamino_core::{fit_kamino, FittedKamino, KaminoConfig};
+use kamino_dp::Budget;
+use kamino_obs::metrics::LATENCY_BUCKETS_S;
+use kamino_obs::{clock, ObsHandle};
+use kamino_serve::http;
+use kamino_serve::{Json, ServeConfig, Server};
+
+/// Worker threads per event-loop scenario server.
+const THREADS: usize = 4;
+/// Speculated batches kept per model in the pooled scenarios.
+const POOL_BATCHES: usize = 32;
+/// Rows per speculated batch — the pool's fixed draw granularity.
+const POOL_ROWS: usize = 10;
+
+/// Knobs that differ between `--fast` (CI smoke) and the full run.
+struct LoadCfg {
+    fast: bool,
+    fit_rows: usize,
+    train_scale: f64,
+    /// Rows fetched per `/synthesize` request (the workload unit).
+    rows_per_request: usize,
+    requests_per_client: usize,
+}
+
+impl LoadCfg {
+    fn new(fast: bool) -> LoadCfg {
+        LoadCfg {
+            fast,
+            fit_rows: if fast { 100 } else { 200 },
+            train_scale: if fast { 0.03 } else { 0.05 },
+            rows_per_request: 400,
+            requests_per_client: if fast { 40 } else { 150 },
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: kamino-loadgen [--fast] [--out FILE]");
+    std::process::exit(2);
+}
+
+/// One `Connection: close` exchange (control plane: fit, metrics, poll).
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: loadgen\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let (head, payload) = text.split_once("\r\n\r\n").expect("no header/body split");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, payload.to_string())
+}
+
+fn boot(pooled: bool, obs: &ObsHandle) -> (Server, SocketAddr) {
+    let server = Server::bind(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        threads: THREADS,
+        pool_batches: if pooled { POOL_BATCHES } else { 0 },
+        pool_rows: POOL_ROWS,
+        obs: obs.clone(),
+        ..ServeConfig::default()
+    })
+    .expect("bind scenario server");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+/// Fits the scenario model over HTTP and waits for readiness.
+fn fit_model(addr: SocketAddr, cfg: &LoadCfg) -> u64 {
+    let spec = format!(
+        r#"{{"corpus":"adult","rows":{},"epsilon":1.0,"seed":17,"train_scale":{}}}"#,
+        cfg.fit_rows, cfg.train_scale
+    );
+    let (status, body) = request(addr, "POST", "/fit", Some(&spec));
+    assert!(status.contains("202"), "fit rejected: {status} {body}");
+    let id = Json::parse(&body)
+        .expect("fit response JSON")
+        .get("model_id")
+        .and_then(Json::as_u64)
+        .expect("model_id");
+    let t0 = clock::now_nanos();
+    loop {
+        let (_, body) = request(addr, "GET", &format!("/models/{id}"), None);
+        match Json::parse(&body)
+            .expect("model info JSON")
+            .get("status")
+            .and_then(Json::as_str)
+        {
+            Some("ready") => return id,
+            Some("failed") => panic!("fit failed: {body}"),
+            _ => {
+                assert!(clock::secs_since(t0) < 300.0, "fit did not finish");
+                thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Drives the pool to full depth before a pooled measurement: one aligned
+/// request triggers speculation, then `/metrics` is polled until the ring
+/// reports `POOL_BATCHES`.
+fn warm_pool(addr: SocketAddr, id: u64) {
+    let path = format!("/models/{id}/synthesize?n={POOL_ROWS}&batch={POOL_ROWS}&format=csv");
+    let (status, _) = request(addr, "POST", &path, None);
+    assert!(status.contains("200"), "warmup request failed: {status}");
+    let series = format!("kamino_pool_depth{{model=\"{id}\"}} ");
+    let t0 = clock::now_nanos();
+    loop {
+        let (_, body) = request(addr, "GET", "/metrics", None);
+        let depth: u64 = body
+            .lines()
+            .find_map(|l| l.strip_prefix(series.as_str()))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        if depth as usize >= POOL_BATCHES {
+            return;
+        }
+        assert!(clock::secs_since(t0) < 60.0, "pool never warmed: {body}");
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// One keep-alive client: `requests` back-to-back `/synthesize` streams on
+/// a single connection. `batch = None` requests the whole stream as one
+/// draw (pre-pool semantics); `Some(b)` streams aligned `b`-row chunks.
+/// Returns the raw bytes of the first response so the caller can validate
+/// row counts once.
+fn client_loop(addr: SocketAddr, id: u64, batch: Option<usize>, cfg: &LoadCfg) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("client connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let batch = batch.unwrap_or(cfg.rows_per_request);
+    let req = format!(
+        "POST /models/{id}/synthesize?n={n}&batch={batch}&format=csv HTTP/1.1\r\nhost: loadgen\r\ncontent-length: 0\r\n\r\n",
+        n = cfg.rows_per_request
+    );
+    let mut first = Vec::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    for i in 0..cfg.requests_per_client {
+        stream.write_all(req.as_bytes()).expect("write request");
+        // the response is chunked; CSV payloads contain no CR, so the
+        // framing-only terminator `\r\n0\r\n\r\n` is unambiguous
+        let mut raw = Vec::new();
+        while !raw.ends_with(b"\r\n0\r\n\r\n") {
+            let n = stream.read(&mut buf).expect("read response");
+            assert!(n > 0, "server closed mid-response");
+            raw.extend_from_slice(&buf[..n]);
+        }
+        assert!(raw.starts_with(b"HTTP/1.1 200"), "non-200 under load");
+        if i == 0 {
+            first = raw;
+        }
+    }
+    first
+}
+
+/// Rows in a de-chunked CSV response (excluding the header line).
+fn response_rows(raw: &[u8]) -> usize {
+    let text = String::from_utf8_lossy(raw);
+    let (_, payload) = text.split_once("\r\n\r\n").expect("no body");
+    let mut rows = 0usize;
+    let mut rest = payload;
+    let mut first_chunk = true;
+    while let Some((size_line, after)) = rest.split_once("\r\n") {
+        let size = usize::from_str_radix(size_line.trim(), 16).unwrap_or(0);
+        if size == 0 {
+            break;
+        }
+        let chunk = &after[..size];
+        rows += chunk.lines().count();
+        if first_chunk {
+            rows -= 1; // the CSV header line
+            first_chunk = false;
+        }
+        rest = after[size..].strip_prefix("\r\n").unwrap_or(&after[size..]);
+    }
+    rows
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    clients: usize,
+    pooled: bool,
+    requests: usize,
+    rows_streamed: usize,
+    secs: f64,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    pool_hits: u64,
+}
+
+/// Reads p50/p99 for the synthesize route out of an obs registry.
+fn latency_quantiles(obs: &ObsHandle, min_count: u64, name: &str) -> (f64, f64) {
+    let histo = obs.histogram(
+        "kamino_http_request_duration_seconds",
+        &[
+            ("method", "POST"),
+            ("route", "/models/{id}/synthesize"),
+            ("status", "200"),
+        ],
+        LATENCY_BUCKETS_S,
+    );
+    let inner = histo.inner().expect("histogram detached");
+    // server threads observe after the last response byte is written, so
+    // the final observation can trail the client's read by a moment
+    let t0 = clock::now_nanos();
+    while inner.count() < min_count {
+        assert!(
+            clock::secs_since(t0) < 5.0,
+            "{name}: histogram missed requests ({}/{min_count})",
+            inner.count()
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+    (inner.quantile(0.5) * 1e3, inner.quantile(0.99) * 1e3)
+}
+
+/// Boots a fresh event-loop server, runs `clients` keep-alive loops to
+/// completion, and reads throughput + latency out of the server's own obs
+/// registry.
+fn run_scenario(name: &'static str, pooled: bool, clients: usize, cfg: &LoadCfg) -> ScenarioResult {
+    let obs = ObsHandle::enabled();
+    let (server, addr) = boot(pooled, &obs);
+    let handle = thread::spawn(move || server.run().expect("server run"));
+    let id = fit_model(addr, cfg);
+    if pooled {
+        warm_pool(addr, id);
+    }
+    let batch = pooled.then_some(POOL_ROWS);
+
+    let t0 = clock::now_nanos();
+    let firsts: Vec<Vec<u8>> = thread::scope(|s| {
+        let workers: Vec<_> = (0..clients)
+            .map(|_| s.spawn(move || client_loop(addr, id, batch, cfg)))
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("client panicked"))
+            .collect()
+    });
+    let secs = clock::secs_since(t0);
+
+    for first in &firsts {
+        assert_eq!(
+            response_rows(first),
+            cfg.rows_per_request,
+            "{name}: short stream"
+        );
+    }
+    let requests = clients * cfg.requests_per_client;
+    let (p50_ms, p99_ms) = latency_quantiles(&obs, requests as u64, name);
+
+    let (_, metrics) = request(addr, "GET", "/metrics", None);
+    let pool_hits: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("kamino_pool_hits_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+
+    let (status, _) = request(addr, "POST", "/shutdown", None);
+    assert!(status.contains("200"), "shutdown failed: {status}");
+    handle.join().expect("server thread panicked");
+
+    ScenarioResult {
+        name,
+        clients,
+        pooled,
+        requests,
+        rows_streamed: requests * cfg.rows_per_request,
+        secs,
+        rps: requests as f64 / secs,
+        p50_ms,
+        p99_ms,
+        pool_hits,
+    }
+}
+
+/// The pre-pool architecture, reconstructed: blocking accept loop, one
+/// thread per connection, every `/synthesize` request sampled inline as a
+/// single whole-request draw under the model mutex.
+fn run_threaded_baseline(cfg: &LoadCfg) -> ScenarioResult {
+    let obs = ObsHandle::enabled();
+    // the same model spec the event-loop scenarios fit over HTTP
+    let d = kamino_datasets::adult_like(cfg.fit_rows, 3);
+    let mut kcfg = KaminoConfig::new(Budget::new(1.0, 1e-6));
+    kcfg.train_scale = cfg.train_scale;
+    kcfg.seed = 17;
+    let fitted = fit_kamino(&d.schema, &d.instance, &d.dcs, &kcfg);
+    let header = kamino_data::csv::header_line(fitted.schema()).expect("csv header");
+    let model = Arc::new(Mutex::new(fitted));
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind baseline");
+    let addr = listener.local_addr().expect("local addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let (stop, model, obs, header) = (
+            Arc::clone(&stop),
+            Arc::clone(&model),
+            obs.clone(),
+            header.clone(),
+        );
+        thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = conn else { break };
+                let (model, obs, header) = (Arc::clone(&model), obs.clone(), header.clone());
+                thread::spawn(move || baseline_conn(stream, &model, &obs, &header));
+            }
+        })
+    };
+
+    let t0 = clock::now_nanos();
+    let firsts: Vec<Vec<u8>> = thread::scope(|s| {
+        let workers: Vec<_> = (0..1)
+            .map(|_| s.spawn(|| client_loop(addr, 1, None, cfg)))
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("client panicked"))
+            .collect()
+    });
+    let secs = clock::secs_since(t0);
+    for first in &firsts {
+        assert_eq!(
+            response_rows(first),
+            cfg.rows_per_request,
+            "threaded_baseline: short stream"
+        );
+    }
+    let requests = cfg.requests_per_client;
+    let (p50_ms, p99_ms) = latency_quantiles(&obs, requests as u64, "threaded_baseline");
+
+    stop.store(true, Ordering::Relaxed);
+    let _ = TcpStream::connect(addr); // unblock the accept loop
+    accept.join().expect("baseline accept loop panicked");
+
+    ScenarioResult {
+        name: "threaded_baseline",
+        clients: 1,
+        pooled: false,
+        requests,
+        rows_streamed: requests * cfg.rows_per_request,
+        secs,
+        rps: requests as f64 / secs,
+        p50_ms,
+        p99_ms,
+        pool_hits: 0,
+    }
+}
+
+/// One baseline connection: blocking parse → inline sample → chunked
+/// write, looping while the client keeps the connection alive.
+fn baseline_conn(stream: TcpStream, model: &Mutex<FittedKamino>, obs: &ObsHandle, header: &str) {
+    stream.set_nodelay(true).ok(); // the pre-pool server set nodelay too
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut w = stream;
+    loop {
+        let req = match http::read_request(&mut reader) {
+            Ok(r) => r,
+            Err(_) => return, // disconnect or malformed: drop, like the old server
+        };
+        let close = req.wants_close();
+        let t0 = clock::now_nanos();
+        let served = serve_baseline_request(&req, &mut w, model, header, close);
+        if served {
+            obs.histogram(
+                "kamino_http_request_duration_seconds",
+                &[
+                    ("method", "POST"),
+                    ("route", "/models/{id}/synthesize"),
+                    ("status", "200"),
+                ],
+                LATENCY_BUCKETS_S,
+            )
+            .observe(clock::secs_since(t0));
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+/// Handles one parsed baseline request; `true` when it was a successful
+/// synthesize stream (the only route the latency histogram tracks).
+fn serve_baseline_request(
+    req: &http::Request,
+    w: &mut TcpStream,
+    model: &Mutex<FittedKamino>,
+    header: &str,
+    close: bool,
+) -> bool {
+    if req.path == "/healthz" {
+        let _ = http::write_response(
+            w,
+            "200 OK",
+            "application/json",
+            b"{\"status\":\"ok\"}",
+            close,
+        );
+        return false;
+    }
+    let Some(n) = req.query_usize("n").filter(|&n| n > 0) else {
+        let _ = http::write_response(w, "400 Bad Request", "text/plain", b"bad n", close);
+        return false;
+    };
+    let batch = req.query_usize("batch").unwrap_or(n).clamp(1, n);
+    if http::start_chunked(w, "200 OK", "text/csv").is_err() {
+        return false;
+    }
+    let _ = http::write_chunk(w, header.as_bytes());
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = batch.min(remaining);
+        let text = {
+            let mut guard = model.lock().expect("model mutex");
+            let inst = guard.sample(take);
+            kamino_data::csv::rows_text(guard.schema(), &inst).expect("encode csv")
+        };
+        if http::write_chunk(w, text.as_bytes()).is_err() {
+            return false;
+        }
+        remaining -= take;
+    }
+    http::finish_chunked(w).is_ok()
+}
+
+fn scenario_json(r: &ScenarioResult) -> Json {
+    Json::obj([
+        ("name", Json::Str(r.name.to_string())),
+        ("clients", Json::Num(r.clients as f64)),
+        ("pooled", Json::Bool(r.pooled)),
+        ("requests", Json::Num(r.requests as f64)),
+        ("rows_streamed", Json::Num(r.rows_streamed as f64)),
+        (
+            "timing",
+            Json::obj([
+                ("secs", Json::Num(round3(r.secs))),
+                ("rps", Json::Num(round1(r.rps))),
+                ("p50_ms", Json::Num(round3(r.p50_ms))),
+                ("p99_ms", Json::Num(round3(r.p99_ms))),
+                ("pool_hits", Json::Num(r.pool_hits as f64)),
+            ]),
+        ),
+    ])
+}
+
+fn round1(v: f64) -> f64 {
+    (v * 10.0).round() / 10.0
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+fn main() -> ExitCode {
+    let mut fast = false;
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--out" => out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    let cfg = LoadCfg::new(fast);
+
+    println!(
+        "kamino-loadgen: {} mode, {} requests/client × {} rows/request",
+        if cfg.fast { "fast" } else { "full" },
+        cfg.requests_per_client,
+        cfg.rows_per_request
+    );
+    let mut results = vec![run_threaded_baseline(&cfg)];
+    let scenarios = [
+        ("direct", false, 1usize),
+        ("pooled_hot", true, 1),
+        ("pooled_c2", true, 2),
+        ("pooled_c4", true, 4),
+    ];
+    for (name, pooled, clients) in scenarios {
+        results.push(run_scenario(name, pooled, clients, &cfg));
+    }
+    for r in &results {
+        println!(
+            "  {:<18} {} client(s): {:.0} rps, p50 {:.2} ms, p99 {:.2} ms, {} pool hits",
+            r.name, r.clients, r.rps, r.p50_ms, r.p99_ms, r.pool_hits
+        );
+    }
+
+    let baseline_rps = results[0].rps;
+    let pooled_rps = results[2].rps;
+    let speedup = pooled_rps / baseline_rps;
+    println!("  pooled_hot vs threaded_baseline: {speedup:.2}x sustained RPS");
+
+    let doc = Json::obj([
+        ("schema_version", Json::Num(1.0)),
+        (
+            "config",
+            Json::obj([
+                ("fast", Json::Bool(cfg.fast)),
+                ("fit_rows", Json::Num(cfg.fit_rows as f64)),
+                ("train_scale", Json::Num(cfg.train_scale)),
+                ("rows_per_request", Json::Num(cfg.rows_per_request as f64)),
+                (
+                    "requests_per_client",
+                    Json::Num(cfg.requests_per_client as f64),
+                ),
+                ("pool_batches", Json::Num(POOL_BATCHES as f64)),
+                ("pool_rows", Json::Num(POOL_ROWS as f64)),
+                ("threads", Json::Num(THREADS as f64)),
+                ("baseline", Json::Str("threaded_baseline".to_string())),
+            ]),
+        ),
+        (
+            "scenarios",
+            Json::Arr(results.iter().map(scenario_json).collect()),
+        ),
+        (
+            "timing",
+            Json::obj([("speedup_pooled_vs_baseline", Json::Num(round3(speedup)))]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out, format!("{doc}\n")) {
+        eprintln!("kamino-loadgen: writing {} failed: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("kamino-loadgen: wrote {}", out.display());
+    ExitCode::SUCCESS
+}

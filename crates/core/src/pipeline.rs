@@ -371,6 +371,16 @@ impl FittedKamino {
         }
     }
 
+    /// Rewinds (or fast-forwards) the sample stream to a previously
+    /// captured [`FittedKamino::rng_state`] cursor. The serving layer
+    /// uses this to discard speculatively pre-drawn batches: restoring
+    /// the state captured before a draw makes the session behave as if
+    /// that draw never happened, keeping pooled and direct sample
+    /// streams bit-identical.
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+
     /// The schema this session synthesizes for.
     pub fn schema(&self) -> &Schema {
         &self.schema

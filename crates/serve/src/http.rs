@@ -17,6 +17,11 @@ const MAX_LINE: usize = 8 * 1024;
 const MAX_HEADERS: usize = 64;
 /// Bound on a request body.
 pub const MAX_BODY: usize = 16 * 1024 * 1024;
+/// Bound on the whole request head (request line + headers + blank
+/// line). The event loop buffers at most this much while hunting for the
+/// head terminator; anything longer is answered with `431` instead of an
+/// allocation.
+pub const MAX_HEAD: usize = 32 * 1024;
 
 /// A parsed HTTP request.
 #[derive(Debug)]
@@ -134,6 +139,20 @@ fn parse_query(q: &str) -> BTreeMap<String, String> {
 /// Reads one request from the stream. `Err(ReadError::Eof)` is the clean
 /// end of a keep-alive connection.
 pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ReadError> {
+    let (mut req, len) = read_head(r)?;
+    if len > 0 {
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body).map_err(ReadError::Io)?;
+        req.body = body;
+    }
+    Ok(req)
+}
+
+/// Parses the request line and headers (through the blank line), leaving
+/// the body unread. Returns the request with an empty body plus the
+/// declared `content-length`. Shared by the blocking [`read_request`]
+/// and the event loop's incremental [`try_parse`].
+pub fn read_head<R: BufRead>(r: &mut R) -> Result<(Request, usize), ReadError> {
     let request_line = read_line(r)?;
     let mut parts = request_line.split_whitespace();
     let method = parts
@@ -173,26 +192,100 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ReadError> {
         return Err(ReadError::Bad("501 Not Implemented"));
     }
 
-    let body = match headers.get("content-length") {
-        None => Vec::new(),
+    let len = match headers.get("content-length") {
+        None => 0,
         Some(v) => {
             let len: usize = v.parse().map_err(|_| ReadError::Bad("400 Bad Request"))?;
             if len > MAX_BODY {
                 return Err(ReadError::Bad("413 Content Too Large"));
             }
-            let mut body = vec![0u8; len];
-            r.read_exact(&mut body).map_err(ReadError::Io)?;
-            body
+            len
         }
     };
 
-    Ok(Request {
-        method,
-        path,
-        query,
-        headers,
-        body,
-    })
+    Ok((
+        Request {
+            method,
+            path,
+            query,
+            headers,
+            body: Vec::new(),
+        },
+        len,
+    ))
+}
+
+/// Outcome of an incremental parse attempt over buffered bytes.
+#[derive(Debug)]
+pub enum Parse {
+    /// Not enough bytes for a complete request yet; read more.
+    Partial,
+    /// One complete request, and how many buffered bytes it consumed
+    /// (drain exactly that many — pipelined requests may follow).
+    Ready {
+        /// The parsed request.
+        req: Request,
+        /// Bytes consumed from the front of the buffer.
+        consumed: usize,
+    },
+    /// The bytes are not valid HTTP within the parser's bounds; answer
+    /// with this status line and close (resync is impossible).
+    Bad(&'static str),
+}
+
+/// Finds the end of the request head (the byte after the blank line),
+/// accepting both CRLF and bare-LF line endings like [`read_line`] does.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match buf.get(i + 1..i + 3) {
+                Some(b"\r\n") => return Some(i + 3),
+                _ => {
+                    if buf.get(i + 1) == Some(&b'\n') {
+                        return Some(i + 2);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Attempts to parse one request from the front of `buf` without
+/// blocking: the event loop calls this after every read. The same
+/// bounded parser as [`read_request`] does the head work, so torn and
+/// pipelined writes converge to identical outcomes as the blocking path.
+pub fn try_parse(buf: &[u8]) -> Parse {
+    let Some(head_end) = find_head_end(buf) else {
+        // no terminator yet: bound how much head a client may dribble in
+        if buf.len() > MAX_HEAD {
+            return Parse::Bad("431 Request Header Fields Too Large");
+        }
+        return Parse::Partial;
+    };
+    if head_end > MAX_HEAD {
+        return Parse::Bad("431 Request Header Fields Too Large");
+    }
+    let mut head = &buf[..head_end];
+    match read_head(&mut head) {
+        // Eof cannot happen (the terminator is present), but treat it as
+        // malformed rather than looping
+        Err(ReadError::Eof) | Err(ReadError::Io(_)) => Parse::Bad("400 Bad Request"),
+        Err(ReadError::Bad(status)) => Parse::Bad(status),
+        Ok((mut req, len)) => {
+            let total = head_end + len;
+            if buf.len() < total {
+                return Parse::Partial;
+            }
+            req.body = buf[head_end..total].to_vec();
+            Parse::Ready {
+                req,
+                consumed: total,
+            }
+        }
+    }
 }
 
 /// Writes a complete (non-chunked) response.
@@ -304,6 +397,70 @@ mod tests {
         let r = req("GET /x?name=a%20b+c&pct=%2f HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(r.query.get("name").map(String::as_str), Some("a b c"));
         assert_eq!(r.query.get("pct").map(String::as_str), Some("/"));
+    }
+
+    #[test]
+    fn incremental_parse_matches_blocking_parse() {
+        let raw = b"POST /fit HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        // every prefix short of the full request is Partial, never Bad
+        for cut in 0..raw.len() {
+            assert!(
+                matches!(try_parse(&raw[..cut]), Parse::Partial),
+                "cut at {cut}"
+            );
+        }
+        let Parse::Ready { req, consumed } = try_parse(raw) else {
+            panic!("full request must parse");
+        };
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn incremental_parse_handles_pipelined_requests() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let Parse::Ready { req, consumed } = try_parse(raw) else {
+            panic!("first request must parse");
+        };
+        assert_eq!(req.path, "/healthz");
+        let rest = &raw[consumed..];
+        let Parse::Ready { req, consumed } = try_parse(rest) else {
+            panic!("second request must parse");
+        };
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(consumed, rest.len());
+    }
+
+    #[test]
+    fn incremental_parse_bounds_the_head() {
+        // a head that never terminates must hit the 431 bound, not grow
+        let mut dribble = b"GET / HTTP/1.1\r\n".to_vec();
+        while dribble.len() <= MAX_HEAD {
+            dribble.extend_from_slice(b"x-pad: yyyyyyyyyyyyyyyyyyyyyyyyyyyy\r\n");
+        }
+        assert!(matches!(try_parse(&dribble), Parse::Bad(s) if s.starts_with("431")));
+        // an oversized declared body is refused before buffering it
+        let raw = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(try_parse(raw.as_bytes()), Parse::Bad(s) if s.starts_with("413")));
+        // garbage is Bad, not Partial
+        assert!(matches!(
+            try_parse(b"NOT HTTP AT ALL\r\n\r\n"),
+            Parse::Bad(_)
+        ));
+    }
+
+    #[test]
+    fn incremental_parse_accepts_bare_lf_heads() {
+        let raw = b"GET /healthz HTTP/1.1\nhost: x\n\n";
+        let Parse::Ready { req, consumed } = try_parse(raw) else {
+            panic!("bare-LF request must parse");
+        };
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(consumed, raw.len());
     }
 
     #[test]

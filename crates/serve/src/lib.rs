@@ -11,27 +11,38 @@
 //!   parameters, configuration, and the session RNG cursor. A loaded
 //!   session continues its deterministic sample stream exactly where the
 //!   saved one stopped.
-//! * [`server`] — a std-`TcpListener` + scoped-thread-pool HTTP/1.1
-//!   front end (`POST /fit`, `GET /models/{id}`,
-//!   `POST /models/{id}/synthesize`, `/healthz`, `/metrics`) streaming
-//!   chunked CSV or NDJSON rows off fitted models, with [`json`],
-//!   [`http`] and [`metrics`] as its hand-rolled substrate.
+//! * [`server`] — an epoll event loop (via [`sys`], pure-std FFI kept in
+//!   the vendored `epoll` crate) driving non-blocking HTTP/1.1
+//!   connection state machines, with a worker pool for the CPU-bound
+//!   jobs: fits, snapshot loads, sample batches and pool refills.
+//!   [`json`], [`http`] and [`metrics`] are its hand-rolled substrate.
+//! * [`registry`] — the model table: lazy snapshot loading, bounded
+//!   residency with cursor-exact LRU eviction, pin-protected streams.
+//! * [`pool`] — per-model pre-sampled batch rings that serve hot
+//!   `/synthesize` traffic at memcpy speed without changing a single
+//!   byte of the deterministic sample stream.
 //!
 //! The `kamino-serve` binary wires [`server::Server`] to `--listen`,
-//! `--model-dir` and `--threads` flags; the `kamino` facade re-exports
-//! this crate as `kamino::serve` and adds `save`/`load` methods to its
-//! `Synthesizer` session API.
+//! `--model-dir`, `--threads`, `--max-models` and `--pool-batches`
+//! flags; the `kamino` facade re-exports this crate as `kamino::serve`
+//! and adds `save`/`load` methods to its `Synthesizer` session API.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod event_loop;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod pool;
+pub mod registry;
 pub mod server;
 pub mod snapshot;
+pub mod sys;
 
 pub use json::Json;
+pub use pool::{Format, PoolConfig, SamplePool};
+pub use registry::{Registry, RegistryStats};
 pub use server::{ServeConfig, Server};
 pub use snapshot::{
     decode_fitted, encode_fitted, load_fitted, save_fitted, SnapshotError, FORMAT_VERSION,

@@ -2,15 +2,26 @@
 //! synthetic rows from them.
 //!
 //! ```text
-//! kamino-serve [--listen ADDR] [--model-dir DIR] [--threads N] [--trace-out FILE]
+//! kamino-serve [--listen ADDR] [--model-dir DIR] [--threads N]
+//!              [--max-models N] [--pool-batches N] [--pool-rows N]
+//!              [--trace-out FILE]
 //! ```
 //!
 //! * `--listen` — bind address (default `127.0.0.1:7878`; port `0` picks
 //!   an ephemeral port, printed on boot).
 //! * `--model-dir` — directory of `.kamino` snapshots: existing ones are
-//!   loaded at boot, fit jobs and `POST /models/{id}/snapshot` write new
-//!   ones.
-//! * `--threads` — worker threads serving connections (default 4).
+//!   registered (lazily, without decoding) at boot; fit jobs,
+//!   `POST /models/{id}/snapshot` and LRU eviction write new ones.
+//! * `--threads` — worker threads for CPU-bound jobs: fits, snapshot
+//!   loads, sample batches, pool refills (default 4).
+//! * `--max-models` — most models resident in memory at once; the
+//!   least-recently-used unpinned model is evicted to its snapshot
+//!   (default 0 = unbounded; requires `--model-dir` to be useful).
+//! * `--pool-batches` — pre-sampled batches kept per model (default 4;
+//!   0 disables pooling).
+//! * `--pool-rows` — rows per pooled batch (default 1000); `/synthesize`
+//!   requests streaming in chunks of exactly this size are served from
+//!   the pool.
 //! * `--trace-out` — on shutdown, write everything the server recorded
 //!   (request spans, fit phases, the DP budget ledger) as a
 //!   chrome://tracing JSON file. The same document is available live via
@@ -25,9 +36,17 @@ use kamino_serve::{ServeConfig, Server};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: kamino-serve [--listen ADDR] [--model-dir DIR] [--threads N] [--trace-out FILE]"
+        "usage: kamino-serve [--listen ADDR] [--model-dir DIR] [--threads N] \
+         [--max-models N] [--pool-batches N] [--pool-rows N] [--trace-out FILE]"
     );
     std::process::exit(2);
+}
+
+fn parse_count(name: &str, value: String) -> usize {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{name} takes a non-negative integer");
+        usage()
+    })
 }
 
 fn parse_args() -> (ServeConfig, Option<PathBuf>) {
@@ -55,6 +74,11 @@ fn parse_args() -> (ServeConfig, Option<PathBuf>) {
                     usage();
                 }
             }
+            "--max-models" => cfg.max_models = parse_count("--max-models", value("--max-models")),
+            "--pool-batches" => {
+                cfg.pool_batches = parse_count("--pool-batches", value("--pool-batches"))
+            }
+            "--pool-rows" => cfg.pool_rows = parse_count("--pool-rows", value("--pool-rows")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");

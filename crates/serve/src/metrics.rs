@@ -7,6 +7,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use kamino_obs::clock;
 use kamino_obs::ObsHandle;
 
+use crate::registry::RegistryStats;
+
 /// Length of the rows/sec sliding window, in seconds (also the ring
 /// size: one bucket per second).
 const WINDOW_SECS: u64 = 10;
@@ -121,14 +123,10 @@ impl Metrics {
     }
 
     /// The `GET /metrics` body: the server counters rendered as
-    /// Prometheus text exposition, followed by everything in the obs
-    /// registry (request-latency histograms, the DP budget ledger).
-    pub fn render_prometheus(
-        &self,
-        obs: &ObsHandle,
-        open_models: usize,
-        ready_models: usize,
-    ) -> String {
+    /// Prometheus text exposition, then the registry's pool/LRU gauges,
+    /// then everything in the obs registry (request-latency histograms,
+    /// the DP budget ledger).
+    pub fn render_prometheus(&self, obs: &ObsHandle, registry: &RegistryStats) -> String {
         let mut out = String::with_capacity(2048);
         let counter = |out: &mut String, name: &str, v: u64| {
             out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
@@ -169,8 +167,22 @@ impl Metrics {
             "kamino_open_connections",
             self.open_connections.load(Ordering::Relaxed) as f64,
         );
-        gauge(&mut out, "kamino_open_models", open_models as f64);
-        gauge(&mut out, "kamino_ready_models", ready_models as f64);
+        gauge(&mut out, "kamino_open_models", registry.total as f64);
+        gauge(&mut out, "kamino_ready_models", registry.resident as f64);
+        gauge(&mut out, "kamino_resident_models", registry.resident as f64);
+        gauge(
+            &mut out,
+            "kamino_max_resident_models",
+            registry.max_resident as f64,
+        );
+        counter(&mut out, "kamino_model_loads_total", registry.loads);
+        counter(&mut out, "kamino_model_evictions_total", registry.evictions);
+        counter(&mut out, "kamino_pool_hits_total", registry.pool_hits);
+        counter(&mut out, "kamino_pool_misses_total", registry.pool_misses);
+        out.push_str("# TYPE kamino_pool_depth gauge\n");
+        for (id, depth) in &registry.pool_depths {
+            out.push_str(&format!("kamino_pool_depth{{model=\"{id}\"}} {depth}\n"));
+        }
         out.push_str(&obs.render_prometheus());
         out
     }
@@ -186,6 +198,19 @@ impl Default for Metrics {
 mod tests {
     use super::*;
 
+    fn stats(total: usize, resident: usize) -> RegistryStats {
+        RegistryStats {
+            total,
+            resident,
+            max_resident: 2,
+            pool_depths: vec![(1, 3)],
+            pool_hits: 9,
+            pool_misses: 4,
+            evictions: 1,
+            loads: 2,
+        }
+    }
+
     #[test]
     fn counters_accumulate_and_render() {
         let m = Metrics::new();
@@ -196,13 +221,20 @@ mod tests {
         assert_eq!(m.rows.load(Ordering::Relaxed), 150);
         assert!(m.rows_per_sec() > 0.0);
         assert!((m.error_rate() - 0.25).abs() < 1e-12);
-        let body = m.render_prometheus(&ObsHandle::disabled(), 2, 1);
+        let body = m.render_prometheus(&ObsHandle::disabled(), &stats(2, 1));
         assert!(body.contains("# TYPE kamino_http_requests_total counter"));
         assert!(body.contains("kamino_http_requests_total 4\n"));
         assert!(body.contains("kamino_rows_synthesized_total 150\n"));
         assert!(body.contains("kamino_http_error_rate 0.25\n"));
         assert!(body.contains("kamino_open_models 2\n"));
         assert!(body.contains("kamino_ready_models 1\n"));
+        assert!(body.contains("kamino_resident_models 1\n"));
+        assert!(body.contains("kamino_max_resident_models 2\n"));
+        assert!(body.contains("kamino_pool_hits_total 9\n"));
+        assert!(body.contains("kamino_pool_misses_total 4\n"));
+        assert!(body.contains("kamino_model_evictions_total 1\n"));
+        assert!(body.contains("kamino_model_loads_total 2\n"));
+        assert!(body.contains("kamino_pool_depth{model=\"1\"} 3\n"));
     }
 
     #[test]
@@ -237,7 +269,7 @@ mod tests {
         let m = Metrics::new();
         let obs = ObsHandle::enabled();
         obs.counter("kamino_dp_plans_total", &[]).inc();
-        let body = m.render_prometheus(&obs, 0, 0);
+        let body = m.render_prometheus(&obs, &stats(0, 0));
         assert!(body.contains("# TYPE kamino_dp_plans_total counter"));
         assert!(body.contains("kamino_dp_plans_total 1\n"));
     }

@@ -1,5 +1,5 @@
-//! The synthesis server: a std-`TcpListener` accept loop feeding a scoped
-//! thread pool, serving fitted Kamino models over HTTP/1.1.
+//! The synthesis server: an epoll event loop feeding a worker pool,
+//! serving fitted Kamino models over HTTP/1.1.
 //!
 //! ## Endpoints
 //!
@@ -11,24 +11,34 @@
 //! | `POST /models/{id}/synthesize?n=..&batch=..&format=csv\|json` | stream rows (chunked) |
 //! | `POST /models/{id}/snapshot` | persist the model to the `--model-dir` |
 //! | `GET /healthz` | liveness |
-//! | `GET /metrics` | Prometheus text exposition: counters, rows/sec, latency histograms, DP budget ledger |
+//! | `GET /metrics` | Prometheus text exposition: counters, rows/sec, latency histograms, pool/LRU gauges, DP budget ledger |
 //! | `POST /debug/trace` | chrome://tracing JSON of recorded spans and events |
-//! | `POST /shutdown` | graceful stop: drain connections, exit `run` |
+//! | `POST /shutdown` | graceful stop: drain in-flight responses, exit `run` |
+//!
+//! ## Architecture
+//!
+//! One thread runs the readiness-driven event loop ([`crate::sys`] +
+//! connection state machines in the `event_loop` module); `--threads`
+//! workers execute the CPU-bound jobs it dispatches — fits, snapshot
+//! loads, on-demand sample batches and pool refills — and report back
+//! through a completion queue that wakes the poller. The event loop
+//! itself never blocks on a model mutex: pooled batches are drained via
+//! `try_lock`, and anything heavier becomes a `Job`.
 //!
 //! ## Privacy
 //!
 //! The privacy budget is spent exactly once, inside the fit job
-//! ([`kamino_core::fit_kamino`]). Everything `/synthesize` does afterwards
+//! ([`kamino_core::fit_kamino`]). Everything `/synthesize` does
+//! afterwards — direct draws, pooled pre-sampling, eviction and reload —
 //! is post-processing of the fitted model: any number of rows, for any
 //! number of concurrent clients, is covered by the ε reported in
-//! `GET /models/{id}` — the server never re-touches the private input.
-//! Concurrent `/synthesize` requests against one model serialize on the
-//! model's mutex per batch (the session RNG advances under the lock), so
-//! clients interleave without data races and without budget re-spend.
+//! `GET /models/{id}`. Concurrent `/synthesize` requests against one
+//! model serialize on the model's mutex per batch (the session RNG
+//! advances under the lock), so clients interleave without data races
+//! and without budget re-spend.
 
-use std::collections::BTreeMap;
-use std::io::{self, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -36,33 +46,36 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
-use kamino_core::{fit_kamino, FittedKamino, KaminoConfig};
-use kamino_data::{AttrKind, Instance, Schema, Value};
+use kamino_core::{fit_kamino, KaminoConfig};
 use kamino_datasets::Corpus;
 use kamino_dp::Budget;
-use kamino_obs::{clock, metrics::LATENCY_BUCKETS_S, ObsHandle};
+use kamino_obs::{metrics::LATENCY_BUCKETS_S, ObsHandle};
 
-use crate::http::{
-    finish_chunked, read_request, start_chunked, write_chunk, write_response, ReadError, Request,
-};
+use crate::http::Request;
 use crate::json::Json;
 use crate::metrics::Metrics;
-use crate::snapshot::{load_fitted, save_fitted};
+use crate::pool::{Format, PoolConfig};
+use crate::registry::{ModelSlot, PinGuard, Registry, SlotStatus};
+use crate::sys;
 
-/// How long a worker waits on an idle keep-alive connection before
-/// closing it. Bounds shutdown latency: no connection can hold a worker
-/// longer than this once draining starts.
-const IDLE_READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// How long an idle keep-alive connection may sit without a request
+/// before the event loop closes it. Bounds shutdown latency: no idle
+/// connection outlives draining by more than this.
+pub(crate) const IDLE_READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long a connection with pending response bytes may make zero
+/// write progress before it is dropped (slow-loris guard; clients that
+/// keep reading — however slowly — never hit it).
+pub(crate) const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Caps on `/synthesize` query parameters.
 const MAX_SYNTH_ROWS: usize = 10_000_000;
 const MAX_BATCH: usize = 100_000;
 /// Cap on `/fit` input rows (the corpus generators are in-memory).
 const MAX_FIT_ROWS: usize = 200_000;
-/// Cap on concurrently *training* fit jobs. Connections are bounded by
-/// the worker pool, but each fit spawns its own DP-SGD thread — without
-/// a cap, a burst of `POST /fit` could exhaust CPU and memory and starve
-/// `/synthesize`. Excess requests get `429` and retry.
+/// Cap on concurrently *training* fit jobs. Without a cap, a burst of
+/// `POST /fit` could exhaust CPU and memory and starve `/synthesize`.
+/// Excess requests get `429` and retry.
 const MAX_CONCURRENT_FITS: u64 = 4;
 
 /// Server configuration (mirrors the binary's flags).
@@ -71,11 +84,21 @@ pub struct ServeConfig {
     /// Listen address, e.g. `127.0.0.1:7878` (port 0 picks an ephemeral
     /// port — see [`Server::local_addr`]).
     pub listen: String,
-    /// Directory for `.kamino` snapshots: loaded at boot, written by fit
-    /// jobs and `POST /models/{id}/snapshot`.
+    /// Directory for `.kamino` snapshots: registered lazily at boot,
+    /// written by fit jobs, `POST /models/{id}/snapshot` and LRU
+    /// eviction.
     pub model_dir: Option<PathBuf>,
-    /// Worker threads serving connections.
+    /// Worker threads for CPU-bound jobs (fits, loads, sample batches,
+    /// pool refills).
     pub threads: usize,
+    /// Most models resident in memory at once (`0` = unbounded). The
+    /// least-recently-used unpinned model is evicted to its snapshot.
+    pub max_models: usize,
+    /// Pre-sampled batches kept per model (`0` disables pooling).
+    pub pool_batches: usize,
+    /// Rows per pooled batch; `/synthesize` requests streaming in
+    /// chunks of exactly this size are served from the pool.
+    pub pool_rows: usize,
     /// Observability handle shared by every request, fit job and model.
     /// Enabled by default — the server is the intended consumer of
     /// `/metrics` and `/debug/trace` — and strictly off the determinism
@@ -89,260 +112,143 @@ impl Default for ServeConfig {
             listen: "127.0.0.1:7878".into(),
             model_dir: None,
             threads: 4,
+            max_models: 0,
+            pool_batches: 4,
+            pool_rows: 1_000,
             obs: ObsHandle::enabled(),
         }
     }
 }
 
-/// One model slot in the registry.
-struct ModelEntry {
-    id: u64,
-    state: Mutex<ModelState>,
-}
-
-enum ModelState {
-    Fitting,
-    Ready(Box<FittedKamino>),
-    Failed(String),
-}
-
-impl ModelState {
-    fn name(&self) -> &'static str {
-        match self {
-            ModelState::Fitting => "fitting",
-            ModelState::Ready(_) => "ready",
-            ModelState::Failed(_) => "failed",
-        }
-    }
-}
-
-struct AppState {
-    models: Mutex<BTreeMap<u64, Arc<ModelEntry>>>,
-    next_id: AtomicU64,
-    metrics: Metrics,
-    model_dir: Option<PathBuf>,
-    shutdown: AtomicBool,
-    addr: SocketAddr,
+/// Everything the event loop and the workers share.
+pub(crate) struct AppState {
+    pub registry: Registry,
+    pub metrics: Metrics,
+    pub obs: ObsHandle,
+    pub addr: SocketAddr,
+    /// Set by `POST /shutdown`: stop accepting, drain, exit.
+    pub draining: AtomicBool,
     /// Fit jobs currently training (bounded by [`MAX_CONCURRENT_FITS`]).
-    active_fits: AtomicU64,
-    obs: ObsHandle,
+    pub active_fits: AtomicU64,
 }
 
-impl AppState {
-    fn entry(&self, id: u64) -> Option<Arc<ModelEntry>> {
-        self.models.lock().unwrap().get(&id).cloned()
-    }
+/// CPU-bound work the event loop hands to the worker pool.
+pub(crate) enum Job {
+    /// Train a model (the only code path that touches private data).
+    Fit { slot: Arc<ModelSlot>, spec: FitSpec },
+    /// Produce the next batch of a `/synthesize` stream (loading the
+    /// model first when necessary).
+    Batch {
+        token: u64,
+        gen: u64,
+        slot: Arc<ModelSlot>,
+        rows: usize,
+        format: Format,
+        need_header: bool,
+    },
+    /// Top a model's sample pool back up.
+    Refill { slot: Arc<ModelSlot> },
+    /// Encode and persist a model snapshot.
+    Snapshot {
+        token: u64,
+        gen: u64,
+        slot: Arc<ModelSlot>,
+    },
 }
 
-/// Extracts the id from a server-written snapshot name
-/// (`model-{id}.kamino`).
-fn id_from_snapshot_name(path: &std::path::Path) -> Option<u64> {
-    path.file_stem()?
-        .to_str()?
-        .strip_prefix("model-")?
-        .parse()
-        .ok()
+/// A batch produced by a worker for a streaming connection.
+pub(crate) struct BatchOut {
+    pub text: Arc<str>,
+    pub rows: u64,
+    /// CSV header line, present on the first batch of a stream whose
+    /// model had to load before its schema was known.
+    pub header: Option<String>,
 }
 
-fn insert_loaded(state: &AppState, id: u64, fitted: FittedKamino, path: &std::path::Path) {
-    let entry = Arc::new(ModelEntry {
-        id,
-        state: Mutex::new(ModelState::Ready(Box::new(fitted))),
-    });
-    state.models.lock().unwrap().insert(id, entry);
-    println!("kamino-serve: loaded {} as model {id}", path.display());
+/// Worker → event loop results, matched to connections by (token, gen).
+pub(crate) enum Completion {
+    Batch {
+        token: u64,
+        gen: u64,
+        result: Result<BatchOut, (&'static str, String)>,
+    },
+    Snapshot {
+        token: u64,
+        gen: u64,
+        result: Result<PathBuf, (&'static str, String)>,
+    },
 }
 
-/// A bound (but not yet running) synthesis server.
-pub struct Server {
-    listener: TcpListener,
-    state: Arc<AppState>,
-    threads: usize,
+/// The completion queue plus the waker that interrupts the poller.
+pub(crate) struct CompletionQueue {
+    queue: Mutex<Vec<Completion>>,
+    waker: sys::Waker,
 }
 
-impl Server {
-    /// Binds the listen address and loads any snapshots found in the
-    /// model directory.
-    pub fn bind(cfg: ServeConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind(&cfg.listen)?;
-        let addr = listener.local_addr()?;
-        let state = Arc::new(AppState {
-            models: Mutex::new(BTreeMap::new()),
-            next_id: AtomicU64::new(1),
-            metrics: Metrics::new(),
-            model_dir: cfg.model_dir.clone(),
-            shutdown: AtomicBool::new(false),
-            addr,
-            active_fits: AtomicU64::new(0),
-            obs: cfg.obs.clone(),
-        });
-        if let Some(dir) = &cfg.model_dir {
-            std::fs::create_dir_all(dir)?;
-            let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
-                .filter_map(|e| e.ok())
-                .map(|e| e.path())
-                .filter(|p| p.extension().is_some_and(|x| x == "kamino"))
-                .collect();
-            paths.sort();
-            // snapshots written by this server are named `model-{id}.kamino`;
-            // keep those ids stable across restarts so a later fit's
-            // auto-persist can never collide with (and overwrite) an
-            // existing unrelated snapshot. Foreign names get the next free
-            // id after every recognized one.
-            let mut foreign = Vec::new();
-            for path in paths {
-                match load_fitted(&path) {
-                    Ok(fitted) => match id_from_snapshot_name(&path) {
-                        Some(id) if !state.models.lock().unwrap().contains_key(&id) => {
-                            insert_loaded(&state, id, fitted, &path);
-                        }
-                        _ => foreign.push((path, fitted)),
-                    },
-                    Err(e) => eprintln!("kamino-serve: skipping {}: {e}", path.display()),
-                }
-            }
-            let max_id = state
-                .models
-                .lock()
-                .unwrap()
-                .keys()
-                .next_back()
-                .copied()
-                .unwrap_or(0);
-            state.next_id.store(max_id + 1, Ordering::Relaxed);
-            for (path, fitted) in foreign {
-                let id = state.next_id.fetch_add(1, Ordering::Relaxed);
-                insert_loaded(&state, id, fitted, &path);
-            }
+impl CompletionQueue {
+    pub fn new(waker: sys::Waker) -> CompletionQueue {
+        CompletionQueue {
+            queue: Mutex::new(Vec::new()),
+            waker,
         }
-        Ok(Server {
-            listener,
-            state,
-            threads: cfg.threads.max(1),
-        })
     }
 
-    /// The bound address (resolves port 0).
-    pub fn local_addr(&self) -> SocketAddr {
-        self.state.addr
+    pub fn push(&self, c: Completion) {
+        // kamino-lint: allow(unordered_reduce) -- completions are routed by (token, gen) with at most one outstanding per connection; arrival order cannot reorder any client's byte stream
+        self.queue.lock().unwrap().push(c);
+        self.waker.wake();
     }
 
-    /// Serves until `POST /shutdown`: the acceptor stops, in-flight
-    /// connections drain (bounded by `IDLE_READ_TIMEOUT`), fit jobs
-    /// finish, and `run` returns.
-    pub fn run(self) -> io::Result<()> {
-        let Server {
-            listener,
-            state,
-            threads,
-        } = self;
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Mutex::new(rx);
-        thread::scope(|scope| {
-            for _ in 0..threads {
-                let rx = &rx;
-                let state = &state;
-                scope.spawn(move || loop {
-                    let next = rx.lock().unwrap().recv();
-                    let Ok(stream) = next else { break };
-                    state
-                        .metrics
-                        .open_connections
-                        .fetch_add(1, Ordering::Relaxed);
-                    let _ = handle_connection(stream, state, scope);
-                    state
-                        .metrics
-                        .open_connections
-                        .fetch_sub(1, Ordering::Relaxed);
-                });
-            }
-            for conn in listener.incoming() {
-                if state.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                if let Ok(stream) = conn {
-                    // a send can only fail after every worker exited, which
-                    // cannot happen while we still hold `tx`
-                    let _ = tx.send(stream);
-                }
-            }
-            drop(tx);
-        });
-        Ok(())
+    pub fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.queue.lock().unwrap())
+    }
+
+    pub fn waker(&self) -> &sys::Waker {
+        &self.waker
     }
 }
 
-/// Serves one connection's keep-alive loop.
-fn handle_connection<'scope>(
-    stream: TcpStream,
-    state: &'scope Arc<AppState>,
-    scope: &'scope thread::Scope<'scope, '_>,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(IDLE_READ_TIMEOUT))?;
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut out = stream;
-    loop {
-        match read_request(&mut reader) {
-            Err(ReadError::Eof) | Err(ReadError::Io(_)) => return Ok(()),
-            Err(ReadError::Bad(status)) => {
-                state.metrics.requests.fetch_add(1, Ordering::Relaxed);
-                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                observe_request(state, "unparsed", "-", status, 0);
-                let body = Json::obj([("error", Json::Str(status.to_string()))]).to_string();
-                write_response(&mut out, status, "application/json", body.as_bytes(), true)?;
-                return Ok(());
-            }
-            Ok(req) => {
-                state.metrics.requests.fetch_add(1, Ordering::Relaxed);
-                let close = req.wants_close() || state.shutdown.load(Ordering::Acquire);
-                let label = route_label(&req);
-                let enabled = state.obs.is_enabled();
-                let t0 = if enabled { clock::now_nanos() } else { 0 };
-                let mut span = state.obs.span("serve.request");
-                if span.is_active() {
-                    span.arg("route", label.to_string());
-                    span.arg("method", req.method.clone());
-                }
-                let status = route(&req, &mut out, state, scope, close)?;
-                if span.is_active() {
-                    span.arg("status", status.to_string());
-                }
-                drop(span);
-                if enabled {
-                    let dur_ns = clock::now_nanos().saturating_sub(t0);
-                    observe_request(state, label, &req.method, status, dur_ns);
-                }
-                // re-check the flag: this very request may have been the
-                // shutdown (whose response promised `connection: close`)
-                if close || state.shutdown.load(Ordering::Acquire) {
-                    return Ok(());
-                }
-            }
+/// An immediate (non-streaming) reply.
+pub(crate) struct Reply {
+    pub status: &'static str,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    pub close: bool,
+}
+
+impl Reply {
+    pub fn json(status: &'static str, body: Json, close: bool) -> Reply {
+        Reply {
+            status,
+            content_type: "application/json",
+            body: body.to_string().into_bytes(),
+            close,
         }
     }
 }
 
-/// Writes a JSON response and echoes the status line back so the
-/// dispatcher can label the request-latency histogram with it.
-fn respond_json<W: Write>(
-    w: &mut W,
-    state: &AppState,
-    status: &'static str,
-    body: Json,
-    close: bool,
-) -> io::Result<&'static str> {
-    if !status.starts_with('2') {
-        state.metrics.errors.fetch_add(1, Ordering::Relaxed);
-    }
-    write_response(
-        w,
-        status,
-        "application/json",
-        body.to_string().as_bytes(),
-        close,
-    )?;
-    Ok(status)
+/// What the event loop should do with a parsed request.
+pub(crate) enum Action {
+    /// Write this response now.
+    Respond(Reply),
+    /// Begin a chunked `/synthesize` stream.
+    Stream(StreamStart),
+    /// A job was dispatched; a [`Completion`] addressed to this
+    /// connection will carry the response.
+    AwaitWorker,
+}
+
+/// Everything the event loop needs to run one `/synthesize` stream.
+pub(crate) struct StreamStart {
+    pub slot: Arc<ModelSlot>,
+    pub pin: PinGuard,
+    pub remaining: usize,
+    pub batch: usize,
+    pub format: Format,
+    /// CSV header line when the model's schema is already known
+    /// (`None` outer: head deferred to the first worker batch).
+    pub csv_header: Option<Option<String>>,
+    pub meta_known: bool,
 }
 
 fn err_json(msg: &str) -> Json {
@@ -352,7 +258,7 @@ fn err_json(msg: &str) -> Json {
 /// Normalized route label for metrics and spans: model ids collapse to
 /// `{id}` so the label set stays bounded no matter how many models the
 /// server has fitted.
-fn route_label(req: &Request) -> &'static str {
+pub(crate) fn route_label(req: &Request) -> &'static str {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match segments.as_slice() {
         ["healthz"] => "/healthz",
@@ -369,7 +275,13 @@ fn route_label(req: &Request) -> &'static str {
 }
 
 /// Feeds one finished request into `kamino_http_request_duration_seconds`.
-fn observe_request(state: &AppState, route: &str, method: &str, status: &str, dur_ns: u64) {
+pub(crate) fn observe_request(
+    state: &AppState,
+    route: &str,
+    method: &str,
+    status: &str,
+    dur_ns: u64,
+) {
     if !state.obs.is_enabled() {
         return;
     }
@@ -384,121 +296,264 @@ fn observe_request(state: &AppState, route: &str, method: &str, status: &str, du
         .observe(dur_ns as f64 / 1e9);
 }
 
-/// Dispatches one request; returns the status line it served.
-fn route<'scope>(
-    req: &Request,
-    out: &mut TcpStream,
-    state: &'scope Arc<AppState>,
-    scope: &'scope thread::Scope<'scope, '_>,
-    close: bool,
-) -> io::Result<&'static str> {
-    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
-    match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => {
-            let models = state.models.lock().unwrap().len();
-            let body = Json::obj([
-                ("status", Json::Str("ok".into())),
-                ("models", Json::Num(models as f64)),
-                ("uptime_ms", Json::Num(state.metrics.uptime_ms() as f64)),
-            ]);
-            respond_json(out, state, "200 OK", body, close)
-        }
-        ("GET", ["metrics"]) => {
-            let (open, ready) = {
-                let models = state.models.lock().unwrap();
-                let ready = models
-                    .values()
-                    .filter(|e| matches!(*e.state.lock().unwrap(), ModelState::Ready(_)))
-                    .count();
-                (models.len(), ready)
-            };
-            let body = state.metrics.render_prometheus(&state.obs, open, ready);
-            write_response(
-                out,
-                "200 OK",
-                "text/plain; version=0.0.4",
-                body.as_bytes(),
-                close,
-            )?;
-            Ok("200 OK")
-        }
-        ("POST", ["debug", "trace"]) => {
-            let body = state.obs.chrome_trace_json();
-            write_response(out, "200 OK", "application/json", body.as_bytes(), close)?;
-            Ok("200 OK")
-        }
-        ("POST", ["shutdown"]) => {
-            state.shutdown.store(true, Ordering::Release);
-            let body = Json::obj([("status", Json::Str("shutting down".into()))]);
-            respond_json(out, state, "200 OK", body, true)?;
-            // unblock the acceptor so it observes the flag
-            let _ = TcpStream::connect(state.addr);
-            Ok("200 OK")
-        }
-        ("POST", ["fit"]) => handle_fit(req, out, state, scope, close),
-        ("GET", ["models"]) => {
-            let models = state.models.lock().unwrap();
-            let list: Vec<Json> = models
-                .values()
-                .map(|e| {
-                    Json::obj([
-                        ("model_id", Json::Num(e.id as f64)),
-                        ("status", Json::Str(e.state.lock().unwrap().name().into())),
-                    ])
-                })
-                .collect();
-            respond_json(out, state, "200 OK", Json::Arr(list), close)
-        }
-        ("GET", ["models", id]) => match id.parse::<u64>().ok().and_then(|id| state.entry(id)) {
-            None => respond_json(
-                out,
-                state,
-                "404 Not Found",
-                err_json("no such model"),
-                close,
-            ),
-            Some(entry) => {
-                let body = model_info(&entry);
-                respond_json(out, state, "200 OK", body, close)
-            }
-        },
-        ("POST", ["models", id, "synthesize"]) => {
-            match id.parse::<u64>().ok().and_then(|id| state.entry(id)) {
-                None => respond_json(
-                    out,
-                    state,
-                    "404 Not Found",
-                    err_json("no such model"),
-                    close,
-                ),
-                Some(entry) => handle_synthesize(req, out, state, &entry, close),
-            }
-        }
-        ("POST", ["models", id, "snapshot"]) => {
-            match id.parse::<u64>().ok().and_then(|id| state.entry(id)) {
-                None => respond_json(
-                    out,
-                    state,
-                    "404 Not Found",
-                    err_json("no such model"),
-                    close,
-                ),
-                Some(entry) => handle_snapshot(out, state, &entry, close),
-            }
-        }
-        (_, ["healthz" | "metrics" | "shutdown" | "fit" | "models" | "debug", ..]) => respond_json(
-            out,
+/// A bound (but not yet running) synthesis server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    threads: usize,
+}
+
+impl Server {
+    /// Binds the listen address and registers (without decoding) any
+    /// snapshots found in the model directory.
+    pub fn bind(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        let addr = listener.local_addr()?;
+        let pool_cfg = PoolConfig {
+            batches: cfg.pool_batches,
+            rows: cfg.pool_rows,
+        };
+        let registry = Registry::new(cfg.max_models, pool_cfg, cfg.model_dir.clone());
+        registry.boot_scan()?;
+        let state = Arc::new(AppState {
+            registry,
+            metrics: Metrics::new(),
+            obs: cfg.obs.clone(),
+            addr,
+            draining: AtomicBool::new(false),
+            active_fits: AtomicU64::new(0),
+        });
+        Ok(Server {
+            listener,
             state,
-            "405 Method Not Allowed",
-            err_json("method not allowed on this path"),
-            close,
-        ),
-        _ => respond_json(out, state, "404 Not Found", err_json("unknown path"), close),
+            threads: cfg.threads.max(1),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Serves until `POST /shutdown`: the listener stops accepting,
+    /// in-flight responses — including chunked `/synthesize` streams —
+    /// drain to completion, idle keep-alive connections close, queued
+    /// fit jobs finish, and `run` returns.
+    pub fn run(self) -> io::Result<()> {
+        let Server {
+            listener,
+            state,
+            threads,
+        } = self;
+        let poller = sys::Poller::new()?;
+        let waker = sys::Waker::new()?;
+        let done = Arc::new(CompletionQueue::new(waker));
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Mutex::new(job_rx);
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let state = &state;
+                let job_rx = &job_rx;
+                let done = Arc::clone(&done);
+                scope.spawn(move || worker_loop(state, job_rx, &done));
+            }
+            // the event loop owns the only Sender: when it returns, the
+            // channel disconnects and the workers drain the queue and exit
+            crate::event_loop::run(poller, listener, &state, job_tx, &done)
+        })
     }
 }
 
+/// One worker thread: executes jobs until the event loop hangs up.
+fn worker_loop(state: &Arc<AppState>, rx: &Mutex<mpsc::Receiver<Job>>, done: &CompletionQueue) {
+    loop {
+        let job = rx.lock().unwrap().recv();
+        let Ok(job) = job else { break };
+        match job {
+            Job::Fit { slot, spec } => run_fit(state, &slot, spec),
+            Job::Refill { slot } => run_refill(state, &slot),
+            Job::Batch {
+                token,
+                gen,
+                slot,
+                rows,
+                format,
+                need_header,
+            } => {
+                let result = run_batch(state, &slot, rows, format, need_header);
+                done.push(Completion::Batch { token, gen, result });
+                // top the pool back up while the loop streams the bytes;
+                // only aligned traffic warrants speculation
+                if rows == state.registry.pool_config().rows {
+                    maybe_refill(state, &slot);
+                }
+            }
+            Job::Snapshot { token, gen, slot } => {
+                let result = run_snapshot(state, &slot);
+                done.push(Completion::Snapshot { token, gen, result });
+            }
+        }
+    }
+}
+
+/// Claims the refill flag and refills if nobody else already is.
+pub(crate) fn maybe_refill(state: &Arc<AppState>, slot: &Arc<ModelSlot>) {
+    if !slot.refill_queued.swap(true, Ordering::AcqRel) {
+        run_refill(state, slot);
+    }
+}
+
+/// Refills a resident model's pool to its configured depth, releasing
+/// the model mutex between batches so drains interleave.
+fn run_refill(state: &Arc<AppState>, slot: &Arc<ModelSlot>) {
+    loop {
+        let mut guard = slot.resident.lock().unwrap();
+        let Some(r) = guard.as_mut() else { break };
+        if !r.pool.refill_one(&mut r.fitted) {
+            break;
+        }
+        slot.pool_depth
+            .store(r.pool.depth() as u64, Ordering::Relaxed);
+    }
+    slot.refill_queued.store(false, Ordering::Release);
+    let _ = state;
+}
+
+/// Maps an [`Registry::ensure_resident`] error to a status line.
+fn residency_status(msg: &str) -> &'static str {
+    if msg.contains("still fitting") || msg.starts_with("model failed to fit") {
+        "409 Conflict"
+    } else {
+        "500 Internal Server Error"
+    }
+}
+
+/// Produces one stream batch on a worker: loads the model if needed,
+/// then drains the pool or samples directly.
+fn run_batch(
+    state: &Arc<AppState>,
+    slot: &Arc<ModelSlot>,
+    rows: usize,
+    format: Format,
+    need_header: bool,
+) -> Result<BatchOut, (&'static str, String)> {
+    state
+        .registry
+        .ensure_resident(slot)
+        .map_err(|msg| (residency_status(&msg), msg))?;
+    // between ensure_resident and this lock an eviction may race us;
+    // one reload retry is enough because we then hold the mutex
+    for _ in 0..2 {
+        let mut guard = slot.resident.lock().unwrap();
+        let Some(r) = guard.as_mut() else {
+            drop(guard);
+            state
+                .registry
+                .ensure_resident(slot)
+                .map_err(|msg| (residency_status(&msg), msg))?;
+            continue;
+        };
+        let header = if need_header && format == Format::Csv {
+            match kamino_data::csv::header_line(r.fitted.schema()) {
+                Ok(h) => Some(h),
+                Err(e) => {
+                    return Err((
+                        "500 Internal Server Error",
+                        format!("schema is not CSV-serializable: {e}"),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        let (text, served, hit) = r
+            .pool
+            .take_batch(&mut r.fitted, rows, format)
+            .map_err(|e| ("500 Internal Server Error", e))?;
+        slot.pool_depth
+            .store(r.pool.depth() as u64, Ordering::Relaxed);
+        drop(guard);
+        let counter = if hit {
+            &state.registry.pool_hits
+        } else {
+            &state.registry.pool_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        state.registry.touch(slot);
+        return Ok(BatchOut {
+            text,
+            rows: served,
+            header,
+        });
+    }
+    Err((
+        "500 Internal Server Error",
+        "model kept being evicted under the request".into(),
+    ))
+}
+
+/// Encodes and atomically writes a model snapshot, persisting the
+/// canonical (pool-rewound) RNG cursor without discarding speculation.
+fn run_snapshot(
+    state: &Arc<AppState>,
+    slot: &Arc<ModelSlot>,
+) -> Result<PathBuf, (&'static str, String)> {
+    let Some(dir) = state.registry.model_dir() else {
+        return Err(("409 Conflict", "server started without --model-dir".into()));
+    };
+    let path = dir.join(format!("model-{}.kamino", slot.id));
+    state
+        .registry
+        .ensure_resident(slot)
+        .map_err(|msg| (residency_status(&msg), msg))?;
+    let bytes = {
+        let mut guard = slot.resident.lock().unwrap();
+        let Some(r) = guard.as_mut() else {
+            return Err(("409 Conflict", "model not ready".into()));
+        };
+        let live = r.fitted.rng_state();
+        let canonical = r.pool.persist_state(&r.fitted);
+        r.fitted.set_rng_state(canonical);
+        let bytes = crate::snapshot::encode_fitted(&r.fitted);
+        r.fitted.set_rng_state(live);
+        bytes
+    };
+    match crate::snapshot::write_snapshot_bytes(&bytes, &path) {
+        Ok(()) => {
+            slot.set_snapshot_path(path.clone());
+            state.registry.touch(slot);
+            Ok(path)
+        }
+        Err(e) => Err(("500 Internal Server Error", format!("snapshot failed: {e}"))),
+    }
+}
+
+/// The async fit job. A panic inside the pipeline (e.g. an infeasible
+/// budget) marks the model `failed` instead of taking a worker down.
+fn run_fit(state: &Arc<AppState>, slot: &Arc<ModelSlot>, spec: FitSpec) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let d = spec.corpus.generate(spec.rows, spec.data_seed);
+        fit_kamino(&d.schema, &d.instance, &d.dcs, &spec.cfg)
+    }));
+    let outcome = match result {
+        Ok(fitted) => Ok(fitted),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "fit panicked".into());
+            Err(msg)
+        }
+    };
+    if state.registry.finish_fit(slot, outcome, spec.persist) {
+        state.metrics.fits_done.fetch_add(1, Ordering::Relaxed);
+    }
+    state.active_fits.fetch_sub(1, Ordering::AcqRel);
+}
+
 /// The request surface of `POST /fit`.
-struct FitSpec {
+pub(crate) struct FitSpec {
     corpus: Corpus,
     rows: usize,
     data_seed: u64,
@@ -575,13 +630,118 @@ fn parse_fit_spec(body: &Json, model_dir_set: bool) -> Result<FitSpec, String> {
     })
 }
 
-fn handle_fit<'scope>(
+/// Routes one parsed request. `token`/`gen` identify the connection for
+/// worker completions; `close` is what the connection decided about
+/// keep-alive (echoed into immediate replies).
+pub(crate) fn dispatch(
     req: &Request,
-    out: &mut TcpStream,
-    state: &'scope Arc<AppState>,
-    scope: &'scope thread::Scope<'scope, '_>,
+    token: u64,
+    gen: u64,
+    state: &Arc<AppState>,
+    jobs: &mpsc::Sender<Job>,
     close: bool,
-) -> io::Result<&'static str> {
+) -> Action {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let body = Json::obj([
+                ("status", Json::Str("ok".into())),
+                ("models", Json::Num(state.registry.len() as f64)),
+                ("uptime_ms", Json::Num(state.metrics.uptime_ms() as f64)),
+            ]);
+            Action::Respond(Reply::json("200 OK", body, close))
+        }
+        ("GET", ["metrics"]) => {
+            let stats = state.registry.stats();
+            let body = state.metrics.render_prometheus(&state.obs, &stats);
+            Action::Respond(Reply {
+                status: "200 OK",
+                content_type: "text/plain; version=0.0.4",
+                body: body.into_bytes(),
+                close,
+            })
+        }
+        ("POST", ["debug", "trace"]) => Action::Respond(Reply {
+            status: "200 OK",
+            content_type: "application/json",
+            body: state.obs.chrome_trace_json().into_bytes(),
+            close,
+        }),
+        ("POST", ["shutdown"]) => {
+            state.draining.store(true, Ordering::Release);
+            let body = Json::obj([("status", Json::Str("shutting down".into()))]);
+            Action::Respond(Reply::json("200 OK", body, true))
+        }
+        ("POST", ["fit"]) => dispatch_fit(req, state, jobs, close),
+        ("GET", ["models"]) => {
+            let list: Vec<Json> = state
+                .registry
+                .list()
+                .into_iter()
+                .map(|s| {
+                    Json::obj([
+                        ("model_id", Json::Num(s.id as f64)),
+                        ("status", Json::Str(s.status.lock().unwrap().name().into())),
+                    ])
+                })
+                .collect();
+            Action::Respond(Reply::json("200 OK", Json::Arr(list), close))
+        }
+        ("GET", ["models", id]) => match lookup(state, id) {
+            None => not_found(close),
+            Some(slot) => Action::Respond(Reply::json("200 OK", slot.info_json(), close)),
+        },
+        ("POST", ["models", id, "synthesize"]) => match lookup(state, id) {
+            None => not_found(close),
+            Some(slot) => dispatch_synthesize(req, state, slot, close),
+        },
+        ("POST", ["models", id, "snapshot"]) => match lookup(state, id) {
+            None => not_found(close),
+            Some(slot) => {
+                if state.registry.model_dir().is_none() {
+                    return Action::Respond(Reply::json(
+                        "409 Conflict",
+                        err_json("server started without --model-dir"),
+                        close,
+                    ));
+                }
+                let _ = jobs.send(Job::Snapshot { token, gen, slot });
+                Action::AwaitWorker
+            }
+        },
+        (_, ["healthz" | "metrics" | "shutdown" | "fit" | "models" | "debug", ..]) => {
+            Action::Respond(Reply::json(
+                "405 Method Not Allowed",
+                err_json("method not allowed on this path"),
+                close,
+            ))
+        }
+        _ => Action::Respond(Reply::json(
+            "404 Not Found",
+            err_json("unknown path"),
+            close,
+        )),
+    }
+}
+
+fn lookup(state: &AppState, id: &str) -> Option<Arc<ModelSlot>> {
+    id.parse::<u64>().ok().and_then(|id| state.registry.get(id))
+}
+
+fn not_found(close: bool) -> Action {
+    Action::Respond(Reply::json(
+        "404 Not Found",
+        err_json("no such model"),
+        close,
+    ))
+}
+
+fn dispatch_fit(
+    req: &Request,
+    state: &Arc<AppState>,
+    jobs: &mpsc::Sender<Job>,
+    close: bool,
+) -> Action {
     let text = String::from_utf8_lossy(&req.body);
     let body = if req.body.is_empty() {
         Json::obj([])
@@ -589,19 +749,17 @@ fn handle_fit<'scope>(
         match Json::parse(&text) {
             Ok(v) => v,
             Err(e) => {
-                return respond_json(
-                    out,
-                    state,
+                return Action::Respond(Reply::json(
                     "400 Bad Request",
                     err_json(&format!("invalid JSON body: {e}")),
                     close,
-                )
+                ))
             }
         }
     };
-    let mut spec = match parse_fit_spec(&body, state.model_dir.is_some()) {
+    let mut spec = match parse_fit_spec(&body, state.registry.model_dir().is_some()) {
         Ok(s) => s,
-        Err(e) => return respond_json(out, state, "400 Bad Request", err_json(&e), close),
+        Err(e) => return Action::Respond(Reply::json("400 Bad Request", err_json(&e), close)),
     };
     // fit phases, per-column sample spans and the DP budget ledger all
     // land in the server's shared obs sinks
@@ -615,329 +773,107 @@ fn handle_fit<'scope>(
         })
         .is_ok();
     if !claimed {
-        return respond_json(
-            out,
-            state,
+        return Action::Respond(Reply::json(
             "429 Too Many Requests",
             err_json(&format!(
                 "{MAX_CONCURRENT_FITS} fit jobs already training; retry shortly"
             )),
             close,
-        );
+        ));
     }
 
-    let id = state.next_id.fetch_add(1, Ordering::Relaxed);
-    let entry = Arc::new(ModelEntry {
-        id,
-        state: Mutex::new(ModelState::Fitting),
-    });
-    state.models.lock().unwrap().insert(id, entry.clone());
+    let slot = state.registry.create_fitting();
+    let id = slot.id;
     state.metrics.fits_started.fetch_add(1, Ordering::Relaxed);
-
-    let job_state = Arc::clone(state);
-    scope.spawn(move || fit_job(job_state, entry, spec));
+    let _ = jobs.send(Job::Fit { slot, spec });
 
     let body = Json::obj([
         ("model_id", Json::Num(id as f64)),
         ("status", Json::Str("fitting".into())),
         ("poll", Json::Str(format!("/models/{id}"))),
     ]);
-    respond_json(out, state, "202 Accepted", body, close)
+    Action::Respond(Reply::json("202 Accepted", body, close))
 }
 
-/// The async fit job: the only code path that touches private data. A
-/// panic inside the pipeline (e.g. an infeasible budget) marks the model
-/// `failed` instead of taking a worker down.
-fn fit_job(state: Arc<AppState>, entry: Arc<ModelEntry>, spec: FitSpec) {
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        let d = spec.corpus.generate(spec.rows, spec.data_seed);
-        fit_kamino(&d.schema, &d.instance, &d.dcs, &spec.cfg)
-    }));
-    let new_state = match result {
-        Ok(fitted) => {
-            if spec.persist {
-                if let Some(dir) = &state.model_dir {
-                    let path = dir.join(format!("model-{}.kamino", entry.id));
-                    if let Err(e) = save_fitted(&fitted, &path) {
-                        eprintln!("kamino-serve: snapshot of model {} failed: {e}", entry.id);
-                    }
-                }
-            }
-            state.metrics.fits_done.fetch_add(1, Ordering::Relaxed);
-            ModelState::Ready(Box::new(fitted))
-        }
-        Err(panic) => {
-            let msg = panic
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
-                .unwrap_or_else(|| "fit panicked".into());
-            ModelState::Failed(msg)
-        }
-    };
-    *entry.state.lock().unwrap() = new_state;
-    state.active_fits.fetch_sub(1, Ordering::AcqRel);
-}
-
-fn duration_ms(d: std::time::Duration) -> Json {
-    Json::Num(d.as_secs_f64() * 1e3)
-}
-
-fn epsilon_json(eps: f64) -> Json {
-    if eps.is_finite() {
-        Json::Num(eps)
-    } else {
-        Json::Str("inf".into())
-    }
-}
-
-fn model_info(entry: &ModelEntry) -> Json {
-    let guard = entry.state.lock().unwrap();
-    let mut fields = vec![
-        ("model_id", Json::Num(entry.id as f64)),
-        ("status", Json::Str(guard.name().into())),
-    ];
-    match &*guard {
-        ModelState::Fitting => {}
-        ModelState::Failed(msg) => fields.push(("error", Json::Str(msg.clone()))),
-        ModelState::Ready(f) => {
-            fields.push(("achieved_epsilon", epsilon_json(f.achieved_epsilon())));
-            fields.push(("delta", Json::Num(f.config().budget.delta)));
-            fields.push(("n_input", Json::Num(f.n_input() as f64)));
-            fields.push(("attributes", Json::Num(f.schema().len() as f64)));
-            fields.push(("dcs", Json::Num(f.dcs().len() as f64)));
-            fields.push(("shards", Json::Num(f.config().shards as f64)));
-            fields.push((
-                "sequence",
-                Json::Arr(f.sequence.iter().map(|&i| Json::Num(i as f64)).collect()),
-            ));
-            fields.push((
-                "params",
-                Json::obj([
-                    ("sigma_g", Json::Num(f.params.sigma_g)),
-                    ("sigma_d", Json::Num(f.params.sigma_d)),
-                    ("sigma_w", Json::Num(f.params.sigma_w)),
-                    ("iterations", Json::Num(f.params.t as f64)),
-                    ("batch", Json::Num(f.params.b as f64)),
-                    ("clip", Json::Num(f.params.clip)),
-                ]),
-            ));
-            fields.push((
-                "timings_ms",
-                Json::obj([
-                    ("sequencing", duration_ms(f.timings.sequencing)),
-                    ("training", duration_ms(f.timings.training)),
-                    ("dc_weights", duration_ms(f.timings.dc_weights)),
-                    ("sampling", duration_ms(f.timings.sampling)),
-                    ("sample_fill", duration_ms(f.timings.sample_fill)),
-                    ("sample_repair", duration_ms(f.timings.sample_repair)),
-                    ("sample_mcmc", duration_ms(f.timings.sample_mcmc)),
-                ]),
-            ));
-        }
-    }
-    Json::Obj(
-        fields
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
-            .collect(),
-    )
-}
-
-/// Formats a batch as NDJSON: one object per row per line.
-fn ndjson_rows(schema: &Schema, inst: &Instance) -> String {
-    let mut out = String::with_capacity(inst.n_rows() * schema.len() * 16);
-    for i in 0..inst.n_rows() {
-        let obj = Json::Obj(
-            (0..schema.len())
-                .map(|j| {
-                    let attr = schema.attr(j);
-                    let v = match (inst.value(i, j), &attr.kind) {
-                        (Value::Cat(c), AttrKind::Categorical { .. }) => {
-                            Json::Str(attr.label(c).unwrap_or("?").to_string())
-                        }
-                        (Value::Num(x), _) => Json::Num(x),
-                        (Value::Cat(c), _) => Json::Num(c as f64),
-                    };
-                    (attr.name.clone(), v)
-                })
-                .collect(),
-        );
-        out.push_str(&obj.to_string());
-        out.push('\n');
-    }
-    out
-}
-
-fn handle_synthesize(
+fn dispatch_synthesize(
     req: &Request,
-    out: &mut TcpStream,
     state: &Arc<AppState>,
-    entry: &ModelEntry,
+    slot: Arc<ModelSlot>,
     close: bool,
-) -> io::Result<&'static str> {
+) -> Action {
     let n = req.query_usize("n").unwrap_or(100);
     if n == 0 || n > MAX_SYNTH_ROWS {
-        return respond_json(
-            out,
-            state,
+        return Action::Respond(Reply::json(
             "400 Bad Request",
             err_json(&format!("`n` must be in [1, {MAX_SYNTH_ROWS}]")),
             close,
-        );
+        ));
     }
     let batch = req
         .query_usize("batch")
         .unwrap_or(1_000)
         .clamp(1, MAX_BATCH);
-    let format = req.query.get("format").map(String::as_str).unwrap_or("csv");
-    if format != "csv" && format != "json" {
-        return respond_json(
-            out,
-            state,
-            "400 Bad Request",
-            err_json("`format` must be `csv` or `json`"),
-            close,
-        );
-    }
+    let format = match req.query.get("format").map(String::as_str).unwrap_or("csv") {
+        "csv" => Format::Csv,
+        "json" => Format::Json,
+        _ => {
+            return Action::Respond(Reply::json(
+                "400 Bad Request",
+                err_json("`format` must be `csv` or `json`"),
+                close,
+            ))
+        }
+    };
 
-    // refuse early (without holding the lock across the stream) if the
-    // model is not ready; the schema is cloned for header formatting
-    let schema = {
-        let guard = entry.state.lock().unwrap();
+    // refuse early when the model cannot serve; grab cached metadata so
+    // ready models start streaming without waiting on the model mutex
+    let meta = {
+        let guard = slot.status.lock().unwrap();
         match &*guard {
-            ModelState::Ready(f) => f.schema().clone(),
-            ModelState::Fitting => {
-                return respond_json(
-                    out,
-                    state,
+            SlotStatus::Fitting => {
+                return Action::Respond(Reply::json(
                     "409 Conflict",
                     err_json("model is still fitting"),
                     close,
-                )
+                ))
             }
-            ModelState::Failed(msg) => {
-                return respond_json(
-                    out,
-                    state,
+            SlotStatus::Failed(msg) => {
+                return Action::Respond(Reply::json(
                     "409 Conflict",
                     err_json(&format!("model failed to fit: {msg}")),
                     close,
-                )
+                ))
             }
+            other => other.meta(),
         }
     };
-
-    // CSV formatting is kamino_data::csv's — one implementation, same
-    // validation (comma-free labels) as the exporter path
-    let header = if format == "csv" {
-        match kamino_data::csv::header_line(&schema) {
-            Ok(h) => Some(h),
-            Err(e) => {
-                return respond_json(
-                    out,
-                    state,
+    let csv_header = match &meta {
+        Some(m) if format == Format::Csv => {
+            if m.csv_header.is_none() {
+                return Action::Respond(Reply::json(
                     "500 Internal Server Error",
-                    err_json(&format!("schema is not CSV-serializable: {e}")),
+                    err_json("schema is not CSV-serializable"),
                     close,
-                )
+                ));
             }
+            Some(m.csv_header.clone())
         }
-    } else {
-        None
+        // NDJSON needs no header line, but a known schema still lets the
+        // response head go out immediately
+        Some(_) => Some(None),
+        // never loaded since boot: the first worker batch brings the
+        // header, and load errors still get a clean JSON status
+        None => None,
     };
-    let content_type = if format == "csv" {
-        "text/csv"
-    } else {
-        "application/x-ndjson"
-    };
-    start_chunked(out, "200 OK", content_type)?;
-    if let Some(header) = header {
-        write_chunk(out, header.as_bytes())?;
-    }
-    let mut remaining = n;
-    while remaining > 0 {
-        let take = remaining.min(batch);
-        // sample under the model lock (the RNG stream advances), format
-        // and write outside it so concurrent clients interleave batches
-        let inst = {
-            let mut guard = entry.state.lock().unwrap();
-            match &mut *guard {
-                ModelState::Ready(f) => f.sample(take),
-                // a model cannot leave `Ready` today, but stay defensive
-                _ => break,
-            }
-        };
-        state.metrics.add_rows(inst.n_rows() as u64);
-        let text = if format == "csv" {
-            match kamino_data::csv::rows_text(&schema, &inst) {
-                Ok(t) => t,
-                // unreachable for rows a fitted model sampled from its own
-                // schema; truncate the stream rather than emit garbage
-                Err(e) => {
-                    eprintln!("kamino-serve: CSV formatting failed mid-stream: {e}");
-                    break;
-                }
-            }
-        } else {
-            ndjson_rows(&schema, &inst)
-        };
-        write_chunk(out, text.as_bytes())?;
-        remaining -= take;
-    }
-    finish_chunked(out)?;
-    Ok("200 OK")
-}
-
-fn handle_snapshot(
-    out: &mut TcpStream,
-    state: &Arc<AppState>,
-    entry: &ModelEntry,
-    close: bool,
-) -> io::Result<&'static str> {
-    let Some(dir) = &state.model_dir else {
-        return respond_json(
-            out,
-            state,
-            "409 Conflict",
-            err_json("server started without --model-dir"),
-            close,
-        );
-    };
-    let path = dir.join(format!("model-{}.kamino", entry.id));
-    // encode under the model lock (memory only), write to disk outside
-    // it — concurrent /synthesize batches stall for the serialization,
-    // not for the disk
-    let bytes = {
-        let guard = entry.state.lock().unwrap();
-        match &*guard {
-            ModelState::Ready(f) => crate::snapshot::encode_fitted(f),
-            _ => {
-                drop(guard);
-                return respond_json(
-                    out,
-                    state,
-                    "409 Conflict",
-                    err_json("model not ready"),
-                    close,
-                );
-            }
-        }
-    };
-    match crate::snapshot::write_snapshot_bytes(&bytes, &path) {
-        Ok(()) => {
-            let body = Json::obj([
-                ("status", Json::Str("saved".into())),
-                ("path", Json::Str(path.display().to_string())),
-            ]);
-            respond_json(out, state, "200 OK", body, close)
-        }
-        Err(e) => respond_json(
-            out,
-            state,
-            "500 Internal Server Error",
-            err_json(&format!("snapshot failed: {e}")),
-            close,
-        ),
-    }
+    let pin = state.registry.pin(&slot);
+    state.registry.touch(&slot);
+    Action::Stream(StreamStart {
+        slot,
+        pin,
+        remaining: n,
+        batch,
+        format,
+        meta_known: csv_header.is_some(),
+        csv_header,
+    })
 }

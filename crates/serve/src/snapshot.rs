@@ -495,6 +495,91 @@ pub fn write_snapshot_bytes(bytes: &[u8], path: &Path) -> Result<(), SnapshotErr
     Ok(())
 }
 
+/// What [`peek_snapshot`] learns from a snapshot's header and section
+/// table without decoding (or even reading) the payload.
+#[derive(Debug, Clone)]
+pub struct SnapshotSummary {
+    /// Container format version.
+    pub version: u32,
+    /// Section ids present, in table order.
+    pub sections: Vec<u32>,
+    /// Total payload bytes the table accounts for.
+    pub payload_len: u64,
+}
+
+/// Validates a snapshot's magic, version and section table by reading
+/// only the file's header — the cheap boot-time registration check for
+/// the lazy model registry. Every section required by
+/// [`decode_fitted`] must be present; payload CRCs are *not* checked
+/// here (that happens on first load).
+pub fn peek_snapshot(path: &Path) -> Result<SnapshotSummary, SnapshotError> {
+    use std::io::Read;
+    let mut f = fs::File::open(path)?;
+    let file_len = f.metadata()?.len();
+    // magic + version + count
+    let mut fixed = [0u8; 16];
+    f.read_exact(&mut fixed)
+        .map_err(|_| SnapshotError::BadMagic)?;
+    let mut r = ByteReader::new(&fixed);
+    let magic = r.raw(8).map_err(|_| SnapshotError::BadMagic)?;
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let count = r.u32()? as usize;
+    if count > 256 {
+        return Err(SnapshotError::BadSectionTable(format!(
+            "{count} sections is beyond any valid snapshot"
+        )));
+    }
+    let mut table = vec![0u8; count * 24];
+    f.read_exact(&mut table)
+        .map_err(|_| SnapshotError::BadSectionTable("truncated section table".into()))?;
+    let mut r = ByteReader::new(&table);
+    let payload_base = 16 + table.len() as u64;
+    let payload_len = file_len.saturating_sub(payload_base);
+    let mut sections = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = r.u32()?;
+        let offset = r.u64()?;
+        let len = r.u64()?;
+        let _crc = r.u32()?;
+        let end = offset.checked_add(len).ok_or_else(|| {
+            SnapshotError::BadSectionTable(format!("section {id} offset overflow"))
+        })?;
+        if end > payload_len {
+            return Err(SnapshotError::BadSectionTable(format!(
+                "section `{}` [{offset}, {end}) exceeds payload of {payload_len} bytes",
+                section_name(id)
+            )));
+        }
+        sections.push(id);
+    }
+    for required in [
+        section::SCHEMA,
+        section::DCS,
+        section::MODEL,
+        section::PARAMS,
+        section::CONFIG,
+        section::SESSION,
+        section::RNG,
+    ] {
+        if !sections.contains(&required) {
+            return Err(SnapshotError::MissingSection {
+                section: section_name(required),
+            });
+        }
+    }
+    Ok(SnapshotSummary {
+        version,
+        sections,
+        payload_len,
+    })
+}
+
 /// Saves a fitted session to `path` (atomically: write to a `.tmp`
 /// sibling, then rename).
 pub fn save_fitted(fitted: &FittedKamino, path: &Path) -> Result<(), SnapshotError> {
@@ -677,6 +762,35 @@ mod tests {
         assert_eq!(loaded.timings.sample_repair, std::time::Duration::ZERO);
         assert_eq!(loaded.timings.sample_mcmc, std::time::Duration::ZERO);
         assert_eq!(live.sample(24), loaded.sample(24));
+    }
+
+    #[test]
+    fn peek_validates_header_without_decoding() {
+        let dir = std::env::temp_dir().join("kamino-serve-test-peek");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.kamino");
+        let fitted = tiny_fitted(9);
+        save_fitted(&fitted, &path).unwrap();
+        let summary = peek_snapshot(&path).unwrap();
+        assert_eq!(summary.version, FORMAT_VERSION);
+        assert!(summary.sections.contains(&section::RNG));
+        assert!(summary.payload_len > 0);
+
+        // bad magic is caught from the first 16 bytes alone
+        let garbage = dir.join("garbage.kamino");
+        std::fs::write(&garbage, b"not a snapshot at all").unwrap();
+        assert!(matches!(
+            peek_snapshot(&garbage),
+            Err(SnapshotError::BadMagic)
+        ));
+
+        // a truncated payload fails the table bounds check
+        let bytes = encode_fitted(&fitted);
+        let cut = dir.join("cut.kamino");
+        std::fs::write(&cut, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(peek_snapshot(&cut).is_err());
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

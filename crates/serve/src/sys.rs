@@ -1,0 +1,13 @@
+//! OS readiness shim: the one seam between the serving event loop and
+//! the kernel.
+//!
+//! All `unsafe` FFI lives in the vendored `epoll` crate (the workspace's
+//! offline stand-in for Linux epoll bindings); this module re-exports
+//! its safe surface so `kamino-serve` keeps `#![forbid(unsafe_code)]`
+//! while the event loop gets level-triggered readiness, caller-chosen
+//! `u64` tokens and a cross-thread [`Waker`]. On non-Linux targets the
+//! shim compiles but [`Poller::new`] returns
+//! [`std::io::ErrorKind::Unsupported`] — [`crate::server::Server::run`]
+//! reports that instead of panicking.
+
+pub use epoll::{Event, Interest, Poller, Waker};

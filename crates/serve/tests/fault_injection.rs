@@ -1,0 +1,425 @@
+//! Fault-injection suite for the serving event loop: torn writes,
+//! premature disconnects mid-stream, oversized heads and bodies,
+//! pipelined keep-alive traffic, slow readers and rapid churn. The
+//! invariant under every fault: the server never panics, never desyncs
+//! a keep-alive connection, answers malformed input with the right
+//! 4xx/5xx, and stays fully live for the next client.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use kamino_serve::{Json, ServeConfig, Server};
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: test\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> (String, String) {
+    let text = String::from_utf8_lossy(raw).into_owned();
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in {text:?}"));
+    let status = head.lines().next().unwrap_or("").to_string();
+    let body = if head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        dechunk(payload)
+    } else {
+        payload.to_string()
+    };
+    (status, body)
+}
+
+fn dechunk(payload: &str) -> String {
+    let mut out = String::new();
+    let mut rest = payload;
+    while let Some((size_line, after)) = rest.split_once("\r\n") {
+        let size = usize::from_str_radix(size_line.trim(), 16).unwrap_or(0);
+        if size == 0 {
+            break;
+        }
+        out.push_str(&after[..size]);
+        rest = after[size..].strip_prefix("\r\n").unwrap_or(&after[size..]);
+    }
+    out
+}
+
+fn json(body: &str) -> Json {
+    Json::parse(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"))
+}
+
+/// The liveness probe run after every fault: the server must still
+/// answer a clean request correctly.
+fn assert_alive(addr: SocketAddr, scenario: &str) {
+    let (status, body) = request(addr, "GET", "/healthz", None);
+    assert!(status.contains("200"), "dead after {scenario}: {status}");
+    assert_eq!(
+        json(&body).get("status").and_then(Json::as_str),
+        Some("ok"),
+        "unhealthy after {scenario}"
+    );
+}
+
+/// Reads one full HTTP response off a keep-alive connection (header +
+/// content-length or chunked body), leaving the stream usable.
+fn read_one_response(stream: &mut TcpStream) -> (String, String) {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    // read the head byte-wise until the blank line
+    while !raw.ends_with(b"\r\n\r\n") {
+        assert_eq!(stream.read(&mut byte).expect("read head"), 1, "eof in head");
+        raw.push(byte[0]);
+        assert!(raw.len() < 64 * 1024, "unterminated head");
+    }
+    let head = String::from_utf8_lossy(&raw).into_owned();
+    let status = head.lines().next().unwrap_or("").to_string();
+    let lower = head.to_ascii_lowercase();
+    if lower.contains("transfer-encoding: chunked") {
+        let mut payload = Vec::new();
+        loop {
+            let mut size_line = Vec::new();
+            while !size_line.ends_with(b"\r\n") {
+                assert_eq!(stream.read(&mut byte).unwrap(), 1, "eof in chunk size");
+                size_line.push(byte[0]);
+            }
+            let size =
+                usize::from_str_radix(String::from_utf8_lossy(&size_line).trim(), 16).unwrap();
+            let mut chunk = vec![0u8; size + 2];
+            stream.read_exact(&mut chunk).expect("read chunk");
+            if size == 0 {
+                break;
+            }
+            payload.extend_from_slice(&chunk[..size]);
+        }
+        (status, String::from_utf8_lossy(&payload).into_owned())
+    } else {
+        let len: usize = lower
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .expect("no content length")
+            .trim()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).expect("read body");
+        (status, String::from_utf8_lossy(&body).into_owned())
+    }
+}
+
+fn boot() -> (SocketAddr, thread::JoinHandle<()>) {
+    let server = Server::bind(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        threads: 4,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn fit_tiny_model(addr: SocketAddr) -> u64 {
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/fit",
+        Some(r#"{"corpus":"adult","rows":100,"epsilon":1.0,"seed":11,"train_scale":0.03}"#),
+    );
+    assert!(status.contains("202"), "{status}: {body}");
+    let id = json(&body).get("model_id").and_then(Json::as_u64).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        let (_, body) = request(addr, "GET", &format!("/models/{id}"), None);
+        match json(&body).get("status").and_then(Json::as_str) {
+            Some("ready") => return id,
+            Some("failed") => panic!("fit failed: {body}"),
+            _ => {
+                assert!(Instant::now() < deadline, "fit did not finish");
+                thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+#[test]
+fn faults_never_kill_or_desync_the_server() {
+    let (addr, handle) = boot();
+    let id = fit_tiny_model(addr);
+
+    // --- torn writes: a request dribbled in byte-sized pieces ---------
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let raw = b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n";
+        for piece in raw.chunks(7) {
+            s.write_all(piece).unwrap();
+            s.flush().unwrap();
+            thread::sleep(Duration::from_millis(5));
+        }
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        let (status, body) = parse_response(&out);
+        assert!(status.contains("200"), "torn write got {status}");
+        assert_eq!(json(&body).get("status").and_then(Json::as_str), Some("ok"));
+    }
+    assert_alive(addr, "torn writes");
+
+    // --- torn write split inside the body ----------------------------
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let body = r#"{"corpus":"nope"}"#;
+        write!(
+            s,
+            "POST /fit HTTP/1.1\r\nhost: t\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .unwrap();
+        let (a, b) = body.as_bytes().split_at(5);
+        s.write_all(a).unwrap();
+        s.flush().unwrap();
+        thread::sleep(Duration::from_millis(20));
+        s.write_all(b).unwrap();
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        let (status, body) = parse_response(&out);
+        assert!(status.contains("400"), "split body got {status}");
+        assert!(body.contains("unknown corpus"));
+    }
+    assert_alive(addr, "split body");
+
+    // --- oversized head: 431, connection closed ----------------------
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n");
+        // dribble far more header bytes than MAX_HEAD without terminating
+        let filler = format!("x-junk: {}\r\n", "a".repeat(1024));
+        for _ in 0..64 {
+            if s.write_all(filler.as_bytes()).is_err() {
+                break; // server already slammed the door — also fine
+            }
+        }
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        let text = String::from_utf8_lossy(&out);
+        assert!(
+            text.starts_with("HTTP/1.1 431"),
+            "oversized head got {:?}",
+            text.lines().next()
+        );
+    }
+    assert_alive(addr, "oversized head");
+
+    // --- oversized body: 413 from the declared length alone ----------
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        s.write_all(b"POST /fit HTTP/1.1\r\nhost: t\r\ncontent-length: 999999999\r\n\r\n")
+            .unwrap();
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        let (status, _) = parse_response(&out);
+        assert!(status.contains("413"), "oversized body got {status}");
+    }
+    assert_alive(addr, "oversized body");
+
+    // --- garbage bytes: 400, not a hang or a crash --------------------
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        s.write_all(b"\x16\x03\x01\x02\x00 not http at all\r\n\r\n")
+            .unwrap();
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        let (status, _) = parse_response(&out);
+        assert!(
+            status.contains("400") || status.contains("505"),
+            "garbage got {status}"
+        );
+    }
+    assert_alive(addr, "garbage bytes");
+
+    // --- pipelined keep-alive: three requests in one write, three
+    // --- responses in order, then a clean reuse of the connection -----
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        let one = "GET /healthz HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\n\r\n";
+        let synth = format!(
+            "POST /models/{id}/synthesize?n=12&batch=5&format=json HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\n\r\n"
+        );
+        s.write_all(format!("{one}{synth}{one}").as_bytes())
+            .unwrap();
+        let (st1, _) = read_one_response(&mut s);
+        let (st2, rows) = read_one_response(&mut s);
+        let (st3, _) = read_one_response(&mut s);
+        assert!(st1.contains("200") && st2.contains("200") && st3.contains("200"));
+        assert_eq!(rows.lines().count(), 12, "pipelined stream desynced");
+        // the same connection still serves a fourth request
+        s.write_all(one.as_bytes()).unwrap();
+        let (st4, _) = read_one_response(&mut s);
+        assert!(st4.contains("200"), "keep-alive connection desynced");
+    }
+    assert_alive(addr, "pipelined keep-alive");
+
+    // --- premature disconnect mid-chunked-response --------------------
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        write!(
+            s,
+            "POST /models/{id}/synthesize?n=100000&batch=200&format=csv HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\n\r\n"
+        )
+        .unwrap();
+        // take a few KB of the stream, then vanish
+        let mut buf = [0u8; 4096];
+        let n = s.read(&mut buf).unwrap();
+        assert!(n > 0, "no stream bytes before disconnect");
+        drop(s);
+    }
+    assert_alive(addr, "mid-stream disconnect");
+
+    // --- half-close mid-stream (FIN while the server streams) ---------
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        write!(
+            s,
+            "POST /models/{id}/synthesize?n=2000&batch=100&format=csv HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\n\r\n"
+        )
+        .unwrap();
+        s.shutdown(Shutdown::Write).unwrap();
+        // the response must still arrive complete
+        let (status, body) = read_one_response(&mut s);
+        assert!(status.contains("200"), "half-close got {status}");
+        assert_eq!(
+            body.lines().count(),
+            2001,
+            "half-close truncated the stream"
+        );
+    }
+    assert_alive(addr, "half-close mid-stream");
+
+    // --- slow reader: drain a stream a few bytes at a time ------------
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        write!(
+            s,
+            "POST /models/{id}/synthesize?n=300&batch=50&format=csv HTTP/1.1\r\nhost: t\r\nconnection: close\r\ncontent-length: 0\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = Vec::new();
+        let mut buf = [0u8; 512];
+        loop {
+            match s.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    raw.extend_from_slice(&buf[..n]);
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => panic!("slow read failed: {e}"),
+            }
+        }
+        let (status, body) = parse_response(&raw);
+        assert!(status.contains("200"), "slow reader got {status}");
+        assert_eq!(body.lines().count(), 301, "slow reader lost rows");
+    }
+    assert_alive(addr, "slow reader");
+
+    // --- rapid connect/disconnect churn -------------------------------
+    for _ in 0..50 {
+        let s = TcpStream::connect(addr).unwrap();
+        drop(s);
+    }
+    {
+        // and churn with partial requests in flight
+        for _ in 0..20 {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let _ = s.write_all(b"POST /fit HTTP/1.1\r\nhost:");
+            drop(s);
+        }
+    }
+    assert_alive(addr, "connect/disconnect churn");
+
+    // the full fault gauntlet never killed a worker or the loop: a last
+    // real synthesize still produces exact rows
+    let (status, body) = request(
+        addr,
+        "POST",
+        &format!("/models/{id}/synthesize?n=25&batch=10&format=json"),
+        None,
+    );
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body.lines().count(), 25);
+
+    let (status, _) = request(addr, "POST", "/shutdown", None);
+    assert!(status.contains("200"), "{status}");
+    handle.join().expect("server thread panicked");
+}
+
+/// Regression: `POST /shutdown` while a chunked `/synthesize` response
+/// is in flight must drain that response to completion — full row count
+/// and a proper terminating chunk — before the server exits.
+#[test]
+fn shutdown_drains_in_flight_chunked_streams() {
+    let (addr, handle) = boot();
+    let id = fit_tiny_model(addr);
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    write!(
+        s,
+        "POST /models/{id}/synthesize?n=3000&batch=250&format=csv HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\n\r\n"
+    )
+    .unwrap();
+    // make sure the stream has started before shutting down
+    let mut first = [0u8; 256];
+    let n = s.read(&mut first).unwrap();
+    assert!(n > 0);
+
+    let (status, _) = request(addr, "POST", "/shutdown", None);
+    assert!(status.contains("200"), "{status}");
+
+    // keep reading: the stream must terminate cleanly, not get cut
+    let mut raw = first[..n].to_vec();
+    let mut buf = [0u8; 4096];
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+            Err(e) => panic!("stream died during drain: {e}"),
+        }
+    }
+    let (status, body) = parse_response(&raw);
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(
+        body.lines().count(),
+        3001,
+        "shutdown truncated an in-flight stream"
+    );
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.ends_with("0\r\n\r\n"),
+        "stream is missing its terminating chunk"
+    );
+
+    handle.join().expect("server thread panicked");
+}

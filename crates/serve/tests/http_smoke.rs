@@ -220,6 +220,86 @@ fn fit_synthesize_concurrent_clients_and_clean_shutdown() {
     shutdown(addr, handle);
 }
 
+/// Reads a single-sample Prometheus series (exact line-prefix match).
+fn metric(body: &str, series: &str) -> Option<f64> {
+    body.lines()
+        .find_map(|l| l.strip_prefix(series))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+#[test]
+fn pooled_path_serves_aligned_traffic_and_exports_gauges() {
+    let server = Server::bind(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        threads: 4,
+        max_models: 2,
+        pool_batches: 3,
+        pool_rows: 20,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run().expect("server run"));
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/fit",
+        Some(r#"{"corpus":"adult","rows":100,"epsilon":1.0,"seed":9,"train_scale":0.03}"#),
+    );
+    assert!(status.contains("202"), "{status}: {body}");
+    let id = json(&body).get("model_id").and_then(Json::as_u64).unwrap();
+    wait_ready(addr, id);
+
+    // aligned traffic: batch == --pool-rows, so serving triggers refills
+    // and later chunks are served from the speculation ring
+    let (status, body) = request(
+        addr,
+        "POST",
+        &format!("/models/{id}/synthesize?n=100&batch=20&format=csv"),
+        None,
+    );
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body.lines().count(), 101, "header + 100 rows");
+
+    // background refills land asynchronously; wait for the ring to show
+    // depth, then drain it with more aligned traffic
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, body) = request(addr, "GET", "/metrics", None);
+        let depth = metric(&body, &format!("kamino_pool_depth{{model=\"{id}\"}} "));
+        if depth.unwrap_or(0.0) > 0.0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "pool never refilled: {body}");
+        thread::sleep(Duration::from_millis(50));
+    }
+    let (status, body) = request(
+        addr,
+        "POST",
+        &format!("/models/{id}/synthesize?n=40&batch=20&format=csv"),
+        None,
+    );
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body.lines().count(), 41);
+
+    // pool and LRU telemetry is on /metrics
+    let (status, body) = request(addr, "GET", "/metrics", None);
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("# TYPE kamino_pool_depth gauge"), "{body}");
+    assert!(
+        metric(&body, "kamino_pool_hits_total").unwrap_or(0.0) >= 1.0,
+        "aligned traffic never hit the pool: {body}"
+    );
+    assert_eq!(metric(&body, "kamino_resident_models"), Some(1.0));
+    assert_eq!(metric(&body, "kamino_max_resident_models"), Some(2.0));
+    assert_eq!(metric(&body, "kamino_model_evictions_total"), Some(0.0));
+    assert!(metric(&body, "kamino_pool_misses_total").is_some());
+    assert!(metric(&body, "kamino_model_loads_total").is_some());
+
+    shutdown(addr, handle);
+}
+
 #[test]
 fn model_dir_persists_models_across_restarts() {
     let dir = std::env::temp_dir().join(format!(
@@ -244,9 +324,18 @@ fn model_dir_persists_models_across_restarts() {
     shutdown(addr, handle);
     assert!(dir.join(format!("model-{id}.kamino")).is_file());
 
-    // second server: the snapshot is loaded at boot and serves rows at
-    // the original ε without re-fitting
+    // second server: the snapshot is registered at boot without being
+    // decoded — the slot reports `unloaded` until a request touches it
     let (addr, handle) = boot(Some(dir.clone()));
+    let (status, body) = request(addr, "GET", "/models/1", None);
+    assert!(status.contains("200"), "{status}: {body}");
+    let info = json(&body);
+    assert_eq!(info.get("status").and_then(Json::as_str), Some("unloaded"));
+    // first synthesize lazily loads the model and serves rows at the
+    // original ε without re-fitting
+    let (status, body) = request(addr, "POST", "/models/1/synthesize?n=25&batch=25", None);
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body.lines().count(), 26);
     let (status, body) = request(addr, "GET", "/models/1", None);
     assert!(status.contains("200"), "{status}: {body}");
     let info = json(&body);
@@ -255,9 +344,6 @@ fn model_dir_persists_models_across_restarts() {
         info.get("achieved_epsilon").and_then(Json::as_f64),
         Some(eps)
     );
-    let (status, body) = request(addr, "POST", "/models/1/synthesize?n=25&batch=25", None);
-    assert!(status.contains("200"), "{status}");
-    assert_eq!(body.lines().count(), 26);
 
     // ids stay stable across restarts: a new fit must take the next free
     // id, never re-using (and overwriting the snapshot of) model 1

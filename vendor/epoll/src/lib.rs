@@ -1,0 +1,417 @@
+//! Minimal safe bindings over the Linux `epoll` readiness API, vendored
+//! in the style of the other offline stand-ins (see `vendor/README.md`).
+//!
+//! This crate is the **only** place in the workspace that talks to the
+//! kernel directly: `kamino-serve` keeps its `#![forbid(unsafe_code)]`
+//! header and consumes the safe [`Poller`]/[`Waker`] surface exposed
+//! here. The API subset is exactly what a single-threaded, level-
+//! triggered event loop needs:
+//!
+//! * [`Poller`] — `epoll_create1` / `epoll_ctl` / `epoll_wait` behind
+//!   add/modify/delete/wait methods keyed by caller-chosen `u64` tokens.
+//! * [`Waker`] — an `eventfd` registered with the poller so worker
+//!   threads can interrupt a blocked [`Poller::wait`] from outside.
+//! * [`Interest`] — readable/writable subscription flags. All
+//!   registrations are level-triggered: readiness is re-reported until
+//!   the condition is drained, which keeps state machines simple.
+//!
+//! Non-Linux targets compile but every constructor returns
+//! [`std::io::ErrorKind::Unsupported`]; the serving event loop is a
+//! Linux deployment feature and tests gate on it.
+
+#![warn(missing_docs)]
+
+/// What readiness a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Subscribe to readability only.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Subscribe to writability only.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Subscribe to both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd has bytes to read (or a pending hangup to observe).
+    pub readable: bool,
+    /// The fd accepts writes.
+    pub writable: bool,
+    /// Error or hangup condition (`EPOLLERR`/`EPOLLHUP`/`EPOLLRDHUP`);
+    /// the connection should be torn down after draining.
+    pub hangup: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::{AsRawFd, RawFd};
+
+    #[allow(non_camel_case_types)]
+    type c_int = i32;
+    #[allow(non_camel_case_types)]
+    type c_uint = u32;
+
+    // the kernel packs epoll_event on x86-64 (and only there)
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EFD_CLOEXEC: c_int = 0o2000000;
+    const EFD_NONBLOCK: c_int = 0o4000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    /// An epoll instance plus a scratch event buffer.
+    pub struct Poller {
+        epfd: RawFd,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        /// Creates a fresh epoll instance (`EPOLL_CLOEXEC`).
+        pub fn new() -> io::Result<Poller> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 256],
+            })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events,
+                data: token,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        /// Registers `fd` under `token` (level-triggered).
+        pub fn add(&self, fd: &impl AsRawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd.as_raw_fd(), mask(interest), token)
+        }
+
+        /// Re-arms an existing registration with a new interest set.
+        pub fn modify(&self, fd: &impl AsRawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd.as_raw_fd(), mask(interest), token)
+        }
+
+        /// Removes `fd` from the poller.
+        pub fn delete(&self, fd: &impl AsRawFd) -> io::Result<()> {
+            // the event argument is ignored for DEL on modern kernels but
+            // must be non-null on pre-2.6.9 ones; pass a real struct
+            self.ctl(EPOLL_CTL_DEL, fd.as_raw_fd(), 0, 0)
+        }
+
+        /// Blocks up to `timeout_ms` (`-1` = forever, `0` = poll) and
+        /// fills `out` with the ready registrations. `EINTR` retries.
+        pub fn wait(&mut self, timeout_ms: i32, out: &mut Vec<Event>) -> io::Result<()> {
+            out.clear();
+            let n = loop {
+                let r = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as c_int,
+                        timeout_ms,
+                    )
+                };
+                if r >= 0 {
+                    break r as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for i in 0..n {
+                // copy out of the (possibly packed) kernel struct before
+                // touching fields
+                let ev: EpollEvent = self.buf[i];
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+
+    /// An eventfd usable to interrupt `Poller::wait` from other threads.
+    pub struct Waker {
+        fd: RawFd,
+    }
+
+    // an eventfd write/read is an atomic kernel operation
+    unsafe impl Send for Waker {}
+    unsafe impl Sync for Waker {}
+
+    impl Waker {
+        /// Creates a nonblocking eventfd.
+        pub fn new() -> io::Result<Waker> {
+            let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+            Ok(Waker { fd })
+        }
+
+        /// Signals the poller; safe from any thread, never blocks.
+        pub fn wake(&self) {
+            let one: u64 = 1;
+            // a full counter (EAGAIN) already guarantees a pending wakeup
+            let _ = unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+        }
+
+        /// Clears a pending wakeup so `wait` stops reporting it.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            // nonblocking: EAGAIN means already drained
+            let _ = unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+        }
+    }
+
+    impl AsRawFd for Waker {
+        fn as_raw_fd(&self) -> RawFd {
+            self.fd
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.fd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "the kamino epoll shim only supports Linux",
+        ))
+    }
+
+    /// Stub poller for non-Linux targets: compiles, errors at runtime.
+    pub struct Poller;
+
+    impl Poller {
+        /// Always fails off-Linux.
+        pub fn new() -> io::Result<Poller> {
+            unsupported()
+        }
+        /// Always fails off-Linux.
+        pub fn add<T>(&self, _fd: &T, _token: u64, _interest: Interest) -> io::Result<()> {
+            unsupported()
+        }
+        /// Always fails off-Linux.
+        pub fn modify<T>(&self, _fd: &T, _token: u64, _interest: Interest) -> io::Result<()> {
+            unsupported()
+        }
+        /// Always fails off-Linux.
+        pub fn delete<T>(&self, _fd: &T) -> io::Result<()> {
+            unsupported()
+        }
+        /// Always fails off-Linux.
+        pub fn wait(&mut self, _timeout_ms: i32, _out: &mut Vec<Event>) -> io::Result<()> {
+            unsupported()
+        }
+    }
+
+    /// Stub waker for non-Linux targets.
+    pub struct Waker;
+
+    impl Waker {
+        /// Always fails off-Linux.
+        pub fn new() -> io::Result<Waker> {
+            unsupported()
+        }
+        /// No-op off-Linux.
+        pub fn wake(&self) {}
+        /// No-op off-Linux.
+        pub fn drain(&self) {}
+    }
+}
+
+pub use imp::{Poller, Waker};
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn listener_accept_readiness() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(&listener, 7, Interest::READABLE).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(0, &mut events).unwrap();
+        assert!(events.is_empty(), "no connection pending yet");
+
+        let _client = TcpStream::connect(addr).unwrap();
+        poller.wait(2_000, &mut events).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+        assert!(listener.accept().is_ok());
+    }
+
+    #[test]
+    fn stream_read_write_readiness_and_level_trigger() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller.add(&server, 1, Interest::BOTH).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(1_000, &mut events).unwrap();
+        let ev = events.iter().find(|e| e.token == 1).expect("event");
+        assert!(
+            ev.writable && !ev.readable,
+            "fresh socket is write-ready only"
+        );
+
+        client.write_all(b"ping").unwrap();
+        poller.wait(2_000, &mut events).unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+        // level-triggered: unread bytes keep reporting readable
+        poller.wait(2_000, &mut events).unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+
+        let mut buf = [0u8; 4];
+        let mut s = &server;
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+
+        // interest can be narrowed after registration
+        poller.modify(&server, 1, Interest::READABLE).unwrap();
+        poller.wait(0, &mut events).unwrap();
+        assert!(!events.iter().any(|e| e.token == 1 && e.writable));
+
+        poller.delete(&server).unwrap();
+        client.write_all(b"more").unwrap();
+        poller.wait(100, &mut events).unwrap();
+        assert!(events.is_empty(), "deleted fds report nothing");
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(&server, 3, Interest::READABLE).unwrap();
+        drop(client);
+        let mut events = Vec::new();
+        poller.wait(2_000, &mut events).unwrap();
+        let ev = events.iter().find(|e| e.token == 3).expect("event");
+        assert!(ev.hangup, "peer close must surface as hangup");
+    }
+
+    #[test]
+    fn waker_interrupts_wait_and_drains() {
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        let mut poller = Poller::new().unwrap();
+        poller.add(waker.as_ref(), 99, Interest::READABLE).unwrap();
+
+        let w = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || w.wake());
+        let mut events = Vec::new();
+        poller.wait(5_000, &mut events).unwrap();
+        assert!(events.iter().any(|e| e.token == 99 && e.readable));
+        handle.join().unwrap();
+
+        waker.drain();
+        poller.wait(0, &mut events).unwrap();
+        assert!(events.is_empty(), "drained waker is quiet");
+    }
+}
