@@ -1,0 +1,103 @@
+//! `kamino-chaos` — crash-recovery chaos driver for `kamino-serve`.
+//!
+//! ```text
+//! kamino-chaos --server-bin PATH [--work-dir DIR] [--out FILE]
+//! ```
+//!
+//! Spawns the given server binary, kills it at injected fault points
+//! (mid-fit, mid-ledger-append, mid-snapshot-rename, full disk),
+//! restarts it over the same model directory and checks the recovery
+//! invariants. The report (`--out`, default stdout) contains only
+//! scenario/check names and booleans — no timings, no paths — so two
+//! runs of the same build produce byte-identical documents; CI runs the
+//! harness twice and diffs them.
+//!
+//! Exits 0 when every scenario passes, 1 otherwise.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use kamino_bench::chaos::{self, ChaosConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: kamino-chaos --server-bin PATH [--work-dir DIR] [--out FILE]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut server_bin: Option<PathBuf> = None;
+    let mut work_dir = std::env::temp_dir().join(format!("kamino-chaos-{}", std::process::id()));
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--server-bin" => server_bin = Some(PathBuf::from(value("--server-bin"))),
+            "--work-dir" => work_dir = PathBuf::from(value("--work-dir")),
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    let Some(server_bin) = server_bin else {
+        eprintln!("--server-bin is required");
+        usage();
+    };
+    if !server_bin.is_file() {
+        eprintln!("kamino-chaos: {} is not a file", server_bin.display());
+        return ExitCode::FAILURE;
+    }
+    std::fs::create_dir_all(&work_dir).expect("create work dir");
+
+    let cfg = ChaosConfig {
+        server_bin,
+        work_dir: work_dir.clone(),
+    };
+    let reports = chaos::run_all(&cfg);
+    for r in &reports {
+        let failed: Vec<&str> = r
+            .checks
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| c.name)
+            .collect();
+        if failed.is_empty() {
+            println!(
+                "kamino-chaos: {:<26} pass ({} checks)",
+                r.scenario,
+                r.checks.len()
+            );
+        } else {
+            println!(
+                "kamino-chaos: {:<26} FAIL ({})",
+                r.scenario,
+                failed.join(", ")
+            );
+        }
+    }
+    let doc = chaos::render_json(&reports);
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("kamino-chaos: writing {} failed: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("kamino-chaos: wrote {}", path.display());
+        }
+        None => print!("{doc}"),
+    }
+    let _ = std::fs::remove_dir_all(&work_dir);
+    if reports.iter().all(|r| r.pass()) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -32,6 +32,14 @@
 //! the monotonic obs clock frames the sustained-RPS window. All
 //! wall-clock-dependent values live under `"timing"` keys so CI can
 //! assert the rest of the document byte-identical across runs.
+//!
+//! Overload replies are retried, not fatal: a 429 (queue shed) or 503
+//! (deadline expired) backs off on a deterministic, jitter-free
+//! exponential schedule — `25ms · 2^attempt`, capped at 800ms, floored
+//! by the server's `Retry-After` — and the per-scenario retry counts are
+//! reported as the non-timing `retries_429`/`retries_503` keys (both 0
+//! when the server is run without `--max-queue`/`--request-timeout`, as
+//! here, keeping the document byte-stable).
 
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -55,6 +63,12 @@ const THREADS: usize = 4;
 const POOL_BATCHES: usize = 32;
 /// Rows per speculated batch — the pool's fixed draw granularity.
 const POOL_ROWS: usize = 10;
+/// First backoff delay after a 429/503 reply.
+const BACKOFF_BASE_MS: u64 = 25;
+/// Backoff ceiling (the server's `Retry-After` may still exceed it).
+const BACKOFF_CAP_MS: u64 = 800;
+/// Retries per request before the run is declared stuck.
+const BACKOFF_MAX_ATTEMPTS: u32 = 10;
 
 /// Knobs that differ between `--fast` (CI smoke) and the full run.
 struct LoadCfg {
@@ -173,12 +187,73 @@ fn warm_pool(addr: SocketAddr, id: u64) {
     }
 }
 
+/// Per-client overload retry counters (summed into the scenario report).
+#[derive(Default)]
+struct ClientStats {
+    retries_429: u64,
+    retries_503: u64,
+}
+
+/// Deterministic, jitter-free exponential backoff for shed (429) and
+/// deadline (503) replies: `25ms · 2^attempt` capped at 800ms, floored
+/// by the server's `Retry-After`. No randomness — replaying a run
+/// replays its exact retry timeline.
+fn backoff_delay(attempt: u32, retry_after_secs: Option<u64>) -> Duration {
+    let ms = BACKOFF_BASE_MS
+        .saturating_mul(1 << attempt.min(5))
+        .min(BACKOFF_CAP_MS);
+    Duration::from_millis(ms.max(retry_after_secs.unwrap_or(0).saturating_mul(1000)))
+}
+
+/// Offset just past the head's blank line, once it has fully arrived.
+fn head_end(raw: &[u8]) -> Option<usize> {
+    raw.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Reads one full HTTP response: chunked bodies to their terminating
+/// chunk (a deadline trailer also terminates), otherwise to the declared
+/// `Content-Length`. CSV payloads contain no CR, so the chunked framing
+/// terminators are unambiguous.
+fn read_full_response(stream: &mut TcpStream, buf: &mut [u8]) -> Vec<u8> {
+    let mut raw = Vec::new();
+    loop {
+        if let Some(end) = head_end(&raw) {
+            let head = String::from_utf8_lossy(&raw[..end]).to_ascii_lowercase();
+            let done = if head.contains("transfer-encoding: chunked") {
+                raw.ends_with(b"\r\n0\r\n\r\n") || raw.ends_with(b"deadline-expired\r\n\r\n")
+            } else {
+                let len: usize = head
+                    .lines()
+                    .find_map(|l| l.strip_prefix("content-length: "))
+                    .expect("no content length")
+                    .trim()
+                    .parse()
+                    .expect("bad content length");
+                raw.len() >= end + len
+            };
+            if done {
+                return raw;
+            }
+        }
+        let n = stream.read(buf).expect("read response");
+        assert!(n > 0, "server closed mid-response");
+        raw.extend_from_slice(&buf[..n]);
+    }
+}
+
 /// One keep-alive client: `requests` back-to-back `/synthesize` streams on
 /// a single connection. `batch = None` requests the whole stream as one
 /// draw (pre-pool semantics); `Some(b)` streams aligned `b`-row chunks.
-/// Returns the raw bytes of the first response so the caller can validate
-/// row counts once.
-fn client_loop(addr: SocketAddr, id: u64, batch: Option<usize>, cfg: &LoadCfg) -> Vec<u8> {
+/// Overloaded replies (429/503, or a stream cut by a deadline trailer)
+/// back off deterministically and retry. Returns the raw bytes of the
+/// first response so the caller can validate row counts once, plus the
+/// retry counters.
+fn client_loop(
+    addr: SocketAddr,
+    id: u64,
+    batch: Option<usize>,
+    cfg: &LoadCfg,
+) -> (Vec<u8>, ClientStats) {
     let mut stream = TcpStream::connect(addr).expect("client connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(120)))
@@ -188,24 +263,55 @@ fn client_loop(addr: SocketAddr, id: u64, batch: Option<usize>, cfg: &LoadCfg) -
         "POST /models/{id}/synthesize?n={n}&batch={batch}&format=csv HTTP/1.1\r\nhost: loadgen\r\ncontent-length: 0\r\n\r\n",
         n = cfg.rows_per_request
     );
+    let mut stats = ClientStats::default();
     let mut first = Vec::new();
     let mut buf = vec![0u8; 64 * 1024];
     for i in 0..cfg.requests_per_client {
-        stream.write_all(req.as_bytes()).expect("write request");
-        // the response is chunked; CSV payloads contain no CR, so the
-        // framing-only terminator `\r\n0\r\n\r\n` is unambiguous
-        let mut raw = Vec::new();
-        while !raw.ends_with(b"\r\n0\r\n\r\n") {
-            let n = stream.read(&mut buf).expect("read response");
-            assert!(n > 0, "server closed mid-response");
-            raw.extend_from_slice(&buf[..n]);
-        }
-        assert!(raw.starts_with(b"HTTP/1.1 200"), "non-200 under load");
+        let mut attempt = 0u32;
+        let raw = loop {
+            stream.write_all(req.as_bytes()).expect("write request");
+            let raw = read_full_response(&mut stream, &mut buf);
+            let expired =
+                raw.starts_with(b"HTTP/1.1 200") && raw.ends_with(b"deadline-expired\r\n\r\n");
+            if raw.starts_with(b"HTTP/1.1 200") && !expired {
+                break raw;
+            }
+            let end = head_end(&raw).unwrap_or(raw.len());
+            let head = String::from_utf8_lossy(&raw[..end]).to_ascii_lowercase();
+            if raw.starts_with(b"HTTP/1.1 429") {
+                stats.retries_429 += 1;
+            } else if raw.starts_with(b"HTTP/1.1 503") || expired {
+                stats.retries_503 += 1;
+            } else {
+                panic!(
+                    "unexpected reply under load: {}",
+                    head.lines().next().unwrap_or("")
+                );
+            }
+            assert!(
+                attempt < BACKOFF_MAX_ATTEMPTS,
+                "server still shedding after {attempt} retries"
+            );
+            // an expired stream is closed by the server; sheds may also
+            // request a close — either way, reconnect before retrying
+            if expired || head.contains("connection: close") {
+                stream = TcpStream::connect(addr).expect("client reconnect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .unwrap();
+            }
+            let retry_after = head
+                .lines()
+                .find_map(|l| l.strip_prefix("retry-after: "))
+                .and_then(|v| v.trim().parse().ok());
+            thread::sleep(backoff_delay(attempt, retry_after));
+            attempt += 1;
+        };
         if i == 0 {
             first = raw;
         }
     }
-    first
+    (first, stats)
 }
 
 /// Rows in a de-chunked CSV response (excluding the header line).
@@ -237,6 +343,8 @@ struct ScenarioResult {
     pooled: bool,
     requests: usize,
     rows_streamed: usize,
+    retries_429: u64,
+    retries_503: u64,
     secs: f64,
     rps: f64,
     p50_ms: f64,
@@ -284,7 +392,7 @@ fn run_scenario(name: &'static str, pooled: bool, clients: usize, cfg: &LoadCfg)
     let batch = pooled.then_some(POOL_ROWS);
 
     let t0 = clock::now_nanos();
-    let firsts: Vec<Vec<u8>> = thread::scope(|s| {
+    let outcomes: Vec<(Vec<u8>, ClientStats)> = thread::scope(|s| {
         let workers: Vec<_> = (0..clients)
             .map(|_| s.spawn(move || client_loop(addr, id, batch, cfg)))
             .collect();
@@ -295,13 +403,15 @@ fn run_scenario(name: &'static str, pooled: bool, clients: usize, cfg: &LoadCfg)
     });
     let secs = clock::secs_since(t0);
 
-    for first in &firsts {
+    for (first, _) in &outcomes {
         assert_eq!(
             response_rows(first),
             cfg.rows_per_request,
             "{name}: short stream"
         );
     }
+    let retries_429 = outcomes.iter().map(|(_, s)| s.retries_429).sum();
+    let retries_503 = outcomes.iter().map(|(_, s)| s.retries_503).sum();
     let requests = clients * cfg.requests_per_client;
     let (p50_ms, p99_ms) = latency_quantiles(&obs, requests as u64, name);
 
@@ -322,6 +432,8 @@ fn run_scenario(name: &'static str, pooled: bool, clients: usize, cfg: &LoadCfg)
         pooled,
         requests,
         rows_streamed: requests * cfg.rows_per_request,
+        retries_429,
+        retries_503,
         secs,
         rps: requests as f64 / secs,
         p50_ms,
@@ -367,7 +479,7 @@ fn run_threaded_baseline(cfg: &LoadCfg) -> ScenarioResult {
     };
 
     let t0 = clock::now_nanos();
-    let firsts: Vec<Vec<u8>> = thread::scope(|s| {
+    let outcomes: Vec<(Vec<u8>, ClientStats)> = thread::scope(|s| {
         let workers: Vec<_> = (0..1)
             .map(|_| s.spawn(|| client_loop(addr, 1, None, cfg)))
             .collect();
@@ -377,7 +489,7 @@ fn run_threaded_baseline(cfg: &LoadCfg) -> ScenarioResult {
             .collect()
     });
     let secs = clock::secs_since(t0);
-    for first in &firsts {
+    for (first, _) in &outcomes {
         assert_eq!(
             response_rows(first),
             cfg.rows_per_request,
@@ -397,6 +509,8 @@ fn run_threaded_baseline(cfg: &LoadCfg) -> ScenarioResult {
         pooled: false,
         requests,
         rows_streamed: requests * cfg.rows_per_request,
+        retries_429: outcomes.iter().map(|(_, s)| s.retries_429).sum(),
+        retries_503: outcomes.iter().map(|(_, s)| s.retries_503).sum(),
         secs,
         rps: requests as f64 / secs,
         p50_ms,
@@ -491,6 +605,9 @@ fn scenario_json(r: &ScenarioResult) -> Json {
         ("pooled", Json::Bool(r.pooled)),
         ("requests", Json::Num(r.requests as f64)),
         ("rows_streamed", Json::Num(r.rows_streamed as f64)),
+        // non-timing: 0 under in-spec load, so byte-stable in CI
+        ("retries_429", Json::Num(r.retries_429 as f64)),
+        ("retries_503", Json::Num(r.retries_503 as f64)),
         (
             "timing",
             Json::obj([
@@ -547,8 +664,9 @@ fn main() -> ExitCode {
     }
     for r in &results {
         println!(
-            "  {:<18} {} client(s): {:.0} rps, p50 {:.2} ms, p99 {:.2} ms, {} pool hits",
-            r.name, r.clients, r.rps, r.p50_ms, r.p99_ms, r.pool_hits
+            "  {:<18} {} client(s): {:.0} rps, p50 {:.2} ms, p99 {:.2} ms, {} pool hits, \
+             {} shed retries, {} deadline retries",
+            r.name, r.clients, r.rps, r.p50_ms, r.p99_ms, r.pool_hits, r.retries_429, r.retries_503
         );
     }
 
@@ -573,6 +691,8 @@ fn main() -> ExitCode {
                 ("pool_batches", Json::Num(POOL_BATCHES as f64)),
                 ("pool_rows", Json::Num(POOL_ROWS as f64)),
                 ("threads", Json::Num(THREADS as f64)),
+                ("backoff_base_ms", Json::Num(BACKOFF_BASE_MS as f64)),
+                ("backoff_cap_ms", Json::Num(BACKOFF_CAP_MS as f64)),
                 ("baseline", Json::Str("threaded_baseline".to_string())),
             ]),
         ),

@@ -1,0 +1,431 @@
+//! Crash-recovery chaos harness: spawns a real `kamino-serve` binary,
+//! kills it at injected fault points (`KAMINO_CHAOS_FAULT`), restarts it
+//! over the same `--model-dir`, and checks the durability invariants —
+//! ledger ε never under-counted, torn tails truncated, stale tmps
+//! quarantined, sample streams resumed bit-exactly, `/healthz` ready.
+//!
+//! The report is deliberately timing-free and path-free: scenario and
+//! check names with pass/fail booleans only, so two runs of the same
+//! build render byte-identical JSON (CI diffs them).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::Duration;
+
+use kamino_obs::clock;
+use kamino_serve::Json;
+
+/// Where the harness finds the server and scratch space.
+pub struct ChaosConfig {
+    /// Path to the `kamino-serve` binary under test.
+    pub server_bin: PathBuf,
+    /// Scratch directory; each scenario gets a fresh subdirectory.
+    pub work_dir: PathBuf,
+}
+
+/// One named invariant check inside a scenario.
+pub struct Check {
+    /// Stable check name (a report key — never includes paths or times).
+    pub name: &'static str,
+    /// Whether the invariant held.
+    pub pass: bool,
+}
+
+/// One scenario's outcome.
+pub struct ScenarioReport {
+    /// Stable scenario name.
+    pub scenario: &'static str,
+    /// The checks, in execution order.
+    pub checks: Vec<Check>,
+}
+
+impl ScenarioReport {
+    /// A scenario passes when every check passed.
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+}
+
+/// A chaos scenario: a name plus the function that exercises it.
+type Scenario = (&'static str, fn(&ChaosConfig, &Path) -> Vec<Check>);
+
+/// Runs every scenario; the report order is fixed.
+pub fn run_all(cfg: &ChaosConfig) -> Vec<ScenarioReport> {
+    let scenarios: [Scenario; 5] = [
+        ("crashed_fit_replay", crashed_fit_replay),
+        ("torn_ledger_append", torn_ledger_append),
+        ("stale_tmp_quarantine", stale_tmp_quarantine),
+        ("stream_resume_bit_exact", stream_resume_bit_exact),
+        ("disk_full_liveness", disk_full_liveness),
+    ];
+    scenarios
+        .into_iter()
+        .map(|(name, run)| {
+            let dir = cfg.work_dir.join(name);
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("create scenario dir");
+            // a scenario that panics (transport error, dead server) is a
+            // deterministic single failed check, not a harness abort
+            let checks = catch_unwind(AssertUnwindSafe(|| run(cfg, &dir))).unwrap_or_else(|_| {
+                vec![Check {
+                    name: "scenario_completed",
+                    pass: false,
+                }]
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+            ScenarioReport {
+                scenario: name,
+                checks,
+            }
+        })
+        .collect()
+}
+
+/// Renders the timing-free report document.
+pub fn render_json(reports: &[ScenarioReport]) -> String {
+    let scenarios: Vec<Json> = reports
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("name", Json::Str(r.scenario.to_string())),
+                ("pass", Json::Bool(r.pass())),
+                (
+                    "checks",
+                    Json::Arr(
+                        r.checks
+                            .iter()
+                            .map(|c| {
+                                Json::obj([
+                                    ("name", Json::Str(c.name.to_string())),
+                                    ("pass", Json::Bool(c.pass)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Json::obj([
+        ("schema_version", Json::Num(1.0)),
+        ("harness", Json::Str("kamino-chaos".to_string())),
+        ("pass", Json::Bool(reports.iter().all(ScenarioReport::pass))),
+        ("scenarios", Json::Arr(scenarios)),
+    ]);
+    format!("{doc}\n")
+}
+
+// ------------------------------------------------------------ scenarios
+
+const FIT_BODY: &str =
+    r#"{"corpus":"adult","rows":100,"epsilon":1.0,"seed":11,"train_scale":0.03,"persist":true}"#;
+
+fn check(name: &'static str, pass: bool) -> Check {
+    Check { name, pass }
+}
+
+/// Abort between the durable `FitIntent` and the fit: after restart the
+/// model is `failed (crashed)` and its ε still counts as spent.
+fn crashed_fit_replay(cfg: &ChaosConfig, dir: &Path) -> Vec<Check> {
+    let mut s = spawn(cfg, dir, &[("KAMINO_CHAOS_FAULT", "fit.after_intent")]);
+    request_lossy(s.addr, "POST", "/fit", Some(FIT_BODY));
+    s.wait_crash();
+
+    let mut s = spawn(cfg, dir, &[]);
+    let mut checks = vec![check("healthz_after_replay", healthy(s.addr))];
+    let (_, body) = request(s.addr, "GET", "/models/1", None);
+    let info = json(&body);
+    checks.push(check(
+        "crashed_fit_is_failed",
+        info.get("status").and_then(Json::as_str) == Some("failed")
+            && info
+                .get("error")
+                .and_then(Json::as_str)
+                .is_some_and(|e| e.contains("crashed")),
+    ));
+    let (_, metrics) = request(s.addr, "GET", "/metrics", None);
+    checks.push(check(
+        "ledger_epsilon_not_forgotten",
+        metric_value(&metrics, "kamino_ledger_epsilon_total") >= 1.0,
+    ));
+    checks.push(check(
+        "ledger_replayed",
+        metric_value(&metrics, "kamino_ledger_replays_total") >= 1.0,
+    ));
+    let next_id = fit_and_wait(s.addr, FIT_BODY);
+    checks.push(check("crashed_id_not_reused", next_id == 2));
+    checks.push(check("clean_shutdown", s.shutdown_clean()));
+    checks
+}
+
+/// Abort halfway through a ledger frame: replay truncates the torn tail,
+/// boots, and never surfaces the never-durable intent.
+fn torn_ledger_append(cfg: &ChaosConfig, dir: &Path) -> Vec<Check> {
+    let mut s = spawn(cfg, dir, &[("KAMINO_CHAOS_FAULT", "ledger.torn_append")]);
+    request_lossy(s.addr, "POST", "/fit", Some(FIT_BODY));
+    s.wait_crash();
+
+    let mut s = spawn(cfg, dir, &[]);
+    let mut checks = vec![check("healthz_after_truncation", healthy(s.addr))];
+    let (_, body) = request(s.addr, "GET", "/models", None);
+    checks.push(check(
+        "torn_intent_not_surfaced",
+        matches!(json(&body), Json::Arr(items) if items.is_empty()),
+    ));
+    let id = fit_and_wait(s.addr, FIT_BODY);
+    checks.push(check("fresh_fit_after_truncation", id == 1));
+    checks.push(check("clean_shutdown", s.shutdown_clean()));
+    checks
+}
+
+/// Abort after the snapshot tmp is written but before the rename: boot
+/// quarantines the stale tmp and keeps the committed fit's ε spent.
+fn stale_tmp_quarantine(cfg: &ChaosConfig, dir: &Path) -> Vec<Check> {
+    let mut s = spawn(cfg, dir, &[("KAMINO_CHAOS_FAULT", "snapshot.pre_rename")]);
+    request_lossy(s.addr, "POST", "/fit", Some(FIT_BODY));
+    s.wait_crash();
+
+    let mut s = spawn(cfg, dir, &[]);
+    let mut checks = vec![check("healthz_after_quarantine", healthy(s.addr))];
+    let quarantined = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".quarantine"))
+        .count();
+    checks.push(check("stale_tmp_quarantined", quarantined == 1));
+    checks.push(check(
+        "half_install_never_visible",
+        !dir.join("model-1.kamino").exists(),
+    ));
+    let (_, metrics) = request(s.addr, "GET", "/metrics", None);
+    checks.push(check(
+        "epsilon_survives_lost_snapshot",
+        metric_value(&metrics, "kamino_ledger_epsilon_total") >= 1.0,
+    ));
+    checks.push(check("clean_shutdown", s.shutdown_clean()));
+    checks
+}
+
+/// SIGKILL with a persisted model: after restart the identical request
+/// must return byte-identical rows.
+fn stream_resume_bit_exact(cfg: &ChaosConfig, dir: &Path) -> Vec<Check> {
+    let mut s = spawn(cfg, dir, &[]);
+    let id = fit_and_wait(s.addr, FIT_BODY);
+    let path = format!("/models/{id}/synthesize?n=60&batch=20&format=csv");
+    let (status, before) = request(s.addr, "POST", &path, None);
+    let mut checks = vec![check("stream_before_kill", status.contains("200"))];
+    s.kill_hard();
+
+    let mut s = spawn(cfg, dir, &[]);
+    checks.push(check("healthz_after_kill", healthy(s.addr)));
+    let (status, after) = request(s.addr, "POST", &path, None);
+    checks.push(check("stream_after_restart", status.contains("200")));
+    checks.push(check("stream_bit_exact", before == after));
+    checks.push(check("clean_shutdown", s.shutdown_clean()));
+    checks
+}
+
+/// A shimmed full disk fails snapshots with a clean 500 but never kills
+/// the server: streams still serve and shutdown stays graceful.
+fn disk_full_liveness(cfg: &ChaosConfig, dir: &Path) -> Vec<Check> {
+    let mut s = spawn(cfg, dir, &[("KAMINO_CHAOS_DISK_FULL", "1")]);
+    let id = fit_and_wait(s.addr, FIT_BODY);
+    let (status, body) = request(s.addr, "POST", &format!("/models/{id}/snapshot"), None);
+    let mut checks = vec![check(
+        "snapshot_fails_cleanly",
+        status.contains("500") && body.contains("disk full"),
+    )];
+    checks.push(check("healthz_on_full_disk", healthy(s.addr)));
+    let (status, rows) = request(
+        s.addr,
+        "POST",
+        &format!("/models/{id}/synthesize?n=10&batch=5&format=json"),
+        None,
+    );
+    checks.push(check(
+        "streams_survive_full_disk",
+        status.contains("200") && rows.lines().count() == 10,
+    ));
+    checks.push(check("clean_shutdown", s.shutdown_clean()));
+    checks
+}
+
+// ----------------------------------------------------------- subprocess
+
+struct ChaosServer {
+    child: Child,
+    addr: SocketAddr,
+}
+
+fn spawn(cfg: &ChaosConfig, dir: &Path, env: &[(&str, &str)]) -> ChaosServer {
+    let mut cmd = Command::new(&cfg.server_bin);
+    cmd.arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--model-dir")
+        .arg(dir)
+        .arg("--threads")
+        .arg("2")
+        .arg("--pool-batches")
+        .arg("0")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().expect("spawn kamino-serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read child stdout");
+        assert!(n > 0, "kamino-serve exited before printing its address");
+        if let Some(rest) = line
+            .trim()
+            .strip_prefix("kamino-serve listening on http://")
+        {
+            break rest.parse().expect("listen address");
+        }
+    };
+    thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    ChaosServer { child, addr }
+}
+
+impl ChaosServer {
+    fn wait_crash(&mut self) {
+        let t0 = clock::now_nanos();
+        loop {
+            if self.child.try_wait().expect("try_wait").is_some() {
+                return;
+            }
+            assert!(clock::secs_since(t0) < 300.0, "child never crashed");
+            thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    fn kill_hard(&mut self) {
+        self.child.kill().expect("kill child");
+        let _ = self.child.wait();
+    }
+
+    fn shutdown_clean(&mut self) -> bool {
+        let (status, _) = request(self.addr, "POST", "/shutdown", None);
+        status.contains("200") && self.child.wait().expect("wait child").success()
+    }
+}
+
+impl Drop for ChaosServer {
+    fn drop(&mut self) {
+        if self.child.try_wait().ok().flatten().is_none() {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+// --------------------------------------------------------------- client
+
+fn send_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<Vec<u8>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(180)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: chaos\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    Ok(raw)
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (String, String) {
+    let raw = send_request(addr, method, path, body).expect("request");
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in {text:?}"));
+    let status = head.lines().next().unwrap_or("").to_string();
+    let body = if head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        dechunk(payload)
+    } else {
+        payload.to_string()
+    };
+    (status, body)
+}
+
+/// A request that may ride into an injected crash: errors are expected.
+fn request_lossy(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) {
+    let _ = send_request(addr, method, path, body);
+}
+
+fn dechunk(payload: &str) -> String {
+    let mut out = String::new();
+    let mut rest = payload;
+    while let Some((size_line, after)) = rest.split_once("\r\n") {
+        let size = usize::from_str_radix(size_line.trim(), 16).unwrap_or(0);
+        if size == 0 {
+            break;
+        }
+        out.push_str(&after[..size]);
+        rest = after[size..].strip_prefix("\r\n").unwrap_or(&after[size..]);
+    }
+    out
+}
+
+fn json(body: &str) -> Json {
+    Json::parse(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"))
+}
+
+fn healthy(addr: SocketAddr) -> bool {
+    let (status, body) = request(addr, "GET", "/healthz", None);
+    status.contains("200") && json(&body).get("status").and_then(Json::as_str) == Some("ok")
+}
+
+fn metric_value(metrics: &str, name: &str) -> f64 {
+    let prefix = format!("{name} ");
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(prefix.as_str()))
+        .unwrap_or("0")
+        .trim()
+        .parse()
+        .unwrap_or(f64::INFINITY)
+}
+
+fn fit_and_wait(addr: SocketAddr, body: &str) -> u64 {
+    let (status, reply) = request(addr, "POST", "/fit", Some(body));
+    assert!(status.contains("202"), "fit rejected: {status} {reply}");
+    let id = json(&reply).get("model_id").and_then(Json::as_u64).unwrap();
+    let t0 = clock::now_nanos();
+    loop {
+        let (_, body) = request(addr, "GET", &format!("/models/{id}"), None);
+        match json(&body).get("status").and_then(Json::as_str) {
+            Some("ready") => return id,
+            Some("failed") => panic!("fit failed: {body}"),
+            _ => {
+                assert!(clock::secs_since(t0) < 300.0, "fit never finished");
+                thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}

@@ -21,6 +21,7 @@ use kamino_data::Instance;
 use kamino_datasets::Dataset;
 use kamino_dp::Budget;
 
+pub mod chaos;
 pub mod repro;
 
 /// Harness sizing knobs (environment-driven).

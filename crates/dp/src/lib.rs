@@ -34,7 +34,9 @@ pub mod snapshot;
 
 pub use mechanisms::{add_gaussian_noise, add_laplace_noise, gaussian_sigma};
 pub use normal::standard_normal;
-pub use planner::{composed_epsilon, mechanism, BudgetPlan, BudgetPlanner, RunShape};
+pub use planner::{
+    composed_epsilon, mechanism, spend_fingerprint, BudgetPlan, BudgetPlanner, RunShape,
+};
 pub use rdp::{
     calibrate_sgm_sigma, conversion_floor, gaussian_rdp, sgm_rdp, try_calibrate_sgm_sigma,
     CalibrationError, RdpAccountant,

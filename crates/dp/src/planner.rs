@@ -90,6 +90,38 @@ pub struct BudgetPlan {
     pub achieved_epsilon: f64,
 }
 
+impl BudgetPlan {
+    /// Stable fingerprint of the executed spend:
+    /// [`spend_fingerprint`] over this plan's σ's and achieved ε.
+    /// Serving's durable ledger stores it in each `FitCommit` so a
+    /// replayed ledger can be cross-checked against the model's
+    /// persisted parameters.
+    pub fn fingerprint(&self) -> u64 {
+        spend_fingerprint(
+            self.sigma_g,
+            self.sigma_d,
+            self.sigma_w,
+            self.achieved_epsilon,
+        )
+    }
+}
+
+/// FNV-1a over the exact bit patterns of a plan's noise multipliers and
+/// achieved ε. Two spends fingerprint equal iff every σ and the
+/// composed ε are bit-identical — the same equality the determinism
+/// contract holds snapshots to, so a fingerprint recorded at commit
+/// time keeps matching the plan reconstructed from a reloaded model.
+pub fn spend_fingerprint(sigma_g: f64, sigma_d: f64, sigma_w: f64, epsilon: f64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in [sigma_g, sigma_d, sigma_w, epsilon] {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// Replays a plan against a fresh accountant: the composed (ε, δ)
 /// conversion of `M1 + M2 + M3` under `plan`'s σ's. This is the round-trip
 /// the planner's guarantee is stated in — tests and the `Synthesizer`
@@ -480,5 +512,24 @@ mod tests {
         assert!(prom.contains("kamino_dp_plans_total 1"));
         assert!(prom.contains("kamino_dp_sigma{mechanism=\"m2_dpsgd\"}"));
         assert!(prom.contains("kamino_dp_epsilon{kind=\"achieved\"}"));
+    }
+
+    #[test]
+    fn spend_fingerprint_separates_plans_bit_exactly() {
+        let a = BudgetPlan {
+            sigma_g: 1.5,
+            sigma_d: 0.9,
+            sigma_w: 0.0,
+            achieved_epsilon: 0.97,
+        };
+        assert_eq!(a.fingerprint(), a.fingerprint());
+        let mut b = a;
+        b.sigma_d = f64::from_bits(a.sigma_d.to_bits() + 1); // one ulp
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            spend_fingerprint(1.5, 0.9, 0.0, 0.97),
+            "method and free function must agree"
+        );
     }
 }

@@ -21,6 +21,7 @@ pub const RULE_IDS: &[&str] = &[
     "panic_in_serve",
     "raw_rng",
     "twin_drift",
+    "unflushed_write",
     "unordered_reduce",
     "wall_clock",
 ];
@@ -59,6 +60,7 @@ pub fn check_file(ctx: &FileCtx) -> Vec<RawFinding> {
     float_fold(ctx, &mut out);
     unordered_reduce(ctx, &mut out);
     panic_in_serve(ctx, &mut out);
+    unflushed_write(ctx, &mut out);
     missing_lint_header(ctx, &mut out);
     out
 }
@@ -322,6 +324,73 @@ fn panic_in_serve(ctx: &FileCtx, out: &mut Vec<RawFinding>) {
                     "`{txt}` on a serving path: a panic tears down the request thread and can poison shared model state",
                 ),
                 hint: "map the error to an HTTP status instead (lock().unwrap() poison propagation is exempt); annotate justified sites with a reason".into(),
+            });
+        }
+    }
+}
+
+/// How many code tokens after a `File::create` the rule scans for a
+/// `sync_all` before declaring the write unflushed. The scan stops early
+/// at the next `fn` so a sync in the following function never gets
+/// credited.
+const SYNC_WINDOW: usize = 80;
+
+/// `unflushed_write`: persistence writes in `kamino-serve` that bypass
+/// the `serve::durable` fsync/rename protocol. `fs::write` has no handle
+/// to sync; a `File::create` with no `sync_all` in the statements that
+/// follow leaves bytes in the page cache that a crash can drop, exactly
+/// the torn-snapshot class the atomic installer exists to prevent.
+fn unflushed_write(ctx: &FileCtx, out: &mut Vec<RawFinding>) {
+    if ctx.crate_name != "serve" || matches!(ctx.kind, FileKind::TestDir | FileKind::Bench) {
+        return;
+    }
+    let n = ctx.code.len();
+    for ci in 0..n {
+        if ctx.is_test_code(ci) {
+            continue;
+        }
+        let path_call = |what: &str| {
+            t(ctx, ci) == what
+                && ci + 3 < n
+                && t(ctx, ci + 1) == "::"
+                && t(ctx, ci + 2) == if what == "fs" { "write" } else { "create" }
+                && t(ctx, ci + 3) == "("
+        };
+        let (hit, message) = if path_call("fs") {
+            (
+                true,
+                "`fs::write` on a serve persistence path: the convenience writer has no handle to fsync, so a crash can drop or tear the file",
+            )
+        } else if path_call("File") {
+            let mut synced = false;
+            let mut j = ci + 4;
+            let end = (ci + SYNC_WINDOW).min(n);
+            while j < end {
+                match t(ctx, j) {
+                    "sync_all" => {
+                        synced = true;
+                        break;
+                    }
+                    "fn" => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            (
+                !synced,
+                "`File::create` on a serve persistence path with no `sync_all` before the function ends: unsynced bytes sit in the page cache a crash can drop",
+            )
+        } else {
+            (false, "")
+        };
+        if hit {
+            let (line, col) = pos(ctx, ci);
+            out.push(RawFinding {
+                rule: "unflushed_write",
+                line,
+                col,
+                message: message.into(),
+                hint: "route the write through serve::durable::write_atomic (write-tmp, fsync, rename, fsync dir), or sync_all the handle; annotate best-effort debug artifacts with a reason".into(),
             });
         }
     }

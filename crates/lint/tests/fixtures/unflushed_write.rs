@@ -1,0 +1,27 @@
+use std::fs::{self, File};
+use std::io::{self, Write};
+
+fn leaky(path: &std::path::Path, bytes: &[u8]) -> io::Result<()> {
+    fs::write(path, bytes)?;
+    let mut f = File::create(path)?;
+    f.write_all(bytes)
+}
+
+fn durable(path: &std::path::Path, bytes: &[u8]) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()
+}
+
+fn debug_dump(path: &std::path::Path, s: &str) {
+    // kamino-lint: allow(unflushed_write) -- best-effort debug artifact, not a durability surface
+    let _ = fs::write(path, s);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_files_are_fine() {
+        let _ = std::fs::write("/tmp/x", b"scratch");
+    }
+}

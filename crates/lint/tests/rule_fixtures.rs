@@ -167,6 +167,34 @@ fn panic_in_serve_only_applies_to_the_serve_crate() {
 }
 
 #[test]
+fn unflushed_write_flags_unsynced_persistence_in_serve_only() {
+    let r = lint_one(
+        "crates/serve/src/unflushed_fixture.rs",
+        "unflushed_write.rs",
+    );
+    // fs::write always; File::create only when no sync_all follows in
+    // the same function; the pragma'd debug dump and the test module are
+    // exempt
+    assert_eq!(
+        triples(&r.findings),
+        vec![("unflushed_write", 5, 5), ("unflushed_write", 6, 17)]
+    );
+    assert_eq!(triples(&r.suppressed), vec![("unflushed_write", 18, 13)]);
+    assert!(r.findings[0].hint.contains("serve::durable::write_atomic"));
+}
+
+#[test]
+fn unflushed_write_is_silent_outside_the_serve_crate() {
+    let r = lint_one("crates/eval/src/unflushed_fixture.rs", "unflushed_write.rs");
+    assert!(triples(&r.findings).is_empty());
+    let r = lint_one(
+        "crates/serve/tests/unflushed_fixture.rs",
+        "unflushed_write.rs",
+    );
+    assert!(triples(&r.findings).is_empty());
+}
+
+#[test]
 fn twin_drift_requires_a_test_or_bench_reference() {
     let defs = FileCtx::new(
         "crates/nn/src/twin_fixture.rs".into(),

@@ -51,6 +51,16 @@ pub enum Event {
         /// What happened.
         name: String,
     },
+    /// The serving layer replayed its durable fit ledger at boot.
+    LedgerReplay {
+        /// Intact records replayed.
+        records: u64,
+        /// Intents with no commit/abort — fits the process died inside.
+        dangling: u64,
+        /// Σ budgeted ε across every intent (∞ when any fit was
+        /// non-private); the durable upper bound on spend.
+        spent_epsilon: f64,
+    },
 }
 
 impl Event {
@@ -61,6 +71,7 @@ impl Event {
             Event::BudgetSpend { .. } => "budget_spend",
             Event::Phase { .. } => "phase",
             Event::Marker { .. } => "marker",
+            Event::LedgerReplay { .. } => "ledger_replay",
         }
     }
 }

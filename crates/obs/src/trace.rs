@@ -69,6 +69,13 @@ fn event_json(r: &EventRecord) -> String {
             format!("\"phase\":\"{}\",\"dur_ns\":{dur_ns}", esc(name))
         }
         Event::Marker { name } => format!("\"marker\":\"{}\"", esc(name)),
+        Event::LedgerReplay {
+            records,
+            dangling,
+            spent_epsilon,
+        } => format!(
+            "\"records\":{records},\"dangling\":{dangling},\"spent_epsilon\":\"{spent_epsilon}\""
+        ),
     };
     format!(
         "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":0,\"s\":\"p\",\"args\":{{\"seq\":{},{detail}}}}}",

@@ -141,12 +141,19 @@ fn finish_inflight(c: &mut Conn, state: &AppState, status: &'static str) {
 
 /// Buffers an immediate response and finishes the request accounting.
 fn send_reply(c: &mut Conn, state: &AppState, reply: Reply) {
-    let _ = http::write_response(
+    let retry_after = reply.retry_after.map(|secs| secs.to_string());
+    let extra: Vec<(&str, &str)> = retry_after
+        .as_deref()
+        .map(|v| ("retry-after", v))
+        .into_iter()
+        .collect();
+    let _ = http::write_response_extra(
         &mut c.write_buf,
         reply.status,
         reply.content_type,
         &reply.body,
         reply.close,
+        &extra,
     );
     c.close_after |= reply.close;
     finish_inflight(c, state, reply.status);
@@ -202,7 +209,10 @@ fn pump(c: &mut Conn, token: u64, state: &Arc<AppState>, jobs: &mpsc::Sender<Job
                                 s.slot
                                     .pool_depth
                                     .store(r.pool.depth() as u64, Ordering::Relaxed);
-                                let refill = r.pool.wants_refill()
+                                // speculation pauses while the worker
+                                // queue is under pressure
+                                let refill = !server::speculation_paused(state)
+                                    && r.pool.wants_refill()
                                     && !s.slot.refill_queued.swap(true, Ordering::AcqRel);
                                 drop(guard);
                                 state.registry.pool_hits.fetch_add(1, Ordering::Relaxed);
@@ -211,9 +221,13 @@ fn pump(c: &mut Conn, token: u64, state: &Arc<AppState>, jobs: &mpsc::Sender<Job
                                 let _ = http::write_chunk(&mut c.write_buf, text.as_bytes());
                                 s.remaining -= take;
                                 if refill {
-                                    let _ = jobs.send(Job::Refill {
-                                        slot: Arc::clone(&s.slot),
-                                    });
+                                    server::send_job(
+                                        state,
+                                        jobs,
+                                        Job::Refill {
+                                            slot: Arc::clone(&s.slot),
+                                        },
+                                    );
                                 }
                                 fast = true;
                             }
@@ -222,14 +236,20 @@ fn pump(c: &mut Conn, token: u64, state: &Arc<AppState>, jobs: &mpsc::Sender<Job
                 }
             }
             if !fast {
-                let _ = jobs.send(Job::Batch {
-                    token,
-                    gen: c.gen,
-                    slot: Arc::clone(&s.slot),
-                    rows: take,
-                    format: s.format,
-                    need_header: !s.head_sent,
-                });
+                // never shed mid-stream: admission control happens in
+                // dispatch; an admitted stream keeps its worker lane
+                server::send_job(
+                    state,
+                    jobs,
+                    Job::Batch {
+                        token,
+                        gen: c.gen,
+                        slot: Arc::clone(&s.slot),
+                        rows: take,
+                        format: s.format,
+                        need_header: !s.head_sent,
+                    },
+                );
                 s.awaiting = true;
                 return;
             }
@@ -275,6 +295,7 @@ fn apply_completion(conns: &mut [Option<Conn>], comp: Completion, state: &Arc<Ap
                     content_type: "application/json",
                     body: err_body(&msg),
                     close: c.close_after,
+                    retry_after: None,
                 },
             };
             send_reply(c, state, reply);
@@ -355,9 +376,63 @@ fn apply_batch(
                     content_type: "application/json",
                     body: err_body(&msg),
                     close,
+                    retry_after: None,
                 },
             );
         }
+    }
+}
+
+/// Enforces the per-request deadline (`--request-timeout`).
+///
+/// A request whose status line has not gone out yet is answered
+/// `503` + `Retry-After`; a chunked stream whose `200` head is already
+/// on the wire is terminated with a well-formed empty chunk carrying a
+/// `kamino-trailer: deadline-expired` trailer, then closed. Either way
+/// the connection's generation is bumped so a late worker completion
+/// addressed to the expired request is dropped, never written into the
+/// next exchange.
+fn expire_deadline(c: &mut Conn, state: &Arc<AppState>, now: u64, next_gen: &mut u64) {
+    let timeout = state.request_timeout_ns;
+    if timeout == 0 {
+        return;
+    }
+    let Some(t0) = c.inflight.as_ref().map(|i| i.t0) else {
+        return;
+    };
+    if now.saturating_sub(t0) <= timeout {
+        return;
+    }
+    let head_sent = match &c.phase {
+        // the response is already buffered; only the socket is slow, and
+        // the write-stall guard owns that case
+        Phase::Idle => return,
+        Phase::AwaitWorker => false,
+        Phase::Streaming(s) => s.head_sent,
+    };
+    c.gen = *next_gen;
+    *next_gen += 1;
+    state
+        .metrics
+        .deadline_expired
+        .fetch_add(1, Ordering::Relaxed);
+    c.phase = Phase::Idle; // drops the stream's pin, if any
+    if head_sent {
+        let _ = http::finish_chunked_with_trailer(
+            &mut c.write_buf,
+            "kamino-trailer",
+            "deadline-expired",
+        );
+        c.close_after = true;
+        finish_inflight(c, state, "200 OK");
+    } else {
+        let reply = Reply::json_retry(
+            "503 Service Unavailable",
+            Json::obj([("error", Json::Str("deadline expired".into()))]),
+            c.close_after,
+            1,
+        );
+        send_reply(c, state, reply);
     }
 }
 
@@ -561,6 +636,7 @@ pub(crate) fn run(
             let Some(c) = conns[idx].as_mut() else {
                 continue;
             };
+            expire_deadline(c, state, now, &mut next_gen);
             serve_buffered(c, token, state, &jobs, draining);
             do_write(c, now);
             if !c.dead && !c.write_buf.is_empty() {

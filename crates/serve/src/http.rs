@@ -296,12 +296,29 @@ pub fn write_response<W: Write>(
     body: &[u8],
     close: bool,
 ) -> io::Result<()> {
+    write_response_extra(w, status, content_type, body, close, &[])
+}
+
+/// [`write_response`] with extra response headers (e.g. `Retry-After`
+/// on `429`/`503`). Header names and values must already be wire-safe.
+pub fn write_response_extra<W: Write>(
+    w: &mut W,
+    status: &str,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+    extra: &[(&str, &str)],
+) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {status}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         body.len(),
         if close { "close" } else { "keep-alive" },
     )?;
+    for (name, value) in extra {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    write!(w, "\r\n")?;
     w.write_all(body)?;
     w.flush()
 }
@@ -329,6 +346,15 @@ pub fn write_chunk<W: Write>(w: &mut W, data: &[u8]) -> io::Result<()> {
 /// Terminates a chunked response.
 pub fn finish_chunked<W: Write>(w: &mut W) -> io::Result<()> {
     write!(w, "0\r\n\r\n")?;
+    w.flush()
+}
+
+/// Terminates a chunked response early with a trailer header — the only
+/// in-band way to tell a client mid-stream that the body is incomplete
+/// (e.g. `kamino-trailer: deadline-expired`). Clients that ignore
+/// trailers still see a well-formed, terminated chunked body.
+pub fn finish_chunked_with_trailer<W: Write>(w: &mut W, name: &str, value: &str) -> io::Result<()> {
+    write!(w, "0\r\n{name}: {value}\r\n\r\n")?;
     w.flush()
 }
 
@@ -482,5 +508,29 @@ mod tests {
         assert!(text.contains("transfer-encoding: chunked"));
         assert!(text.contains("4\r\na,b\n\r\n"));
         assert!(text.ends_with("0\r\n\r\n"));
+    }
+
+    #[test]
+    fn extra_headers_and_trailers_render() {
+        let mut out = Vec::new();
+        write_response_extra(
+            &mut out,
+            "429 Too Many Requests",
+            "application/json",
+            b"{}",
+            false,
+            &[("retry-after", "1")],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nretry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        start_chunked(&mut out, "200 OK", "text/csv").unwrap();
+        write_chunk(&mut out, b"a,b\n").unwrap();
+        finish_chunked_with_trailer(&mut out, "kamino-trailer", "deadline-expired").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.ends_with("0\r\nkamino-trailer: deadline-expired\r\n\r\n"));
     }
 }

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod durable;
 mod event_loop;
 pub mod http;
 pub mod json;

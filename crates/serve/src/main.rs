@@ -4,6 +4,7 @@
 //! ```text
 //! kamino-serve [--listen ADDR] [--model-dir DIR] [--threads N]
 //!              [--max-models N] [--pool-batches N] [--pool-rows N]
+//!              [--request-timeout SECS] [--max-queue N]
 //!              [--trace-out FILE]
 //! ```
 //!
@@ -22,6 +23,13 @@
 //! * `--pool-rows` — rows per pooled batch (default 1000); `/synthesize`
 //!   requests streaming in chunks of exactly this size are served from
 //!   the pool.
+//! * `--request-timeout` — per-request deadline in (possibly fractional)
+//!   seconds. A request that cannot complete in time gets `503` +
+//!   `Retry-After`; a stream already under way is terminated with a
+//!   `kamino-trailer: deadline-expired` trailer (default 0 = off).
+//! * `--max-queue` — bound on queued worker jobs; beyond it new
+//!   `/synthesize` and snapshot work is shed with `429` + `Retry-After`,
+//!   and pool speculation pauses at half the bound (default 0 = off).
 //! * `--trace-out` — on shutdown, write everything the server recorded
 //!   (request spans, fit phases, the DP budget ledger) as a
 //!   chrome://tracing JSON file. The same document is available live via
@@ -37,7 +45,8 @@ use kamino_serve::{ServeConfig, Server};
 fn usage() -> ! {
     eprintln!(
         "usage: kamino-serve [--listen ADDR] [--model-dir DIR] [--threads N] \
-         [--max-models N] [--pool-batches N] [--pool-rows N] [--trace-out FILE]"
+         [--max-models N] [--pool-batches N] [--pool-rows N] \
+         [--request-timeout SECS] [--max-queue N] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -79,6 +88,15 @@ fn parse_args() -> (ServeConfig, Option<PathBuf>) {
                 cfg.pool_batches = parse_count("--pool-batches", value("--pool-batches"))
             }
             "--pool-rows" => cfg.pool_rows = parse_count("--pool-rows", value("--pool-rows")),
+            "--request-timeout" => {
+                let secs: f64 = value("--request-timeout").parse().unwrap_or(-1.0);
+                if !(secs >= 0.0 && secs.is_finite()) {
+                    eprintln!("--request-timeout takes a non-negative number of seconds");
+                    usage();
+                }
+                cfg.request_timeout = std::time::Duration::from_secs_f64(secs);
+            }
+            "--max-queue" => cfg.max_queue = parse_count("--max-queue", value("--max-queue")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -104,6 +122,7 @@ fn main() -> ExitCode {
     println!("kamino-serve listening on http://{}", server.local_addr());
     let outcome = server.run();
     if let Some(path) = &trace_out {
+        // kamino-lint: allow(unflushed_write) -- best-effort debug trace written at exit, not a durability surface
         match std::fs::write(path, obs.chrome_trace_json()) {
             Ok(()) => println!("kamino-serve: trace written to {}", path.display()),
             Err(e) => eprintln!(

@@ -43,6 +43,16 @@ pub struct Metrics {
     pub fits_done: AtomicU64,
     /// Connections currently being served.
     pub open_connections: AtomicU64,
+    /// Requests shed with `429` because the worker queue was full.
+    pub sheds: AtomicU64,
+    /// Requests answered `503` (or streams truncated) by the deadline.
+    pub deadline_expired: AtomicU64,
+    /// `POST /fit` requests rejected by the concurrent-fit cap.
+    pub fit_rejected: AtomicU64,
+    /// Worker jobs queued but not yet picked up.
+    pub queue_depth: AtomicU64,
+    /// 1 while pool speculation is paused under queue pressure.
+    pub speculation_paused: AtomicU64,
     /// Per-second buckets, indexed by `elapsed_sec % WINDOW_SECS`.
     ring: Vec<Bucket>,
 }
@@ -58,6 +68,11 @@ impl Metrics {
             fits_started: AtomicU64::new(0),
             fits_done: AtomicU64::new(0),
             open_connections: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            fit_rejected: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            speculation_paused: AtomicU64::new(0),
             ring: (0..WINDOW_SECS)
                 .map(|_| Bucket {
                     sec: AtomicU64::new(EMPTY),
@@ -167,6 +182,31 @@ impl Metrics {
             "kamino_open_connections",
             self.open_connections.load(Ordering::Relaxed) as f64,
         );
+        counter(
+            &mut out,
+            "kamino_shed_total",
+            self.sheds.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "kamino_deadline_expired_total",
+            self.deadline_expired.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "kamino_fit_rejected_total",
+            self.fit_rejected.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "kamino_queue_depth",
+            self.queue_depth.load(Ordering::Relaxed) as f64,
+        );
+        gauge(
+            &mut out,
+            "kamino_speculation_paused",
+            self.speculation_paused.load(Ordering::Relaxed) as f64,
+        );
         gauge(&mut out, "kamino_open_models", registry.total as f64);
         gauge(&mut out, "kamino_ready_models", registry.resident as f64);
         gauge(&mut out, "kamino_resident_models", registry.resident as f64);
@@ -179,6 +219,26 @@ impl Metrics {
         counter(&mut out, "kamino_model_evictions_total", registry.evictions);
         counter(&mut out, "kamino_pool_hits_total", registry.pool_hits);
         counter(&mut out, "kamino_pool_misses_total", registry.pool_misses);
+        counter(
+            &mut out,
+            "kamino_ledger_replays_total",
+            registry.ledger_replays,
+        );
+        counter(
+            &mut out,
+            "kamino_quarantined_files_total",
+            registry.quarantined,
+        );
+        // the durable upper bound on spent ε; +Inf when any recorded fit
+        // was non-private
+        let eps = if registry.ledger_epsilon.is_infinite() {
+            "+Inf".to_string()
+        } else {
+            format!("{}", registry.ledger_epsilon)
+        };
+        out.push_str(&format!(
+            "# TYPE kamino_ledger_epsilon_total gauge\nkamino_ledger_epsilon_total {eps}\n"
+        ));
         out.push_str("# TYPE kamino_pool_depth gauge\n");
         for (id, depth) in &registry.pool_depths {
             out.push_str(&format!("kamino_pool_depth{{model=\"{id}\"}} {depth}\n"));
@@ -208,6 +268,9 @@ mod tests {
             pool_misses: 4,
             evictions: 1,
             loads: 2,
+            ledger_replays: 1,
+            quarantined: 2,
+            ledger_epsilon: f64::INFINITY,
         }
     }
 
@@ -235,6 +298,14 @@ mod tests {
         assert!(body.contains("kamino_model_evictions_total 1\n"));
         assert!(body.contains("kamino_model_loads_total 2\n"));
         assert!(body.contains("kamino_pool_depth{model=\"1\"} 3\n"));
+        assert!(body.contains("kamino_shed_total 0\n"));
+        assert!(body.contains("kamino_deadline_expired_total 0\n"));
+        assert!(body.contains("kamino_fit_rejected_total 0\n"));
+        assert!(body.contains("kamino_queue_depth 0\n"));
+        assert!(body.contains("kamino_speculation_paused 0\n"));
+        assert!(body.contains("kamino_ledger_replays_total 1\n"));
+        assert!(body.contains("kamino_quarantined_files_total 2\n"));
+        assert!(body.contains("kamino_ledger_epsilon_total +Inf\n"));
     }
 
     #[test]

@@ -38,10 +38,12 @@ use std::sync::{Arc, Mutex};
 
 use kamino_core::FittedKamino;
 use kamino_data::Schema;
+use kamino_obs::{Event, ObsHandle};
 
+use crate::durable::{self, AbortReason, Ledger, LedgerRecord, Manifest};
 use crate::json::Json;
 use crate::pool::{PoolConfig, SamplePool};
-use crate::snapshot::{load_fitted, peek_snapshot, write_snapshot_bytes};
+use crate::snapshot::{load_fitted, peek_snapshot, verify_snapshot, write_snapshot_bytes};
 
 /// A fitted model held in memory together with its sample pool.
 pub struct Resident {
@@ -258,6 +260,14 @@ pub struct RegistryStats {
     pub evictions: u64,
     /// Snapshot loads (boot-lazy or post-eviction).
     pub loads: u64,
+    /// Ledger records replayed at boot.
+    pub ledger_replays: u64,
+    /// Files quarantined (corrupt snapshots, stale tmps, bad manifests).
+    pub quarantined: u64,
+    /// Σ budgeted ε across every ledger intent — the durable upper
+    /// bound on privacy spend against this model directory (∞ when any
+    /// fit was non-private; 0 without a `--model-dir`).
+    pub ledger_epsilon: f64,
 }
 
 /// The server's model table.
@@ -277,6 +287,19 @@ pub struct Registry {
     pub evictions: AtomicU64,
     /// Snapshot loads (lazy boot loads and post-eviction reloads).
     pub loads: AtomicU64,
+    /// The durable write-ahead ledger (`Some` once [`Registry::boot_scan`]
+    /// ran with a model directory). Appends serialize on this mutex.
+    ledger: Mutex<Option<Ledger>>,
+    /// The committed-model manifest mirror, rewritten atomically on disk
+    /// after every snapshot commit.
+    manifest: Mutex<Manifest>,
+    /// Bit pattern of the Σ-intent-ε gauge (updated under the ledger
+    /// mutex; reads are lock-free).
+    ledger_epsilon_bits: AtomicU64,
+    /// Ledger records replayed at boot.
+    pub ledger_replays: AtomicU64,
+    /// Files quarantined at boot or during recovery.
+    pub quarantined: AtomicU64,
 }
 
 impl Registry {
@@ -293,6 +316,11 @@ impl Registry {
             pool_misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             loads: AtomicU64::new(0),
+            ledger: Mutex::new(None),
+            manifest: Mutex::new(Manifest::default()),
+            ledger_epsilon_bits: AtomicU64::new(0f64.to_bits()),
+            ledger_replays: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -306,26 +334,45 @@ impl Registry {
         self.model_dir.as_deref()
     }
 
-    /// Registers every valid-looking `.kamino` in the model directory as
-    /// an unloaded slot, without decoding any payload. Ids embedded in
-    /// server-written names (`model-{id}.kamino`) stay stable across
-    /// restarts; foreign names get the next free id after every
-    /// recognized one.
-    pub fn boot_scan(&self) -> std::io::Result<()> {
+    /// Boots the durable state of the model directory:
+    ///
+    /// 1. replays the write-ahead ledger — truncating any torn tail,
+    ///    counting every intent's ε as spent, appending a recovery
+    ///    `FitAbort` for each dangling intent and surfacing it as a
+    ///    `failed (crashed)` model;
+    /// 2. loads the committed-model manifest (an unreadable one is
+    ///    quarantined, not fatal);
+    /// 3. registers every `.kamino` whose section CRCs all verify as an
+    ///    unloaded slot, quarantines the rest along with stale tmp
+    ///    files, and warns about manifest entries whose snapshot is
+    ///    gone.
+    ///
+    /// Ids embedded in server-written names (`model-{id}.kamino`) stay
+    /// stable across restarts; foreign names get the next free id after
+    /// every recognized one — and after every id the ledger has ever
+    /// mentioned, so a crashed fit's id is never reused.
+    pub fn boot_scan(&self, obs: &ObsHandle) -> std::io::Result<()> {
         let Some(dir) = &self.model_dir else {
             return Ok(());
         };
-        std::fs::create_dir_all(dir)?;
-        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|x| x == "kamino"))
-            .collect();
+        let dir = dir.clone();
+        std::fs::create_dir_all(&dir)?;
+        let ledger_max = self.boot_ledger(&dir, obs)?;
+        self.boot_manifest(&dir);
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for entry in std::fs::read_dir(&dir)?.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            if durable::is_stale_tmp(&path) {
+                self.quarantine_file(&path, "stale tmp from an interrupted install");
+            } else if path.extension().is_some_and(|x| x == "kamino") {
+                paths.push(path);
+            }
+        }
         paths.sort();
         let mut foreign = Vec::new();
         for path in paths {
-            if let Err(e) = peek_snapshot(&path) {
-                eprintln!("kamino-serve: skipping {}: {e}", path.display());
+            if let Err(e) = peek_snapshot(&path).and_then(|_| verify_snapshot(&path)) {
+                self.quarantine_file(&path, &e.to_string());
                 continue;
             }
             match id_from_snapshot_name(&path) {
@@ -335,6 +382,16 @@ impl Registry {
                 _ => foreign.push(path),
             }
         }
+        // a committed model whose snapshot vanished (or was quarantined)
+        // is an operational loss worth shouting about — but not an outage
+        for (id, name) in &self.manifest.lock().unwrap().entries {
+            if !self.slots.lock().unwrap().contains_key(id) {
+                eprintln!(
+                    "kamino-serve: WARNING: manifest lists committed model {id} \
+                     ({name}) but no verified snapshot backs it"
+                );
+            }
+        }
         let max_id = self
             .slots
             .lock()
@@ -342,13 +399,161 @@ impl Registry {
             .keys()
             .next_back()
             .copied()
-            .unwrap_or(0);
+            .unwrap_or(0)
+            .max(ledger_max);
         self.next_id.store(max_id + 1, Ordering::Relaxed);
         for path in foreign {
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
             self.insert_unloaded(id, path);
         }
         Ok(())
+    }
+
+    /// Opens and replays the ledger; converts dangling intents into
+    /// `failed (crashed)` slots. Returns the largest model id the ledger
+    /// has ever mentioned.
+    fn boot_ledger(&self, dir: &Path, obs: &ObsHandle) -> std::io::Result<u64> {
+        let (mut ledger, replay) = Ledger::open(dir)?;
+        for &(id, _) in &replay.dangling {
+            ledger.append(&LedgerRecord::FitAbort {
+                model_id: id,
+                reason: AbortReason::Crash,
+            })?;
+        }
+        self.ledger_replays
+            .store(replay.records.len() as u64, Ordering::Relaxed);
+        self.ledger_epsilon_bits
+            .store(replay.spent_epsilon.to_bits(), Ordering::Relaxed);
+        if !replay.records.is_empty() || replay.truncated_bytes > 0 {
+            println!(
+                "kamino-serve: replayed {} ledger record(s) ({} dangling, {} torn byte(s) \
+                 truncated); ε recorded as spent: {}",
+                replay.records.len(),
+                replay.dangling.len(),
+                replay.truncated_bytes,
+                replay.spent_epsilon
+            );
+            obs.event(Event::LedgerReplay {
+                records: replay.records.len() as u64,
+                dangling: replay.dangling.len() as u64,
+                spent_epsilon: replay.spent_epsilon,
+            });
+        }
+        for (id, epsilon) in replay.dangling {
+            self.slots.lock().unwrap().entry(id).or_insert_with(|| {
+                ModelSlot::new(
+                    id,
+                    SlotStatus::Failed(format!(
+                        "crashed: the process died mid-fit; its budgeted ε={epsilon} \
+                         stays counted as spent"
+                    )),
+                    None,
+                )
+            });
+        }
+        let max = replay.max_model_id;
+        *self.ledger.lock().unwrap() = Some(ledger);
+        Ok(max)
+    }
+
+    /// Loads the manifest; a present-but-unreadable one is quarantined.
+    fn boot_manifest(&self, dir: &Path) {
+        match Manifest::load(dir) {
+            Ok(Some(m)) => *self.manifest.lock().unwrap() = m,
+            Ok(None) => {}
+            Err(e) => {
+                self.quarantine_file(&dir.join(durable::MANIFEST_NAME), &e);
+            }
+        }
+    }
+
+    /// Renames a failed file to `*.quarantine`, logs, and counts it.
+    fn quarantine_file(&self, path: &Path, why: &str) {
+        match durable::quarantine(path) {
+            Ok(target) => {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "kamino-serve: quarantined {} -> {} ({why})",
+                    path.display(),
+                    target.display()
+                );
+            }
+            Err(e) => eprintln!(
+                "kamino-serve: failed to quarantine {} ({why}): {e}",
+                path.display()
+            ),
+        }
+    }
+
+    /// Durably records a fit intent *before* any DP mechanism runs.
+    /// With a ledger, an `Err` means the intent could not be made
+    /// durable — the caller must not run the fit. Without one
+    /// (no `--model-dir`), spends are process-local by design and the
+    /// intent is a no-op.
+    pub fn record_fit_intent(
+        &self,
+        model_id: u64,
+        epsilon: f64,
+        delta: f64,
+        plan_hash: u64,
+    ) -> Result<(), String> {
+        let mut guard = self.ledger.lock().unwrap();
+        let Some(ledger) = guard.as_mut() else {
+            return Ok(());
+        };
+        ledger
+            .append(&LedgerRecord::FitIntent {
+                model_id,
+                epsilon,
+                delta,
+                plan_hash,
+            })
+            .map_err(|e| format!("budget ledger append failed: {e}"))?;
+        let total = f64::from_bits(self.ledger_epsilon_bits.load(Ordering::Relaxed)) + epsilon;
+        self.ledger_epsilon_bits
+            .store(total.to_bits(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Records a fit commit (best-effort: the spend itself is already
+    /// durable via the intent).
+    pub fn record_fit_commit(&self, model_id: u64, achieved_epsilon: f64, fingerprint: u64) {
+        if let Some(ledger) = self.ledger.lock().unwrap().as_mut() {
+            if let Err(e) = ledger.append(&LedgerRecord::FitCommit {
+                model_id,
+                achieved_epsilon,
+                fingerprint,
+            }) {
+                eprintln!("kamino-serve: ledger commit for model {model_id} failed: {e}");
+            }
+        }
+    }
+
+    /// Records a fit abort (best-effort, like commits).
+    pub fn record_fit_abort(&self, model_id: u64, reason: AbortReason) {
+        if let Some(ledger) = self.ledger.lock().unwrap().as_mut() {
+            if let Err(e) = ledger.append(&LedgerRecord::FitAbort { model_id, reason }) {
+                eprintln!("kamino-serve: ledger abort for model {model_id} failed: {e}");
+            }
+        }
+    }
+
+    /// Adds a committed model to the manifest and atomically rewrites
+    /// it on disk. Called after every successful snapshot install.
+    pub fn commit_to_manifest(&self, model_id: u64, path: &Path) {
+        let Some(dir) = &self.model_dir else { return };
+        let name = path
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let mut manifest = self.manifest.lock().unwrap();
+        if manifest.entries.get(&model_id) == Some(&name) {
+            return;
+        }
+        manifest.entries.insert(model_id, name);
+        if let Err(e) = manifest.store(dir) {
+            eprintln!("kamino-serve: manifest update for model {model_id} failed: {e}");
+        }
     }
 
     fn insert_unloaded(&self, id: u64, path: PathBuf) {
@@ -419,7 +624,10 @@ impl Registry {
                     if let Some(dir) = &self.model_dir {
                         let path = dir.join(format!("model-{}.kamino", slot.id));
                         match crate::snapshot::save_fitted(&fitted, &path) {
-                            Ok(()) => slot.set_snapshot_path(path),
+                            Ok(()) => {
+                                self.commit_to_manifest(slot.id, &path);
+                                slot.set_snapshot_path(path);
+                            }
                             Err(e) => {
                                 eprintln!("kamino-serve: snapshot of model {} failed: {e}", slot.id)
                             }
@@ -547,6 +755,7 @@ impl Registry {
         }
         let meta = slot.status.lock().unwrap().meta();
         *resident = None;
+        self.commit_to_manifest(slot.id, &path);
         slot.set_snapshot_path(path);
         *slot.status.lock().unwrap() = SlotStatus::Unloaded(meta);
         self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -573,6 +782,9 @@ impl Registry {
             pool_misses: self.pool_misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             loads: self.loads.load(Ordering::Relaxed),
+            ledger_replays: self.ledger_replays.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            ledger_epsilon: f64::from_bits(self.ledger_epsilon_bits.load(Ordering::Relaxed)),
         }
     }
 }

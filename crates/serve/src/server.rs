@@ -99,6 +99,17 @@ pub struct ServeConfig {
     /// Rows per pooled batch; `/synthesize` requests streaming in
     /// chunks of exactly this size are served from the pool.
     pub pool_rows: usize,
+    /// Per-request deadline. A request that cannot complete within it is
+    /// answered `503` + `Retry-After`; a chunked stream already under
+    /// way is terminated early with a `kamino-trailer: deadline-expired`
+    /// trailer. [`Duration::ZERO`] (the default) disables deadlines.
+    pub request_timeout: Duration,
+    /// Bound on queued worker jobs. While the queue holds this many,
+    /// new `/synthesize` and `/models/{id}/snapshot` work is shed with
+    /// `429` + `Retry-After` (in-flight streams keep their lane), and
+    /// pool speculation pauses once the queue is half full. `0` (the
+    /// default) disables shedding.
+    pub max_queue: usize,
     /// Observability handle shared by every request, fit job and model.
     /// Enabled by default — the server is the intended consumer of
     /// `/metrics` and `/debug/trace` — and strictly off the determinism
@@ -115,6 +126,8 @@ impl Default for ServeConfig {
             max_models: 0,
             pool_batches: 4,
             pool_rows: 1_000,
+            request_timeout: Duration::ZERO,
+            max_queue: 0,
             obs: ObsHandle::enabled(),
         }
     }
@@ -130,6 +143,10 @@ pub(crate) struct AppState {
     pub draining: AtomicBool,
     /// Fit jobs currently training (bounded by [`MAX_CONCURRENT_FITS`]).
     pub active_fits: AtomicU64,
+    /// Per-request deadline in nanoseconds (0 = off).
+    pub request_timeout_ns: u64,
+    /// Queued-job bound for load shedding (0 = off).
+    pub max_queue: u64,
 }
 
 /// CPU-bound work the event loop hands to the worker pool.
@@ -214,6 +231,9 @@ pub(crate) struct Reply {
     pub content_type: &'static str,
     pub body: Vec<u8>,
     pub close: bool,
+    /// `Retry-After` seconds, set on shed (`429`) and deadline (`503`)
+    /// replies so well-behaved clients back off instead of hammering.
+    pub retry_after: Option<u32>,
 }
 
 impl Reply {
@@ -223,6 +243,15 @@ impl Reply {
             content_type: "application/json",
             body: body.to_string().into_bytes(),
             close,
+            retry_after: None,
+        }
+    }
+
+    /// A JSON reply carrying a `Retry-After` header.
+    pub fn json_retry(status: &'static str, body: Json, close: bool, secs: u32) -> Reply {
+        Reply {
+            retry_after: Some(secs),
+            ..Reply::json(status, body, close)
         }
     }
 }
@@ -314,7 +343,7 @@ impl Server {
             rows: cfg.pool_rows,
         };
         let registry = Registry::new(cfg.max_models, pool_cfg, cfg.model_dir.clone());
-        registry.boot_scan()?;
+        registry.boot_scan(&cfg.obs)?;
         let state = Arc::new(AppState {
             registry,
             metrics: Metrics::new(),
@@ -322,6 +351,8 @@ impl Server {
             addr,
             draining: AtomicBool::new(false),
             active_fits: AtomicU64::new(0),
+            request_timeout_ns: cfg.request_timeout.as_nanos().min(u64::MAX as u128) as u64,
+            max_queue: cfg.max_queue as u64,
         });
         Ok(Server {
             listener,
@@ -364,11 +395,59 @@ impl Server {
     }
 }
 
+/// Queues a job, keeping the shed/speculation pressure gauges current.
+pub(crate) fn send_job(state: &AppState, jobs: &mpsc::Sender<Job>, job: Job) {
+    let depth = state.metrics.queue_depth.fetch_add(1, Ordering::AcqRel) + 1;
+    note_queue_depth(state, depth);
+    let _ = jobs.send(job);
+}
+
+/// `true` while the worker queue is at the shed bound.
+pub(crate) fn overloaded(state: &AppState) -> bool {
+    state.max_queue > 0 && state.metrics.queue_depth.load(Ordering::Acquire) >= state.max_queue
+}
+
+/// `true` while pool speculation should stay paused (queue pressure).
+pub(crate) fn speculation_paused(state: &AppState) -> bool {
+    state.metrics.speculation_paused.load(Ordering::Acquire) != 0
+}
+
+/// Pressure hysteresis: speculation pauses once the queue is half full
+/// and resumes only when it fully drains, so sustained load cannot
+/// flap it per-job.
+fn note_queue_depth(state: &AppState, depth: u64) {
+    if state.max_queue == 0 {
+        return;
+    }
+    if depth >= state.max_queue.div_ceil(2) {
+        state.metrics.speculation_paused.store(1, Ordering::Release);
+    } else if depth == 0 {
+        state.metrics.speculation_paused.store(0, Ordering::Release);
+    }
+}
+
+/// The uniform shed reply: `429` + `Retry-After: 1`.
+fn shed_reply(state: &AppState, close: bool) -> Action {
+    state.metrics.sheds.fetch_add(1, Ordering::Relaxed);
+    Action::Respond(Reply::json_retry(
+        "429 Too Many Requests",
+        err_json("server overloaded: worker queue is full; retry shortly"),
+        close,
+        1,
+    ))
+}
+
 /// One worker thread: executes jobs until the event loop hangs up.
 fn worker_loop(state: &Arc<AppState>, rx: &Mutex<mpsc::Receiver<Job>>, done: &CompletionQueue) {
     loop {
         let job = rx.lock().unwrap().recv();
         let Ok(job) = job else { break };
+        let depth = state
+            .metrics
+            .queue_depth
+            .fetch_sub(1, Ordering::AcqRel)
+            .saturating_sub(1);
+        note_queue_depth(state, depth);
         match job {
             Job::Fit { slot, spec } => run_fit(state, &slot, spec),
             Job::Refill { slot } => run_refill(state, &slot),
@@ -383,8 +462,9 @@ fn worker_loop(state: &Arc<AppState>, rx: &Mutex<mpsc::Receiver<Job>>, done: &Co
                 let result = run_batch(state, &slot, rows, format, need_header);
                 done.push(Completion::Batch { token, gen, result });
                 // top the pool back up while the loop streams the bytes;
-                // only aligned traffic warrants speculation
-                if rows == state.registry.pool_config().rows {
+                // only aligned traffic warrants speculation, and none
+                // does while the queue is under pressure
+                if rows == state.registry.pool_config().rows && !speculation_paused(state) {
                     maybe_refill(state, &slot);
                 }
             }
@@ -520,6 +600,7 @@ fn run_snapshot(
     };
     match crate::snapshot::write_snapshot_bytes(&bytes, &path) {
         Ok(()) => {
+            state.registry.commit_to_manifest(slot.id, &path);
             slot.set_snapshot_path(path.clone());
             state.registry.touch(slot);
             Ok(path)
@@ -530,19 +611,59 @@ fn run_snapshot(
 
 /// The async fit job. A panic inside the pipeline (e.g. an infeasible
 /// budget) marks the model `failed` instead of taking a worker down.
+///
+/// The durable ledger brackets the privacy-relevant section: a
+/// `FitIntent` is fsync'd *before* any mechanism runs — if the intent
+/// cannot be made durable the fit is refused — and a `FitCommit` (or
+/// `FitAbort` on panic) lands after. A crash anywhere between the two is
+/// replayed at the next boot as `failed (crashed)` with the budgeted ε
+/// still counted as spent.
 fn run_fit(state: &Arc<AppState>, slot: &Arc<ModelSlot>, spec: FitSpec) {
+    let budget = spec.cfg.budget;
+    let plan_hash = spec.cfg.stable_hash();
+    if let Err(msg) =
+        state
+            .registry
+            .record_fit_intent(slot.id, budget.epsilon, budget.delta, plan_hash)
+    {
+        state.registry.finish_fit(
+            slot,
+            Err(format!(
+                "refused: fit intent could not be made durable: {msg}"
+            )),
+            false,
+        );
+        state.active_fits.fetch_sub(1, Ordering::AcqRel);
+        return;
+    }
+    crate::durable::chaos::fault_point("fit.after_intent");
     let result = catch_unwind(AssertUnwindSafe(|| {
         let d = spec.corpus.generate(spec.rows, spec.data_seed);
         fit_kamino(&d.schema, &d.instance, &d.dcs, &spec.cfg)
     }));
     let outcome = match result {
-        Ok(fitted) => Ok(fitted),
+        Ok(fitted) => {
+            let p = &fitted.params;
+            let fingerprint = kamino_dp::spend_fingerprint(
+                p.sigma_g,
+                p.sigma_d,
+                p.sigma_w,
+                fitted.achieved_epsilon(),
+            );
+            state
+                .registry
+                .record_fit_commit(slot.id, fitted.achieved_epsilon(), fingerprint);
+            Ok(fitted)
+        }
         Err(panic) => {
             let msg = panic
                 .downcast_ref::<String>()
                 .cloned()
                 .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
                 .unwrap_or_else(|| "fit panicked".into());
+            state
+                .registry
+                .record_fit_abort(slot.id, crate::durable::AbortReason::Panic);
             Err(msg)
         }
     };
@@ -659,6 +780,7 @@ pub(crate) fn dispatch(
                 content_type: "text/plain; version=0.0.4",
                 body: body.into_bytes(),
                 close,
+                retry_after: None,
             })
         }
         ("POST", ["debug", "trace"]) => Action::Respond(Reply {
@@ -666,6 +788,7 @@ pub(crate) fn dispatch(
             content_type: "application/json",
             body: state.obs.chrome_trace_json().into_bytes(),
             close,
+            retry_after: None,
         }),
         ("POST", ["shutdown"]) => {
             state.draining.store(true, Ordering::Release);
@@ -705,7 +828,10 @@ pub(crate) fn dispatch(
                         close,
                     ));
                 }
-                let _ = jobs.send(Job::Snapshot { token, gen, slot });
+                if overloaded(state) {
+                    return shed_reply(state, close);
+                }
+                send_job(state, jobs, Job::Snapshot { token, gen, slot });
                 Action::AwaitWorker
             }
         },
@@ -773,19 +899,21 @@ fn dispatch_fit(
         })
         .is_ok();
     if !claimed {
-        return Action::Respond(Reply::json(
+        state.metrics.fit_rejected.fetch_add(1, Ordering::Relaxed);
+        return Action::Respond(Reply::json_retry(
             "429 Too Many Requests",
             err_json(&format!(
                 "{MAX_CONCURRENT_FITS} fit jobs already training; retry shortly"
             )),
             close,
+            1,
         ));
     }
 
     let slot = state.registry.create_fitting();
     let id = slot.id;
     state.metrics.fits_started.fetch_add(1, Ordering::Relaxed);
-    let _ = jobs.send(Job::Fit { slot, spec });
+    send_job(state, jobs, Job::Fit { slot, spec });
 
     let body = Json::obj([
         ("model_id", Json::Num(id as f64)),
@@ -801,6 +929,11 @@ fn dispatch_synthesize(
     slot: Arc<ModelSlot>,
     close: bool,
 ) -> Action {
+    // shed at admission only: streams already running keep their lane
+    // (their batch jobs are never shed mid-flight)
+    if overloaded(state) {
+        return shed_reply(state, close);
+    }
     let n = req.query_usize("n").unwrap_or(100);
     if n == 0 || n > MAX_SYNTH_ROWS {
         return Action::Respond(Reply::json(

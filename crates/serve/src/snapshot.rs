@@ -475,23 +475,25 @@ fn validate_store(
     Ok(())
 }
 
-/// Writes already-encoded snapshot bytes to `path` (atomically: write
-/// to a uniquely-named `.tmp` sibling, then rename). Split from
-/// [`save_fitted`] so callers holding a lock on the session can encode
-/// under the lock and do the disk I/O outside it. The tmp name is
-/// unique per call — concurrent saves of the same model each install a
-/// complete file via their own rename instead of interleaving writes
-/// into a shared tmp (which could tear the snapshot).
+/// Writes already-encoded snapshot bytes to `path` through the durable
+/// install protocol ([`crate::durable::write_atomic`]: unique tmp →
+/// fsync file → rename → fsync dir). Split from [`save_fitted`] so
+/// callers holding a lock on the session can encode under the lock and
+/// do the disk I/O outside it. The tmp name is unique per call —
+/// concurrent saves of the same model each install a complete file via
+/// their own rename instead of interleaving writes into a shared tmp
+/// (which could tear the snapshot).
 pub fn write_snapshot_bytes(bytes: &[u8], path: &Path) -> Result<(), SnapshotError> {
-    use std::sync::atomic::{AtomicU64, Ordering};
-    static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
-    let n = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
-    let tmp = path.with_extension(format!("kamino.tmp-{}-{n}", std::process::id()));
-    fs::write(&tmp, bytes)?;
-    if let Err(e) = fs::rename(&tmp, path) {
-        let _ = fs::remove_file(&tmp);
-        return Err(e.into());
-    }
+    crate::durable::write_atomic(bytes, path).map_err(SnapshotError::Io)
+}
+
+/// Reads a snapshot and verifies every section CRC without decoding any
+/// payload — the boot-scan integrity check behind the quarantine
+/// policy. Strictly stronger than [`peek_snapshot`] (which never reads
+/// the payload): bit rot anywhere in the file surfaces here.
+pub fn verify_snapshot(path: &Path) -> Result<(), SnapshotError> {
+    let bytes = fs::read(path)?;
+    parse_sections(&bytes)?;
     Ok(())
 }
 

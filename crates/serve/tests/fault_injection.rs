@@ -134,6 +134,19 @@ fn boot() -> (SocketAddr, thread::JoinHandle<()>) {
     (addr, handle)
 }
 
+fn boot_with_dir(dir: &std::path::Path) -> (SocketAddr, thread::JoinHandle<()>) {
+    let server = Server::bind(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        threads: 2,
+        model_dir: Some(dir.to_path_buf()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
 fn fit_tiny_model(addr: SocketAddr) -> u64 {
     let (status, body) = request(
         addr,
@@ -373,6 +386,84 @@ fn faults_never_kill_or_desync_the_server() {
     let (status, _) = request(addr, "POST", "/shutdown", None);
     assert!(status.contains("200"), "{status}");
     handle.join().expect("server thread panicked");
+}
+
+/// Corrupt model-dir contents at boot: a truncated snapshot, a snapshot
+/// with a flipped payload byte (bad CRC) and a stale atomic-install tmp
+/// file left by a crash. Boot must quarantine all three — rename to
+/// `*.quarantine`, never load them — and serve the intact snapshot.
+#[test]
+fn corrupt_snapshots_are_quarantined_at_boot_not_fatal() {
+    let dir = std::env::temp_dir().join(format!("kamino-quarantine-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let fitted = {
+        let d = kamino_datasets::adult_like(80, 3);
+        let mut cfg = kamino_core::KaminoConfig::new(kamino_dp::Budget::new(1.0, 1e-6));
+        cfg.train_scale = 0.02;
+        cfg.embed_dim = 8;
+        cfg.seed = 71;
+        kamino_core::fit_kamino(&d.schema, &d.instance, &d.dcs, &cfg)
+    };
+    for name in ["model-1.kamino", "model-2.kamino", "model-3.kamino"] {
+        kamino_serve::save_fitted(&fitted, &dir.join(name)).unwrap();
+    }
+    // model-1: truncated to half its length (torn write)
+    let bytes = std::fs::read(dir.join("model-1.kamino")).unwrap();
+    std::fs::write(dir.join("model-1.kamino"), &bytes[..bytes.len() / 2]).unwrap();
+    // model-2: one payload byte flipped (bad section CRC)
+    let mut bytes = std::fs::read(dir.join("model-2.kamino")).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(dir.join("model-2.kamino"), &bytes).unwrap();
+    // a stale tmp file from an interrupted atomic install
+    std::fs::write(dir.join("model-9.kamino.tmp-777-0"), b"half a snapshot").unwrap();
+
+    let (addr, handle) = boot_with_dir(&dir);
+    assert_alive(addr, "boot over corrupt snapshots");
+
+    // only the intact snapshot is registered
+    let (status, body) = request(addr, "GET", "/models", None);
+    assert!(status.contains("200"), "{status}");
+    let listed = match json(&body) {
+        Json::Arr(items) => items.len(),
+        other => panic!("expected array, got {other:?}"),
+    };
+    assert_eq!(listed, 1, "corrupt snapshots must not register: {body}");
+
+    // the corrupt files were renamed aside, not deleted and not loaded
+    assert!(dir.join("model-1.kamino.quarantine").is_file());
+    assert!(dir.join("model-2.kamino.quarantine").is_file());
+    assert!(dir.join("model-9.kamino.tmp-777-0.quarantine").is_file());
+    assert!(!dir.join("model-1.kamino").exists());
+    assert!(!dir.join("model-2.kamino").exists());
+
+    let (status, body) = request(addr, "GET", "/metrics", None);
+    assert!(status.contains("200"), "{status}");
+    assert!(
+        body.contains("kamino_quarantined_files_total 3"),
+        "quarantine counter missing: {}",
+        body.lines()
+            .filter(|l| l.contains("quarantine"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // the survivor still serves
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/models/3/synthesize?n=10&batch=5&format=json",
+        None,
+    );
+    assert!(status.contains("200"), "{status}: {body}");
+    assert_eq!(body.lines().count(), 10);
+
+    let (status, _) = request(addr, "POST", "/shutdown", None);
+    assert!(status.contains("200"), "{status}");
+    handle.join().expect("server thread panicked");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Regression: `POST /shutdown` while a chunked `/synthesize` response

@@ -172,7 +172,9 @@ fn boot_scan_keeps_server_ids_and_numbers_foreign_snapshots_after() {
     std::fs::write(dir.join("junk.kamino"), b"not a snapshot").unwrap();
 
     let registry = Registry::new(0, PoolConfig::disabled(), Some(dir.clone()));
-    registry.boot_scan().unwrap();
+    registry
+        .boot_scan(&kamino_obs::ObsHandle::disabled())
+        .unwrap();
     assert_eq!(registry.len(), 3);
     // model-3 keeps its id; foreign names get the next free ids in
     // sorted-path order
